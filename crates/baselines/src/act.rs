@@ -1,0 +1,168 @@
+//! The ACT baseline ([`ActModel`]) — Gupta et al., ISCA 2022.
+
+use tdc_technode::{GridRegion, ProcessNode, TechnologyDb};
+use tdc_units::{Area, Co2Mass};
+use tdc_yield::{DieYieldModel, YieldError};
+
+/// ACT's architectural carbon model:
+///
+/// `C_die = (CI_fab · EPA + GPA + MPA) · A_die / y_die`, plus a fixed
+/// per-package packaging constant (0.15 kg in the released tool).
+///
+/// Differences from 3D-Carbon that the paper's Fig. 4 isolates:
+///
+/// * no dies-per-wafer edge losses (footprint is linear in area),
+/// * no BEOL-configuration adjustment (every die pays for the full
+///   metal stack),
+/// * packaging is a constant, not an area model,
+/// * one die at a time — no bonding, stacking-yield, or substrate
+///   terms.
+///
+/// ```
+/// use tdc_baselines::ActModel;
+/// use tdc_technode::ProcessNode;
+/// use tdc_units::Area;
+///
+/// let act = ActModel::default();
+/// let c = act.die_embodied(ProcessNode::N7, Area::from_mm2(74.0)).unwrap();
+/// assert!(c.kg() > 0.3 && c.kg() < 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActModel {
+    db: TechnologyDb,
+    fab_region: GridRegion,
+}
+
+/// ACT's fixed per-package packaging carbon (kg CO₂e).
+pub(crate) const ACT_PACKAGING_KG: f64 = 0.15;
+
+impl Default for ActModel {
+    fn default() -> Self {
+        Self {
+            db: TechnologyDb::default(),
+            fab_region: GridRegion::Taiwan,
+        }
+    }
+}
+
+impl ActModel {
+    /// Creates an ACT model over a custom technology database and fab
+    /// location.
+    #[must_use]
+    pub fn new(db: TechnologyDb, fab_region: GridRegion) -> Self {
+        Self { db, fab_region }
+    }
+
+    /// The fab region in use.
+    #[must_use]
+    pub fn fab_region(&self) -> GridRegion {
+        self.fab_region
+    }
+
+    /// ACT's fixed packaging carbon.
+    #[must_use]
+    pub fn packaging(&self) -> Co2Mass {
+        Co2Mass::from_kg(ACT_PACKAGING_KG)
+    }
+
+    /// Die fab yield under ACT (negative binomial with the node's
+    /// clustering parameter — ACT and 3D-Carbon share this input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError`] on non-physical areas.
+    pub fn die_yield(&self, node: ProcessNode, area: Area) -> Result<f64, YieldError> {
+        let params = self.db.node(node);
+        DieYieldModel::NegativeBinomial {
+            alpha: params.clustering_alpha(),
+        }
+        .die_yield(area, params.defect_density_per_cm2())
+    }
+
+    /// Embodied carbon of one die, excluding packaging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError`] on non-physical areas.
+    pub fn die_embodied(&self, node: ProcessNode, area: Area) -> Result<Co2Mass, YieldError> {
+        let params = self.db.node(node);
+        let ci = self.fab_region.carbon_intensity();
+        let per_area =
+            ci * params.energy_per_area() + params.gas_per_area() + params.material_per_area();
+        let y = self.die_yield(node, area)?;
+        Ok(per_area * area / y)
+    }
+
+    /// Embodied carbon of a single-die (2D) product: die + fixed
+    /// packaging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError`] on non-physical areas.
+    pub fn chip_embodied(&self, node: ProcessNode, area: Area) -> Result<Co2Mass, YieldError> {
+        Ok(self.die_embodied(node, area)? + self.packaging())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_area_formula_matches_hand_value() {
+        let act = ActModel::default();
+        // 7 nm, Taiwan grid: (0.509·0.8 + 0.2 + 0.32) kg/cm².
+        let per_area = 0.509 * 0.8 + 0.2 + 0.32;
+        let area = Area::from_cm2(1.0);
+        let y = act.die_yield(ProcessNode::N7, area).unwrap();
+        let c = act.die_embodied(ProcessNode::N7, area).unwrap();
+        assert!((c.kg() - per_area / y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embodied_grows_superlinearly_with_area() {
+        // Yield decay makes 2× area cost more than 2× carbon.
+        let act = ActModel::default();
+        let small = act.die_embodied(ProcessNode::N7, Area::from_mm2(100.0)).unwrap();
+        let large = act.die_embodied(ProcessNode::N7, Area::from_mm2(200.0)).unwrap();
+        assert!(large.kg() > 2.0 * small.kg());
+    }
+
+    #[test]
+    fn advanced_nodes_cost_more_per_area() {
+        let act = ActModel::default();
+        let area = Area::from_mm2(100.0);
+        let n28 = act.die_embodied(ProcessNode::N28, area).unwrap();
+        let n7 = act.die_embodied(ProcessNode::N7, area).unwrap();
+        let n3 = act.die_embodied(ProcessNode::N3, area).unwrap();
+        assert!(n28 < n7);
+        assert!(n7 < n3);
+    }
+
+    #[test]
+    fn packaging_is_the_fixed_constant() {
+        let act = ActModel::default();
+        assert!((act.packaging().kg() - 0.15).abs() < 1e-12);
+        let die = act.die_embodied(ProcessNode::N7, Area::from_mm2(74.0)).unwrap();
+        let chip = act.chip_embodied(ProcessNode::N7, Area::from_mm2(74.0)).unwrap();
+        assert!((chip.kg() - die.kg() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cleaner_fab_grid_reduces_footprint() {
+        let dirty = ActModel::new(TechnologyDb::default(), GridRegion::CoalHeavy);
+        let clean = ActModel::new(TechnologyDb::default(), GridRegion::Renewable);
+        let area = Area::from_mm2(100.0);
+        assert!(
+            clean.die_embodied(ProcessNode::N7, area).unwrap()
+                < dirty.die_embodied(ProcessNode::N7, area).unwrap()
+        );
+        assert_eq!(clean.fab_region(), GridRegion::Renewable);
+    }
+
+    #[test]
+    fn invalid_area_errors() {
+        let act = ActModel::default();
+        assert!(act.die_embodied(ProcessNode::N7, Area::from_mm2(-1.0)).is_err());
+    }
+}

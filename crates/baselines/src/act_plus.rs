@@ -1,0 +1,193 @@
+//! The ACT+ baseline ([`ActPlusModel`]) — Elgamal et al., 2023.
+
+use crate::act::{ActModel, ACT_PACKAGING_KG};
+use tdc_technode::ProcessNode;
+use tdc_units::{Area, Co2Mass};
+use tdc_yield::YieldError;
+
+/// A die handed to ACT+ (node + area is all it looks at).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DieInput {
+    /// Process node.
+    pub node: ProcessNode,
+    /// Die area.
+    pub area: Area,
+}
+
+/// The package class ACT+ distinguishes when extrapolating multi-die
+/// overheads from cost data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackageClass {
+    /// Plain 2D single-die package.
+    Monolithic,
+    /// 3D stack — ACT+ "simplistically treats 3D stacked dies as 2D"
+    /// (paper §1): dies are summed with no bonding or stacking-yield
+    /// terms.
+    ThreeD,
+    /// 2.5D without a silicon substrate (MCM-class): per-die cost
+    /// uplift only.
+    TwoPointFiveDOrganic,
+    /// 2.5D with a silicon interposer / bridge: larger cost uplift.
+    TwoPointFiveDSilicon,
+}
+
+impl PackageClass {
+    /// ACT+'s cost-ratio uplift over the summed 2D dies: the released
+    /// methodology scales die manufacturing cost to estimate the
+    /// multi-die assembly's footprint (no geometric substrate model).
+    #[must_use]
+    pub fn cost_uplift(self) -> f64 {
+        match self {
+            PackageClass::Monolithic | PackageClass::ThreeD => 0.0,
+            PackageClass::TwoPointFiveDOrganic => 0.03,
+            PackageClass::TwoPointFiveDSilicon => 0.08,
+        }
+    }
+}
+
+/// ACT+ result with its coarse breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActPlusResult {
+    /// Summed per-die footprints (ACT formula).
+    pub dies: Co2Mass,
+    /// Cost-ratio uplift charged for the multi-die assembly.
+    pub assembly_uplift: Co2Mass,
+    /// The fixed packaging constant.
+    pub packaging: Co2Mass,
+}
+
+impl ActPlusResult {
+    /// Total ACT+ embodied carbon.
+    #[must_use]
+    pub fn total(&self) -> Co2Mass {
+        self.dies + self.assembly_uplift + self.packaging
+    }
+}
+
+/// The ACT+ extension of ACT to multi-die products.
+#[derive(Debug, Clone, Default)]
+pub struct ActPlusModel {
+    act: ActModel,
+}
+
+impl ActPlusModel {
+    /// Creates an ACT+ model over a custom ACT base.
+    #[must_use]
+    pub fn new(act: ActModel) -> Self {
+        Self { act }
+    }
+
+    /// The underlying ACT model.
+    #[must_use]
+    pub fn act(&self) -> &ActModel {
+        &self.act
+    }
+
+    /// Embodied carbon of a (multi-)die product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError`] on non-physical die areas.
+    pub fn embodied(
+        &self,
+        dies: &[DieInput],
+        class: PackageClass,
+    ) -> Result<ActPlusResult, YieldError> {
+        let mut die_total = Co2Mass::ZERO;
+        for die in dies {
+            die_total += self.act.die_embodied(die.node, die.area)?;
+        }
+        Ok(ActPlusResult {
+            dies: die_total,
+            assembly_uplift: die_total * class.cost_uplift(),
+            packaging: Co2Mass::from_kg(ACT_PACKAGING_KG),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epyc_dies() -> Vec<DieInput> {
+        let mut dies = vec![
+            DieInput {
+                node: ProcessNode::N7,
+                area: Area::from_mm2(74.0),
+            };
+            4
+        ];
+        dies.push(DieInput {
+            node: ProcessNode::N14,
+            area: Area::from_mm2(416.0),
+        });
+        dies
+    }
+
+    #[test]
+    fn three_d_is_just_summed_dies_plus_constant() {
+        let model = ActPlusModel::default();
+        let dies = [
+            DieInput {
+                node: ProcessNode::N7,
+                area: Area::from_mm2(82.0),
+            },
+            DieInput {
+                node: ProcessNode::N14,
+                area: Area::from_mm2(92.0),
+            },
+        ];
+        let r = model.embodied(&dies, PackageClass::ThreeD).unwrap();
+        assert_eq!(r.assembly_uplift, Co2Mass::ZERO);
+        let act = ActModel::default();
+        let expect = act.die_embodied(ProcessNode::N7, Area::from_mm2(82.0)).unwrap()
+            + act.die_embodied(ProcessNode::N14, Area::from_mm2(92.0)).unwrap();
+        assert!((r.dies.kg() - expect.kg()).abs() < 1e-12);
+        assert!((r.total().kg() - expect.kg() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silicon_25d_uplift_exceeds_organic() {
+        let model = ActPlusModel::default();
+        let dies = epyc_dies();
+        let organic = model
+            .embodied(&dies, PackageClass::TwoPointFiveDOrganic)
+            .unwrap();
+        let silicon = model
+            .embodied(&dies, PackageClass::TwoPointFiveDSilicon)
+            .unwrap();
+        assert!(silicon.assembly_uplift > organic.assembly_uplift);
+        assert_eq!(organic.dies, silicon.dies);
+    }
+
+    #[test]
+    fn packaging_never_scales_with_area() {
+        let model = ActPlusModel::default();
+        let small = model
+            .embodied(
+                &[DieInput {
+                    node: ProcessNode::N7,
+                    area: Area::from_mm2(10.0),
+                }],
+                PackageClass::Monolithic,
+            )
+            .unwrap();
+        let large = model
+            .embodied(&epyc_dies(), PackageClass::TwoPointFiveDOrganic)
+            .unwrap();
+        assert_eq!(small.packaging, large.packaging);
+        assert!((small.packaging.kg() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uplifts_are_small_fractions() {
+        for class in [
+            PackageClass::Monolithic,
+            PackageClass::ThreeD,
+            PackageClass::TwoPointFiveDOrganic,
+            PackageClass::TwoPointFiveDSilicon,
+        ] {
+            assert!((0.0..0.2).contains(&class.cost_uplift()));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The first-order die-size model — Eeckhout, IEEE CAL 2022.
+
+use tdc_technode::{GridRegion, ProcessNode, TechnologyDb};
+use tdc_units::{Area, CarbonPerArea, Co2Mass};
+
+/// The single per-node coefficient of the first-order model: embodied
+/// carbon per unit die area, with a typical yield folded in. Derived
+/// from the same per-area characterization as ACT so the baselines
+/// stay mutually consistent:
+/// `k = (CI_fab · EPA + GPA + MPA) / y_typical` with `y_typical`
+/// evaluated at a 100 mm² reference die.
+#[must_use]
+pub fn first_order_coefficient(node: ProcessNode) -> CarbonPerArea {
+    let db = TechnologyDb::default();
+    let params = db.node(node);
+    let ci = GridRegion::Taiwan.carbon_intensity();
+    let per_area =
+        ci * params.energy_per_area() + params.gas_per_area() + params.material_per_area();
+    let reference = Area::from_mm2(100.0);
+    let y = tdc_yield::DieYieldModel::NegativeBinomial {
+        alpha: params.clustering_alpha(),
+    }
+    .die_yield(reference, params.defect_density_per_cm2())
+    .expect("reference area is valid");
+    per_area * (1.0 / y)
+}
+
+/// First-order embodied estimate: `k(node) · A_die`. Linear in area by
+/// construction — the model's defining simplification (and the reason
+/// it cannot see yield cliffs, BEOL savings, or packaging geometry).
+#[must_use]
+pub fn first_order_embodied(node: ProcessNode, area: Area) -> Co2Mass {
+    first_order_coefficient(node) * area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_area_by_construction() {
+        let a = first_order_embodied(ProcessNode::N7, Area::from_mm2(100.0));
+        let b = first_order_embodied(ProcessNode::N7, Area::from_mm2(200.0));
+        assert!((b.kg() - 2.0 * a.kg()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coefficient_grows_toward_advanced_nodes() {
+        let mut prev = f64::INFINITY;
+        for node in ProcessNode::ALL {
+            let k = first_order_coefficient(node).kg_per_cm2();
+            assert!(k <= prev, "{node}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn coefficient_is_plausible_magnitude() {
+        // ~1 kg CO₂e/cm² for leading-edge silicon, as widely reported.
+        let k7 = first_order_coefficient(ProcessNode::N7).kg_per_cm2();
+        assert!((0.5..2.5).contains(&k7), "got {k7}");
+    }
+}

@@ -1,0 +1,127 @@
+//! GreenChip's decision metrics (Kline et al., SUSCOM 2019) — the
+//! literal Eq. 2 formulas, kept raw for cross-checking the richer
+//! outcome classification in `tdc-core`.
+
+use tdc_units::{CarbonIntensity, Co2Mass, Power, TimeSpan};
+
+/// Eq. 2, left: the indifference point
+/// `T_c = (C^{3D/2.5D}_emb − C^{2D}_emb) / (CI_use · (P^{2D} − P^{3D/2.5D}))`.
+///
+/// Returned raw: negative values mean the crossing lies in the past
+/// (the alternative dominates from day one), infinities mean the
+/// curves never cross. `None` only when the denominator is exactly
+/// zero *and* the numerator is zero (designs are identical).
+#[must_use]
+pub fn indifference_point(
+    emb_2d: Co2Mass,
+    emb_alt: Co2Mass,
+    power_2d: Power,
+    power_alt: Power,
+    ci_use: CarbonIntensity,
+) -> Option<TimeSpan> {
+    let num = emb_alt - emb_2d;
+    let rate = ci_use * (power_2d - power_alt);
+    if rate.kg_per_hour() == 0.0 {
+        if num.kg() == 0.0 {
+            return None;
+        }
+        return Some(if num.kg() > 0.0 {
+            TimeSpan::INFINITE
+        } else {
+            -TimeSpan::INFINITE
+        });
+    }
+    Some(TimeSpan::from_hours(num.kg() / rate.kg_per_hour()))
+}
+
+/// Eq. 2, right: the breakeven time
+/// `T_r = C^{3D/2.5D}_emb / (CI_use · (P^{2D} − P^{3D/2.5D}))`.
+///
+/// Infinite (never pays back) when the alternative saves no power.
+#[must_use]
+pub fn breakeven_time(
+    emb_alt: Co2Mass,
+    power_2d: Power,
+    power_alt: Power,
+    ci_use: CarbonIntensity,
+) -> TimeSpan {
+    let rate = ci_use * (power_2d - power_alt);
+    if rate.kg_per_hour() <= 0.0 {
+        return TimeSpan::INFINITE;
+    }
+    TimeSpan::from_hours(emb_alt.kg() / rate.kg_per_hour())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci() -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(475.0)
+    }
+
+    #[test]
+    fn indifference_point_closed_form() {
+        let t = indifference_point(
+            Co2Mass::from_kg(100.0),
+            Co2Mass::from_kg(150.0),
+            Power::from_watts(100.0),
+            Power::from_watts(80.0),
+            ci(),
+        )
+        .unwrap();
+        assert!((t.hours() - 50.0 / (0.475 * 0.02)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_crossing_when_alt_dominates() {
+        let t = indifference_point(
+            Co2Mass::from_kg(100.0),
+            Co2Mass::from_kg(80.0),
+            Power::from_watts(100.0),
+            Power::from_watts(90.0),
+            ci(),
+        )
+        .unwrap();
+        assert!(t.hours() < 0.0);
+    }
+
+    #[test]
+    fn equal_power_cases() {
+        let t = indifference_point(
+            Co2Mass::from_kg(100.0),
+            Co2Mass::from_kg(120.0),
+            Power::from_watts(100.0),
+            Power::from_watts(100.0),
+            ci(),
+        )
+        .unwrap();
+        assert!(t.is_infinite() && t.hours() > 0.0);
+        assert!(indifference_point(
+            Co2Mass::from_kg(100.0),
+            Co2Mass::from_kg(100.0),
+            Power::from_watts(100.0),
+            Power::from_watts(100.0),
+            ci(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn breakeven_matches_closed_form_and_saturates() {
+        let t = breakeven_time(
+            Co2Mass::from_kg(150.0),
+            Power::from_watts(100.0),
+            Power::from_watts(80.0),
+            ci(),
+        );
+        assert!((t.hours() - 150.0 / (0.475 * 0.02)).abs() < 1e-6);
+        let never = breakeven_time(
+            Co2Mass::from_kg(150.0),
+            Power::from_watts(80.0),
+            Power::from_watts(100.0),
+            ci(),
+        );
+        assert!(never.is_infinite());
+    }
+}

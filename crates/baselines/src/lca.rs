@@ -1,0 +1,132 @@
+//! GaBi-style LCA reference entries ([`LcaDatabase`]).
+//!
+//! The paper validates against per-product numbers from the commercial
+//! GaBi LCA database [14], which we cannot ship. These entries are
+//! *synthetic stand-ins* reverse-engineered from the paper's own
+//! statements (§4.1–4.2):
+//!
+//! * the LCA figure for EPYC 7452 sits ≈4.4 % **above** 3D-Carbon's
+//!   2D-adjusted estimate (LCA treats the product as one monolithic
+//!   die);
+//! * GaBi has no 7 nm entry, so Lakefield is assessed with **both**
+//!   dies at 14 nm — an *underestimate* relative to models that price
+//!   the real 7 nm logic die.
+//!
+//! The code path — comparing a model against an external per-product
+//! LCA number — is identical to the paper's; only the numbers are
+//! reconstructed.
+
+use serde::{Deserialize, Serialize};
+use tdc_units::Co2Mass;
+
+/// One per-product LCA record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LcaEntry {
+    /// Product name (lookup key).
+    pub product: String,
+    /// Reported embodied carbon.
+    pub embodied: Co2Mass,
+    /// Methodology note (what the LCA actually assessed).
+    pub note: String,
+}
+
+/// A small registry of [`LcaEntry`] records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LcaDatabase {
+    entries: Vec<LcaEntry>,
+}
+
+/// Lookup key for the AMD EPYC 7452 entry.
+pub const EPYC_7452: &str = "AMD EPYC 7452";
+/// Lookup key for the Intel Lakefield entry.
+pub const LAKEFIELD: &str = "Intel Lakefield";
+
+impl Default for LcaDatabase {
+    fn default() -> Self {
+        Self {
+            entries: vec![
+                LcaEntry {
+                    product: EPYC_7452.to_owned(),
+                    embodied: Co2Mass::from_kg(23.77),
+                    note: "assessed as one monolithic 2D die of the total silicon \
+                           area; calibrated to sit ≈4.4 % above this repo's \
+                           2D-adjusted 3D-Carbon estimate, mirroring the paper's \
+                           §4.1 relation (synthetic GaBi stand-in)"
+                        .to_owned(),
+                },
+                LcaEntry {
+                    product: LAKEFIELD.to_owned(),
+                    embodied: Co2Mass::from_kg(1.4),
+                    note: "no 7 nm dataset available: both dies assessed at 14 nm, \
+                           underestimating the real 7 nm compute die (synthetic GaBi \
+                           stand-in)"
+                        .to_owned(),
+                },
+            ],
+        }
+    }
+}
+
+impl LcaDatabase {
+    /// Looks up a product's entry.
+    #[must_use]
+    pub fn entry(&self, product: &str) -> Option<&LcaEntry> {
+        self.entries.iter().find(|e| e.product == product)
+    }
+
+    /// Looks up a product's embodied carbon.
+    #[must_use]
+    pub fn embodied(&self, product: &str) -> Option<Co2Mass> {
+        self.entry(product).map(|e| e.embodied)
+    }
+
+    /// Adds or replaces an entry (for calibration studies).
+    pub fn upsert(&mut self, entry: LcaEntry) {
+        if let Some(slot) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.product == entry.product)
+        {
+            *slot = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Iterates over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &LcaEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_entries_exist() {
+        let db = LcaDatabase::default();
+        assert!(db.embodied(EPYC_7452).unwrap().kg() > 10.0);
+        assert!(db.embodied(LAKEFIELD).unwrap().kg() < 5.0);
+        assert!(db.entry("nonexistent").is_none());
+        assert_eq!(db.iter().count(), 2);
+    }
+
+    #[test]
+    fn upsert_replaces_and_inserts() {
+        let mut db = LcaDatabase::default();
+        db.upsert(LcaEntry {
+            product: EPYC_7452.to_owned(),
+            embodied: Co2Mass::from_kg(20.0),
+            note: "recalibrated".to_owned(),
+        });
+        assert!((db.embodied(EPYC_7452).unwrap().kg() - 20.0).abs() < 1e-12);
+        assert_eq!(db.iter().count(), 2);
+        db.upsert(LcaEntry {
+            product: "new product".to_owned(),
+            embodied: Co2Mass::from_kg(1.0),
+            note: String::new(),
+        });
+        assert_eq!(db.iter().count(), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline carbon models that the paper validates 3D-Carbon against
+//! (§4, Fig. 4).
+//!
+//! * [`ActModel`] — the ACT architectural carbon model (Gupta et al.,
+//!   ISCA'22): per-area fab footprint divided by die yield, plus a
+//!   fixed per-package packaging constant.
+//! * [`ActPlusModel`] — the ACT+ extension (Elgamal et al. 2023):
+//!   handles 2.5D assemblies by cost-ratio extrapolation and
+//!   "simplistically treats 3D stacked dies as 2D" (the paper's own
+//!   characterization), keeping ACT's fixed 0.15 kg packaging carbon.
+//! * [`first_order_embodied`] — the one-coefficient die-size model of
+//!   Eeckhout (CAL'22).
+//! * [`LcaDatabase`] — GaBi-style per-product LCA reference entries
+//!   (synthetic stand-ins; see `DESIGN.md` §2 for the substitution
+//!   rationale).
+//! * [`greenchip`] — the literal Eq. 2 metric formulas of GreenChip
+//!   (Kline et al.), used to cross-check `tdc-core`'s decision logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod act;
+mod act_plus;
+mod first_order;
+pub mod greenchip;
+mod lca;
+
+pub use act::ActModel;
+pub use act_plus::{ActPlusModel, ActPlusResult, DieInput, PackageClass};
+pub use first_order::{first_order_coefficient, first_order_embodied};
+pub use lca::{LcaDatabase, LcaEntry, EPYC_7452, LAKEFIELD};

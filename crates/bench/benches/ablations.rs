@@ -1,0 +1,159 @@
+//! Ablation benches: quantify (and time) the model's design choices.
+//!
+//! Each bench evaluates the same Orin-class designs with one mechanism
+//! toggled, printing the carbon deltas once so `cargo bench` output
+//! doubles as an ablation report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+use tdc_core::{CarbonModel, ChipDesign, DieSpec, DieYieldChoice, ModelContext};
+use tdc_integration::{IntegrationTechnology, StackOrientation};
+use tdc_technode::ProcessNode;
+use tdc_units::{Efficiency, Throughput};
+use tdc_workloads::av_workload;
+use tdc_yield::StackingFlow;
+
+static REPORT: Once = Once::new();
+
+fn orin_die(name: &str, gates: f64) -> DieSpec {
+    DieSpec::builder(name, ProcessNode::N7)
+        .gate_count(gates)
+        .efficiency(Efficiency::from_tops_per_watt(2.74))
+        .build()
+        .unwrap()
+}
+
+fn hybrid() -> ChipDesign {
+    ChipDesign::stack_3d(
+        vec![orin_die("t0", 8.5e9), orin_die("t1", 8.5e9)],
+        IntegrationTechnology::HybridBonding3d,
+        StackOrientation::FaceToFace,
+        Some(StackingFlow::DieToWafer),
+    )
+    .unwrap()
+}
+
+fn mcm() -> ChipDesign {
+    ChipDesign::assembly_25d(
+        vec![orin_die("l", 8.5e9), orin_die("r", 8.5e9)],
+        IntegrationTechnology::Mcm,
+    )
+    .unwrap()
+}
+
+fn print_ablation_report() {
+    REPORT.call_once(|| {
+        let on = CarbonModel::new(ModelContext::default());
+        let no_beol = CarbonModel::new(
+            ModelContext::builder().beol_adjustment(false).build(),
+        );
+        let no_bw = CarbonModel::new(
+            ModelContext::builder().bandwidth_constraint(false).build(),
+        );
+        let poisson = CarbonModel::new(
+            ModelContext::builder().die_yield(DieYieldChoice::Poisson).build(),
+        );
+        let w = av_workload(Throughput::from_tops(254.0));
+        let h = hybrid();
+        let m = mcm();
+
+        println!("\n-- ablation report (Orin-class designs) --");
+        let base = on.embodied(&h).unwrap().total().kg();
+        println!(
+            "BEOL adjustment: hybrid embodied {base:.3} kg → {:.3} kg without",
+            no_beol.embodied(&h).unwrap().total().kg()
+        );
+        println!(
+            "yield model: hybrid embodied {base:.3} kg (neg-binomial) → {:.3} kg (poisson)",
+            poisson.embodied(&h).unwrap().total().kg()
+        );
+        let with_bw = on.lifecycle(&m, &w).unwrap();
+        let without_bw = no_bw.lifecycle(&m, &w).unwrap();
+        println!(
+            "bandwidth constraint: MCM operational {:.3} kg (on, stretch {:.2}) → {:.3} kg (off)",
+            with_bw.operational.carbon.kg(),
+            with_bw.operational.runtime_stretch,
+            without_bw.operational.carbon.kg()
+        );
+        println!("-- end ablation report --\n");
+    });
+}
+
+fn bench_beol_adjustment(c: &mut Criterion) {
+    print_ablation_report();
+    let on = CarbonModel::new(ModelContext::default());
+    let off = CarbonModel::new(ModelContext::builder().beol_adjustment(false).build());
+    let design = hybrid();
+    let mut group = c.benchmark_group("ablation/beol_adjustment");
+    group.bench_function("enabled", |b| {
+        b.iter(|| on.embodied(black_box(&design)).unwrap());
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| off.embodied(black_box(&design)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_yield_models(c: &mut Criterion) {
+    let design = hybrid();
+    let mut group = c.benchmark_group("ablation/yield_model");
+    for (label, choice) in [
+        ("negative_binomial", DieYieldChoice::PaperNegativeBinomial),
+        ("poisson", DieYieldChoice::Poisson),
+        ("murphy", DieYieldChoice::Murphy),
+    ] {
+        let model = CarbonModel::new(ModelContext::builder().die_yield(choice).build());
+        group.bench_function(label, |b| {
+            b.iter(|| model.embodied(black_box(&design)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bandwidth_constraint(c: &mut Criterion) {
+    let on = CarbonModel::new(ModelContext::default());
+    let off = CarbonModel::new(
+        ModelContext::builder().bandwidth_constraint(false).build(),
+    );
+    let design = mcm();
+    let w = av_workload(Throughput::from_tops(254.0));
+    let mut group = c.benchmark_group("ablation/bandwidth_constraint");
+    group.bench_function("enabled", |b| {
+        b.iter(|| on.lifecycle(black_box(&design), black_box(&w)).unwrap());
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| off.lifecycle(black_box(&design), black_box(&w)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_stacking_flows(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelContext::default());
+    let mut group = c.benchmark_group("ablation/stacking_flow");
+    for (label, flow) in [
+        ("d2w", StackingFlow::DieToWafer),
+        ("w2w", StackingFlow::WaferToWafer),
+    ] {
+        let design = ChipDesign::stack_3d(
+            vec![orin_die("t0", 8.5e9), orin_die("t1", 8.5e9)],
+            IntegrationTechnology::MicroBump3d,
+            StackOrientation::FaceToBack,
+            Some(flow),
+        )
+        .unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| model.embodied(black_box(&design)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_beol_adjustment,
+    bench_yield_models,
+    bench_bandwidth_constraint,
+    bench_stacking_flows
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benches: end-to-end model evaluation throughput.
+//!
+//! The analytical model's selling point is that full life-cycle carbon
+//! costs microseconds, so design-space exploration over thousands of
+//! configurations is interactive. These benches pin that down.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdc_core::{CarbonModel, ChipDesign, DieSpec, ModelContext, Workload};
+use tdc_integration::{IntegrationTechnology, StackOrientation};
+use tdc_technode::ProcessNode;
+use tdc_units::{Efficiency, Throughput, TimeSpan};
+use tdc_workloads::{av_workload, candidate_designs, DriveSeries, SplitStrategy};
+use tdc_yield::StackingFlow;
+
+fn orin_2d() -> ChipDesign {
+    DriveSeries::Orin.spec().as_2d_design()
+}
+
+fn orin_hybrid() -> ChipDesign {
+    let die = |n: &str| {
+        DieSpec::builder(n, ProcessNode::N7)
+            .gate_count(8.5e9)
+            .efficiency(Efficiency::from_tops_per_watt(2.74))
+            .build()
+            .unwrap()
+    };
+    ChipDesign::stack_3d(
+        vec![die("t0"), die("t1")],
+        IntegrationTechnology::HybridBonding3d,
+        StackOrientation::FaceToFace,
+        Some(StackingFlow::DieToWafer),
+    )
+    .unwrap()
+}
+
+fn workload() -> Workload {
+    Workload::fixed(
+        "inference",
+        Throughput::from_tops(254.0),
+        TimeSpan::from_years(10.0) * (1.3 / 24.0),
+    )
+    .with_average_utilization(0.15)
+}
+
+fn bench_embodied(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelContext::default());
+    let d2 = orin_2d();
+    let d3 = orin_hybrid();
+    let mut group = c.benchmark_group("embodied");
+    group.bench_function("monolithic_2d", |b| {
+        b.iter(|| model.embodied(black_box(&d2)).unwrap());
+    });
+    group.bench_function("hybrid_3d_stack", |b| {
+        b.iter(|| model.embodied(black_box(&d3)).unwrap());
+    });
+    let d25 = ChipDesign::assembly_25d(
+        vec![
+            DieSpec::builder("l", ProcessNode::N7).gate_count(8.5e9).build().unwrap(),
+            DieSpec::builder("r", ProcessNode::N7).gate_count(8.5e9).build().unwrap(),
+        ],
+        IntegrationTechnology::SiliconInterposer,
+    )
+    .unwrap();
+    group.bench_function("interposer_25d", |b| {
+        b.iter(|| model.embodied(black_box(&d25)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelContext::default());
+    let design = orin_hybrid();
+    let w = workload();
+    c.bench_function("lifecycle/hybrid_3d", |b| {
+        b.iter(|| model.lifecycle(black_box(&design), black_box(&w)).unwrap());
+    });
+}
+
+fn bench_full_dse_sweep(c: &mut Criterion) {
+    // The Fig. 5 workload: 4 platforms × 9 designs, full lifecycle each.
+    let model = CarbonModel::new(ModelContext::default());
+    c.bench_function("dse/fig5_full_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for platform in DriveSeries::ALL {
+                let spec = platform.spec();
+                let w = av_workload(spec.required_throughput);
+                for (_, design) in
+                    candidate_designs(&spec, SplitStrategy::Homogeneous).unwrap()
+                {
+                    let r = model.lifecycle(&design, &w).unwrap();
+                    total += r.total().kg();
+                }
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelContext::default());
+    let base = orin_2d();
+    let alt = orin_hybrid();
+    let w = av_workload(Throughput::from_tops(254.0));
+    c.bench_function("decision/compare", |b| {
+        b.iter(|| {
+            model
+                .compare(black_box(&base), black_box(&alt), black_box(&w))
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_embodied,
+    bench_lifecycle,
+    bench_full_dse_sweep,
+    bench_compare
+);
+criterion_main!(benches);

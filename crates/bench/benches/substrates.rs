@@ -1,0 +1,86 @@
+//! Criterion benches: the individual substrate models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdc_floorplan::{DieOutline, Floorplan};
+use tdc_technode::{ProcessNode, TechnologyDb};
+use tdc_units::{Area, Length};
+use tdc_wirelength::{donath_average_wirelength, BeolEstimator};
+use tdc_yield::{three_d_stack_yields, DieYieldModel, StackingFlow};
+
+fn bench_wirelength(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wirelength");
+    group.bench_function("donath_1e6", |b| {
+        b.iter(|| donath_average_wirelength(black_box(1.0e6), black_box(0.66)).unwrap());
+    });
+    group.bench_function("donath_1e10", |b| {
+        b.iter(|| donath_average_wirelength(black_box(1.0e10), black_box(0.75)).unwrap());
+    });
+    let db = TechnologyDb::default();
+    let node = db.node(ProcessNode::N7).clone();
+    let est = BeolEstimator::default();
+    group.bench_function("beol_estimate", |b| {
+        b.iter(|| {
+            est.estimate(black_box(8.5e9), black_box(Area::from_mm2(230.0)), &node)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_yield(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yield");
+    let model = DieYieldModel::NegativeBinomial { alpha: 2.5 };
+    group.bench_function("negative_binomial", |b| {
+        b.iter(|| model.die_yield(black_box(Area::from_mm2(455.0)), black_box(0.13)));
+    });
+    let dies = [0.9, 0.88, 0.92, 0.85];
+    group.bench_function("stack_composition_4die", |b| {
+        b.iter(|| {
+            three_d_stack_yields(black_box(&dies), black_box(0.95), StackingFlow::DieToWafer)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_floorplan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floorplan");
+    let outlines: Vec<DieOutline> = (0..16)
+        .map(|i| DieOutline::square_from_area(Area::from_mm2(50.0 + f64::from(i))))
+        .collect();
+    group.bench_function("shelf_16_dies", |b| {
+        b.iter(|| Floorplan::place_shelf(black_box(&outlines), Length::from_mm(0.5), 4));
+    });
+    let plan = Floorplan::place_shelf(&outlines, Length::from_mm(0.5), 4);
+    group.bench_function("adjacency_16_dies", |b| {
+        b.iter(|| black_box(&plan).adjacency_lengths());
+    });
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    c.bench_function("yield/monte_carlo_10k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            tdc_yield::monte_carlo::simulate_die_yield(
+                Area::from_mm2(100.0),
+                0.13,
+                2.5,
+                10_000,
+                &mut rng,
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wirelength,
+    bench_yield,
+    bench_floorplan,
+    bench_monte_carlo
+);
+criterion_main!(benches);

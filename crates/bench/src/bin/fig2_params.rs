@@ -1,0 +1,43 @@
+//! Regenerates the **Fig. 2 annotations**: per-technology interface
+//! electrical parameters (data rate, I/O density, energy per bit).
+//!
+//! ```text
+//! cargo run -p tdc-bench --bin fig2_params
+//! ```
+
+use tdc_bench::TextTable;
+use tdc_integration::{IntegrationCatalog, IntegrationTechnology, IoDensity};
+
+fn main() {
+    println!("Fig. 2: die-to-die interface electrical parameters\n");
+    let catalog = IntegrationCatalog::default();
+    let mut table = TextTable::new(vec![
+        "technology",
+        "data rate (Gb/s)",
+        "I/O density",
+        "energy/bit",
+        "I/O power counted",
+    ]);
+    for tech in IntegrationTechnology::ALL {
+        let spec = catalog.interface(tech);
+        let density = match spec.io_density() {
+            IoDensity::PerEdge { per_mm_per_layer } => {
+                format!("{per_mm_per_layer:.0} IO/mm/layer")
+            }
+            IoDensity::AreaArray { pitch } => format!("{:.1} µm pitch array", pitch.um()),
+        };
+        let energy = if spec.energy_per_bit().pj_per_bit() >= 1.0 {
+            format!("{:.0} pJ/bit", spec.energy_per_bit().pj_per_bit())
+        } else {
+            format!("{:.0} fJ/bit", spec.energy_per_bit().fj_per_bit())
+        };
+        table.push_row(vec![
+            tech.label().to_owned(),
+            format!("{:.1}", spec.data_rate().gbps()),
+            density,
+            energy,
+            if spec.io_power_counted() { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Fig. 5(a)**: overall carbon emissions of the NVIDIA
+//! DRIVE series as 2-die 3D/2.5D ICs with the *homogeneous* die
+//! division (two similar dies), including the bandwidth-validity
+//! marking.
+//!
+//! ```text
+//! cargo run -p tdc-bench --bin fig5a_homogeneous
+//! ```
+
+use tdc_bench::fig5_sweep;
+use tdc_workloads::SplitStrategy;
+
+fn main() {
+    println!("Fig. 5(a): DRIVE series, homogeneous 2-die division");
+    let invalid = fig5_sweep(SplitStrategy::Homogeneous);
+    println!(
+        "\n{invalid} design points are bandwidth-invalid \
+         (paper: all four 2.5D options fail for THOR)."
+    );
+}

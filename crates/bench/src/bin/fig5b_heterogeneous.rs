@@ -1,0 +1,20 @@
+//! Regenerates **Fig. 5(b)**: overall carbon emissions of the NVIDIA
+//! DRIVE series as 2-die 3D/2.5D ICs with the *heterogeneous* die
+//! division (memory/IO isolated on a 28 nm die).
+//!
+//! ```text
+//! cargo run -p tdc-bench --bin fig5b_heterogeneous
+//! ```
+
+use tdc_bench::fig5_sweep;
+use tdc_workloads::SplitStrategy;
+
+fn main() {
+    println!("Fig. 5(b): DRIVE series, heterogeneous 2-die division (mem/IO @ 28 nm)");
+    let invalid = fig5_sweep(SplitStrategy::paper_heterogeneous());
+    println!(
+        "\n{invalid} design points are bandwidth-invalid. The paper notes the \
+         heterogeneous division saves less than the homogeneous one \
+         (smaller second die, limited benefit from the older node)."
+    );
+}

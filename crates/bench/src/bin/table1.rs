@@ -1,0 +1,63 @@
+//! Regenerates **Table 1**: the 3D/2.5D integration-technology summary.
+//!
+//! ```text
+//! cargo run -p tdc-bench --bin table1
+//! ```
+
+use tdc_bench::TextTable;
+use tdc_integration::{IntegrationCatalog, IntegrationTechnology};
+
+fn main() {
+    println!("Table 1: 3D/2.5D integration technologies summary\n");
+    let mut table = TextTable::new(vec![
+        "family",
+        "technology",
+        "F2F/F2B",
+        "flows",
+        "max tiers",
+        "assembly",
+        "representative",
+        "products",
+    ]);
+    for tech in IntegrationTechnology::ALL {
+        let caps = IntegrationCatalog::capabilities(tech);
+        let orientations = caps
+            .orientations()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        let flows = caps
+            .flows()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        let tiers = caps
+            .orientations()
+            .iter()
+            .map(|o| {
+                caps.max_tiers(*o)
+                    .map_or("≥2".to_owned(), |m| m.to_string())
+            })
+            .collect::<Vec<_>>()
+            .join("/");
+        let assembly = caps.assembly().map_or("N/A".to_owned(), |a| a.to_string());
+        let (mfg, products) = tech.representative();
+        table.push_row(vec![
+            tech.family().to_string(),
+            tech.label().to_owned(),
+            if orientations.is_empty() {
+                "N/A".to_owned()
+            } else {
+                orientations
+            },
+            if flows.is_empty() { "N/A".to_owned() } else { flows },
+            if tiers.is_empty() { "N/A".to_owned() } else { tiers },
+            assembly,
+            mfg.to_owned(),
+            products.to_owned(),
+        ]);
+    }
+    table.print();
+}

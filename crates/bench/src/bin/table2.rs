@@ -1,0 +1,64 @@
+//! Regenerates **Table 2**: the embodied-carbon model parameters, with
+//! the shipped per-node values and a check that every value stays
+//! inside the paper's published ranges.
+//!
+//! ```text
+//! cargo run -p tdc-bench --bin table2
+//! ```
+
+use tdc_bench::TextTable;
+use tdc_technode::{GridRegion, TechnologyDb, Wafer};
+
+fn main() {
+    println!("Table 2: 3D/2.5D IC embodied carbon model parameters\n");
+    println!("Per-node foundry characterization (paper ranges in brackets):\n");
+    let db = TechnologyDb::default();
+    let mut table = TextTable::new(vec![
+        "node",
+        "β [450-850]",
+        "max BEOL",
+        "EPA kWh/cm² [0.4-1.0]",
+        "GPA kg/cm² [0.1-0.5]",
+        "MPA kg/cm² [0.1-0.5]",
+        "D0 /cm²",
+        "α",
+        "TSV µm [0.3-25]",
+        "in range",
+    ]);
+    for params in db.iter() {
+        table.push_row(vec![
+            params.node().to_string(),
+            format!("{:.0}", params.beta()),
+            params.max_beol_layers().to_string(),
+            format!("{:.2}", params.energy_per_area().kwh_per_cm2()),
+            format!("{:.3}", params.gas_per_area().kg_per_cm2()),
+            format!("{:.3}", params.material_per_area().kg_per_cm2()),
+            format!("{:.3}", params.defect_density_per_cm2()),
+            format!("{:.1}", params.clustering_alpha()),
+            format!("{:.1}", params.tsv_diameter().um()),
+            if params.paper_range_violations().is_empty() {
+                "yes".to_owned()
+            } else {
+                params.paper_range_violations().join("; ")
+            },
+        ]);
+    }
+    table.print();
+
+    println!("\nWafer areas (paper range 31 415.93–159 043.13 mm²):\n");
+    let mut wafers = TextTable::new(vec!["wafer", "area (mm²)"]);
+    for wafer in [Wafer::W200, Wafer::W300, Wafer::W450] {
+        wafers.push_row(vec![wafer.to_string(), format!("{:.2}", wafer.area().mm2())]);
+    }
+    wafers.print();
+
+    println!("\nGrid carbon intensities (paper range 30–700 g CO₂e/kWh):\n");
+    let mut grids = TextTable::new(vec!["region", "g CO₂e/kWh"]);
+    for region in GridRegion::ALL {
+        grids.push_row(vec![
+            region.name().to_owned(),
+            format!("{:.0}", region.carbon_intensity().g_per_kwh()),
+        ]);
+    }
+    grids.print();
+}

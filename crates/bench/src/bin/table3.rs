@@ -1,0 +1,73 @@
+//! Regenerates **Table 3**: stacking-yield composition, evaluated
+//! numerically for representative stacks so the formula structure is
+//! visible as numbers.
+//!
+//! ```text
+//! cargo run -p tdc-bench --bin table3
+//! ```
+
+use tdc_bench::TextTable;
+use tdc_yield::{
+    assembly_2_5d_yields, three_d_stack_yields, AssemblyFlow, StackingFlow,
+};
+
+fn main() {
+    println!("Table 3: stacking yields\n");
+    println!(
+        "3D: four-die stack, y_die = 0.90 each, y_bond = 0.95 \
+         (die i is the stack base for i = 1):\n"
+    );
+    let dies = [0.90; 4];
+    let mut table = TextTable::new(vec![
+        "flow",
+        "Y_die_1",
+        "Y_die_2",
+        "Y_die_3",
+        "Y_die_4",
+        "Y_bond_1",
+        "Y_bond_2",
+        "Y_bond_3",
+        "overall",
+    ]);
+    for flow in [StackingFlow::DieToWafer, StackingFlow::WaferToWafer] {
+        let y = three_d_stack_yields(&dies, 0.95, flow).expect("valid yields");
+        let mut row = vec![flow.to_string()];
+        for i in 0..4 {
+            row.push(format!("{:.4}", y.die_composite(i).unwrap()));
+        }
+        for i in 0..3 {
+            row.push(format!("{:.4}", y.bonding_composite(i).unwrap()));
+        }
+        row.push(format!("{:.4}", y.overall()));
+        table.push_row(row);
+    }
+    table.print();
+
+    println!(
+        "\n2.5D: two dies (y = 0.90, 0.85) on a substrate (y = 0.95), \
+         attach yield 0.98 per die:\n"
+    );
+    let mut table = TextTable::new(vec![
+        "flow",
+        "Y_die_1",
+        "Y_die_2",
+        "Y_substrate",
+        "Y_bond_1",
+        "Y_bond_2",
+        "overall",
+    ]);
+    for flow in [AssemblyFlow::ChipFirst, AssemblyFlow::ChipLast] {
+        let y = assembly_2_5d_yields(&[0.90, 0.85], 0.95, &[0.98, 0.98], flow)
+            .expect("valid yields");
+        table.push_row(vec![
+            flow.to_string(),
+            format!("{:.4}", y.die_composite(0).unwrap()),
+            format!("{:.4}", y.die_composite(1).unwrap()),
+            format!("{:.4}", y.substrate_composite()),
+            format!("{:.4}", y.bonding_composite(0).unwrap()),
+            format!("{:.4}", y.bonding_composite(1).unwrap()),
+            format!("{:.4}", y.overall()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 4**: the NVIDIA DRIVE series specifications,
+//! extended with the model's derived die areas and yields.
+//!
+//! ```text
+//! cargo run -p tdc-bench --bin table4
+//! ```
+
+use tdc_bench::{case_study_model, TextTable};
+use tdc_workloads::DriveSeries;
+
+fn main() {
+    println!("Table 4: NVIDIA GPU DRIVE series specifications (+ derived geometry)\n");
+    let model = case_study_model();
+    let mut table = TextTable::new(vec![
+        "platform",
+        "node",
+        "gates (B)",
+        "TOPS/W",
+        "year",
+        "required TOPS",
+        "derived die (mm²)",
+        "BEOL layers",
+        "die yield",
+    ]);
+    for platform in DriveSeries::ALL {
+        let spec = platform.spec();
+        let breakdown = model
+            .embodied(&spec.as_2d_design())
+            .expect("model evaluates");
+        let die = &breakdown.dies[0];
+        table.push_row(vec![
+            spec.name.to_owned(),
+            spec.node.to_string(),
+            format!("{:.1}", spec.gate_count / 1.0e9),
+            format!("{:.2}", spec.efficiency.tops_per_watt()),
+            spec.year.to_string(),
+            format!("{:.0}", spec.required_throughput.tops()),
+            format!("{:.0}", die.area.mm2()),
+            die.beol_layers.to_string(),
+            format!("{:.3}", die.fab_yield),
+        ]);
+    }
+    table.print();
+}

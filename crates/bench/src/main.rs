@@ -1,0 +1,46 @@
+//! Runs every experiment-regeneration binary's logic in sequence — a
+//! one-command reproduction of all tables and figures.
+//!
+//! ```text
+//! cargo run -p tdc-bench
+//! ```
+//!
+//! Individual experiments live in `src/bin/` (see `DESIGN.md` §5 for
+//! the experiment index).
+
+use std::process::Command;
+
+/// The regeneration binaries, in paper order.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig2_params",
+    "table2",
+    "table3",
+    "fig4a_epyc",
+    "fig4b_lakefield",
+    "table4",
+    "fig5a_homogeneous",
+    "fig5b_heterogeneous",
+    "table5_decision",
+    "fig1_lifecycle",
+    "sensitivity",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let bin_dir = exe.parent().expect("bin dir");
+    for name in EXPERIMENTS {
+        println!("\n{}", "=".repeat(78));
+        println!("== {name}");
+        println!("{}", "=".repeat(78));
+        let path = bin_dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{name} exited with {s}"),
+            Err(e) => eprintln!(
+                "could not run {name} ({e}); build it first with `cargo build -p tdc-bench --bins`"
+            ),
+        }
+    }
+}

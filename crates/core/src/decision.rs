@@ -1,0 +1,238 @@
+//! Sustainable decision-making metrics — the paper's Eq. 2.
+
+use serde::{Deserialize, Serialize};
+use tdc_units::{CarbonIntensity, Co2Mass, Power, TimeSpan};
+
+/// When (if ever) the alternative design's *total* carbon is below the
+/// baseline's, as a function of service time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChoiceOutcome {
+    /// Lower embodied *and* lower operational: better at every
+    /// lifetime.
+    AlwaysBetter,
+    /// Lower embodied but higher operational: better only for
+    /// lifetimes up to the indifference point.
+    BetterUntil(TimeSpan),
+    /// Higher embodied but lower operational: better once the lifetime
+    /// exceeds the indifference point.
+    BetterAfter(TimeSpan),
+    /// Higher embodied and higher (or equal) operational: never
+    /// better.
+    NeverBetter,
+}
+
+/// The Eq. 2 metrics comparing an alternative (3D/2.5D) design against
+/// a baseline (2D) design for a fixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionMetrics {
+    /// Indifference point `T_c`: the service time at which the two
+    /// designs' total carbon curves cross (infinite when they never
+    /// do; zero when the alternative starts ahead and stays ahead).
+    pub tc: TimeSpan,
+    /// Breakeven time `T_r`: how long the alternative must run for its
+    /// operational savings to repay its own embodied carbon, assuming
+    /// the baseline's embodied carbon is already sunk (the "replace?"
+    /// question). Infinite when the alternative saves no power.
+    pub tr: TimeSpan,
+    /// Qualitative window in which choosing the alternative wins.
+    pub outcome: ChoiceOutcome,
+    /// `C_emb(alt) − C_emb(base)`.
+    pub embodied_delta: Co2Mass,
+    /// `P(base) − P(alt)` — positive when the alternative saves power.
+    pub power_saving: Power,
+}
+
+impl DecisionMetrics {
+    /// Evaluates Eq. 2.
+    ///
+    /// * `base_emb`, `base_power` — the incumbent 2D design.
+    /// * `alt_emb`, `alt_power` — the candidate 3D/2.5D design.
+    /// * `ci_use` — use-phase grid carbon intensity.
+    #[must_use]
+    pub fn evaluate(
+        base_emb: Co2Mass,
+        base_power: Power,
+        alt_emb: Co2Mass,
+        alt_power: Power,
+        ci_use: CarbonIntensity,
+    ) -> Self {
+        let embodied_delta = alt_emb - base_emb;
+        let power_saving = base_power - alt_power;
+        let rate = ci_use * power_saving; // kg/h saved by alt in use
+        let saves_power = rate.kg_per_hour() > 0.0;
+        let cheaper_emb = embodied_delta.kg() < 0.0;
+
+        let (tc, outcome) = match (cheaper_emb, saves_power) {
+            (true, true) => (TimeSpan::ZERO, ChoiceOutcome::AlwaysBetter),
+            (false, false) => (TimeSpan::INFINITE, ChoiceOutcome::NeverBetter),
+            (false, true) => {
+                // Alt repays its embodied premium at t = Δemb / rate.
+                let t = embodied_delta / rate;
+                (t, ChoiceOutcome::BetterAfter(t))
+            }
+            (true, false) => {
+                if rate.kg_per_hour() == 0.0 {
+                    // Same power, cheaper embodied: never crosses back.
+                    (TimeSpan::INFINITE, ChoiceOutcome::AlwaysBetter)
+                } else {
+                    // Alt loses its embodied head start at
+                    // t = Δemb / rate (both negative → positive t).
+                    let t = embodied_delta / rate;
+                    (t, ChoiceOutcome::BetterUntil(t))
+                }
+            }
+        };
+        let tr = if saves_power {
+            alt_emb / rate
+        } else {
+            TimeSpan::INFINITE
+        };
+        Self {
+            tc,
+            tr,
+            outcome,
+            embodied_delta,
+            power_saving,
+        }
+    }
+
+    /// Should a *new* deployment choose the alternative over the
+    /// baseline, given the expected service lifetime? (The paper's
+    /// "choosing" scenario: lifetime inside the favourable window.)
+    #[must_use]
+    pub fn recommend_choosing(&self, lifetime: TimeSpan) -> bool {
+        match self.outcome {
+            ChoiceOutcome::AlwaysBetter => true,
+            ChoiceOutcome::NeverBetter => false,
+            ChoiceOutcome::BetterUntil(t) => lifetime <= t,
+            ChoiceOutcome::BetterAfter(t) => lifetime >= t,
+        }
+    }
+
+    /// Should an *existing* baseline device be replaced by the
+    /// alternative, given the remaining lifetime? (The paper's
+    /// "replacing" scenario: the baseline's embodied carbon is sunk,
+    /// so the alternative must repay its own within the remaining
+    /// life.)
+    #[must_use]
+    pub fn recommend_replacing(&self, remaining_lifetime: TimeSpan) -> bool {
+        !self.tr.is_infinite() && self.tr <= remaining_lifetime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci() -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(475.0)
+    }
+
+    #[test]
+    fn better_after_crossover_matches_closed_form() {
+        // Alt: +50 kg embodied, −20 W → Tc = 50 / (0.475e-3 kg/Wh·20 W).
+        let m = DecisionMetrics::evaluate(
+            Co2Mass::from_kg(100.0),
+            Power::from_watts(100.0),
+            Co2Mass::from_kg(150.0),
+            Power::from_watts(80.0),
+            ci(),
+        );
+        let expect_hours = 50.0 / (0.475 * 0.02);
+        assert!((m.tc.hours() - expect_hours).abs() < 1e-6);
+        assert!(matches!(m.outcome, ChoiceOutcome::BetterAfter(_)));
+        // Tr = 150 / rate.
+        let expect_tr = 150.0 / (0.475 * 0.02);
+        assert!((m.tr.hours() - expect_tr).abs() < 1e-6);
+        // At exactly tc the designs tie; choosing pays past it.
+        assert!(m.recommend_choosing(TimeSpan::from_hours(expect_hours + 1.0)));
+        assert!(!m.recommend_choosing(TimeSpan::from_hours(expect_hours - 1.0)));
+    }
+
+    #[test]
+    fn better_until_for_cheaper_embodied_but_hungrier_alt() {
+        // EMIB-like: −30 kg embodied, +5 W operational.
+        let m = DecisionMetrics::evaluate(
+            Co2Mass::from_kg(100.0),
+            Power::from_watts(100.0),
+            Co2Mass::from_kg(70.0),
+            Power::from_watts(105.0),
+            ci(),
+        );
+        match m.outcome {
+            ChoiceOutcome::BetterUntil(t) => {
+                let expect = 30.0 / (0.475 * 0.005);
+                assert!((t.hours() - expect).abs() < 1e-6);
+                assert!(m.recommend_choosing(TimeSpan::from_hours(expect / 2.0)));
+                assert!(!m.recommend_choosing(TimeSpan::from_hours(expect * 2.0)));
+            }
+            other => panic!("expected BetterUntil, got {other:?}"),
+        }
+        // No power saving → never replace.
+        assert!(m.tr.is_infinite());
+        assert!(!m.recommend_replacing(TimeSpan::from_years(100.0)));
+    }
+
+    #[test]
+    fn always_better_dominates() {
+        let m = DecisionMetrics::evaluate(
+            Co2Mass::from_kg(100.0),
+            Power::from_watts(100.0),
+            Co2Mass::from_kg(60.0),
+            Power::from_watts(80.0),
+            ci(),
+        );
+        assert_eq!(m.outcome, ChoiceOutcome::AlwaysBetter);
+        assert_eq!(m.tc, TimeSpan::ZERO);
+        assert!(m.recommend_choosing(TimeSpan::from_hours(1.0)));
+        // Replacement still needs the 60 kg repaid.
+        let expect_tr = 60.0 / (0.475 * 0.02);
+        assert!((m.tr.hours() - expect_tr).abs() < 1e-6);
+        assert!(m.recommend_replacing(TimeSpan::from_hours(expect_tr + 1.0)));
+        assert!(!m.recommend_replacing(TimeSpan::from_hours(expect_tr - 1.0)));
+    }
+
+    #[test]
+    fn never_better_is_hopeless() {
+        // Si-interposer-like: +10 kg embodied, +10 W operational.
+        let m = DecisionMetrics::evaluate(
+            Co2Mass::from_kg(100.0),
+            Power::from_watts(100.0),
+            Co2Mass::from_kg(110.0),
+            Power::from_watts(110.0),
+            ci(),
+        );
+        assert_eq!(m.outcome, ChoiceOutcome::NeverBetter);
+        assert!(m.tc.is_infinite());
+        assert!(m.tr.is_infinite());
+        assert!(!m.recommend_choosing(TimeSpan::from_years(1_000.0)));
+        assert!(!m.recommend_replacing(TimeSpan::from_years(1_000.0)));
+    }
+
+    #[test]
+    fn equal_power_cheaper_embodied_never_crosses_back() {
+        let m = DecisionMetrics::evaluate(
+            Co2Mass::from_kg(100.0),
+            Power::from_watts(100.0),
+            Co2Mass::from_kg(90.0),
+            Power::from_watts(100.0),
+            ci(),
+        );
+        assert_eq!(m.outcome, ChoiceOutcome::AlwaysBetter);
+        assert!(m.tc.is_infinite());
+        assert!(m.tr.is_infinite(), "no power saving → no payback");
+    }
+
+    #[test]
+    fn deltas_are_reported() {
+        let m = DecisionMetrics::evaluate(
+            Co2Mass::from_kg(100.0),
+            Power::from_watts(100.0),
+            Co2Mass::from_kg(80.0),
+            Power::from_watts(90.0),
+            ci(),
+        );
+        assert!((m.embodied_delta.kg() + 20.0).abs() < 1e-12);
+        assert!((m.power_saving.watts() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,756 @@
+//! The embodied-carbon model — Eqs. 3–15 of the paper.
+
+use crate::context::ModelContext;
+use crate::design::{ChipDesign, DieSpec};
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use tdc_floorplan::{rdl_emib_area, silicon_interposer_area, DieOutline, Floorplan};
+use tdc_integration::{
+    IntegrationCatalog, IntegrationTechnology, StackOrientation, SubstrateKind,
+};
+use tdc_technode::{NodeParameters, ProcessNode};
+use tdc_units::{Area, Co2Mass, Length};
+use tdc_yield::{assembly_2_5d_yields, three_d_stack_yields, DieYieldModel, StackingFlow};
+
+/// Per-die slice of the embodied breakdown (Eq. 4's terms with all
+/// intermediates exposed, C-INTERMEDIATE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DieReport {
+    /// Die name.
+    pub name: String,
+    /// Process node.
+    pub node: ProcessNode,
+    /// Gate count (given or derived from area).
+    pub gate_count: f64,
+    /// Logic gate area (Eq. 8).
+    pub gate_area: Area,
+    /// TSV/MIV keep-out area (Eq. 7's `A_TSV`).
+    pub tsv_area: Area,
+    /// Interface I/O driver area (Eq. 9).
+    pub io_area: Area,
+    /// Total die area (Eq. 7).
+    pub area: Area,
+    /// Number of TSVs/MIVs through this die.
+    pub tsv_count: f64,
+    /// BEOL metal layers (given or Eq. 10).
+    pub beol_layers: u32,
+    /// Footprint scaling applied for the BEOL stack (1.0 = full stack).
+    pub beol_factor: f64,
+    /// Carbon of one full wafer of this die (Eq. 6).
+    pub wafer_carbon: Co2Mass,
+    /// Gross dies per wafer (Eq. 5).
+    pub dies_per_wafer: f64,
+    /// Fab yield of the bare die (Eq. 15).
+    pub fab_yield: f64,
+    /// Composite yield divisor from Table 3.
+    pub composite_yield: f64,
+    /// This die's contribution to `C_die` (Eq. 4 term).
+    pub carbon: Co2Mass,
+}
+
+/// The 2.5D substrate's slice of the breakdown (Eqs. 13–14).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubstrateReport {
+    /// Substrate kind.
+    pub kind: SubstrateKind,
+    /// Substrate area (Eq. 13 or 14).
+    pub area: Area,
+    /// Substrate fab yield.
+    pub fab_yield: f64,
+    /// Composite yield divisor from Table 3.
+    pub composite_yield: f64,
+    /// Substrate carbon (`C^{2.5D}_int`).
+    pub carbon: Co2Mass,
+}
+
+/// Full embodied-carbon breakdown (Eq. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedBreakdown {
+    /// Human-readable design description.
+    pub design: String,
+    /// Per-die reports.
+    pub dies: Vec<DieReport>,
+    /// `C^{3D/2.5D}_die` (Eq. 4).
+    pub die_carbon: Co2Mass,
+    /// `C^{3D/2.5D}_bonding` (Eq. 11).
+    pub bonding_carbon: Co2Mass,
+    /// `C^{3D/2.5D}_packaging` (Eq. 12).
+    pub packaging_carbon: Co2Mass,
+    /// Package area used for Eq. 12.
+    pub package_area: Area,
+    /// `C^{2.5D}_int`, when a substrate exists.
+    pub substrate: Option<SubstrateReport>,
+}
+
+impl EmbodiedBreakdown {
+    /// Total embodied carbon (Eq. 3).
+    #[must_use]
+    pub fn total(&self) -> Co2Mass {
+        self.die_carbon
+            + self.bonding_carbon
+            + self.packaging_carbon
+            + self.substrate.as_ref().map_or(Co2Mass::ZERO, |s| s.carbon)
+    }
+}
+
+impl core::fmt::Display for EmbodiedBreakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "embodied carbon of {}:", self.design)?;
+        for d in &self.dies {
+            writeln!(
+                f,
+                "  die {:<12} {:>8.1} mm²  {:>2} BEOL  y={:.3} Y={:.3}  {:>8.3} kg",
+                d.name,
+                d.area.mm2(),
+                d.beol_layers,
+                d.fab_yield,
+                d.composite_yield,
+                d.carbon.kg()
+            )?;
+        }
+        writeln!(f, "  die total      {:>10.3} kg", self.die_carbon.kg())?;
+        writeln!(f, "  bonding        {:>10.3} kg", self.bonding_carbon.kg())?;
+        if let Some(s) = &self.substrate {
+            writeln!(
+                f,
+                "  substrate      {:>10.3} kg ({}, {:.0} mm², Y={:.3})",
+                s.carbon.kg(),
+                s.kind,
+                s.area.mm2(),
+                s.composite_yield
+            )?;
+        }
+        writeln!(
+            f,
+            "  packaging      {:>10.3} kg ({:.0} mm² package)",
+            self.packaging_carbon.kg(),
+            self.package_area.mm2()
+        )?;
+        write!(f, "  TOTAL          {:>10.3} kg", self.total().kg())
+    }
+}
+
+/// A die with all geometry resolved.
+struct ResolvedDie {
+    name: String,
+    node: ProcessNode,
+    gates: f64,
+    gate_area: Area,
+    tsv_count: f64,
+    tsv_area: Area,
+    io_area: Area,
+    area: Area,
+    beol_layers: u32,
+    max_beol_layers: u32,
+    fab_yield: f64,
+}
+
+/// Resolves geometry for every die of the design (Eqs. 7–10, 15).
+fn resolve_dies(ctx: &ModelContext, design: &ChipDesign) -> Result<Vec<ResolvedDie>, ModelError> {
+    let specs = design.dies();
+    // Gate counts first (TSV cuts need the totals).
+    let mut gates = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let node = ctx.tech_db().node(spec.node());
+        let g = match (spec.gate_count(), spec.area_override()) {
+            (Some(g), _) => g,
+            (None, Some(a)) => node.gates_for_area(a),
+            (None, None) => unreachable!("DieSpecBuilder enforces gates or area"),
+        };
+        gates.push(g);
+    }
+    let mut out = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let node = ctx.tech_db().node(spec.node()).clone();
+        let (tsv_count, tsv_area, io_area, gate_area, area) =
+            resolve_die_geometry(ctx, design, spec, &gates, i, &node);
+        let rent = spec.rent().unwrap_or_else(|| ctx.beol().rent());
+        let beol_est = ctx.beol().with_rent(rent);
+        let beol_layers = spec
+            .beol_override()
+            .map(|l| l.min(node.max_beol_layers()))
+            .unwrap_or_else(|| beol_est.layers(gates[i], area, &node));
+        let yield_model: DieYieldModel = ctx.die_yield().model_for(&node);
+        let fab_yield = yield_model.die_yield(area, node.defect_density_per_cm2())?;
+        out.push(ResolvedDie {
+            name: spec.name().to_owned(),
+            node: spec.node(),
+            gates: gates[i],
+            gate_area,
+            tsv_count,
+            tsv_area,
+            io_area,
+            area,
+            beol_layers,
+            max_beol_layers: node.max_beol_layers(),
+            fab_yield,
+        });
+    }
+    Ok(out)
+}
+
+/// Eq. 7/8/9 for one die: returns (tsv_count, tsv_area, io_area,
+/// gate_area, total_area).
+fn resolve_die_geometry(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    spec: &DieSpec,
+    gates: &[f64],
+    index: usize,
+    node: &NodeParameters,
+) -> (f64, Area, Area, Area, Area) {
+    // Explicit areas are final: the user measured the real die, which
+    // already contains its TSVs and PHYs.
+    if let Some(area) = spec.area_override() {
+        return (0.0, Area::ZERO, Area::ZERO, area, area);
+    }
+    let gate_area = node.area_for_gates(gates[index]);
+    let rent = spec.rent().unwrap_or_else(|| ctx.beol().rent());
+    let (tsv_count, via_diameter, keepout) = match design {
+        ChipDesign::Monolithic2d { .. } | ChipDesign::Assembly25d { .. } => {
+            (0.0, Length::ZERO, 1.0)
+        }
+        ChipDesign::Stack3d {
+            tech, orientation, ..
+        } => {
+            let gates_above: f64 = gates[index + 1..].iter().sum();
+            match (tech, orientation) {
+                // M3D: fine MIVs through the inter-tier ILD.
+                (IntegrationTechnology::Monolithic3d, _) => (
+                    if gates_above > 0.0 {
+                        rent.cut_terminals(gates_above)
+                    } else {
+                        0.0
+                    },
+                    Length::from_um(0.6),
+                    1.5,
+                ),
+                // F2B: inter-tier nets tunnel through every die below.
+                (_, StackOrientation::FaceToBack) => (
+                    if gates_above > 0.0 {
+                        rent.cut_terminals(gates_above)
+                    } else {
+                        0.0
+                    },
+                    node.tsv_diameter(),
+                    ctx.tsv_keepout(),
+                ),
+                // F2F: only external I/O needs TSVs, through the base die.
+                (_, StackOrientation::FaceToFace) => (
+                    if index == 0 {
+                        rent.external_io_count(gates.iter().sum())
+                    } else {
+                        0.0
+                    },
+                    node.tsv_diameter(),
+                    ctx.tsv_keepout(),
+                ),
+            }
+        }
+    };
+    let tsv_area = if tsv_count > 0.0 {
+        let cell = (via_diameter * keepout).squared();
+        cell * tsv_count
+    } else {
+        Area::ZERO
+    };
+    let io_ratio = design
+        .technology()
+        .map_or(0.0, IntegrationCatalog::io_area_ratio);
+    let io_area = gate_area * io_ratio;
+    let area = gate_area + tsv_area + io_area;
+    (tsv_count, tsv_area, io_area, gate_area, area)
+}
+
+/// Composite yield divisors per Table 3 for the whole design.
+struct CompositeYields {
+    per_die: Vec<f64>,
+    per_bond_step: Vec<f64>,
+    substrate: Option<f64>,
+}
+
+fn composite_yields(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    dies: &[ResolvedDie],
+    substrate_fab_yield: Option<f64>,
+) -> Result<CompositeYields, ModelError> {
+    let fab_yields: Vec<f64> = dies.iter().map(|d| d.fab_yield).collect();
+    match design {
+        ChipDesign::Monolithic2d { .. } => Ok(CompositeYields {
+            per_die: fab_yields,
+            per_bond_step: Vec::new(),
+            substrate: None,
+        }),
+        ChipDesign::Stack3d { tech, flow, .. } => {
+            let bond = ctx.catalog().bonding(*tech);
+            // M3D has no pick-and-place flow; its sequential tiers share
+            // fate exactly like blind W2W bonding.
+            let (eff_flow, step_yield) = match flow {
+                Some(f) => (*f, bond.step_yield(*f)),
+                None => (
+                    StackingFlow::WaferToWafer,
+                    bond.step_yield(StackingFlow::WaferToWafer),
+                ),
+            };
+            let stack = three_d_stack_yields(&fab_yields, step_yield, eff_flow)?;
+            Ok(CompositeYields {
+                per_die: stack.die_composites().to_vec(),
+                per_bond_step: stack.bonding_composites().to_vec(),
+                substrate: None,
+            })
+        }
+        ChipDesign::Assembly25d { tech, .. } => {
+            let assembly = IntegrationCatalog::capabilities(*tech)
+                .assembly()
+                .ok_or_else(|| {
+                    ModelError::InvalidDesign(format!("{tech} lacks an assembly flow"))
+                })?;
+            let substrate_yield = substrate_fab_yield.ok_or_else(|| {
+                ModelError::InvalidDesign(format!("{tech} needs a substrate yield"))
+            })?;
+            let c4 = ctx
+                .catalog()
+                .bonding(*tech)
+                .step_yield(StackingFlow::DieToWafer);
+            let bonds = vec![c4; fab_yields.len()];
+            let y = assembly_2_5d_yields(&fab_yields, substrate_yield, &bonds, assembly)?;
+            Ok(CompositeYields {
+                per_die: y.die_composites().to_vec(),
+                per_bond_step: y.bonding_composites().to_vec(),
+                substrate: Some(y.substrate_composite()),
+            })
+        }
+    }
+}
+
+/// Substrate geometry and fab yield for a 2.5D design.
+struct SubstrateGeometry {
+    kind: SubstrateKind,
+    area: Area,
+    fab_yield: f64,
+    wafer_based: bool,
+    carbon_per_area: tdc_units::CarbonPerArea,
+}
+
+fn resolve_substrate(
+    ctx: &ModelContext,
+    tech: IntegrationTechnology,
+    dies: &[ResolvedDie],
+) -> Result<Option<SubstrateGeometry>, ModelError> {
+    let Some(profile) = ctx.catalog().substrate(tech) else {
+        return Ok(None);
+    };
+    let outlines: Vec<DieOutline> = dies
+        .iter()
+        .map(|d| DieOutline::square_from_area(d.area))
+        .collect();
+    let plan = Floorplan::place_row(&outlines, profile.die_gap());
+    let area = match profile.kind() {
+        SubstrateKind::SiliconInterposer => {
+            let areas: Vec<Area> = dies.iter().map(|d| d.area).collect();
+            silicon_interposer_area(&areas, profile.scale_factor())
+        }
+        SubstrateKind::EmibBridge => {
+            rdl_emib_area(&plan, profile.scale_factor(), profile.die_gap())
+        }
+        // Deviation from Eq. 14, recorded in DESIGN.md: an InFO RDL is a
+        // fan-out layer spanning the whole reconstituted footprint, not
+        // just the inter-die strips — Eq. 14's strips cannot reproduce
+        // the paper's observation that InFO *increases* embodied carbon
+        // through "large substrate areas and low substrate yields".
+        SubstrateKind::Rdl => plan.footprint() * profile.scale_factor(),
+        SubstrateKind::OrganicLaminate => plan.footprint(),
+    };
+    let fab_yield = DieYieldModel::NegativeBinomial {
+        alpha: profile.clustering_alpha(),
+    }
+    .die_yield(area, profile.defect_density_per_cm2())?;
+    let wafer_based = !matches!(profile.kind(), SubstrateKind::OrganicLaminate);
+    Ok(Some(SubstrateGeometry {
+        kind: profile.kind(),
+        area,
+        fab_yield,
+        wafer_based,
+        carbon_per_area: profile.carbon_per_area(ctx.ci_fab()),
+    }))
+}
+
+/// Evaluates the full embodied model (Eq. 3) for `design` under `ctx`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the design is inconsistent, a die does
+/// not fit the wafer, or a yield computation fails.
+pub(crate) fn compute_embodied(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+) -> Result<EmbodiedBreakdown, ModelError> {
+    let resolved = resolve_dies(ctx, design)?;
+    let substrate_geom = match design {
+        ChipDesign::Assembly25d { tech, .. } => resolve_substrate(ctx, *tech, &resolved)?,
+        _ => None,
+    };
+    let composites = composite_yields(
+        ctx,
+        design,
+        &resolved,
+        substrate_geom.as_ref().map(|s| s.fab_yield),
+    )?;
+
+    // ---- C_die (Eqs. 4–6, 10 adjustment) ----
+    let ci_fab = ctx.ci_fab();
+    let wafer = ctx.wafer();
+    let is_m3d = matches!(
+        design,
+        ChipDesign::Stack3d {
+            tech: IntegrationTechnology::Monolithic3d,
+            ..
+        }
+    );
+    // M3D tiers are grown sequentially on ONE wafer: the silicon
+    // consumed per stack is set by the largest tier's footprint, not by
+    // each tier's own patterned area.
+    let m3d_footprint = resolved
+        .iter()
+        .map(|d| d.area)
+        .fold(Area::ZERO, Area::max);
+    let mut die_reports = Vec::with_capacity(resolved.len());
+    let mut die_carbon = Co2Mass::ZERO;
+    for (tier, (die, composite)) in resolved.iter().zip(&composites.per_die).enumerate() {
+        let node = ctx.tech_db().node(die.node);
+        let beol_factor = if ctx.beol_adjustment_enabled() {
+            let usage = f64::from(die.beol_layers) / f64::from(die.max_beol_layers);
+            1.0 - ctx.beol_carbon_fraction() * (1.0 - usage.min(1.0))
+        } else {
+            1.0
+        };
+        // Eq. 6 with process terms (electricity, gases) scaled by the
+        // BEOL factor; the raw-material term stays (the wafer is bought
+        // whole).
+        let process_per_area = ci_fab * node.energy_per_area() + node.gas_per_area();
+        let per_area = if is_m3d && tier > 0 {
+            // Sequential M3D: upper tiers are grown on the *same* wafer
+            // — no second substrate (no MPA), and a reduced low-
+            // temperature process pass.
+            process_per_area * (beol_factor * ctx.m3d_sequential_fraction())
+        } else {
+            process_per_area * beol_factor + node.material_per_area()
+        };
+        let wafer_carbon = per_area * wafer.area();
+        let dpw_area = if is_m3d { m3d_footprint } else { die.area };
+        let dpw = wafer
+            .dies_per_wafer(dpw_area)
+            .filter(|d| *d >= 1.0)
+            .ok_or_else(|| ModelError::DieExceedsWafer {
+                die: die.name.clone(),
+                area_mm2: dpw_area.mm2(),
+            })?;
+        let carbon = wafer_carbon / dpw / *composite;
+        die_carbon += carbon;
+        die_reports.push(DieReport {
+            name: die.name.clone(),
+            node: die.node,
+            gate_count: die.gates,
+            gate_area: die.gate_area,
+            tsv_area: die.tsv_area,
+            io_area: die.io_area,
+            area: die.area,
+            tsv_count: die.tsv_count,
+            beol_layers: die.beol_layers,
+            beol_factor,
+            wafer_carbon,
+            dies_per_wafer: dpw,
+            fab_yield: die.fab_yield,
+            composite_yield: *composite,
+            carbon,
+        });
+    }
+
+    // ---- C_bonding (Eq. 11) ----
+    let mut bonding_carbon = Co2Mass::ZERO;
+    match design {
+        ChipDesign::Monolithic2d { .. } => {}
+        ChipDesign::Stack3d { tech, flow, .. } => {
+            let bond = ctx.catalog().bonding(*tech);
+            let eff_flow = flow.unwrap_or(StackingFlow::WaferToWafer);
+            let epa = bond.energy_per_area(eff_flow);
+            for (step, composite) in composites.per_bond_step.iter().enumerate() {
+                let area = resolved[step].area;
+                bonding_carbon += ci_fab * (epa * area) / *composite;
+            }
+        }
+        ChipDesign::Assembly25d { tech, .. } => {
+            let bond = ctx.catalog().bonding(*tech);
+            let epa = bond.energy_per_area(StackingFlow::DieToWafer);
+            for (die, composite) in resolved.iter().zip(&composites.per_bond_step) {
+                bonding_carbon += ci_fab * (epa * die.area) / *composite;
+            }
+        }
+    }
+
+    // ---- C_int (Eqs. 13–14) ----
+    let substrate = match (&substrate_geom, composites.substrate) {
+        (Some(geom), Some(composite)) => {
+            let carbon = if geom.wafer_based {
+                let dpw = wafer
+                    .dies_per_wafer(geom.area)
+                    .filter(|d| *d >= 1.0)
+                    .ok_or_else(|| ModelError::DieExceedsWafer {
+                        die: format!("{} substrate", geom.kind),
+                        area_mm2: geom.area.mm2(),
+                    })?;
+                geom.carbon_per_area * wafer.area() / dpw / composite
+            } else {
+                geom.carbon_per_area * geom.area / composite
+            };
+            Some(SubstrateReport {
+                kind: geom.kind,
+                area: geom.area,
+                fab_yield: geom.fab_yield,
+                composite_yield: composite,
+                carbon,
+            })
+        }
+        _ => None,
+    };
+
+    // ---- C_packaging (Eq. 12) ----
+    let base_area = match design {
+        ChipDesign::Monolithic2d { .. } => resolved[0].area,
+        ChipDesign::Stack3d { .. } => resolved
+            .iter()
+            .map(|d| d.area)
+            .fold(Area::ZERO, Area::max),
+        ChipDesign::Assembly25d { .. } => {
+            // The package must span whichever is larger: the silicon it
+            // carries or a manufactured substrate carrying it. The MCM
+            // laminate *is* the package substrate, so it never inflates
+            // the base.
+            let total: Area = resolved.iter().map(|d| d.area).sum();
+            match &substrate {
+                Some(s) if s.kind != SubstrateKind::OrganicLaminate => total.max(s.area),
+                _ => total,
+            }
+        }
+    };
+    let package_area = ctx.package().package_area(base_area);
+    let packaging_carbon = ctx.packaging().packaging_carbon(package_area);
+
+    Ok(EmbodiedBreakdown {
+        design: design.describe(),
+        dies: die_reports,
+        die_carbon,
+        bonding_carbon,
+        packaging_carbon,
+        package_area,
+        substrate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DieSpec;
+    use tdc_integration::StackOrientation;
+
+    fn ctx() -> ModelContext {
+        ModelContext::default()
+    }
+
+    fn die_n7(name: &str, gates: f64) -> DieSpec {
+        DieSpec::builder(name, ProcessNode::N7)
+            .gate_count(gates)
+            .build()
+            .unwrap()
+    }
+
+    fn orin_2d() -> ChipDesign {
+        ChipDesign::monolithic_2d(die_n7("orin", 17.0e9))
+    }
+
+    fn orin_hybrid_3d() -> ChipDesign {
+        ChipDesign::stack_3d(
+            vec![die_n7("tier0", 8.5e9), die_n7("tier1", 8.5e9)],
+            IntegrationTechnology::HybridBonding3d,
+            StackOrientation::FaceToFace,
+            Some(StackingFlow::DieToWafer),
+        )
+        .unwrap()
+    }
+
+    fn orin_25d(tech: IntegrationTechnology) -> ChipDesign {
+        ChipDesign::assembly_25d(
+            vec![die_n7("left", 8.5e9), die_n7("right", 8.5e9)],
+            tech,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn monolithic_2d_breakdown_shape() {
+        let b = compute_embodied(&ctx(), &orin_2d()).unwrap();
+        assert_eq!(b.dies.len(), 1);
+        assert_eq!(b.bonding_carbon, Co2Mass::ZERO);
+        assert!(b.substrate.is_none());
+        assert!(b.die_carbon.kg() > 0.0);
+        assert!(b.packaging_carbon.kg() > 0.0);
+        let total = b.total();
+        assert!((total.kg()
+            - (b.die_carbon + b.packaging_carbon + b.bonding_carbon).kg())
+        .abs()
+            < 1e-12);
+        // Die ~455 mm² (Eq. 8 calibration).
+        assert!((b.dies[0].area.mm2() - 458.0).abs() < 10.0, "{}", b.dies[0].area.mm2());
+    }
+
+    #[test]
+    fn splitting_improves_yield_and_die_carbon() {
+        let c = ctx();
+        let full = compute_embodied(&c, &orin_2d()).unwrap();
+        let split = compute_embodied(&c, &orin_hybrid_3d()).unwrap();
+        // Each half yields better than the monolith.
+        assert!(split.dies[0].fab_yield > full.dies[0].fab_yield);
+        // Die manufacturing carbon (the yield-dominated term) drops.
+        assert!(split.die_carbon < full.die_carbon, "die carbon must drop");
+        // But bonding appears.
+        assert!(split.bonding_carbon.kg() > 0.0);
+    }
+
+    #[test]
+    fn f2f_top_die_has_no_tsvs() {
+        let b = compute_embodied(&ctx(), &orin_hybrid_3d()).unwrap();
+        assert!(b.dies[0].tsv_count > 0.0, "base die carries external-IO TSVs");
+        assert_eq!(b.dies[1].tsv_count, 0.0);
+        assert!(b.dies[0].tsv_area.mm2() > 0.0);
+    }
+
+    #[test]
+    fn f2b_tsv_counts_grow_toward_base() {
+        let dies = vec![
+            die_n7("t0", 4.0e9),
+            die_n7("t1", 4.0e9),
+            die_n7("t2", 4.0e9),
+        ];
+        let design = ChipDesign::stack_3d(
+            dies,
+            IntegrationTechnology::MicroBump3d,
+            StackOrientation::FaceToBack,
+            Some(StackingFlow::DieToWafer),
+        )
+        .unwrap();
+        let b = compute_embodied(&ctx(), &design).unwrap();
+        assert!(b.dies[0].tsv_count > b.dies[1].tsv_count);
+        assert!(b.dies[1].tsv_count > 0.0);
+        assert_eq!(b.dies[2].tsv_count, 0.0, "top die needs no TSVs");
+    }
+
+    #[test]
+    fn interposer_carbon_ordering_matches_paper() {
+        // Table 5's mechanism: Si interposer adds a big, yield-limited
+        // substrate; EMIB only a sliver of silicon.
+        let c = ctx();
+        let emib = compute_embodied(&c, &orin_25d(IntegrationTechnology::Emib)).unwrap();
+        let si = compute_embodied(
+            &c,
+            &orin_25d(IntegrationTechnology::SiliconInterposer),
+        )
+        .unwrap();
+        let e_sub = emib.substrate.as_ref().unwrap();
+        let s_sub = si.substrate.as_ref().unwrap();
+        assert!(s_sub.area.mm2() > 10.0 * e_sub.area.mm2());
+        assert!(s_sub.carbon.kg() > 5.0 * e_sub.carbon.kg());
+        assert!(si.total() > emib.total());
+    }
+
+    #[test]
+    fn chip_first_vs_chip_last_differ() {
+        let c = ctx();
+        let first =
+            compute_embodied(&c, &orin_25d(IntegrationTechnology::InfoChipFirst)).unwrap();
+        let last =
+            compute_embodied(&c, &orin_25d(IntegrationTechnology::InfoChipLast)).unwrap();
+        // Same geometry, different yield composition → different carbon.
+        assert_ne!(first.die_carbon, last.die_carbon);
+    }
+
+    #[test]
+    fn beol_adjustment_lowers_die_carbon() {
+        let with = ModelContext::builder().beol_adjustment(true).build();
+        let without = ModelContext::builder().beol_adjustment(false).build();
+        let a = compute_embodied(&with, &orin_2d()).unwrap();
+        let b = compute_embodied(&without, &orin_2d()).unwrap();
+        // Orin's estimated stack is below the 7 nm max, so the
+        // adjustment must save carbon.
+        assert!(a.dies[0].beol_factor < 1.0);
+        assert!((b.dies[0].beol_factor - 1.0).abs() < 1e-12);
+        assert!(a.die_carbon < b.die_carbon);
+    }
+
+    #[test]
+    fn w2w_costs_more_than_d2w_for_same_stack() {
+        let mk = |flow| {
+            ChipDesign::stack_3d(
+                vec![die_n7("t0", 8.5e9), die_n7("t1", 8.5e9)],
+                IntegrationTechnology::MicroBump3d,
+                StackOrientation::FaceToBack,
+                Some(flow),
+            )
+            .unwrap()
+        };
+        let c = ctx();
+        let d2w = compute_embodied(&c, &mk(StackingFlow::DieToWafer)).unwrap();
+        let w2w = compute_embodied(&c, &mk(StackingFlow::WaferToWafer)).unwrap();
+        // W2W composites are strictly worse → more die carbon.
+        assert!(w2w.die_carbon > d2w.die_carbon);
+    }
+
+    #[test]
+    fn huge_die_errors_cleanly() {
+        let design = ChipDesign::monolithic_2d(
+            DieSpec::builder("reticle-buster", ProcessNode::N28)
+                .area(Area::from_mm2(40_000.0))
+                .build()
+                .unwrap(),
+        );
+        let err = compute_embodied(&ctx(), &design).unwrap_err();
+        assert!(matches!(err, ModelError::DieExceedsWafer { .. }));
+    }
+
+    #[test]
+    fn explicit_area_bypasses_overheads() {
+        let design = ChipDesign::monolithic_2d(
+            DieSpec::builder("fixed", ProcessNode::N7)
+                .area(Area::from_mm2(74.0))
+                .build()
+                .unwrap(),
+        );
+        let b = compute_embodied(&ctx(), &design).unwrap();
+        assert!((b.dies[0].area.mm2() - 74.0).abs() < 1e-9);
+        assert_eq!(b.dies[0].tsv_area, Area::ZERO);
+        assert_eq!(b.dies[0].io_area, Area::ZERO);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let b = compute_embodied(&ctx(), &orin_25d(IntegrationTechnology::Emib)).unwrap();
+        let s = b.to_string();
+        assert!(s.contains("die total"));
+        assert!(s.contains("bonding"));
+        assert!(s.contains("substrate"));
+        assert!(s.contains("packaging"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn eq3_additivity() {
+        let b = compute_embodied(&ctx(), &orin_25d(IntegrationTechnology::Emib)).unwrap();
+        let sum = b.die_carbon
+            + b.bonding_carbon
+            + b.packaging_carbon
+            + b.substrate.as_ref().unwrap().carbon;
+        assert!((b.total().kg() - sum.kg()).abs() < 1e-12);
+        let die_sum: Co2Mass = b.dies.iter().map(|d| d.carbon).sum();
+        assert!((b.die_carbon.kg() - die_sum.kg()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! The crate-wide error type ([`ModelError`]).
+
+use tdc_yield::YieldError;
+
+/// Error produced by design construction or model evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The design description is internally inconsistent (wrong family,
+    /// unsupported stack shape, missing per-die data, …).
+    InvalidDesign(String),
+    /// A model parameter is out of its physical domain.
+    InvalidParameter(String),
+    /// A yield computation failed.
+    Yield(YieldError),
+    /// A die is too large for the configured wafer (zero dies per
+    /// wafer).
+    DieExceedsWafer {
+        /// The offending die's name.
+        die: String,
+        /// The die's area in mm².
+        area_mm2: f64,
+    },
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::InvalidDesign(msg) => write!(f, "invalid design: {msg}"),
+            ModelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ModelError::Yield(e) => write!(f, "yield model error: {e}"),
+            ModelError::DieExceedsWafer { die, area_mm2 } => write!(
+                f,
+                "die `{die}` ({area_mm2} mm²) does not fit on the configured wafer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Yield(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<YieldError> for ModelError {
+    fn from(e: YieldError) -> Self {
+        ModelError::Yield(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let e = ModelError::InvalidDesign("a 3D stack needs two dies".into());
+        assert!(e.to_string().contains("3D stack"));
+        let e = ModelError::DieExceedsWafer {
+            die: "huge".into(),
+            area_mm2: 99_999.0,
+        };
+        assert!(e.to_string().contains("huge"));
+        let e: ModelError = YieldError::InvalidComponentYield(1.5).into();
+        assert!(e.to_string().contains("yield"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

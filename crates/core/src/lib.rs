@@ -1,0 +1,65 @@
+//! 3D-Carbon: analytical life-cycle carbon modeling for 2D, 3D, and
+//! 2.5D integrated circuits.
+//!
+//! This crate is the reproduction of the paper's §3: it consumes a
+//! hardware design description ([`ChipDesign`]), a technology context
+//! ([`ModelContext`]), and a workload ([`Workload`]), and produces the
+//! embodied ([`EmbodiedBreakdown`]), operational
+//! ([`OperationalReport`]), and total life-cycle carbon of the design,
+//! plus the choosing/replacing decision metrics ([`DecisionMetrics`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tdc_core::{CarbonModel, ChipDesign, DieSpec, ModelContext, Workload};
+//! use tdc_integration::{IntegrationTechnology, StackOrientation};
+//! use tdc_technode::ProcessNode;
+//! use tdc_units::{Throughput, TimeSpan};
+//! use tdc_yield::StackingFlow;
+//!
+//! # fn main() -> Result<(), tdc_core::ModelError> {
+//! // Two 8.5-G-gate 7 nm dies, hybrid-bonded face-to-face.
+//! let dies = vec![
+//!     DieSpec::builder("tier0", ProcessNode::N7).gate_count(8.5e9).build()?,
+//!     DieSpec::builder("tier1", ProcessNode::N7).gate_count(8.5e9).build()?,
+//! ];
+//! let design = ChipDesign::stack_3d(
+//!     dies,
+//!     IntegrationTechnology::HybridBonding3d,
+//!     StackOrientation::FaceToFace,
+//!     Some(StackingFlow::DieToWafer),
+//! )?;
+//!
+//! let model = CarbonModel::new(ModelContext::default());
+//! let workload = Workload::fixed(
+//!     "inference",
+//!     Throughput::from_tops(254.0),
+//!     TimeSpan::from_years(10.0),
+//! );
+//! let report = model.lifecycle(&design, &workload)?;
+//! assert!(report.total().kg() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod decision;
+mod design;
+mod embodied;
+mod error;
+pub mod logistics;
+mod model;
+mod operational;
+pub mod sensitivity;
+pub mod sweep;
+
+pub use context::{DieYieldChoice, ModelContext, ModelContextBuilder};
+pub use decision::{ChoiceOutcome, DecisionMetrics};
+pub use design::{ChipDesign, DieSpec, DieSpecBuilder};
+pub use embodied::{DieReport, EmbodiedBreakdown, SubstrateReport};
+pub use error::ModelError;
+pub use model::{CarbonModel, ComparisonReport, LifecycleReport};
+pub use operational::{DieOperationalReport, OperationalReport, Workload, WorkloadPhase};

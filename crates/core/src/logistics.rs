@@ -1,0 +1,165 @@
+//! Transport and end-of-life phases ([`LogisticsProfile`]) — the two
+//! lifecycle boxes of the paper's Fig. 1 that its model leaves to
+//! qualitative discussion.
+//!
+//! The paper (like ACT) concentrates on manufacturing and use because
+//! they dominate; Fig. 1 nonetheless draws the full product lifecycle
+//! including *transport* and *end-of-life*. This module is an
+//! **extension beyond the paper's equations**: a first-order
+//! freight-plus-recycling model so users can report all four phases.
+//! It is deliberately not folded into [`LifecycleReport`] totals — the
+//! paper's Eq. 1 is `C_op + C_emb` and the reproduction keeps that
+//! contract; callers opt in explicitly.
+//!
+//! [`LifecycleReport`]: crate::LifecycleReport
+
+use crate::embodied::EmbodiedBreakdown;
+use serde::{Deserialize, Serialize};
+use tdc_units::{Area, Co2Mass};
+
+/// First-order freight and end-of-life characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticsProfile {
+    /// Packaged-part areal mass (package + lid + substrate), g/cm² of
+    /// package area. BGA modules run 1.5–3 g/cm².
+    pub package_areal_mass_g_per_cm2: f64,
+    /// Shipping distance, km.
+    pub distance_km: f64,
+    /// Freight emission factor, g CO₂e per tonne-km (air ≈ 600,
+    /// sea ≈ 10, road ≈ 80).
+    pub freight_g_per_tonne_km: f64,
+    /// End-of-life processing per kg of e-waste (shredding/recovery),
+    /// g CO₂e per g of part.
+    pub eol_g_per_g: f64,
+}
+
+impl LogisticsProfile {
+    /// Air freight from East-Asian assembly to a world-average market
+    /// (8 000 km), typical BGA mass, e-waste processing at 0.4 g/g.
+    #[must_use]
+    pub fn air_freight() -> Self {
+        Self {
+            package_areal_mass_g_per_cm2: 2.0,
+            distance_km: 8_000.0,
+            freight_g_per_tonne_km: 600.0,
+            eol_g_per_g: 0.4,
+        }
+    }
+
+    /// Sea freight for the same route.
+    #[must_use]
+    pub fn sea_freight() -> Self {
+        Self {
+            freight_g_per_tonne_km: 10.0,
+            ..Self::air_freight()
+        }
+    }
+
+    /// Estimated packaged-part mass from the package area.
+    #[must_use]
+    pub fn part_mass_g(&self, package_area: Area) -> f64 {
+        self.package_areal_mass_g_per_cm2 * package_area.cm2()
+    }
+
+    /// Transport carbon for one part.
+    #[must_use]
+    pub fn transport(&self, package_area: Area) -> Co2Mass {
+        let tonnes = self.part_mass_g(package_area) * 1.0e-6;
+        Co2Mass::from_g(tonnes * self.distance_km * self.freight_g_per_tonne_km)
+    }
+
+    /// End-of-life carbon for one part.
+    #[must_use]
+    pub fn end_of_life(&self, package_area: Area) -> Co2Mass {
+        Co2Mass::from_g(self.part_mass_g(package_area) * self.eol_g_per_g)
+    }
+
+    /// Both extra phases for an evaluated design.
+    #[must_use]
+    pub fn extras(&self, breakdown: &EmbodiedBreakdown) -> LifecycleExtras {
+        LifecycleExtras {
+            transport: self.transport(breakdown.package_area),
+            end_of_life: self.end_of_life(breakdown.package_area),
+        }
+    }
+}
+
+impl Default for LogisticsProfile {
+    fn default() -> Self {
+        Self::air_freight()
+    }
+}
+
+/// The two extra lifecycle phases of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleExtras {
+    /// Product transport carbon.
+    pub transport: Co2Mass,
+    /// End-of-life processing carbon.
+    pub end_of_life: Co2Mass,
+}
+
+impl LifecycleExtras {
+    /// Sum of both phases.
+    #[must_use]
+    pub fn total(&self) -> Co2Mass {
+        self.transport + self.end_of_life
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CarbonModel, ChipDesign, DieSpec, ModelContext};
+    use tdc_technode::ProcessNode;
+
+    fn breakdown() -> EmbodiedBreakdown {
+        let model = CarbonModel::new(ModelContext::default());
+        let design = ChipDesign::monolithic_2d(
+            DieSpec::builder("orin", ProcessNode::N7)
+                .gate_count(17.0e9)
+                .build()
+                .unwrap(),
+        );
+        model.embodied(&design).unwrap()
+    }
+
+    #[test]
+    fn air_freight_known_value() {
+        let p = LogisticsProfile::air_freight();
+        // 10 cm² package → 20 g part → 2e-5 t × 8000 km × 600 g/t-km = 96 g.
+        let t = p.transport(Area::from_cm2(10.0));
+        assert!((t.g() - 96.0).abs() < 1e-9);
+        let e = p.end_of_life(Area::from_cm2(10.0));
+        assert!((e.g() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sea_freight_is_far_cleaner() {
+        let air = LogisticsProfile::air_freight();
+        let sea = LogisticsProfile::sea_freight();
+        let area = Area::from_cm2(20.0);
+        assert!(air.transport(area).g() > 50.0 * sea.transport(area).g());
+        // EOL identical (same mass and processing).
+        assert_eq!(air.end_of_life(area), sea.end_of_life(area));
+    }
+
+    #[test]
+    fn extras_are_small_next_to_embodied() {
+        // The justification for the paper's focus: even air freight is
+        // a sub-percent slice of a leading-edge SoC's embodied carbon.
+        let b = breakdown();
+        let extras = LogisticsProfile::air_freight().extras(&b);
+        assert!(extras.total().kg() < 0.05 * b.total().kg());
+        assert!(extras.transport.kg() > 0.0);
+        assert!(extras.end_of_life.kg() > 0.0);
+    }
+
+    #[test]
+    fn extras_scale_with_package_area() {
+        let p = LogisticsProfile::default();
+        let small = p.transport(Area::from_cm2(5.0));
+        let large = p.transport(Area::from_cm2(10.0));
+        assert!((large.g() / small.g() - 2.0).abs() < 1e-9);
+    }
+}

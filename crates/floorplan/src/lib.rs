@@ -1,0 +1,44 @@
+//! 2.5D multi-die floorplanning and package/substrate geometry.
+//!
+//! The interposer model of the paper (Eqs. 12–14) needs three
+//! geometric quantities that are *not* user inputs:
+//!
+//! * the **adjacency length** `Σ l_adjacent_i` — how much die edge
+//!   faces another die across the inter-die gap (Eq. 14 sizes RDL and
+//!   EMIB substrates as scaled strips along those shared edges),
+//! * the **package area** (Eq. 12's linear empirical model, scaled
+//!   from the largest die for 3D stacks and from the total die area
+//!   for 2.5D assemblies), and
+//! * the **interposer area** (Eq. 13: scaled total die area).
+//!
+//! This crate provides a deterministic shelf placer ([`Floorplan`]),
+//! exact shared-edge adjacency computation, and the area models
+//! ([`PackageModel`], [`silicon_interposer_area`], [`rdl_emib_area`]).
+//!
+//! ```
+//! use tdc_units::{Area, Length};
+//! use tdc_floorplan::{DieOutline, Floorplan};
+//!
+//! // Two 100 mm² dies side by side with a 0.5 mm gap.
+//! let dies = vec![
+//!     DieOutline::square_from_area(Area::from_mm2(100.0)),
+//!     DieOutline::square_from_area(Area::from_mm2(100.0)),
+//! ];
+//! let plan = Floorplan::place_row(&dies, Length::from_mm(0.5));
+//! // Each die sees the other across its full 10 mm edge.
+//! let adj = plan.adjacency_lengths();
+//! assert!((adj[0].mm() - 10.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod outline;
+mod package;
+mod placement;
+mod substrate_area;
+
+pub use outline::DieOutline;
+pub use package::{PackageModel, PackagingProfile};
+pub use placement::{Floorplan, PlacedDie};
+pub use substrate_area::{rdl_emib_area, silicon_interposer_area};

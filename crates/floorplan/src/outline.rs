@@ -1,0 +1,133 @@
+//! Die outline geometry ([`DieOutline`]).
+
+use serde::{Deserialize, Serialize};
+use tdc_units::{Area, Length};
+
+/// The rectangular outline of one die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieOutline {
+    width: Length,
+    height: Length,
+}
+
+impl DieOutline {
+    /// Creates an outline from explicit edge lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either edge is not finite and positive.
+    #[must_use]
+    pub fn new(width: Length, height: Length) -> Self {
+        assert!(
+            width.mm().is_finite() && width.mm() > 0.0,
+            "die width must be positive, got {width}"
+        );
+        assert!(
+            height.mm().is_finite() && height.mm() > 0.0,
+            "die height must be positive, got {height}"
+        );
+        Self { width, height }
+    }
+
+    /// Creates a square outline with the given silicon area — the
+    /// default shape assumption when only an area is known (as in the
+    /// paper, whose hardware inputs are areas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` is not finite and positive.
+    #[must_use]
+    pub fn square_from_area(area: Area) -> Self {
+        assert!(
+            area.mm2().is_finite() && area.mm2() > 0.0,
+            "die area must be positive, got {area}"
+        );
+        let side = area.square_side();
+        Self::new(side, side)
+    }
+
+    /// Creates a rectangular outline with the given area and
+    /// width:height aspect ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area` or `aspect` is not finite and positive.
+    #[must_use]
+    pub fn from_area_and_aspect(area: Area, aspect: f64) -> Self {
+        assert!(
+            aspect.is_finite() && aspect > 0.0,
+            "aspect ratio must be positive, got {aspect}"
+        );
+        assert!(
+            area.mm2().is_finite() && area.mm2() > 0.0,
+            "die area must be positive, got {area}"
+        );
+        let height = Length::from_mm((area.mm2() / aspect).sqrt());
+        let width = Length::from_mm(area.mm2() / height.mm());
+        Self::new(width, height)
+    }
+
+    /// Die width (x extent).
+    #[must_use]
+    pub fn width(self) -> Length {
+        self.width
+    }
+
+    /// Die height (y extent).
+    #[must_use]
+    pub fn height(self) -> Length {
+        self.height
+    }
+
+    /// Silicon area.
+    #[must_use]
+    pub fn area(self) -> Area {
+        self.width * self.height
+    }
+
+    /// Perimeter length (the `L_edge` of Eq. 17's pitch-count model is
+    /// one edge; the perimeter bounds total shoreline).
+    #[must_use]
+    pub fn perimeter(self) -> Length {
+        (self.width + self.height) * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_from_area_round_trips() {
+        let o = DieOutline::square_from_area(Area::from_mm2(144.0));
+        assert!((o.width().mm() - 12.0).abs() < 1e-9);
+        assert!((o.height().mm() - 12.0).abs() < 1e-9);
+        assert!((o.area().mm2() - 144.0).abs() < 1e-9);
+        assert!((o.perimeter().mm() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aspect_ratio_respected() {
+        let o = DieOutline::from_area_and_aspect(Area::from_mm2(200.0), 2.0);
+        assert!((o.width().mm() / o.height().mm() - 2.0).abs() < 1e-9);
+        assert!((o.area().mm2() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "die area")]
+    fn rejects_zero_area() {
+        let _ = DieOutline::square_from_area(Area::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect")]
+    fn rejects_bad_aspect() {
+        let _ = DieOutline::from_area_and_aspect(Area::from_mm2(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "die width")]
+    fn rejects_zero_width() {
+        let _ = DieOutline::new(Length::ZERO, Length::from_mm(1.0));
+    }
+}

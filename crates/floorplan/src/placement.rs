@@ -1,0 +1,385 @@
+//! Deterministic shelf placement and adjacency analysis
+//! ([`Floorplan`]).
+
+use crate::outline::DieOutline;
+use serde::{Deserialize, Serialize};
+use tdc_units::{Area, Length};
+
+/// A die at a fixed position (lower-left corner at `(x, y)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacedDie {
+    /// The die's outline.
+    pub outline: DieOutline,
+    /// Lower-left x coordinate.
+    pub x: Length,
+    /// Lower-left y coordinate.
+    pub y: Length,
+}
+
+impl PlacedDie {
+    fn x_max(&self) -> Length {
+        self.x + self.outline.width()
+    }
+
+    fn y_max(&self) -> Length {
+        self.y + self.outline.height()
+    }
+}
+
+/// A placed set of dies with a uniform inter-die gap.
+///
+/// The placer is deterministic (input order is preserved within rows)
+/// so that carbon results are exactly reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    dies: Vec<PlacedDie>,
+    gap: Length,
+}
+
+impl Floorplan {
+    /// Places all dies in a single row, bottom-aligned, separated by
+    /// `gap` — the canonical layout for the 2–5 die assemblies the
+    /// paper studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outlines` is empty or `gap` is negative/non-finite.
+    #[must_use]
+    pub fn place_row(outlines: &[DieOutline], gap: Length) -> Self {
+        Self::place_shelf(outlines, gap, usize::MAX)
+    }
+
+    /// Shelf placement: fills rows left-to-right with at most
+    /// `max_per_row` dies, stacking rows upward with the same gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outlines` is empty, `max_per_row` is zero, or `gap`
+    /// is negative/non-finite.
+    #[must_use]
+    pub fn place_shelf(outlines: &[DieOutline], gap: Length, max_per_row: usize) -> Self {
+        assert!(!outlines.is_empty(), "cannot floorplan zero dies");
+        assert!(max_per_row > 0, "max_per_row must be at least 1");
+        assert!(
+            gap.mm().is_finite() && gap.mm() >= 0.0,
+            "die gap must be non-negative, got {gap}"
+        );
+        let mut dies = Vec::with_capacity(outlines.len());
+        let mut cursor_x = Length::ZERO;
+        let mut cursor_y = Length::ZERO;
+        let mut row_height = Length::ZERO;
+        let mut in_row = 0usize;
+        for outline in outlines {
+            if in_row == max_per_row {
+                cursor_y = cursor_y + row_height + gap;
+                cursor_x = Length::ZERO;
+                row_height = Length::ZERO;
+                in_row = 0;
+            }
+            dies.push(PlacedDie {
+                outline: *outline,
+                x: cursor_x,
+                y: cursor_y,
+            });
+            cursor_x = cursor_x + outline.width() + gap;
+            row_height = row_height.max(outline.height());
+            in_row += 1;
+        }
+        Self { dies, gap }
+    }
+
+    /// Compact placement: tries every shelf width from a single column
+    /// to a single row and keeps the plan with the smallest bounding
+    /// box (ties break toward the squarer outline — better for package
+    /// routing and the paper's square-die assumptions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outlines` is empty or `gap` is negative/non-finite
+    /// (see [`Floorplan::place_shelf`]).
+    #[must_use]
+    pub fn place_compact(outlines: &[DieOutline], gap: Length) -> Self {
+        assert!(!outlines.is_empty(), "cannot floorplan zero dies");
+        let mut best: Option<(f64, f64, Floorplan)> = None;
+        for per_row in 1..=outlines.len() {
+            let plan = Self::place_shelf(outlines, gap, per_row);
+            let (w, h) = plan.bounding_box();
+            let area = plan.footprint().mm2();
+            let aspect = (w.mm() / h.mm()).max(h.mm() / w.mm());
+            let better = match &best {
+                None => true,
+                Some((a, asp, _)) => {
+                    area < *a - 1e-9 || ((area - *a).abs() <= 1e-9 && aspect < *asp)
+                }
+            };
+            if better {
+                best = Some((area, aspect, plan));
+            }
+        }
+        best.expect("at least one shelf width was tried").2
+    }
+
+    /// The placed dies, in input order.
+    #[must_use]
+    pub fn dies(&self) -> &[PlacedDie] {
+        &self.dies
+    }
+
+    /// The uniform inter-die gap.
+    #[must_use]
+    pub fn gap(&self) -> Length {
+        self.gap
+    }
+
+    /// Width and height of the bounding box enclosing all dies.
+    #[must_use]
+    pub fn bounding_box(&self) -> (Length, Length) {
+        let mut w = Length::ZERO;
+        let mut h = Length::ZERO;
+        for d in &self.dies {
+            w = w.max(d.x_max());
+            h = h.max(d.y_max());
+        }
+        (w, h)
+    }
+
+    /// Area of the bounding box — the silicon-carrying footprint that
+    /// package sizing starts from.
+    #[must_use]
+    pub fn footprint(&self) -> Area {
+        let (w, h) = self.bounding_box();
+        w * h
+    }
+
+    /// Sum of all die areas.
+    #[must_use]
+    pub fn total_die_area(&self) -> Area {
+        self.dies.iter().map(|d| d.outline.area()).sum()
+    }
+
+    /// Per-die adjacency length `l_adjacent_i`: for each die, the total
+    /// edge length facing another die across (at most) the gap.
+    ///
+    /// Two dies are adjacent when their facing edges are separated by
+    /// no more than `1.5 × gap` along one axis and their extents
+    /// overlap along the other; the shared length is that overlap.
+    /// The relation is symmetric: `Σ_i l_adjacent_i` counts every
+    /// shared edge from both sides, exactly as Eq. 14's per-die sum
+    /// does.
+    #[must_use]
+    pub fn adjacency_lengths(&self) -> Vec<Length> {
+        let n = self.dies.len();
+        let mut lengths = vec![Length::ZERO; n];
+        let tol = if self.gap.mm() == 0.0 {
+            // Zero-gap plans count abutting edges with a hair of slack.
+            1.0e-9
+        } else {
+            self.gap.mm() * 1.5
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let shared = shared_edge_mm(&self.dies[i], &self.dies[j], tol);
+                if shared > 0.0 {
+                    lengths[i] += Length::from_mm(shared);
+                    lengths[j] += Length::from_mm(shared);
+                }
+            }
+        }
+        lengths
+    }
+
+    /// `Σ_i l_adjacent_i` — the Eq. 14 adjacency sum.
+    #[must_use]
+    pub fn total_adjacency_length(&self) -> Length {
+        self.adjacency_lengths().into_iter().sum()
+    }
+}
+
+/// Shared edge length (mm) between two placed dies, or 0 when not
+/// adjacent. `tol` is the maximum face-to-face separation to count.
+fn shared_edge_mm(a: &PlacedDie, b: &PlacedDie, tol: f64) -> f64 {
+    let overlap = |lo1: f64, hi1: f64, lo2: f64, hi2: f64| -> f64 {
+        (hi1.min(hi2) - lo1.max(lo2)).max(0.0)
+    };
+    // Horizontal adjacency (b right of a or vice versa).
+    let dx = (b.x.mm() - a.x_max().mm()).max(a.x.mm() - b.x_max().mm());
+    // Vertical adjacency.
+    let dy = (b.y.mm() - a.y_max().mm()).max(a.y.mm() - b.y_max().mm());
+    let y_overlap = overlap(a.y.mm(), a.y_max().mm(), b.y.mm(), b.y_max().mm());
+    let x_overlap = overlap(a.x.mm(), a.x_max().mm(), b.x.mm(), b.x_max().mm());
+    if dx >= -1.0e-12 && dx <= tol && y_overlap > 0.0 {
+        y_overlap
+    } else if dy >= -1.0e-12 && dy <= tol && x_overlap > 0.0 {
+        x_overlap
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(mm2: f64) -> DieOutline {
+        DieOutline::square_from_area(Area::from_mm2(mm2))
+    }
+
+    #[test]
+    fn row_placement_positions() {
+        let plan = Floorplan::place_row(&[sq(100.0), sq(100.0)], Length::from_mm(0.5));
+        let d = plan.dies();
+        assert_eq!(d.len(), 2);
+        assert!((d[0].x.mm() - 0.0).abs() < 1e-12);
+        assert!((d[1].x.mm() - 10.5).abs() < 1e-12);
+        let (w, h) = plan.bounding_box();
+        assert!((w.mm() - 20.5).abs() < 1e-12);
+        assert!((h.mm() - 10.0).abs() < 1e-12);
+        assert!((plan.footprint().mm2() - 205.0).abs() < 1e-9);
+        assert!((plan.total_die_area().mm2() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_die_adjacency_is_full_edge() {
+        let plan = Floorplan::place_row(&[sq(100.0), sq(100.0)], Length::from_mm(0.5));
+        let adj = plan.adjacency_lengths();
+        assert!((adj[0].mm() - 10.0).abs() < 1e-9);
+        assert!((adj[1].mm() - 10.0).abs() < 1e-9);
+        assert!((plan.total_adjacency_length().mm() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_dies_share_the_shorter_edge() {
+        // 100 mm² (10 mm tall) next to 25 mm² (5 mm tall): shared run is
+        // the shorter die's 5 mm.
+        let plan = Floorplan::place_row(&[sq(100.0), sq(25.0)], Length::from_mm(0.5));
+        let adj = plan.adjacency_lengths();
+        assert!((adj[0].mm() - 5.0).abs() < 1e-9);
+        assert!((adj[1].mm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_interior_dies_have_two_neighbours() {
+        let plan = Floorplan::place_row(
+            &[sq(100.0), sq(100.0), sq(100.0)],
+            Length::from_mm(1.0),
+        );
+        let adj = plan.adjacency_lengths();
+        assert!((adj[0].mm() - 10.0).abs() < 1e-9);
+        assert!((adj[1].mm() - 20.0).abs() < 1e-9, "middle die faces both");
+        assert!((adj[2].mm() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shelf_wraps_rows_and_counts_vertical_adjacency() {
+        let plan = Floorplan::place_shelf(
+            &[sq(100.0), sq(100.0), sq(100.0), sq(100.0)],
+            Length::from_mm(0.5),
+            2,
+        );
+        let (w, h) = plan.bounding_box();
+        assert!((w.mm() - 20.5).abs() < 1e-12);
+        assert!((h.mm() - 20.5).abs() < 1e-12);
+        // 2×2 grid: every die touches one horizontal and one vertical
+        // neighbour over the full 10 mm edge.
+        let adj = plan.adjacency_lengths();
+        for l in &adj {
+            assert!((l.mm() - 20.0).abs() < 1e-9, "got {}", l.mm());
+        }
+    }
+
+    #[test]
+    fn distant_dies_are_not_adjacent() {
+        // Gap of 0.5 but dies placed far apart manually.
+        let plan = Floorplan {
+            dies: vec![
+                PlacedDie {
+                    outline: sq(100.0),
+                    x: Length::ZERO,
+                    y: Length::ZERO,
+                },
+                PlacedDie {
+                    outline: sq(100.0),
+                    x: Length::from_mm(50.0),
+                    y: Length::ZERO,
+                },
+            ],
+            gap: Length::from_mm(0.5),
+        };
+        assert_eq!(plan.total_adjacency_length(), Length::ZERO);
+    }
+
+    #[test]
+    fn zero_gap_counts_abutting_edges() {
+        let plan = Floorplan::place_row(&[sq(100.0), sq(100.0)], Length::ZERO);
+        let adj = plan.adjacency_lengths();
+        assert!((adj[0].mm() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_die_has_no_adjacency() {
+        let plan = Floorplan::place_row(&[sq(74.0)], Length::from_mm(0.5));
+        assert_eq!(plan.total_adjacency_length(), Length::ZERO);
+        assert!((plan.footprint().mm2() - 74.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dies")]
+    fn empty_floorplan_panics() {
+        let _ = Floorplan::place_row(&[], Length::from_mm(0.5));
+    }
+
+    #[test]
+    fn compact_beats_or_matches_a_plain_row() {
+        // Equal squares: a single line minimizes area (gaps along one
+        // axis only: 4×10 + 3×0.5 by 10 = 415 mm² vs 420.25 for 2×2),
+        // so compact matches the row exactly here.
+        let dies = [sq(100.0), sq(100.0), sq(100.0), sq(100.0)];
+        let gap = Length::from_mm(0.5);
+        let row = Floorplan::place_row(&dies, gap);
+        let compact = Floorplan::place_compact(&dies, gap);
+        assert!(compact.footprint().mm2() <= row.footprint().mm2() + 1e-9);
+        assert!((compact.footprint().mm2() - 415.0).abs() < 1e-6);
+
+        // Mixed sizes: shelves genuinely beat the row (the row's height
+        // is set by the tallest die, wasting area beside short ones).
+        let mixed = [sq(400.0), sq(25.0), sq(25.0), sq(25.0), sq(25.0)];
+        let row = Floorplan::place_row(&mixed, gap);
+        let compact = Floorplan::place_compact(&mixed, gap);
+        assert!(
+            compact.footprint().mm2() < row.footprint().mm2(),
+            "compact {} !< row {}",
+            compact.footprint().mm2(),
+            row.footprint().mm2()
+        );
+    }
+
+    #[test]
+    fn compact_single_die_is_trivial() {
+        let compact = Floorplan::place_compact(&[sq(74.0)], Length::from_mm(0.5));
+        assert_eq!(compact.dies().len(), 1);
+        assert!((compact.footprint().mm2() - 74.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compact_preserves_die_multiset() {
+        let dies = [sq(50.0), sq(120.0), sq(80.0), sq(200.0), sq(64.0)];
+        let compact = Floorplan::place_compact(&dies, Length::from_mm(1.0));
+        let total: f64 = dies.iter().map(|d| d.area().mm2()).sum();
+        assert!((compact.total_die_area().mm2() - total).abs() < 1e-9);
+        assert_eq!(compact.dies().len(), 5);
+    }
+
+    #[test]
+    fn epyc_like_assembly_geometry() {
+        // Four 74 mm² CCDs around one 416 mm² IO die, single row: a
+        // coarse but deterministic stand-in for the real layout.
+        let dies = [sq(74.0), sq(74.0), sq(416.0), sq(74.0), sq(74.0)];
+        let plan = Floorplan::place_row(&dies, Length::from_mm(1.0));
+        assert_eq!(plan.dies().len(), 5);
+        // Every die has at least one neighbour.
+        for l in plan.adjacency_lengths() {
+            assert!(l.mm() > 0.0);
+        }
+        assert!(plan.total_die_area().mm2() > 700.0);
+    }
+}

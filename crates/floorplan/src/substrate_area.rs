@@ -1,0 +1,110 @@
+//! Substrate area models — the paper's Eqs. 13–14.
+
+use crate::placement::Floorplan;
+use tdc_units::{Area, Length};
+
+/// Silicon-interposer area (Eq. 13): `A_{Si_int} = s · Σ A_die_i`.
+///
+/// The interposer must carry every die plus routing margin, so its
+/// area scales with the *total* silicon it hosts.
+///
+/// # Panics
+///
+/// Panics if `scale < 1` (Table 2 requires `s ≥ 1`).
+#[must_use]
+pub fn silicon_interposer_area(die_areas: &[Area], scale: f64) -> Area {
+    assert!(
+        scale.is_finite() && scale >= 1.0,
+        "interposer scale factor must be ≥ 1, got {scale}"
+    );
+    let total: Area = die_areas.iter().copied().sum();
+    total * scale
+}
+
+/// RDL / EMIB substrate area (Eq. 14):
+/// `A_{RDL/EMIB} = s · D_gap · Σ l_adjacent_i`.
+///
+/// Fan-out RDLs and embedded bridges only need to span the strips where
+/// dies face each other, so their area is the adjacency length times
+/// the gap width, scaled by `s ≥ 1` for routing margin.
+///
+/// # Panics
+///
+/// Panics if `scale < 1` or `gap` is negative/non-finite.
+#[must_use]
+pub fn rdl_emib_area(plan: &Floorplan, scale: f64, gap: Length) -> Area {
+    assert!(
+        scale.is_finite() && scale >= 1.0,
+        "substrate scale factor must be ≥ 1, got {scale}"
+    );
+    assert!(
+        gap.mm().is_finite() && gap.mm() >= 0.0,
+        "die gap must be non-negative, got {gap}"
+    );
+    let adjacency = plan.total_adjacency_length();
+    Area::from_mm2(scale * gap.mm() * adjacency.mm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outline::DieOutline;
+
+    fn sq(mm2: f64) -> DieOutline {
+        DieOutline::square_from_area(Area::from_mm2(mm2))
+    }
+
+    #[test]
+    fn interposer_area_is_scaled_total() {
+        let areas = [Area::from_mm2(74.0); 4];
+        let a = silicon_interposer_area(&areas, 1.1);
+        assert!((a.mm2() - 4.0 * 74.0 * 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interposer_exceeds_total_silicon() {
+        let areas = [Area::from_mm2(230.0), Area::from_mm2(230.0)];
+        let a = silicon_interposer_area(&areas, 1.1);
+        assert!(a.mm2() > 460.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn interposer_rejects_sub_unity_scale() {
+        let _ = silicon_interposer_area(&[Area::from_mm2(100.0)], 0.9);
+    }
+
+    #[test]
+    fn bridge_area_tracks_adjacency() {
+        let gap = Length::from_mm(0.5);
+        let plan = Floorplan::place_row(&[sq(100.0), sq(100.0)], gap);
+        // Σ l_adjacent = 20 mm (both sides), area = 1 × 0.5 × 20 = 10 mm².
+        let a = rdl_emib_area(&plan, 1.0, gap);
+        assert!((a.mm2() - 10.0).abs() < 1e-9);
+        // RDL with routing margin doubles it.
+        let rdl = rdl_emib_area(&plan, 2.0, gap);
+        assert!((rdl.mm2() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bridge_area_is_far_smaller_than_interposer() {
+        // The mechanism behind EMIB's embodied-carbon win in Table 5.
+        let gap = Length::from_mm(0.5);
+        let dies = [sq(230.0), sq(230.0)];
+        let plan = Floorplan::place_row(&dies, gap);
+        let bridge = rdl_emib_area(&plan, 1.0, gap);
+        let interposer =
+            silicon_interposer_area(&[Area::from_mm2(230.0), Area::from_mm2(230.0)], 1.1);
+        assert!(bridge.mm2() * 10.0 < interposer.mm2());
+    }
+
+    #[test]
+    fn more_dies_more_bridge_area() {
+        let gap = Length::from_mm(0.5);
+        let two = Floorplan::place_row(&[sq(100.0), sq(100.0)], gap);
+        let three = Floorplan::place_row(&[sq(100.0), sq(100.0), sq(100.0)], gap);
+        assert!(
+            rdl_emib_area(&three, 1.0, gap).mm2() > rdl_emib_area(&two, 1.0, gap).mm2()
+        );
+    }
+}

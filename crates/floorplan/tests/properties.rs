@@ -1,0 +1,101 @@
+//! Property-based tests for the floorplanner and area models.
+
+use proptest::prelude::*;
+use tdc_floorplan::{
+    rdl_emib_area, silicon_interposer_area, DieOutline, Floorplan, PackageModel,
+};
+use tdc_units::{Area, Length};
+
+fn die_areas() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(10.0..900.0f64, 1..8)
+}
+
+proptest! {
+    #[test]
+    fn footprint_contains_all_silicon(areas in die_areas(), gap in 0.0..2.0f64) {
+        let outlines: Vec<DieOutline> = areas
+            .iter()
+            .map(|a| DieOutline::square_from_area(Area::from_mm2(*a)))
+            .collect();
+        let plan = Floorplan::place_row(&outlines, Length::from_mm(gap));
+        let total: f64 = areas.iter().sum();
+        prop_assert!(plan.footprint().mm2() >= total - 1e-9);
+        prop_assert!((plan.total_die_area().mm2() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_bounded(areas in die_areas(), gap in 0.01..2.0f64) {
+        let outlines: Vec<DieOutline> = areas
+            .iter()
+            .map(|a| DieOutline::square_from_area(Area::from_mm2(*a)))
+            .collect();
+        let plan = Floorplan::place_row(&outlines, Length::from_mm(gap));
+        let adj = plan.adjacency_lengths();
+        prop_assert_eq!(adj.len(), areas.len());
+        for (i, l) in adj.iter().enumerate() {
+            prop_assert!(l.mm() >= 0.0);
+            // A die in a row touches at most two neighbours over at most
+            // its own edge each.
+            let own_edge = outlines[i].height().mm();
+            prop_assert!(l.mm() <= 2.0 * own_edge + 1e-9);
+        }
+        // Total adjacency is even in the pair-counted sense: it equals
+        // twice the sum of pairwise shared edges, hence every shared
+        // edge appears exactly twice.
+        let total = plan.total_adjacency_length().mm();
+        prop_assert!(total >= 0.0);
+    }
+
+    #[test]
+    fn shelf_and_row_hold_the_same_dies(areas in die_areas(), per_row in 1usize..4) {
+        let outlines: Vec<DieOutline> = areas
+            .iter()
+            .map(|a| DieOutline::square_from_area(Area::from_mm2(*a)))
+            .collect();
+        let row = Floorplan::place_row(&outlines, Length::from_mm(0.5));
+        let shelf = Floorplan::place_shelf(&outlines, Length::from_mm(0.5), per_row);
+        prop_assert!((row.total_die_area().mm2() - shelf.total_die_area().mm2()).abs() < 1e-9);
+        // Shelves never widen beyond the single row.
+        let (row_w, _) = row.bounding_box();
+        let (shelf_w, _) = shelf.bounding_box();
+        prop_assert!(shelf_w.mm() <= row_w.mm() + 1e-9);
+    }
+
+    #[test]
+    fn interposer_area_scales_with_inputs(areas in die_areas(), s in 1.0..3.0f64) {
+        let die_areas: Vec<Area> = areas.iter().map(|a| Area::from_mm2(*a)).collect();
+        let total: f64 = areas.iter().sum();
+        let a = silicon_interposer_area(&die_areas, s);
+        prop_assert!((a.mm2() - s * total).abs() < 1e-9);
+        prop_assert!(a.mm2() >= total);
+    }
+
+    #[test]
+    fn bridge_area_linear_in_scale_and_gap(
+        areas in die_areas(),
+        s in 1.0..4.0f64,
+        gap in 0.1..2.0f64,
+    ) {
+        let outlines: Vec<DieOutline> = areas
+            .iter()
+            .map(|a| DieOutline::square_from_area(Area::from_mm2(*a)))
+            .collect();
+        let g = Length::from_mm(gap);
+        let plan = Floorplan::place_row(&outlines, g);
+        let base = rdl_emib_area(&plan, 1.0, g);
+        let scaled = rdl_emib_area(&plan, s, g);
+        prop_assert!((scaled.mm2() - s * base.mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn package_area_is_monotone_and_at_least_base(
+        base in 1.0..2_000.0f64,
+        extra in 0.0..500.0f64,
+    ) {
+        let model = PackageModel::server();
+        let small = model.package_area(Area::from_mm2(base));
+        let large = model.package_area(Area::from_mm2(base + extra));
+        prop_assert!(large >= small);
+        prop_assert!(small.mm2() >= base);
+    }
+}

@@ -1,0 +1,225 @@
+//! Bonding-process characterization ([`BondingMethod`],
+//! [`BondingProcess`]) — the "bonding related parameters" of Table 2.
+
+use serde::{Deserialize, Serialize};
+use tdc_units::EnergyPerArea;
+use tdc_yield::StackingFlow;
+
+/// The physical mechanism joining two dies/wafers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum BondingMethod {
+    /// C4 solder bumps — the flip-chip attach used by every 2.5D option
+    /// to mate dies with their substrate/package.
+    C4,
+    /// Micron-scale solder micro-bumps (3D).
+    MicroBump,
+    /// Direct Cu–Cu hybrid bonding (3D).
+    HybridBonding,
+    /// No bond at all: monolithic 3D grows the upper tier sequentially;
+    /// the "bonding" energy models the extra ILD/MIV processing.
+    SequentialProcessing,
+}
+
+impl core::fmt::Display for BondingMethod {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BondingMethod::C4 => write!(f, "C4 bump"),
+            BondingMethod::MicroBump => write!(f, "micro-bump"),
+            BondingMethod::HybridBonding => write!(f, "hybrid bonding"),
+            BondingMethod::SequentialProcessing => write!(f, "sequential (M3D)"),
+        }
+    }
+}
+
+/// Energy and yield characterization of one bonding method under one
+/// flow.
+///
+/// Table 2 prints the bonding energy per unit area as
+/// "0.9∼2.75 kWh/cm²" (EVG equipment data). Taken literally that would
+/// make a single bond step cost 2–3× the energy of fabricating an
+/// entire leading-edge wafer, and the paper's own Lakefield validation
+/// (Fig. 4b) shows bonding as a *small* slice of the stack's embodied
+/// carbon. We therefore read the range as 0.09–0.275 kWh/cm² (a
+/// plausible per-wafer-pair 60–190 kWh for plasma-activation + anneal
+/// batches) and document the rescale in `DESIGN.md`. Hybrid bonding is
+/// the most energy-hungry method and C4 attach the cheapest; D2W
+/// bonding yields are *lower* than W2W (the paper's §4.2:
+/// individually-placed die bonds are the harder process), which is
+/// exactly what makes the D2W-vs-W2W yield comparison interesting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BondingProcess {
+    method: BondingMethod,
+    energy_per_area_d2w: EnergyPerArea,
+    energy_per_area_w2w: EnergyPerArea,
+    yield_d2w: f64,
+    yield_w2w: f64,
+}
+
+impl BondingProcess {
+    /// Shipped characterization of `method`.
+    #[must_use]
+    pub fn shipped(method: BondingMethod) -> Self {
+        // (EPA D2W, EPA W2W in kWh/cm²; yield D2W, yield W2W)
+        let (epa_d2w, epa_w2w, y_d2w, y_w2w) = match method {
+            BondingMethod::C4 => (0.090, 0.090, 0.99, 0.99),
+            BondingMethod::MicroBump => (0.120, 0.100, 0.95, 0.98),
+            BondingMethod::HybridBonding => (0.220, 0.190, 0.94, 0.97),
+            // M3D inter-tier ILD/MIV formation: the most FEOL-like of
+            // the "bonding" steps; no pick-and-place, so one flow.
+            BondingMethod::SequentialProcessing => (0.275, 0.275, 0.98, 0.98),
+        };
+        Self {
+            method,
+            energy_per_area_d2w: EnergyPerArea::from_kwh_per_cm2(epa_d2w),
+            energy_per_area_w2w: EnergyPerArea::from_kwh_per_cm2(epa_w2w),
+            yield_d2w: y_d2w,
+            yield_w2w: y_w2w,
+        }
+    }
+
+    /// Creates a custom characterization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error when an energy is non-positive or a
+    /// yield is outside `(0, 1]`.
+    pub fn new(
+        method: BondingMethod,
+        energy_per_area_d2w: EnergyPerArea,
+        energy_per_area_w2w: EnergyPerArea,
+        yield_d2w: f64,
+        yield_w2w: f64,
+    ) -> Result<Self, String> {
+        for (name, e) in [
+            ("D2W", energy_per_area_d2w),
+            ("W2W", energy_per_area_w2w),
+        ] {
+            if !(e.kwh_per_cm2().is_finite() && e.kwh_per_cm2() > 0.0) {
+                return Err(format!("{name} bonding energy must be positive"));
+            }
+        }
+        for (name, y) in [("D2W", yield_d2w), ("W2W", yield_w2w)] {
+            if !(y.is_finite() && y > 0.0 && y <= 1.0) {
+                return Err(format!("{name} bonding yield must be in (0, 1], got {y}"));
+            }
+        }
+        Ok(Self {
+            method,
+            energy_per_area_d2w,
+            energy_per_area_w2w,
+            yield_d2w,
+            yield_w2w,
+        })
+    }
+
+    /// The bonding mechanism.
+    #[must_use]
+    pub fn method(self) -> BondingMethod {
+        self.method
+    }
+
+    /// Bonding energy per unit bonded area under `flow`
+    /// (`EPA^{micro/hybrid/C4}_{D2W/W2W}` of Eq. 11).
+    #[must_use]
+    pub fn energy_per_area(self, flow: StackingFlow) -> EnergyPerArea {
+        match flow {
+            StackingFlow::DieToWafer => self.energy_per_area_d2w,
+            StackingFlow::WaferToWafer => self.energy_per_area_w2w,
+        }
+    }
+
+    /// Per-step bonding yield under `flow` (`y^{…}_{D2W/W2W}`).
+    #[must_use]
+    pub fn step_yield(self, flow: StackingFlow) -> f64 {
+        match flow {
+            StackingFlow::DieToWafer => self.yield_d2w,
+            StackingFlow::WaferToWafer => self.yield_w2w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_energies_within_rescaled_table2_range() {
+        for method in [
+            BondingMethod::C4,
+            BondingMethod::MicroBump,
+            BondingMethod::HybridBonding,
+            BondingMethod::SequentialProcessing,
+        ] {
+            let p = BondingProcess::shipped(method);
+            for flow in [StackingFlow::DieToWafer, StackingFlow::WaferToWafer] {
+                let e = p.energy_per_area(flow).kwh_per_cm2();
+                // Table 2's range read at 1/10 scale (see type docs).
+                assert!((0.09..=0.275).contains(&e), "{method}: {e}");
+                let y = p.step_yield(flow);
+                assert!((0.0..=1.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn d2w_bond_yield_is_lower_than_w2w() {
+        // §4.2: "D2W … results in lower yield for the bonding process".
+        for method in [BondingMethod::MicroBump, BondingMethod::HybridBonding] {
+            let p = BondingProcess::shipped(method);
+            assert!(
+                p.step_yield(StackingFlow::DieToWafer)
+                    < p.step_yield(StackingFlow::WaferToWafer),
+                "{method}"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_costs_more_energy_than_micro_bump() {
+        let hybrid = BondingProcess::shipped(BondingMethod::HybridBonding);
+        let micro = BondingProcess::shipped(BondingMethod::MicroBump);
+        for flow in [StackingFlow::DieToWafer, StackingFlow::WaferToWafer] {
+            assert!(hybrid.energy_per_area(flow) > micro.energy_per_area(flow));
+        }
+    }
+
+    #[test]
+    fn custom_process_validation() {
+        let ok = BondingProcess::new(
+            BondingMethod::MicroBump,
+            EnergyPerArea::from_kwh_per_cm2(1.5),
+            EnergyPerArea::from_kwh_per_cm2(1.2),
+            0.9,
+            0.95,
+        );
+        assert!(ok.is_ok());
+        assert!(BondingProcess::new(
+            BondingMethod::MicroBump,
+            EnergyPerArea::ZERO,
+            EnergyPerArea::from_kwh_per_cm2(1.2),
+            0.9,
+            0.95,
+        )
+        .is_err());
+        assert!(BondingProcess::new(
+            BondingMethod::MicroBump,
+            EnergyPerArea::from_kwh_per_cm2(1.0),
+            EnergyPerArea::from_kwh_per_cm2(1.2),
+            1.2,
+            0.95,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BondingMethod::C4.to_string(), "C4 bump");
+        assert_eq!(BondingMethod::HybridBonding.to_string(), "hybrid bonding");
+        assert_eq!(
+            BondingMethod::SequentialProcessing.to_string(),
+            "sequential (M3D)"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! 3D/2.5D integration-technology catalog.
+//!
+//! Encodes the paper's Table 1 (the seven commercial integration
+//! options and their capabilities), the electrical interface parameters
+//! annotated in Fig. 2 (data rate, I/O density, energy per bit), the
+//! bonding-process characterization of Table 2 (bonding energy per
+//! area, D2W/W2W bonding yields), and the substrate manufacturing
+//! characterization used by the 2.5D interposer model (Eqs. 13–14).
+//!
+//! ```
+//! use tdc_integration::{IntegrationCatalog, IntegrationTechnology};
+//!
+//! let catalog = IntegrationCatalog::default();
+//! let emib = catalog.interface(IntegrationTechnology::Emib);
+//! assert!(emib.io_power_counted());
+//! assert!(emib.data_rate().gbps() > 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bonding;
+mod catalog;
+mod electrical;
+mod substrate;
+mod technology;
+
+pub use bonding::{BondingMethod, BondingProcess};
+pub use catalog::{IntegrationCatalog, TechnologyCapabilities};
+pub use electrical::{InterfaceSpec, IoDensity};
+pub use substrate::{SubstrateKind, SubstrateProfile};
+pub use technology::{IntegrationFamily, IntegrationTechnology, StackOrientation};

@@ -1,0 +1,103 @@
+//! Interface I/O power — the `P_IO` model of Eq. 17.
+
+use tdc_integration::InterfaceSpec;
+use tdc_units::{Length, Power};
+
+/// Number of interface pitches (I/O lanes) a die exposes:
+/// `N_pitch = L_edge · D_pitch · N_BEOL` (Eq. 17), where `D_pitch` is
+/// the technology's I/O density per mm of die edge per routing layer
+/// and `N_BEOL` the die's metal layer count available for escape
+/// routing.
+///
+/// Returns 0 for non-positive inputs.
+#[must_use]
+pub fn pitch_count(edge: Length, ios_per_mm_per_layer: f64, beol_layers: u32) -> f64 {
+    let edge_ok = edge.mm().is_finite() && edge.mm() > 0.0;
+    let density_ok = ios_per_mm_per_layer.is_finite() && ios_per_mm_per_layer > 0.0;
+    if !edge_ok || !density_ok {
+        return 0.0;
+    }
+    edge.mm() * ios_per_mm_per_layer * f64::from(beol_layers)
+}
+
+/// Interface I/O driver power of one die:
+/// `P_IO = P_per_pitch · N_pitch` with `P_per_pitch = energy/bit ×
+/// per-lane data rate` (every provisioned lane toggling at line rate —
+/// the paper's conservative presumption).
+///
+/// Returns zero when the technology's I/O power is not counted (hybrid
+/// bonding, M3D) per §3.3.
+#[must_use]
+pub fn io_power(spec: InterfaceSpec, n_pitches: f64) -> Power {
+    if !spec.io_power_counted() || n_pitches <= 0.0 {
+        return Power::ZERO;
+    }
+    let per_pitch = spec.energy_per_bit() * spec.data_rate();
+    per_pitch * n_pitches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdc_integration::{IntegrationCatalog, IntegrationTechnology};
+
+    #[test]
+    fn pitch_count_formula() {
+        // 15 mm edge, 500 IO/mm/layer, 13 layers → 97 500 lanes.
+        let n = pitch_count(Length::from_mm(15.0), 500.0, 13);
+        assert!((n - 97_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pitch_count_degenerate_inputs() {
+        assert_eq!(pitch_count(Length::ZERO, 500.0, 13), 0.0);
+        assert_eq!(pitch_count(Length::from_mm(10.0), 0.0, 13), 0.0);
+        assert_eq!(pitch_count(Length::from_mm(10.0), f64::NAN, 13), 0.0);
+        assert_eq!(pitch_count(Length::from_mm(10.0), 100.0, 0), 0.0);
+    }
+
+    #[test]
+    fn io_power_known_value() {
+        let catalog = IntegrationCatalog::default();
+        // Si interposer: 120 fJ/bit × 6.4 Gb/s = 0.768 mW per lane.
+        let spec = catalog.interface(IntegrationTechnology::SiliconInterposer);
+        let p = io_power(spec, 10_000.0);
+        assert!((p.watts() - 10_000.0 * 120.0e-15 * 6.4e9).abs() < 1e-9);
+        assert!(p.watts() > 7.0 && p.watts() < 8.0);
+    }
+
+    #[test]
+    fn io_power_zero_for_uncounted_technologies() {
+        let catalog = IntegrationCatalog::default();
+        for tech in [
+            IntegrationTechnology::HybridBonding3d,
+            IntegrationTechnology::Monolithic3d,
+        ] {
+            let spec = catalog.interface(tech);
+            assert_eq!(io_power(spec, 1.0e6), Power::ZERO, "{tech}");
+        }
+    }
+
+    #[test]
+    fn mcm_serdes_power_dwarfs_interposer_power() {
+        let catalog = IntegrationCatalog::default();
+        let mcm = io_power(catalog.interface(IntegrationTechnology::Mcm), 1_000.0);
+        let si = io_power(
+            catalog.interface(IntegrationTechnology::SiliconInterposer),
+            1_000.0,
+        );
+        // 2 000 fJ/bit at 4 Gb/s vs 120 fJ/bit at 6.4 Gb/s: >10× per lane.
+        assert!(mcm.watts() > si.watts() * 10.0);
+    }
+
+    #[test]
+    fn io_power_scales_linearly_with_lanes() {
+        let catalog = IntegrationCatalog::default();
+        let spec = catalog.interface(IntegrationTechnology::Emib);
+        let p1 = io_power(spec, 1_000.0);
+        let p2 = io_power(spec, 2_000.0);
+        assert!((p2.watts() / p1.watts() - 2.0).abs() < 1e-12);
+        assert_eq!(io_power(spec, 0.0), Power::ZERO);
+        assert_eq!(io_power(spec, -10.0), Power::ZERO);
+    }
+}

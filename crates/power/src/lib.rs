@@ -1,0 +1,30 @@
+//! Operational power and carbon substrate.
+//!
+//! Reproduces §3.3–3.4 of the paper:
+//!
+//! * **Eq. 16** — operational carbon `C_op = Σ_k CI_use · P_app_k ·
+//!   T_app_k` over application phases ([`operational_carbon`]).
+//! * **Eq. 17** — fixed-throughput power `P = Σ_i (Th/Eff_i + P_IO_i)`:
+//!   compute power comes from a pluggable [`PowerModel`] (the paper's
+//!   "operational power estimation plug-ins"; we ship the surveyed
+//!   TOPS/W model the case study uses plus an analytical CMOS stand-in
+//!   for third-party tools), and interface I/O power from the
+//!   pitch-count model ([`pitch_count`], [`io_power`]).
+//! * **Eq. 18 + the MCM-GPU rule** — the bandwidth constraint
+//!   ([`BandwidthConstraint`]): a 2.5D interface that cannot carry the
+//!   2D design's on-chip traffic degrades throughput (20 % at half
+//!   bandwidth), and a design that then misses its application
+//!   requirement is *invalid*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod io;
+mod models;
+mod operational;
+
+pub use constraint::{BandwidthConstraint, BandwidthVerdict};
+pub use io::{io_power, pitch_count};
+pub use models::{AnalyticalCmos, FixedEfficiency, PowerModel, SurveyedEfficiency};
+pub use operational::{operational_carbon, AppPhase};

@@ -1,0 +1,220 @@
+//! Pluggable operational power models ([`PowerModel`]).
+//!
+//! Fig. 3 of the paper shows operational power arriving through
+//! "operational power estimation plug-ins" (McPAT-class tools) or
+//! surveyed parameters. The [`PowerModel`] trait is that plug-in
+//! socket; downstream code is generic over it.
+
+use tdc_technode::{EfficiencySurvey, ProcessNode};
+use tdc_units::{Efficiency, Power, Throughput};
+
+/// Maps a die's compute demand to electrical power — the
+/// `Th / Eff_die` term of Eq. 17.
+///
+/// Implementations must be pure (same inputs → same power) so carbon
+/// results stay reproducible.
+pub trait PowerModel {
+    /// Power drawn by one die delivering `throughput` at `node`.
+    fn compute_power(&self, throughput: Throughput, node: ProcessNode) -> Power;
+
+    /// Stable, human-readable model name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's default: divide throughput by a *known* device
+/// efficiency (Table 4's TOPS/W column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedEfficiency {
+    efficiency: Efficiency,
+}
+
+impl FixedEfficiency {
+    /// Creates the model from a measured device efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the efficiency is not finite and positive.
+    #[must_use]
+    pub fn new(efficiency: Efficiency) -> Self {
+        assert!(
+            efficiency.tops_per_watt().is_finite() && efficiency.tops_per_watt() > 0.0,
+            "efficiency must be positive"
+        );
+        Self { efficiency }
+    }
+
+    /// The efficiency in use.
+    #[must_use]
+    pub fn efficiency(&self) -> Efficiency {
+        self.efficiency
+    }
+}
+
+impl PowerModel for FixedEfficiency {
+    fn compute_power(&self, throughput: Throughput, _node: ProcessNode) -> Power {
+        throughput / self.efficiency
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-efficiency"
+    }
+}
+
+/// The surveyed fallback (§3.3: "in the absence of specific input for
+/// `Eff_die` we utilize surveyed parameters"): efficiency from the
+/// per-node survey projected to a deployment year.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SurveyedEfficiency {
+    survey: EfficiencySurvey,
+    year: Option<i32>,
+}
+
+impl SurveyedEfficiency {
+    /// Survey evaluated at its base year.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Survey projected to `year`.
+    #[must_use]
+    pub fn for_year(year: i32) -> Self {
+        Self {
+            survey: EfficiencySurvey::default(),
+            year: Some(year),
+        }
+    }
+
+    /// The efficiency this model assumes for `node`.
+    #[must_use]
+    pub fn efficiency(&self, node: ProcessNode) -> Efficiency {
+        match self.year {
+            Some(y) => self.survey.efficiency(node, y),
+            None => self.survey.base_efficiency(node),
+        }
+    }
+}
+
+impl PowerModel for SurveyedEfficiency {
+    fn compute_power(&self, throughput: Throughput, node: ProcessNode) -> Power {
+        throughput / self.efficiency(node)
+    }
+
+    fn name(&self) -> &'static str {
+        "surveyed-efficiency"
+    }
+}
+
+/// Analytical CMOS stand-in for third-party plug-ins (McPAT-class):
+/// dynamic power from the surveyed efficiency plus a node-dependent
+/// static (leakage) floor proportional to the dynamic draw.
+///
+/// Finer nodes leak relatively more — the familiar trade hiding behind
+/// headline TOPS/W numbers. The leakage fraction interpolates from 8 %
+/// at 28 nm to 30 % at 3 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnalyticalCmos {
+    survey: EfficiencySurvey,
+}
+
+impl AnalyticalCmos {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leakage power as a fraction of dynamic power at `node`.
+    #[must_use]
+    pub fn leakage_fraction(node: ProcessNode) -> f64 {
+        // Linear in log(feature size): 28 nm → 0.08, 3 nm → 0.30.
+        let nm = f64::from(node.nanometers());
+        let t = (28.0_f64.ln() - nm.ln()) / (28.0_f64.ln() - 3.0_f64.ln());
+        0.08 + t * (0.30 - 0.08)
+    }
+}
+
+impl PowerModel for AnalyticalCmos {
+    fn compute_power(&self, throughput: Throughput, node: ProcessNode) -> Power {
+        let dynamic = throughput / self.survey.base_efficiency(node);
+        dynamic * (1.0 + Self::leakage_fraction(node))
+    }
+
+    fn name(&self) -> &'static str {
+        "analytical-cmos"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_efficiency_matches_eq17() {
+        let model = FixedEfficiency::new(Efficiency::from_tops_per_watt(2.74));
+        let p = model.compute_power(Throughput::from_tops(254.0), ProcessNode::N7);
+        assert!((p.watts() - 254.0 / 2.74).abs() < 1e-9);
+        assert_eq!(model.name(), "fixed-efficiency");
+    }
+
+    #[test]
+    fn surveyed_model_uses_node_survey() {
+        let model = SurveyedEfficiency::new();
+        let p7 = model.compute_power(Throughput::from_tops(100.0), ProcessNode::N7);
+        let p28 = model.compute_power(Throughput::from_tops(100.0), ProcessNode::N28);
+        assert!(p7 < p28, "finer node must draw less for same work");
+        assert!((p7.watts() - 100.0 / 2.74).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surveyed_model_year_projection_reduces_power() {
+        let now = SurveyedEfficiency::for_year(2019);
+        let later = SurveyedEfficiency::for_year(2023);
+        let th = Throughput::from_tops(100.0);
+        assert!(
+            later.compute_power(th, ProcessNode::N7)
+                < now.compute_power(th, ProcessNode::N7)
+        );
+    }
+
+    #[test]
+    fn analytical_model_adds_leakage() {
+        let surveyed = SurveyedEfficiency::new();
+        let analytical = AnalyticalCmos::new();
+        let th = Throughput::from_tops(100.0);
+        for node in [ProcessNode::N28, ProcessNode::N7, ProcessNode::N3] {
+            let base = surveyed.compute_power(th, node);
+            let with_leak = analytical.compute_power(th, node);
+            assert!(with_leak > base, "{node}");
+            let frac = AnalyticalCmos::leakage_fraction(node);
+            assert!((with_leak.watts() / base.watts() - (1.0 + frac)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leakage_fraction_endpoints() {
+        assert!((AnalyticalCmos::leakage_fraction(ProcessNode::N28) - 0.08).abs() < 1e-9);
+        assert!((AnalyticalCmos::leakage_fraction(ProcessNode::N3) - 0.30).abs() < 1e-9);
+        let mid = AnalyticalCmos::leakage_fraction(ProcessNode::N10);
+        assert!((0.08..0.30).contains(&mid));
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn PowerModel>> = vec![
+            Box::new(FixedEfficiency::new(Efficiency::from_tops_per_watt(1.0))),
+            Box::new(SurveyedEfficiency::new()),
+            Box::new(AnalyticalCmos::new()),
+        ];
+        for m in &models {
+            let p = m.compute_power(Throughput::from_tops(1.0), ProcessNode::N7);
+            assert!(p.watts() > 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn fixed_efficiency_rejects_zero() {
+        let _ = FixedEfficiency::new(Efficiency::ZERO);
+    }
+}

@@ -1,0 +1,126 @@
+//! Operational carbon accumulation — the paper's Eq. 16.
+
+use serde::{Deserialize, Serialize};
+use tdc_units::{CarbonIntensity, Co2Mass, Power, TimeSpan};
+
+/// One application phase: a named workload running at a given power
+/// for a given wall-clock duration.
+///
+/// The paper's fixed-throughput formulation sums over applications `k`;
+/// an [`AppPhase`] is one term of that sum with its power already
+/// resolved (via a [`PowerModel`](crate::PowerModel) and the I/O
+/// model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPhase {
+    /// Human-readable label ("perception", "planning", …).
+    pub name: String,
+    /// Average power while the phase runs.
+    pub power: Power,
+    /// Total time spent in this phase over the device's life.
+    pub duration: TimeSpan,
+}
+
+impl AppPhase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics when power or duration is negative or non-finite
+    /// (infinite durations would make every comparison meaningless).
+    #[must_use]
+    pub fn new(name: impl Into<String>, power: Power, duration: TimeSpan) -> Self {
+        assert!(
+            power.watts().is_finite() && power.watts() >= 0.0,
+            "phase power must be non-negative"
+        );
+        assert!(
+            duration.hours().is_finite() && duration.hours() >= 0.0,
+            "phase duration must be non-negative and finite"
+        );
+        Self {
+            name: name.into(),
+            power,
+            duration,
+        }
+    }
+
+    /// Energy consumed by this phase.
+    #[must_use]
+    pub fn energy(&self) -> tdc_units::Energy {
+        self.power * self.duration
+    }
+}
+
+/// Eq. 16: `C_operational = Σ_k CI_use · P_app_k · T_app_k`.
+///
+/// ```
+/// use tdc_power::{operational_carbon, AppPhase};
+/// use tdc_units::{CarbonIntensity, Power, TimeSpan};
+///
+/// let phases = [AppPhase::new(
+///     "drive",
+///     Power::from_watts(93.0),
+///     TimeSpan::from_years(10.0) * (8.0 / 24.0), // 8 h/day duty
+/// )];
+/// let c = operational_carbon(CarbonIntensity::from_g_per_kwh(475.0), &phases);
+/// assert!(c.kg() > 1_000.0 && c.kg() < 1_500.0);
+/// ```
+#[must_use]
+pub fn operational_carbon(ci_use: CarbonIntensity, phases: &[AppPhase]) -> Co2Mass {
+    phases
+        .iter()
+        .map(|phase| ci_use * phase.energy())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_phase_known_value() {
+        let phases = [AppPhase::new(
+            "steady",
+            Power::from_watts(100.0),
+            TimeSpan::from_hours(10_000.0),
+        )];
+        // 1 000 kWh × 0.475 kg/kWh.
+        let c = operational_carbon(CarbonIntensity::from_g_per_kwh(475.0), &phases);
+        assert!((c.kg() - 475.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let ci = CarbonIntensity::from_g_per_kwh(400.0);
+        let a = AppPhase::new("a", Power::from_watts(50.0), TimeSpan::from_hours(100.0));
+        let b = AppPhase::new("b", Power::from_watts(25.0), TimeSpan::from_hours(200.0));
+        let both = operational_carbon(ci, &[a.clone(), b.clone()]);
+        let separate = operational_carbon(ci, &[a]) + operational_carbon(ci, &[b]);
+        assert!((both.kg() - separate.kg()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_phase_list_is_zero() {
+        let c = operational_carbon(CarbonIntensity::from_g_per_kwh(475.0), &[]);
+        assert_eq!(c, Co2Mass::ZERO);
+    }
+
+    #[test]
+    fn phase_energy() {
+        let p = AppPhase::new("x", Power::from_watts(250.0), TimeSpan::from_hours(4.0));
+        assert!((p.energy().kwh() - 1.0).abs() < 1e-12);
+        assert_eq!(p.name, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn infinite_duration_rejected() {
+        let _ = AppPhase::new("x", Power::from_watts(1.0), TimeSpan::INFINITE);
+    }
+
+    #[test]
+    #[should_panic(expected = "power")]
+    fn negative_power_rejected() {
+        let _ = AppPhase::new("x", Power::from_watts(-1.0), TimeSpan::from_hours(1.0));
+    }
+}

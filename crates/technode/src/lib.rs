@@ -1,0 +1,42 @@
+//! Technology-node and foundry characterization database.
+//!
+//! This crate is the data substrate of the 3D-Carbon reproduction: all
+//! per-process-node parameters that the paper's Table 2 sources from
+//! industry environmental reports, imec DTCO studies, and the ACT tool
+//! live here, as do wafer geometries and the electrical-grid carbon
+//! intensities of manufacturing/use locations.
+//!
+//! The shipped tables are *synthetic but range-faithful*: every value
+//! lies inside the range the paper publishes (Table 2) and follows the
+//! qualitative trend of the cited sources (fab energy and gas/material
+//! footprints grow toward advanced nodes; defect density grows; TSVs
+//! shrink). See `DESIGN.md` §2 for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use tdc_technode::{GridRegion, ProcessNode, TechnologyDb};
+//!
+//! let db = TechnologyDb::default();
+//! let n7 = db.node(ProcessNode::N7);
+//! assert_eq!(n7.node(), ProcessNode::N7);
+//! assert!(n7.energy_per_area().kwh_per_cm2() <= 1.0);
+//!
+//! let taiwan = GridRegion::Taiwan.carbon_intensity();
+//! assert!(taiwan.g_per_kwh() > 400.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod efficiency;
+mod grid;
+mod node;
+mod params;
+mod wafer;
+
+pub use efficiency::{projected_efficiency, surveyed_efficiency, EfficiencySurvey};
+pub use grid::GridRegion;
+pub use node::{NodeParseError, ProcessNode};
+pub use params::{NodeParameters, NodeParametersBuilder, TechnologyDb};
+pub use wafer::Wafer;

@@ -1,0 +1,223 @@
+//! The [`ProcessNode`] identifier.
+
+use serde::{Deserialize, Serialize};
+
+/// A named CMOS process node, covering the paper's supported span of
+/// 3 nm – 28 nm (Table 2, "Process").
+///
+/// The node identifier is a *marketing name*; the parameters attached to
+/// it in [`TechnologyDb`](crate::TechnologyDb) are what carry physical
+/// meaning. Nodes outside the enumerated set can still be modelled by
+/// building [`NodeParameters`](crate::NodeParameters) by hand or via
+/// interpolation.
+///
+/// ```
+/// use tdc_technode::ProcessNode;
+/// assert_eq!(ProcessNode::N7.nanometers(), 7);
+/// assert_eq!(ProcessNode::from_nanometers(16), Some(ProcessNode::N16));
+/// assert_eq!(ProcessNode::from_nanometers(6), None);
+/// assert!(ProcessNode::N5 < ProcessNode::N28); // finer node sorts first
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ProcessNode {
+    /// 3 nm-class node.
+    N3,
+    /// 5 nm-class node.
+    N5,
+    /// 7 nm-class node.
+    N7,
+    /// 8 nm-class node.
+    N8,
+    /// 10 nm-class node.
+    N10,
+    /// 12 nm-class node.
+    N12,
+    /// 14 nm-class node.
+    N14,
+    /// 16 nm-class node.
+    N16,
+    /// 20 nm-class node.
+    N20,
+    /// 22 nm-class node.
+    N22,
+    /// 28 nm-class node.
+    N28,
+}
+
+impl ProcessNode {
+    /// All known nodes, finest first.
+    pub const ALL: [ProcessNode; 11] = [
+        ProcessNode::N3,
+        ProcessNode::N5,
+        ProcessNode::N7,
+        ProcessNode::N8,
+        ProcessNode::N10,
+        ProcessNode::N12,
+        ProcessNode::N14,
+        ProcessNode::N16,
+        ProcessNode::N20,
+        ProcessNode::N22,
+        ProcessNode::N28,
+    ];
+
+    /// The marketing feature size in nanometres.
+    #[must_use]
+    pub const fn nanometers(self) -> u32 {
+        match self {
+            ProcessNode::N3 => 3,
+            ProcessNode::N5 => 5,
+            ProcessNode::N7 => 7,
+            ProcessNode::N8 => 8,
+            ProcessNode::N10 => 10,
+            ProcessNode::N12 => 12,
+            ProcessNode::N14 => 14,
+            ProcessNode::N16 => 16,
+            ProcessNode::N20 => 20,
+            ProcessNode::N22 => 22,
+            ProcessNode::N28 => 28,
+        }
+    }
+
+    /// Looks up the node whose marketing size is exactly `nm`.
+    #[must_use]
+    pub fn from_nanometers(nm: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|n| n.nanometers() == nm)
+    }
+
+    /// The nearest known node to `nm` (ties resolve to the finer node).
+    ///
+    /// ```
+    /// use tdc_technode::ProcessNode;
+    /// assert_eq!(ProcessNode::nearest(6), ProcessNode::N5);
+    /// assert_eq!(ProcessNode::nearest(26), ProcessNode::N28);
+    /// assert_eq!(ProcessNode::nearest(100), ProcessNode::N28);
+    /// ```
+    #[must_use]
+    pub fn nearest(nm: u32) -> Self {
+        let mut best = ProcessNode::N28;
+        let mut best_dist = u32::MAX;
+        for node in Self::ALL {
+            let dist = node.nanometers().abs_diff(nm);
+            if dist < best_dist {
+                best = node;
+                best_dist = dist;
+            }
+        }
+        best
+    }
+
+    /// `true` when this node is at least as fine (advanced) as `other`.
+    #[must_use]
+    pub fn at_least_as_fine_as(self, other: Self) -> bool {
+        self.nanometers() <= other.nanometers()
+    }
+}
+
+impl core::fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} nm", self.nanometers())
+    }
+}
+
+/// Error returned when parsing a [`ProcessNode`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeParseError {
+    input: String,
+}
+
+impl NodeParseError {
+    /// The offending input string.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl core::fmt::Display for NodeParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown process node `{}`", self.input)
+    }
+}
+
+impl std::error::Error for NodeParseError {}
+
+impl core::str::FromStr for ProcessNode {
+    type Err = NodeParseError;
+
+    /// Parses strings like `"7"`, `"7nm"`, `"7 nm"`, or `"N7"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s
+            .trim()
+            .trim_start_matches(['N', 'n'])
+            .trim_end_matches(['m', 'M'])
+            .trim_end_matches(['n', 'N'])
+            .trim();
+        trimmed
+            .parse::<u32>()
+            .ok()
+            .and_then(Self::from_nanometers)
+            .ok_or_else(|| NodeParseError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::str::FromStr;
+
+    #[test]
+    fn nanometers_round_trip_for_all_nodes() {
+        for node in ProcessNode::ALL {
+            assert_eq!(ProcessNode::from_nanometers(node.nanometers()), Some(node));
+        }
+    }
+
+    #[test]
+    fn all_is_sorted_finest_first() {
+        let nms: Vec<u32> = ProcessNode::ALL.iter().map(|n| n.nanometers()).collect();
+        let mut sorted = nms.clone();
+        sorted.sort_unstable();
+        assert_eq!(nms, sorted);
+    }
+
+    #[test]
+    fn ordering_matches_feature_size() {
+        assert!(ProcessNode::N3 < ProcessNode::N5);
+        assert!(ProcessNode::N7 < ProcessNode::N28);
+        assert!(ProcessNode::N5.at_least_as_fine_as(ProcessNode::N5));
+        assert!(ProcessNode::N5.at_least_as_fine_as(ProcessNode::N16));
+        assert!(!ProcessNode::N28.at_least_as_fine_as(ProcessNode::N16));
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        assert_eq!(ProcessNode::nearest(7), ProcessNode::N7);
+        assert_eq!(ProcessNode::nearest(13), ProcessNode::N12);
+        assert_eq!(ProcessNode::nearest(4), ProcessNode::N3);
+        assert_eq!(ProcessNode::nearest(6), ProcessNode::N5);
+        assert_eq!(ProcessNode::nearest(18), ProcessNode::N16);
+        assert_eq!(ProcessNode::nearest(0), ProcessNode::N3);
+    }
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        for s in ["7", "7nm", "7 nm", "N7", "n7", " 7NM "] {
+            assert_eq!(ProcessNode::from_str(s).unwrap(), ProcessNode::N7, "{s}");
+        }
+        assert!(ProcessNode::from_str("6nm").is_err());
+        assert!(ProcessNode::from_str("banana").is_err());
+        let err = ProcessNode::from_str("9nm").unwrap_err();
+        assert_eq!(err.input(), "9nm");
+        assert!(err.to_string().contains("9nm"));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(ProcessNode::N7.to_string(), "7 nm");
+        assert_eq!(ProcessNode::N28.to_string(), "28 nm");
+    }
+}

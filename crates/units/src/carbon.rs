@@ -1,0 +1,315 @@
+//! Carbon-accounting quantities: [`Co2Mass`], [`CarbonIntensity`],
+//! [`CarbonPerArea`], and [`Co2Rate`].
+
+use crate::energy::{Energy, EnergyPerArea, Power};
+use crate::geometry::Area;
+use crate::time::TimeSpan;
+
+quantity!(
+    /// A mass of emitted CO₂-equivalent, stored canonically in kilograms.
+    ///
+    /// This is the output currency of the whole model: embodied and
+    /// operational footprints, savings, and breakdowns are all `Co2Mass`.
+    ///
+    /// ```
+    /// use tdc_units::Co2Mass;
+    /// let total = Co2Mass::from_kg(18.0) + Co2Mass::from_g(500.0);
+    /// assert!((total.kg() - 18.5).abs() < 1e-12);
+    /// ```
+    Co2Mass,
+    "kg CO₂e",
+    kg
+);
+
+impl Co2Mass {
+    /// Creates a carbon mass from kilograms of CO₂-equivalent.
+    #[must_use]
+    pub const fn from_kg(kg: f64) -> Self {
+        Self::new(kg)
+    }
+
+    /// Creates a carbon mass from grams of CO₂-equivalent.
+    #[must_use]
+    pub fn from_g(g: f64) -> Self {
+        Self::new(g * 1.0e-3)
+    }
+
+    /// Creates a carbon mass from (metric) tonnes of CO₂-equivalent.
+    #[must_use]
+    pub fn from_tonnes(t: f64) -> Self {
+        Self::new(t * 1.0e3)
+    }
+
+    /// Returns the mass in grams.
+    #[must_use]
+    pub fn g(self) -> f64 {
+        self.kg() * 1.0e3
+    }
+
+    /// Returns the mass in metric tonnes.
+    #[must_use]
+    pub fn tonnes(self) -> f64 {
+        self.kg() * 1.0e-3
+    }
+}
+
+impl core::ops::Div<Co2Rate> for Co2Mass {
+    type Output = TimeSpan;
+    /// A carbon mass divided by a carbon-emission rate is the time it
+    /// takes that rate to emit the mass — exactly the shape of the
+    /// paper's indifference-point and breakeven metrics (Eq. 2).
+    fn div(self, rhs: Co2Rate) -> TimeSpan {
+        TimeSpan::from_hours(self.kg() / rhs.kg_per_hour())
+    }
+}
+
+quantity!(
+    /// Carbon intensity of an electrical grid, stored canonically in
+    /// kilograms of CO₂-equivalent per kilowatt-hour.
+    ///
+    /// Grid reports quote grams per kWh (30–700 g CO₂/kWh in the paper's
+    /// Table 2), hence the gram-based constructor:
+    ///
+    /// ```
+    /// use tdc_units::{CarbonIntensity, Energy};
+    /// let taiwan = CarbonIntensity::from_g_per_kwh(509.0);
+    /// let carbon = taiwan * Energy::from_kwh(1_000.0);
+    /// assert!((carbon.kg() - 509.0).abs() < 1e-9);
+    /// ```
+    CarbonIntensity,
+    "kg CO₂e/kWh",
+    kg_per_kwh
+);
+
+impl CarbonIntensity {
+    /// Creates a carbon intensity from kg CO₂e per kWh.
+    #[must_use]
+    pub const fn from_kg_per_kwh(value: f64) -> Self {
+        Self::new(value)
+    }
+
+    /// Creates a carbon intensity from g CO₂e per kWh (the common
+    /// reporting unit).
+    #[must_use]
+    pub fn from_g_per_kwh(value: f64) -> Self {
+        Self::new(value * 1.0e-3)
+    }
+
+    /// Returns the intensity in g CO₂e per kWh.
+    #[must_use]
+    pub fn g_per_kwh(self) -> f64 {
+        self.kg_per_kwh() * 1.0e3
+    }
+}
+
+impl core::ops::Mul<Energy> for CarbonIntensity {
+    type Output = Co2Mass;
+    fn mul(self, rhs: Energy) -> Co2Mass {
+        Co2Mass::from_kg(self.kg_per_kwh() * rhs.kwh())
+    }
+}
+
+impl core::ops::Mul<CarbonIntensity> for Energy {
+    type Output = Co2Mass;
+    fn mul(self, rhs: CarbonIntensity) -> Co2Mass {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<EnergyPerArea> for CarbonIntensity {
+    type Output = CarbonPerArea;
+    /// `CI_emb · EPA` — the electricity term of the per-area wafer
+    /// footprint in Eq. (6).
+    fn mul(self, rhs: EnergyPerArea) -> CarbonPerArea {
+        CarbonPerArea::from_kg_per_cm2(self.kg_per_kwh() * rhs.kwh_per_cm2())
+    }
+}
+
+impl core::ops::Mul<CarbonIntensity> for EnergyPerArea {
+    type Output = CarbonPerArea;
+    fn mul(self, rhs: CarbonIntensity) -> CarbonPerArea {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<Power> for CarbonIntensity {
+    type Output = Co2Rate;
+    /// `CI_use · P` — the steady-state emission rate of a device in use;
+    /// the denominator of the paper's Eq. (2).
+    fn mul(self, rhs: Power) -> Co2Rate {
+        Co2Rate::from_kg_per_hour(self.kg_per_kwh() * rhs.kw())
+    }
+}
+
+impl core::ops::Mul<CarbonIntensity> for Power {
+    type Output = Co2Rate;
+    fn mul(self, rhs: CarbonIntensity) -> Co2Rate {
+        rhs * self
+    }
+}
+
+quantity!(
+    /// Carbon emitted per unit of processed area, stored canonically in
+    /// kg CO₂e per cm². This covers the paper's `GPA` (fab gas emissions
+    /// per area), `MPA` (raw material footprint per area), and `CPA`
+    /// (packaging carbon per area) parameters.
+    ///
+    /// ```
+    /// use tdc_units::{Area, CarbonPerArea};
+    /// let gpa = CarbonPerArea::from_kg_per_cm2(0.15);
+    /// let c = gpa * Area::from_cm2(10.0);
+    /// assert!((c.kg() - 1.5).abs() < 1e-12);
+    /// ```
+    CarbonPerArea,
+    "kg CO₂e/cm²",
+    kg_per_cm2
+);
+
+impl CarbonPerArea {
+    /// Creates a carbon-per-area from kg CO₂e per cm².
+    #[must_use]
+    pub const fn from_kg_per_cm2(value: f64) -> Self {
+        Self::new(value)
+    }
+
+    /// Creates a carbon-per-area from g CO₂e per cm².
+    #[must_use]
+    pub fn from_g_per_cm2(value: f64) -> Self {
+        Self::new(value * 1.0e-3)
+    }
+}
+
+impl core::ops::Mul<Area> for CarbonPerArea {
+    type Output = Co2Mass;
+    fn mul(self, rhs: Area) -> Co2Mass {
+        Co2Mass::from_kg(self.kg_per_cm2() * rhs.cm2())
+    }
+}
+
+impl core::ops::Mul<CarbonPerArea> for Area {
+    type Output = Co2Mass;
+    fn mul(self, rhs: CarbonPerArea) -> Co2Mass {
+        rhs * self
+    }
+}
+
+quantity!(
+    /// A rate of carbon emission, stored canonically in kg CO₂e per hour.
+    ///
+    /// Produced by `CarbonIntensity * Power`; dividing a [`Co2Mass`] by a
+    /// `Co2Rate` yields the [`TimeSpan`] needed to emit it, which is how
+    /// the indifference point `T_c` and breakeven time `T_r` fall out of
+    /// the type system.
+    Co2Rate,
+    "kg CO₂e/h",
+    kg_per_hour
+);
+
+impl Co2Rate {
+    /// Creates a rate from kg CO₂e per hour.
+    #[must_use]
+    pub const fn from_kg_per_hour(value: f64) -> Self {
+        Self::new(value)
+    }
+
+    /// Creates a rate from kg CO₂e per year (8 766 h: the mean Gregorian
+    /// year, consistent with [`TimeSpan::from_years`]).
+    #[must_use]
+    pub fn from_kg_per_year(value: f64) -> Self {
+        Self::new(value / crate::time::HOURS_PER_YEAR)
+    }
+
+    /// Returns the rate in kg CO₂e per year.
+    #[must_use]
+    pub fn kg_per_year(self) -> f64 {
+        self.kg_per_hour() * crate::time::HOURS_PER_YEAR
+    }
+}
+
+impl core::ops::Mul<TimeSpan> for Co2Rate {
+    type Output = Co2Mass;
+    fn mul(self, rhs: TimeSpan) -> Co2Mass {
+        Co2Mass::from_kg(self.kg_per_hour() * rhs.hours())
+    }
+}
+
+impl core::ops::Mul<Co2Rate> for TimeSpan {
+    type Output = Co2Mass;
+    fn mul(self, rhs: Co2Rate) -> Co2Mass {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn mass_conversions() {
+        assert!((Co2Mass::from_g(2_500.0).kg() - 2.5).abs() < EPS);
+        assert!((Co2Mass::from_tonnes(0.5).kg() - 500.0).abs() < EPS);
+        assert!((Co2Mass::from_kg(1.5).g() - 1_500.0).abs() < EPS);
+        assert!((Co2Mass::from_kg(2_000.0).tonnes() - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn intensity_times_energy_is_mass() {
+        let ci = CarbonIntensity::from_g_per_kwh(475.0);
+        let c = ci * Energy::from_kwh(2.0);
+        assert!((c.kg() - 0.95).abs() < EPS);
+        let c2 = Energy::from_kwh(2.0) * ci;
+        assert!((c2.kg() - c.kg()).abs() < EPS);
+        assert!((ci.g_per_kwh() - 475.0).abs() < EPS);
+    }
+
+    #[test]
+    fn eq6_electricity_term_shape() {
+        // (CI_emb · EPA + GPA + MPA) · A_wafer, all types enforced.
+        let ci = CarbonIntensity::from_g_per_kwh(509.0);
+        let epa = EnergyPerArea::from_kwh_per_cm2(0.8);
+        let gpa = CarbonPerArea::from_kg_per_cm2(0.15);
+        let mpa = CarbonPerArea::from_kg_per_cm2(0.25);
+        let per_area = ci * epa + gpa + mpa;
+        assert!((per_area.kg_per_cm2() - (0.509 * 0.8 + 0.4)).abs() < EPS);
+        let wafer = Area::from_cm2(706.8583);
+        let c = per_area * wafer;
+        assert!((c.kg() - per_area.kg_per_cm2() * 706.8583).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_denominator_and_ratio_types() {
+        // T = ΔC_emb / (CI_use · ΔP): must come out as a TimeSpan.
+        let ci = CarbonIntensity::from_g_per_kwh(475.0);
+        let delta_p = Power::from_watts(20.0);
+        let rate = ci * delta_p;
+        assert!((rate.kg_per_hour() - 0.475 * 0.02).abs() < EPS);
+        let delta_c = Co2Mass::from_kg(83.22);
+        let t = delta_c / rate;
+        assert!((t.years() - 83.22 / (0.475 * 0.02) / 8_766.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_times_time_round_trips() {
+        let rate = Co2Rate::from_kg_per_year(12.0);
+        assert!((rate.kg_per_year() - 12.0).abs() < 1e-9);
+        let mass = rate * TimeSpan::from_years(2.0);
+        assert!((mass.kg() - 24.0).abs() < 1e-9);
+        let mass2 = TimeSpan::from_years(2.0) * rate;
+        assert!((mass2.kg() - mass.kg()).abs() < EPS);
+    }
+
+    #[test]
+    fn carbon_per_area_gram_constructor() {
+        let cpa = CarbonPerArea::from_g_per_cm2(150.0);
+        assert!((cpa.kg_per_cm2() - 0.15).abs() < EPS);
+    }
+
+    #[test]
+    fn intensity_times_power_commutes() {
+        let ci = CarbonIntensity::from_g_per_kwh(100.0);
+        let p = Power::from_watts(50.0);
+        assert!(((ci * p).kg_per_hour() - (p * ci).kg_per_hour()).abs() < EPS);
+    }
+}

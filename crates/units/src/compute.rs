@@ -1,0 +1,210 @@
+//! Compute-facing quantities: [`Throughput`], [`Efficiency`], and
+//! [`Bandwidth`].
+
+use crate::energy::{EnergyPerBit, Power};
+
+quantity!(
+    /// Computational throughput, stored canonically in TOPS
+    /// (tera-operations per second).
+    ///
+    /// The model's operational phase is *fixed-throughput* (Eq. 16–17):
+    /// the application demands `Th_app` TOPS and the die delivers it at
+    /// some [`Efficiency`], giving a [`Power`]:
+    ///
+    /// ```
+    /// use tdc_units::{Throughput, Efficiency};
+    /// let th = Throughput::from_tops(254.0);
+    /// let eff = Efficiency::from_tops_per_watt(2.74);
+    /// let p = th / eff;
+    /// assert!((p.watts() - 92.7).abs() < 0.1);
+    /// ```
+    Throughput,
+    "TOPS",
+    tops
+);
+
+impl Throughput {
+    /// Creates a throughput from TOPS.
+    #[must_use]
+    pub const fn from_tops(tops: f64) -> Self {
+        Self::new(tops)
+    }
+
+    /// Creates a throughput from GOPS (giga-operations per second).
+    #[must_use]
+    pub fn from_gops(gops: f64) -> Self {
+        Self::new(gops * 1.0e-3)
+    }
+
+    /// Returns the throughput in GOPS.
+    #[must_use]
+    pub fn gops(self) -> f64 {
+        self.tops() * 1.0e3
+    }
+}
+
+impl core::ops::Div<Efficiency> for Throughput {
+    type Output = Power;
+    /// `Th / Eff` — the compute-power term of the paper's Eq. (17).
+    fn div(self, rhs: Efficiency) -> Power {
+        Power::from_watts(self.tops() / rhs.tops_per_watt())
+    }
+}
+
+impl core::ops::Div<Power> for Throughput {
+    type Output = Efficiency;
+    fn div(self, rhs: Power) -> Efficiency {
+        Efficiency::from_tops_per_watt(self.tops() / rhs.watts())
+    }
+}
+
+quantity!(
+    /// Energy efficiency of a compute die, stored canonically in TOPS
+    /// per watt. The survey values of the paper's Table 4 (0.75 for
+    /// DRIVE PX 2 up to 12.5 for Thor) live here.
+    Efficiency,
+    "TOPS/W",
+    tops_per_watt
+);
+
+impl Efficiency {
+    /// Creates an efficiency from TOPS per watt.
+    #[must_use]
+    pub const fn from_tops_per_watt(value: f64) -> Self {
+        Self::new(value)
+    }
+}
+
+impl core::ops::Mul<Power> for Efficiency {
+    type Output = Throughput;
+    fn mul(self, rhs: Power) -> Throughput {
+        Throughput::from_tops(self.tops_per_watt() * rhs.watts())
+    }
+}
+
+impl core::ops::Mul<Efficiency> for Power {
+    type Output = Throughput;
+    fn mul(self, rhs: Efficiency) -> Throughput {
+        rhs * self
+    }
+}
+
+quantity!(
+    /// Data-movement bandwidth, stored canonically in Gb/s.
+    ///
+    /// Used both for per-lane data rates (Fig. 2: 3.2–15 Gb/s per I/O)
+    /// and for aggregate die-to-die bandwidths (Eq. 18), which reach
+    /// tens of Tb/s.
+    ///
+    /// ```
+    /// use tdc_units::Bandwidth;
+    /// let per_io = Bandwidth::from_gbps(6.4);
+    /// let total = per_io * 2_000.0; // 2 000 I/Os
+    /// assert!((total.tbps() - 12.8).abs() < 1e-12);
+    /// ```
+    Bandwidth,
+    "Gb/s",
+    gbps
+);
+
+impl Bandwidth {
+    /// Creates a bandwidth from gigabits per second.
+    #[must_use]
+    pub const fn from_gbps(gbps: f64) -> Self {
+        Self::new(gbps)
+    }
+
+    /// Creates a bandwidth from terabits per second.
+    #[must_use]
+    pub fn from_tbps(tbps: f64) -> Self {
+        Self::new(tbps * 1.0e3)
+    }
+
+    /// Creates a bandwidth from gigabytes per second (8 bits per byte).
+    #[must_use]
+    pub fn from_gbytes_per_s(gbs: f64) -> Self {
+        Self::new(gbs * 8.0)
+    }
+
+    /// Returns the bandwidth in terabits per second.
+    #[must_use]
+    pub fn tbps(self) -> f64 {
+        self.gbps() * 1.0e-3
+    }
+
+    /// Returns the bandwidth in gigabytes per second.
+    #[must_use]
+    pub fn gbytes_per_s(self) -> f64 {
+        self.gbps() / 8.0
+    }
+
+    /// Returns the bandwidth in bits per second.
+    #[must_use]
+    pub fn bits_per_s(self) -> f64 {
+        self.gbps() * 1.0e9
+    }
+}
+
+impl core::ops::Mul<Bandwidth> for EnergyPerBit {
+    type Output = Power;
+    /// Interface power: energy-per-bit × bit-rate.
+    fn mul(self, rhs: Bandwidth) -> Power {
+        Power::from_watts(self.joules_per_bit() * rhs.bits_per_s())
+    }
+}
+
+impl core::ops::Mul<EnergyPerBit> for Bandwidth {
+    type Output = Power;
+    fn mul(self, rhs: EnergyPerBit) -> Power {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn throughput_conversions() {
+        assert!((Throughput::from_gops(2_000.0).tops() - 2.0).abs() < EPS);
+        assert!((Throughput::from_tops(1.5).gops() - 1_500.0).abs() < EPS);
+    }
+
+    #[test]
+    fn fixed_throughput_power_eq17() {
+        // Orin-like: 254 TOPS requirement at 2.74 TOPS/W → ~92.7 W.
+        let p = Throughput::from_tops(254.0) / Efficiency::from_tops_per_watt(2.74);
+        assert!((p.watts() - 92.700_729_927).abs() < 1e-6);
+    }
+
+    #[test]
+    fn efficiency_power_throughput_triangle() {
+        let eff = Efficiency::from_tops_per_watt(2.0);
+        let p = Power::from_watts(50.0);
+        let th = eff * p;
+        assert!((th.tops() - 100.0).abs() < EPS);
+        let th2 = p * eff;
+        assert!((th2.tops() - th.tops()).abs() < EPS);
+        let back = th / p;
+        assert!((back.tops_per_watt() - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        assert!((Bandwidth::from_tbps(1.0).gbps() - 1_000.0).abs() < EPS);
+        assert!((Bandwidth::from_gbytes_per_s(10.0).gbps() - 80.0).abs() < EPS);
+        assert!((Bandwidth::from_gbps(80.0).gbytes_per_s() - 10.0).abs() < EPS);
+        assert!((Bandwidth::from_gbps(1.0).bits_per_s() - 1.0e9).abs() < EPS);
+    }
+
+    #[test]
+    fn interface_power_from_bandwidth() {
+        // HBM-style link: 250 fJ/bit at 4 Tb/s → 1 W.
+        let p = EnergyPerBit::from_fj_per_bit(250.0) * Bandwidth::from_tbps(4.0);
+        assert!((p.watts() - 1.0).abs() < EPS);
+        let p2 = Bandwidth::from_tbps(4.0) * EnergyPerBit::from_fj_per_bit(250.0);
+        assert!((p2.watts() - p.watts()).abs() < EPS);
+    }
+}

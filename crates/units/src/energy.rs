@@ -1,0 +1,273 @@
+//! Energy-family quantities: [`Energy`], [`Power`], [`EnergyPerArea`],
+//! and [`EnergyPerBit`].
+
+use crate::geometry::Area;
+use crate::time::TimeSpan;
+
+quantity!(
+    /// An amount of energy, stored canonically in kilowatt-hours.
+    ///
+    /// Fab energy budgets and use-phase consumption are both quoted in
+    /// kWh by the industry reports the model is built on; joule-scale
+    /// constructors are provided for interface-level quantities.
+    ///
+    /// ```
+    /// use tdc_units::Energy;
+    /// let e = Energy::from_joules(3.6e6);
+    /// assert!((e.kwh() - 1.0).abs() < 1e-12);
+    /// ```
+    Energy,
+    "kWh",
+    kwh
+);
+
+/// Joules per kilowatt-hour.
+const J_PER_KWH: f64 = 3.6e6;
+
+impl Energy {
+    /// Creates an energy from kilowatt-hours.
+    #[must_use]
+    pub const fn from_kwh(kwh: f64) -> Self {
+        Self::new(kwh)
+    }
+
+    /// Creates an energy from watt-hours.
+    #[must_use]
+    pub fn from_wh(wh: f64) -> Self {
+        Self::new(wh * 1.0e-3)
+    }
+
+    /// Creates an energy from joules.
+    #[must_use]
+    pub fn from_joules(joules: f64) -> Self {
+        Self::new(joules / J_PER_KWH)
+    }
+
+    /// Returns the energy in watt-hours.
+    #[must_use]
+    pub fn wh(self) -> f64 {
+        self.kwh() * 1.0e3
+    }
+
+    /// Returns the energy in joules.
+    #[must_use]
+    pub fn joules(self) -> f64 {
+        self.kwh() * J_PER_KWH
+    }
+}
+
+impl core::ops::Div<TimeSpan> for Energy {
+    type Output = Power;
+    fn div(self, rhs: TimeSpan) -> Power {
+        Power::from_watts(self.wh() / rhs.hours())
+    }
+}
+
+quantity!(
+    /// Electrical power, stored canonically in watts.
+    ///
+    /// ```
+    /// use tdc_units::{Power, TimeSpan};
+    /// let e = Power::from_watts(250.0) * TimeSpan::from_hours(4.0);
+    /// assert!((e.kwh() - 1.0).abs() < 1e-12);
+    /// ```
+    Power,
+    "W",
+    watts
+);
+
+impl Power {
+    /// Creates a power from watts.
+    #[must_use]
+    pub const fn from_watts(watts: f64) -> Self {
+        Self::new(watts)
+    }
+
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_mw(mw: f64) -> Self {
+        Self::new(mw * 1.0e-3)
+    }
+
+    /// Creates a power from kilowatts.
+    #[must_use]
+    pub fn from_kw(kw: f64) -> Self {
+        Self::new(kw * 1.0e3)
+    }
+
+    /// Returns the power in milliwatts.
+    #[must_use]
+    pub fn mw(self) -> f64 {
+        self.watts() * 1.0e3
+    }
+
+    /// Returns the power in kilowatts.
+    #[must_use]
+    pub fn kw(self) -> f64 {
+        self.watts() * 1.0e-3
+    }
+}
+
+impl core::ops::Mul<TimeSpan> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: TimeSpan) -> Energy {
+        Energy::from_wh(self.watts() * rhs.hours())
+    }
+}
+
+impl core::ops::Mul<Power> for TimeSpan {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+quantity!(
+    /// Energy consumed per unit of processed area, stored canonically in
+    /// kWh per cm². This is the `EPA` of the paper's Eq. (6): fab energy
+    /// per unit wafer area, and the bonding energy per unit area of
+    /// Eq. (11).
+    ///
+    /// ```
+    /// use tdc_units::{Area, EnergyPerArea};
+    /// let epa = EnergyPerArea::from_kwh_per_cm2(0.8);
+    /// let e = epa * Area::from_cm2(100.0);
+    /// assert!((e.kwh() - 80.0).abs() < 1e-12);
+    /// ```
+    EnergyPerArea,
+    "kWh/cm²",
+    kwh_per_cm2
+);
+
+impl EnergyPerArea {
+    /// Creates an energy-per-area from kWh per cm².
+    #[must_use]
+    pub const fn from_kwh_per_cm2(value: f64) -> Self {
+        Self::new(value)
+    }
+}
+
+impl core::ops::Mul<Area> for EnergyPerArea {
+    type Output = Energy;
+    fn mul(self, rhs: Area) -> Energy {
+        Energy::from_kwh(self.kwh_per_cm2() * rhs.cm2())
+    }
+}
+
+impl core::ops::Mul<EnergyPerArea> for Area {
+    type Output = Energy;
+    fn mul(self, rhs: EnergyPerArea) -> Energy {
+        rhs * self
+    }
+}
+
+quantity!(
+    /// Energy spent moving one bit across a die-to-die interface, stored
+    /// canonically in joules per bit. The integration-technology catalog
+    /// quotes these in fJ/bit (on-die, 3D) up to nJ/bit (package-level).
+    ///
+    /// Multiplying by a [`Bandwidth`](crate::Bandwidth) yields the
+    /// interface [`Power`]:
+    ///
+    /// ```
+    /// use tdc_units::{Bandwidth, EnergyPerBit};
+    /// let pj = EnergyPerBit::from_pj_per_bit(1.0);
+    /// let p = pj * Bandwidth::from_gbps(1_000.0); // 1 Tb/s at 1 pJ/b
+    /// assert!((p.watts() - 1.0).abs() < 1e-12);
+    /// ```
+    EnergyPerBit,
+    "J/bit",
+    joules_per_bit
+);
+
+impl EnergyPerBit {
+    /// Creates an energy-per-bit from joules per bit.
+    #[must_use]
+    pub const fn from_joules_per_bit(value: f64) -> Self {
+        Self::new(value)
+    }
+
+    /// Creates an energy-per-bit from femtojoules per bit.
+    #[must_use]
+    pub fn from_fj_per_bit(fj: f64) -> Self {
+        Self::new(fj * 1.0e-15)
+    }
+
+    /// Creates an energy-per-bit from picojoules per bit.
+    #[must_use]
+    pub fn from_pj_per_bit(pj: f64) -> Self {
+        Self::new(pj * 1.0e-12)
+    }
+
+    /// Returns the value in femtojoules per bit.
+    #[must_use]
+    pub fn fj_per_bit(self) -> f64 {
+        self.joules_per_bit() * 1.0e15
+    }
+
+    /// Returns the value in picojoules per bit.
+    #[must_use]
+    pub fn pj_per_bit(self) -> f64 {
+        self.joules_per_bit() * 1.0e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::Bandwidth;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn energy_conversions() {
+        assert!((Energy::from_kwh(2.0).wh() - 2_000.0).abs() < EPS);
+        assert!((Energy::from_wh(500.0).kwh() - 0.5).abs() < EPS);
+        assert!((Energy::from_joules(J_PER_KWH).kwh() - 1.0).abs() < EPS);
+        assert!((Energy::from_kwh(1.0).joules() - J_PER_KWH).abs() < EPS);
+    }
+
+    #[test]
+    fn power_conversions() {
+        assert!((Power::from_mw(1_500.0).watts() - 1.5).abs() < EPS);
+        assert!((Power::from_kw(0.25).watts() - 250.0).abs() < EPS);
+        assert!((Power::from_watts(2.0).mw() - 2_000.0).abs() < EPS);
+        assert!((Power::from_watts(2_000.0).kw() - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(100.0) * TimeSpan::from_hours(10.0);
+        assert!((e.kwh() - 1.0).abs() < EPS);
+        // Commutes.
+        let e2 = TimeSpan::from_hours(10.0) * Power::from_watts(100.0);
+        assert!((e2.kwh() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_kwh(1.0) / TimeSpan::from_hours(10.0);
+        assert!((p.watts() - 100.0).abs() < EPS);
+    }
+
+    #[test]
+    fn energy_per_area_times_area() {
+        // The paper's wafer-level fab energy: EPA · A_wafer.
+        let epa = EnergyPerArea::from_kwh_per_cm2(0.8);
+        let wafer = Area::from_mm2(70_685.83);
+        let e = epa * wafer;
+        assert!((e.kwh() - 565.486_64).abs() < 1e-3);
+        let e2 = wafer * epa;
+        assert!((e2.kwh() - e.kwh()).abs() < EPS);
+    }
+
+    #[test]
+    fn energy_per_bit_scales() {
+        let e = EnergyPerBit::from_fj_per_bit(120.0);
+        assert!((e.fj_per_bit() - 120.0).abs() < 1e-9);
+        assert!((e.pj_per_bit() - 0.12).abs() < 1e-12);
+        let p = e * Bandwidth::from_gbps(1_000.0);
+        // 120 fJ/bit * 1e12 bit/s = 0.12 W
+        assert!((p.watts() - 0.12).abs() < EPS);
+    }
+}

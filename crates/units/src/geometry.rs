@@ -1,0 +1,246 @@
+//! Geometric quantities: [`Length`] and [`Area`].
+//!
+//! Lengths are stored in millimetres, areas in square millimetres.
+//! Feature sizes (nanometres), TSV diameters (micrometres), die edges
+//! (millimetres) and wafer areas (mm²/cm²) all flow through these two
+//! types, so the constructors cover the full range of scales used by
+//! the model.
+
+quantity!(
+    /// A length, stored canonically in millimetres.
+    ///
+    /// ```
+    /// use tdc_units::Length;
+    /// let lambda = Length::from_nm(7.0);
+    /// assert!((lambda.mm() - 7.0e-6).abs() < 1e-18);
+    /// ```
+    Length,
+    "mm",
+    mm
+);
+
+impl Length {
+    /// Creates a length from millimetres.
+    #[must_use]
+    pub const fn from_mm(mm: f64) -> Self {
+        Self::new(mm)
+    }
+
+    /// Creates a length from micrometres.
+    #[must_use]
+    pub fn from_um(um: f64) -> Self {
+        Self::new(um * 1.0e-3)
+    }
+
+    /// Creates a length from nanometres (the natural unit for feature
+    /// sizes such as the process node's λ).
+    #[must_use]
+    pub fn from_nm(nm: f64) -> Self {
+        Self::new(nm * 1.0e-6)
+    }
+
+    /// Creates a length from centimetres.
+    #[must_use]
+    pub fn from_cm(cm: f64) -> Self {
+        Self::new(cm * 10.0)
+    }
+
+    /// Returns the length in micrometres.
+    #[must_use]
+    pub fn um(self) -> f64 {
+        self.mm() * 1.0e3
+    }
+
+    /// Returns the length in nanometres.
+    #[must_use]
+    pub fn nm(self) -> f64 {
+        self.mm() * 1.0e6
+    }
+
+    /// Returns the length in centimetres.
+    #[must_use]
+    pub fn cm(self) -> f64 {
+        self.mm() * 0.1
+    }
+
+    /// Squares the length, yielding an [`Area`].
+    ///
+    /// ```
+    /// use tdc_units::Length;
+    /// let edge = Length::from_mm(4.0);
+    /// assert_eq!(edge.squared().mm2(), 16.0);
+    /// ```
+    #[must_use]
+    pub fn squared(self) -> Area {
+        Area::from_mm2(self.mm() * self.mm())
+    }
+}
+
+impl core::ops::Mul<Length> for Length {
+    type Output = Area;
+    fn mul(self, rhs: Length) -> Area {
+        Area::from_mm2(self.mm() * rhs.mm())
+    }
+}
+
+quantity!(
+    /// An area, stored canonically in square millimetres.
+    ///
+    /// Die and package areas are usually quoted in mm²; fab emission
+    /// factors are quoted per cm². Both views are provided.
+    ///
+    /// ```
+    /// use tdc_units::Area;
+    /// let die = Area::from_mm2(74.0);
+    /// assert!((die.cm2() - 0.74).abs() < 1e-12);
+    /// ```
+    Area,
+    "mm²",
+    mm2
+);
+
+impl Area {
+    /// Creates an area from square millimetres.
+    #[must_use]
+    pub const fn from_mm2(mm2: f64) -> Self {
+        Self::new(mm2)
+    }
+
+    /// Creates an area from square centimetres.
+    #[must_use]
+    pub fn from_cm2(cm2: f64) -> Self {
+        Self::new(cm2 * 100.0)
+    }
+
+    /// Creates an area from square micrometres (TSV cross-sections).
+    #[must_use]
+    pub fn from_um2(um2: f64) -> Self {
+        Self::new(um2 * 1.0e-6)
+    }
+
+    /// Returns the area in square centimetres.
+    #[must_use]
+    pub fn cm2(self) -> f64 {
+        self.mm2() * 0.01
+    }
+
+    /// Returns the area in square micrometres.
+    #[must_use]
+    pub fn um2(self) -> f64 {
+        self.mm2() * 1.0e6
+    }
+
+    /// Side length of the square with this area. Useful for estimating a
+    /// die's edge length (`L_edge`) from its area when no aspect ratio is
+    /// known, as the paper does for interface I/O pitch counts.
+    ///
+    /// Returns [`Length::ZERO`] for non-positive areas.
+    #[must_use]
+    pub fn square_side(self) -> Length {
+        if self.mm2() <= 0.0 {
+            Length::ZERO
+        } else {
+            Length::from_mm(self.mm2().sqrt())
+        }
+    }
+
+    /// Area of a circle with the given diameter (wafer geometry).
+    #[must_use]
+    pub fn circle_from_diameter(diameter: Length) -> Self {
+        let r = diameter.mm() / 2.0;
+        Self::from_mm2(core::f64::consts::PI * r * r)
+    }
+
+    /// Diameter of the circle with this area (inverse of
+    /// [`Area::circle_from_diameter`]). Returns zero for non-positive
+    /// areas.
+    #[must_use]
+    pub fn circle_diameter(self) -> Length {
+        if self.mm2() <= 0.0 {
+            Length::ZERO
+        } else {
+            Length::from_mm(2.0 * (self.mm2() / core::f64::consts::PI).sqrt())
+        }
+    }
+}
+
+impl core::ops::Div<Length> for Area {
+    type Output = Length;
+    fn div(self, rhs: Length) -> Length {
+        Length::from_mm(self.mm2() / rhs.mm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn length_unit_conversions_round_trip() {
+        let l = Length::from_nm(7.0);
+        assert!((l.nm() - 7.0).abs() < EPS);
+        assert!((l.um() - 0.007).abs() < EPS);
+        assert!((l.mm() - 7.0e-6).abs() < EPS);
+
+        let l = Length::from_um(25.0);
+        assert!((l.um() - 25.0).abs() < EPS);
+
+        let l = Length::from_cm(30.0);
+        assert!((l.mm() - 300.0).abs() < EPS);
+        assert!((l.cm() - 30.0).abs() < EPS);
+    }
+
+    #[test]
+    fn length_times_length_is_area() {
+        let a = Length::from_mm(3.0) * Length::from_mm(4.0);
+        assert!((a.mm2() - 12.0).abs() < EPS);
+        assert!((Length::from_mm(5.0).squared().mm2() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn area_unit_conversions_round_trip() {
+        let a = Area::from_cm2(0.74);
+        assert!((a.mm2() - 74.0).abs() < EPS);
+        assert!((a.cm2() - 0.74).abs() < EPS);
+
+        let a = Area::from_um2(1.0e6);
+        assert!((a.mm2() - 1.0).abs() < EPS);
+        assert!((a.um2() - 1.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn square_side_inverts_squaring() {
+        let edge = Area::from_mm2(144.0).square_side();
+        assert!((edge.mm() - 12.0).abs() < EPS);
+        assert_eq!(Area::from_mm2(-1.0).square_side(), Length::ZERO);
+        assert_eq!(Area::ZERO.square_side(), Length::ZERO);
+    }
+
+    #[test]
+    fn wafer_circle_geometry() {
+        // A 300 mm wafer has area π·150² ≈ 70 685.83 mm².
+        let area = Area::circle_from_diameter(Length::from_mm(300.0));
+        assert!((area.mm2() - 70_685.834_705_770_35).abs() < 1e-6);
+        // Paper Table 2 bounds: 200 mm → 31 415.93 mm², 450 mm → 159 043.13 mm².
+        let small = Area::circle_from_diameter(Length::from_mm(200.0));
+        assert!((small.mm2() - 31_415.926_535_9).abs() < 1e-1);
+        let large = Area::circle_from_diameter(Length::from_mm(450.0));
+        assert!((large.mm2() - 159_043.128_088_0).abs() < 1e-1);
+    }
+
+    #[test]
+    fn circle_diameter_inverts_circle_area() {
+        let d = Length::from_mm(300.0);
+        let back = Area::circle_from_diameter(d).circle_diameter();
+        assert!((back.mm() - 300.0).abs() < 1e-9);
+        assert_eq!(Area::ZERO.circle_diameter(), Length::ZERO);
+    }
+
+    #[test]
+    fn area_divided_by_length_is_length() {
+        let l = Area::from_mm2(20.0) / Length::from_mm(4.0);
+        assert!((l.mm() - 5.0).abs() < EPS);
+    }
+}

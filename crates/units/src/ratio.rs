@@ -1,0 +1,126 @@
+//! The dimensionless [`Ratio`] quantity.
+
+quantity!(
+    /// A dimensionless ratio or fraction.
+    ///
+    /// Used for yields outside the dedicated yield types, scaling factors
+    /// (`s_package`, `s_RDL`, `γ_IO`), save ratios, and bandwidth ratios.
+    /// A `Ratio` is *not* clamped to `[0, 1]`: scaling factors are ≥ 1
+    /// and save ratios may be negative (the paper's Table 5 reports a
+    /// −9.59 % "saving" for the silicon interposer).
+    ///
+    /// ```
+    /// use tdc_units::Ratio;
+    /// let save = Ratio::from_percent(-9.59);
+    /// assert!((save.fraction() + 0.0959).abs() < 1e-12);
+    /// assert_eq!(format!("{:.2}", save.as_percent_display()), "-9.59 %");
+    /// ```
+    Ratio,
+    "",
+    fraction
+);
+
+impl Ratio {
+    /// The unit ratio (100 %).
+    pub const ONE: Self = Self::new(1.0);
+
+    /// Creates a ratio from a fraction (1.0 == 100 %).
+    #[must_use]
+    pub const fn from_fraction(fraction: f64) -> Self {
+        Self::new(fraction)
+    }
+
+    /// Creates a ratio from a percentage (100.0 == 100 %).
+    #[must_use]
+    pub fn from_percent(percent: f64) -> Self {
+        Self::new(percent / 100.0)
+    }
+
+    /// Returns the ratio as a percentage.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.fraction() * 100.0
+    }
+
+    /// Returns a wrapper whose `Display` shows the value as `xx.x %`.
+    #[must_use]
+    pub fn as_percent_display(self) -> PercentDisplay {
+        PercentDisplay(self)
+    }
+
+    /// The complement `1 − self`; e.g. a 20 % degradation leaves 80 % of
+    /// the baseline throughput.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Self::new(1.0 - self.fraction())
+    }
+
+    /// Relative change from `baseline` to `new`: `(baseline − new) /
+    /// baseline`, i.e. a positive value means `new` is smaller
+    /// ("saved"). This is the paper's *carbon save ratio*.
+    ///
+    /// Returns `None` when `baseline` is zero.
+    #[must_use]
+    pub fn saving(baseline: f64, new: f64) -> Option<Self> {
+        if baseline == 0.0 {
+            None
+        } else {
+            Some(Self::new((baseline - new) / baseline))
+        }
+    }
+}
+
+/// Percent-formatted view of a [`Ratio`] (see
+/// [`Ratio::as_percent_display`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PercentDisplay(Ratio);
+
+impl core::fmt::Display for PercentDisplay {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*} %", precision, self.0.percent())
+        } else {
+            write!(f, "{} %", self.0.percent())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn fraction_percent_round_trip() {
+        assert!((Ratio::from_percent(65.53).fraction() - 0.6553).abs() < EPS);
+        assert!((Ratio::from_fraction(0.2369).percent() - 23.69).abs() < EPS);
+    }
+
+    #[test]
+    fn complement() {
+        assert!((Ratio::from_percent(20.0).complement().fraction() - 0.8).abs() < EPS);
+        assert!((Ratio::ONE.complement().fraction()).abs() < EPS);
+    }
+
+    #[test]
+    fn saving_matches_paper_convention() {
+        // Embodied 2D = 100 kg, 3D = 34.47 kg → 65.53 % saved.
+        let s = Ratio::saving(100.0, 34.47).expect("nonzero baseline");
+        assert!((s.percent() - 65.53).abs() < 1e-9);
+        // A worse design yields a negative saving.
+        let s = Ratio::saving(100.0, 109.59).expect("nonzero baseline");
+        assert!((s.percent() + 9.59).abs() < 1e-9);
+        assert!(Ratio::saving(0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn percent_display_formats() {
+        let r = Ratio::from_percent(41.034_9);
+        assert_eq!(format!("{:.2}", r.as_percent_display()), "41.03 %");
+        assert_eq!(
+            format!("{}", Ratio::from_fraction(0.5).as_percent_display()),
+            "50 %"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! The [`TimeSpan`] quantity.
+
+/// Hours in a mean Gregorian year (365.25 days × 24 h).
+///
+/// Used consistently for year↔hour conversions so that lifetime
+/// arithmetic (10-year AV lifetimes, multi-decade breakeven times)
+/// round-trips exactly.
+pub(crate) const HOURS_PER_YEAR: f64 = 8_766.0;
+
+quantity!(
+    /// A span of time, stored canonically in hours.
+    ///
+    /// Application run-times (`T_app`), device lifetimes (`T_life`), and
+    /// the decision metrics `T_c` / `T_r` are all `TimeSpan`s. The
+    /// paper's sustainability metrics can be *infinite* (a 3D/2.5D IC
+    /// that never pays back); this is represented honestly as
+    /// `TimeSpan::INFINITE` rather than a sentinel.
+    ///
+    /// ```
+    /// use tdc_units::TimeSpan;
+    /// let life = TimeSpan::from_years(10.0);
+    /// assert!((life.hours() - 87_660.0).abs() < 1e-9);
+    /// assert!(life < TimeSpan::INFINITE);
+    /// ```
+    TimeSpan,
+    "h",
+    hours
+);
+
+impl TimeSpan {
+    /// A span longer than any finite span; the value of `T_c`/`T_r`
+    /// when the compared designs never trade places.
+    pub const INFINITE: Self = Self::new(f64::INFINITY);
+
+    /// Creates a span from hours.
+    #[must_use]
+    pub const fn from_hours(hours: f64) -> Self {
+        Self::new(hours)
+    }
+
+    /// Creates a span from seconds.
+    #[must_use]
+    pub fn from_seconds(seconds: f64) -> Self {
+        Self::new(seconds / 3_600.0)
+    }
+
+    /// Creates a span from days (24 h).
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        Self::new(days * 24.0)
+    }
+
+    /// Creates a span from mean years (8 766 h).
+    #[must_use]
+    pub fn from_years(years: f64) -> Self {
+        Self::new(years * HOURS_PER_YEAR)
+    }
+
+    /// Returns the span in seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.hours() * 3_600.0
+    }
+
+    /// Returns the span in days.
+    #[must_use]
+    pub fn days(self) -> f64 {
+        self.hours() / 24.0
+    }
+
+    /// Returns the span in mean years.
+    #[must_use]
+    pub fn years(self) -> f64 {
+        self.hours() / HOURS_PER_YEAR
+    }
+
+    /// `true` when the span is infinite (never reached).
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.hours().is_infinite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert!((TimeSpan::from_seconds(7_200.0).hours() - 2.0).abs() < EPS);
+        assert!((TimeSpan::from_days(2.0).hours() - 48.0).abs() < EPS);
+        assert!((TimeSpan::from_years(1.0).hours() - 8_766.0).abs() < EPS);
+        assert!((TimeSpan::from_hours(8_766.0).years() - 1.0).abs() < EPS);
+        assert!((TimeSpan::from_hours(24.0).days() - 1.0).abs() < EPS);
+        assert!((TimeSpan::from_hours(1.0).seconds() - 3_600.0).abs() < EPS);
+    }
+
+    #[test]
+    fn infinite_sentinel_behaves() {
+        assert!(TimeSpan::INFINITE.is_infinite());
+        assert!(!TimeSpan::from_years(100.0).is_infinite());
+        assert!(TimeSpan::from_years(1.0e6) < TimeSpan::INFINITE);
+        // Infinity survives addition with finite values.
+        assert!((TimeSpan::INFINITE + TimeSpan::from_hours(1.0)).is_infinite());
+    }
+
+    #[test]
+    fn ten_year_av_lifetime() {
+        // The case study uses a 10-year autonomous-vehicle lifetime.
+        let life = TimeSpan::from_years(10.0);
+        assert!((life.days() - 3_652.5).abs() < EPS);
+    }
+}

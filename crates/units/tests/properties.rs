@@ -1,0 +1,111 @@
+//! Property-based tests for the quantity system.
+
+use proptest::prelude::*;
+use tdc_units::{
+    Area, Bandwidth, CarbonIntensity, Co2Mass, Energy, EnergyPerArea, Length, Power,
+    Ratio, Throughput, TimeSpan,
+};
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e9..1.0e9f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1.0e-6..1.0e9f64
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in finite(), b in finite()) {
+        let x = Co2Mass::from_kg(a) + Co2Mass::from_kg(b);
+        let y = Co2Mass::from_kg(b) + Co2Mass::from_kg(a);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn addition_associates_within_tolerance(a in finite(), b in finite(), c in finite()) {
+        let x = (Co2Mass::from_kg(a) + Co2Mass::from_kg(b)) + Co2Mass::from_kg(c);
+        let y = Co2Mass::from_kg(a) + (Co2Mass::from_kg(b) + Co2Mass::from_kg(c));
+        prop_assert!((x.kg() - y.kg()).abs() <= 1e-6 * (1.0 + x.kg().abs()));
+    }
+
+    #[test]
+    fn unit_conversions_round_trip(v in positive()) {
+        prop_assert!((Length::from_um(v).um() - v).abs() / v < 1e-12);
+        prop_assert!((Area::from_cm2(v).cm2() - v).abs() / v < 1e-12);
+        prop_assert!((Energy::from_joules(v).joules() - v).abs() / v < 1e-9);
+        prop_assert!((TimeSpan::from_years(v).years() - v).abs() / v < 1e-12);
+        prop_assert!((Bandwidth::from_tbps(v).tbps() - v).abs() / v < 1e-12);
+        prop_assert!((Co2Mass::from_g(v).g() - v).abs() / v < 1e-12);
+    }
+
+    #[test]
+    fn power_time_energy_triangle(p in positive(), t in 1.0e-3..1.0e6f64) {
+        let power = Power::from_watts(p);
+        let span = TimeSpan::from_hours(t);
+        let energy = power * span;
+        let back = energy / span;
+        prop_assert!((back.watts() - p).abs() / p < 1e-12);
+    }
+
+    #[test]
+    fn carbon_scales_linearly_with_intensity(
+        e in positive(),
+        ci in 1.0..1_000.0f64,
+        k in 1.0e-3..1.0e3f64,
+    ) {
+        let energy = Energy::from_kwh(e);
+        let base = CarbonIntensity::from_g_per_kwh(ci) * energy;
+        let scaled = CarbonIntensity::from_g_per_kwh(ci * k) * energy;
+        prop_assert!((scaled.kg() - base.kg() * k).abs() / scaled.kg().max(1e-12) < 1e-9);
+    }
+
+    #[test]
+    fn eq6_integrand_is_monotone_in_every_term(
+        ci in 1.0..1_000.0f64,
+        epa in 0.01..5.0f64,
+        bump in 0.01..5.0f64,
+        area in 1.0..1_000.0f64,
+    ) {
+        let a = Area::from_cm2(area);
+        let low = CarbonIntensity::from_g_per_kwh(ci) * EnergyPerArea::from_kwh_per_cm2(epa) * a;
+        let high = CarbonIntensity::from_g_per_kwh(ci)
+            * EnergyPerArea::from_kwh_per_cm2(epa + bump)
+            * a;
+        prop_assert!(high > low);
+    }
+
+    #[test]
+    fn throughput_efficiency_power_identity(th in positive(), eff in 0.01..100.0f64) {
+        let t = Throughput::from_tops(th);
+        let e = tdc_units::Efficiency::from_tops_per_watt(eff);
+        let p = t / e;
+        let back = e * p;
+        prop_assert!((back.tops() - th).abs() / th < 1e-12);
+    }
+
+    #[test]
+    fn saving_and_complement_identities(base in positive(), new in positive()) {
+        let s = Ratio::saving(base, new).unwrap();
+        // saving(base, new) + new/base == 1
+        prop_assert!((s.fraction() + new / base - 1.0).abs() < 1e-9);
+        let r = Ratio::from_fraction(s.fraction());
+        prop_assert!((r.complement().complement().fraction() - r.fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_values(a in finite(), b in finite()) {
+        let x = Power::from_watts(a);
+        let y = Power::from_watts(b);
+        prop_assert_eq!(x < y, a < b);
+        prop_assert_eq!(x.max(y).watts(), a.max(b));
+        prop_assert_eq!(x.min(y).watts(), a.min(b));
+    }
+
+    #[test]
+    fn sum_equals_fold(values in proptest::collection::vec(finite(), 0..20)) {
+        let total: Co2Mass = values.iter().map(|v| Co2Mass::from_kg(*v)).sum();
+        let folded = values.iter().fold(0.0, |acc, v| acc + v);
+        prop_assert!((total.kg() - folded).abs() <= 1e-6 * (1.0 + folded.abs()));
+    }
+}

@@ -1,0 +1,135 @@
+//! On-chip bandwidth estimation ([`onchip_bisection_bandwidth`]).
+//!
+//! The paper's bandwidth constraint (§3.4) compares a 2.5D IC's
+//! die-to-die interface bandwidth against "the on-chip bandwidth of
+//! their 2D counterparts". This module estimates that reference: the
+//! wires crossing the bisection of the monolithic die, times the
+//! per-wire signalling rate.
+//!
+//! A flat Rent cut badly overestimates the bisection of multi-billion
+//! gate SoCs (Rent's rule is only valid in its "region I"); we use the
+//! standard two-region form — power law with the internal exponent up
+//! to a saturation block size, then the flattened external exponent
+//! beyond it.
+
+use crate::rent::RentParameters;
+use serde::{Deserialize, Serialize};
+use tdc_units::Bandwidth;
+
+/// Gate count at which Rent's rule leaves region I (the classic
+/// empirical onset of terminal-count flattening).
+const REGION_II_ONSET_GATES: f64 = 1.0e6;
+
+/// A bundle of on-chip wires crossing the bisection, with its
+/// aggregate bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnChipLink {
+    /// Estimated signal wires crossing the die bisection.
+    pub wires: f64,
+    /// Signalling rate per wire.
+    pub per_wire: Bandwidth,
+    /// Aggregate bisection bandwidth.
+    pub total: Bandwidth,
+}
+
+/// Estimates the on-chip bisection bandwidth of a monolithic die with
+/// `n_gates` gates, signalling at `per_wire` per crossing wire
+/// (typically the core clock: one bit per cycle per wire).
+///
+/// Two-region Rent cut:
+///
+/// * region I (`N/2 ≤ 10⁶`): `wires = t_g · (N/2)^p`
+/// * region II: `wires = t_g · 10⁶ᵖ · (N/2 / 10⁶)^p_ext`
+///
+/// ```
+/// use tdc_units::Bandwidth;
+/// use tdc_wirelength::{onchip_bisection_bandwidth, RentParameters};
+///
+/// let link = onchip_bisection_bandwidth(
+///     17.0e9,
+///     RentParameters::default(),
+///     Bandwidth::from_gbps(2.0),
+/// );
+/// // An Orin-class SoC has tens of TB/s of internal bisection bandwidth.
+/// assert!(link.total.tbps() > 100.0 && link.total.tbps() < 2_000.0);
+/// ```
+#[must_use]
+pub fn onchip_bisection_bandwidth(
+    n_gates: f64,
+    rent: RentParameters,
+    per_wire: Bandwidth,
+) -> OnChipLink {
+    let half = (n_gates / 2.0).max(0.0);
+    let wires = if half <= REGION_II_ONSET_GATES {
+        rent.terminals(half)
+    } else {
+        rent.terminals(REGION_II_ONSET_GATES)
+            * (half / REGION_II_ONSET_GATES).powf(rent.external_exponent())
+    };
+    let total = per_wire * wires;
+    OnChipLink {
+        wires,
+        per_wire,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rent() -> RentParameters {
+        RentParameters::default()
+    }
+
+    #[test]
+    fn region_boundary_is_continuous() {
+        let per_wire = Bandwidth::from_gbps(2.0);
+        let just_below = onchip_bisection_bandwidth(2.0 * (1.0e6 - 1.0), rent(), per_wire);
+        let at = onchip_bisection_bandwidth(2.0e6, rent(), per_wire);
+        let just_above = onchip_bisection_bandwidth(2.0 * (1.0e6 + 1.0), rent(), per_wire);
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(rel(just_below.wires, at.wires) < 1e-4);
+        assert!(rel(just_above.wires, at.wires) < 1e-4);
+    }
+
+    #[test]
+    fn bandwidth_grows_monotonically_with_gates() {
+        let per_wire = Bandwidth::from_gbps(2.0);
+        let mut prev = 0.0;
+        for n in [1.0e4, 1.0e6, 1.0e8, 1.0e10] {
+            let link = onchip_bisection_bandwidth(n, rent(), per_wire);
+            assert!(link.total.gbps() > prev);
+            prev = link.total.gbps();
+        }
+    }
+
+    #[test]
+    fn region_two_flattens_growth() {
+        let per_wire = Bandwidth::from_gbps(2.0);
+        // Growth ratio across ×4 gates inside region I is 4^p…
+        let a = onchip_bisection_bandwidth(4.0e5, rent(), per_wire);
+        let b = onchip_bisection_bandwidth(1.6e6, rent(), per_wire);
+        let region1_ratio = b.wires / a.wires;
+        // …and 4^p_ext in region II.
+        let c = onchip_bisection_bandwidth(4.0e9, rent(), per_wire);
+        let d = onchip_bisection_bandwidth(1.6e10, rent(), per_wire);
+        let region2_ratio = d.wires / c.wires;
+        assert!(region2_ratio < region1_ratio);
+        assert!((region2_ratio - 4.0_f64.powf(rent().external_exponent())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_is_wires_times_rate() {
+        let link = onchip_bisection_bandwidth(1.0e8, rent(), Bandwidth::from_gbps(3.0));
+        assert!((link.total.gbps() - link.wires * 3.0).abs() < 1e-6);
+        assert_eq!(link.per_wire, Bandwidth::from_gbps(3.0));
+    }
+
+    #[test]
+    fn zero_gates_yields_zero_bandwidth() {
+        let link = onchip_bisection_bandwidth(0.0, rent(), Bandwidth::from_gbps(2.0));
+        assert_eq!(link.wires, 0.0);
+        assert_eq!(link.total, Bandwidth::ZERO);
+    }
+}

@@ -1,0 +1,43 @@
+//! Rent's-rule wire-length substrate.
+//!
+//! 3D-Carbon leans on the interconnect-estimation machinery of Stow et
+//! al. (ISVLSI'16) in three places, all reproduced here:
+//!
+//! * **Eq. 10** — the number of BEOL metal layers a die needs,
+//!   `N_BEOL = N_fan · ω · N_g · L̄ / (η · A_die)`, where `L̄` is the
+//!   average interconnect length. We provide the classical Donath
+//!   closed-form estimate plus simpler alternatives ([`WirelengthModel`])
+//!   and the full estimator ([`BeolEstimator`]).
+//! * **TSV counts** — face-to-back stacking routes inter-tier nets
+//!   through TSVs; their count follows a Rent-style cut estimate
+//!   ([`RentParameters::cut_terminals`]). Face-to-face stacking only
+//!   needs TSVs for external I/O
+//!   ([`RentParameters::external_io_count`]).
+//! * **On-chip bandwidth** — the paper assumes a 3D IC's die-to-die
+//!   bandwidth matches the on-chip bandwidth of the 2D design it
+//!   replaces; [`onchip_bisection_bandwidth`] estimates that quantity
+//!   from the Rent bisection cut.
+//!
+//! ```
+//! use tdc_technode::{ProcessNode, TechnologyDb};
+//! use tdc_units::Area;
+//! use tdc_wirelength::BeolEstimator;
+//!
+//! let db = TechnologyDb::default();
+//! let estimator = BeolEstimator::default();
+//! let layers = estimator.layers(8.5e9, Area::from_mm2(230.0), db.node(ProcessNode::N7));
+//! assert!((8..=15).contains(&layers));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod beol;
+mod donath;
+mod rent;
+
+pub use bandwidth::{onchip_bisection_bandwidth, OnChipLink};
+pub use beol::{BeolEstimator, RoutingDemand};
+pub use donath::{donath_average_wirelength, WirelengthModel};
+pub use rent::RentParameters;

@@ -1,0 +1,96 @@
+//! Property-based tests for the Rent's-rule substrate.
+
+use proptest::prelude::*;
+use tdc_technode::{ProcessNode, TechnologyDb};
+use tdc_units::{Area, Bandwidth};
+use tdc_wirelength::{
+    donath_average_wirelength, onchip_bisection_bandwidth, BeolEstimator, RentParameters,
+    WirelengthModel,
+};
+
+proptest! {
+    #[test]
+    fn donath_is_at_least_one_pitch(n in 1.0..1.0e12f64, p in 0.05..0.95f64) {
+        let l = donath_average_wirelength(n, p).unwrap();
+        prop_assert!(l >= 1.0);
+        prop_assert!(l.is_finite());
+    }
+
+    #[test]
+    fn donath_monotone_in_n_for_super_half_exponents(
+        n in 10.0..1.0e10f64,
+        factor in 1.1..100.0f64,
+        p in 0.55..0.9f64,
+    ) {
+        let small = donath_average_wirelength(n, p).unwrap();
+        let large = donath_average_wirelength(n * factor, p).unwrap();
+        prop_assert!(large >= small - 1e-9);
+    }
+
+    #[test]
+    fn donath_monotone_in_p(n in 100.0..1.0e10f64, p in 0.2..0.85f64) {
+        let lo = donath_average_wirelength(n, p).unwrap();
+        let hi = donath_average_wirelength(n, p + 0.05).unwrap();
+        prop_assert!(hi >= lo - 1e-9);
+    }
+
+    #[test]
+    fn rent_terminals_power_law_scaling(
+        n in 1.0..1.0e10f64,
+        k in 2.0..16.0f64,
+        p in 0.1..0.9f64,
+    ) {
+        let rent = RentParameters::new(p, 3.0, 3.0, 0.25).unwrap();
+        let ratio = rent.terminals(n * k) / rent.terminals(n);
+        prop_assert!((ratio - k.powf(p)).abs() / ratio < 1e-9);
+    }
+
+    #[test]
+    fn beol_layers_bounded_by_node_stack(
+        gates in 1.0e6..5.0e10f64,
+        area_scale in 0.5..2.0f64,
+    ) {
+        let db = TechnologyDb::default();
+        let node = db.node(ProcessNode::N7);
+        let natural = node.area_for_gates(gates);
+        let est = BeolEstimator::default();
+        let layers = est.layers(gates, natural * area_scale, node);
+        prop_assert!(layers >= 1);
+        prop_assert!(layers <= node.max_beol_layers());
+    }
+
+    #[test]
+    fn beol_raw_demand_monotone_in_gates_at_fixed_area(
+        gates in 1.0e7..1.0e10f64,
+        factor in 1.1..5.0f64,
+    ) {
+        let db = TechnologyDb::default();
+        let node = db.node(ProcessNode::N7);
+        let area = Area::from_mm2(400.0);
+        let est = BeolEstimator::default();
+        let lo = est.estimate(gates, area, node).unwrap().raw_layers;
+        let hi = est.estimate(gates * factor, area, node).unwrap().raw_layers;
+        prop_assert!(hi > lo);
+    }
+
+    #[test]
+    fn wirelength_models_agree_on_small_designs(gates in 10.0..1.0e5f64) {
+        // Below the block size, BlockDonath and FlatDonath coincide.
+        let block = WirelengthModel::default().average_pitches(gates, 0.66).unwrap();
+        let flat = WirelengthModel::FlatDonath.average_pitches(gates, 0.66).unwrap();
+        prop_assert!((block - flat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisection_bandwidth_scales_with_wire_rate(
+        gates in 1.0e6..1.0e11f64,
+        rate in 0.1..20.0f64,
+        k in 1.5..10.0f64,
+    ) {
+        let rent = RentParameters::default();
+        let a = onchip_bisection_bandwidth(gates, rent, Bandwidth::from_gbps(rate));
+        let b = onchip_bisection_bandwidth(gates, rent, Bandwidth::from_gbps(rate * k));
+        prop_assert!((b.total.gbps() / a.total.gbps() - k).abs() < 1e-9);
+        prop_assert!((a.wires - b.wires).abs() < 1e-9);
+    }
+}

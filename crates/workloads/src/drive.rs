@@ -1,0 +1,168 @@
+//! The NVIDIA DRIVE series database ([`DriveSeries`]) — the paper's
+//! Table 4, extended with each platform's rated inference throughput
+//! (needed by the fixed-throughput operational model).
+
+use serde::{Deserialize, Serialize};
+use tdc_core::{ChipDesign, DieSpec};
+use tdc_technode::ProcessNode;
+use tdc_units::{Efficiency, Throughput};
+
+/// One NVIDIA DRIVE platform (a row of Table 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveSpec {
+    /// Platform name.
+    pub name: &'static str,
+    /// Process node.
+    pub node: ProcessNode,
+    /// Gate count (Table 4, "Gate count (Billion)").
+    pub gate_count: f64,
+    /// Energy efficiency (Table 4, TOPS/W).
+    pub efficiency: Efficiency,
+    /// Announcement year.
+    pub year: i32,
+    /// Rated INT8 inference throughput — the fixed-throughput
+    /// requirement the AV workload pins (from NVIDIA's platform specs;
+    /// not in Table 4 but implied by its TOPS/W × TDP positioning).
+    pub required_throughput: Throughput,
+}
+
+impl DriveSpec {
+    /// The original monolithic 2D design of this platform.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the shipped specs (all fields are valid).
+    #[must_use]
+    pub fn as_2d_design(&self) -> ChipDesign {
+        let die = DieSpec::builder(self.name, self.node)
+            .gate_count(self.gate_count)
+            .efficiency(self.efficiency)
+            .build()
+            .expect("shipped DRIVE specs are valid");
+        ChipDesign::monolithic_2d(die)
+    }
+}
+
+/// The four platforms of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriveSeries {
+    /// DRIVE PX 2 (2016, 16 nm).
+    Px2,
+    /// DRIVE Xavier (2017, 12 nm).
+    Xavier,
+    /// DRIVE Orin (2019, 7 nm) — the Table 5 decision-study subject.
+    Orin,
+    /// DRIVE Thor (2022, 5 nm).
+    Thor,
+}
+
+impl DriveSeries {
+    /// All platforms, oldest first (Fig. 5's x-axis order).
+    pub const ALL: [DriveSeries; 4] = [
+        DriveSeries::Px2,
+        DriveSeries::Xavier,
+        DriveSeries::Orin,
+        DriveSeries::Thor,
+    ];
+
+    /// The platform's Table 4 row.
+    #[must_use]
+    pub fn spec(self) -> DriveSpec {
+        match self {
+            DriveSeries::Px2 => DriveSpec {
+                name: "PX 2",
+                node: ProcessNode::N16,
+                gate_count: 15.3e9,
+                efficiency: Efficiency::from_tops_per_watt(0.75),
+                year: 2016,
+                required_throughput: Throughput::from_tops(24.0),
+            },
+            DriveSeries::Xavier => DriveSpec {
+                name: "XAVIER",
+                node: ProcessNode::N12,
+                gate_count: 21.0e9,
+                efficiency: Efficiency::from_tops_per_watt(1.0),
+                year: 2017,
+                required_throughput: Throughput::from_tops(30.0),
+            },
+            DriveSeries::Orin => DriveSpec {
+                name: "ORIN",
+                node: ProcessNode::N7,
+                gate_count: 17.0e9,
+                efficiency: Efficiency::from_tops_per_watt(2.74),
+                year: 2019,
+                required_throughput: Throughput::from_tops(254.0),
+            },
+            DriveSeries::Thor => DriveSpec {
+                name: "THOR",
+                node: ProcessNode::N5,
+                gate_count: 77.0e9,
+                efficiency: Efficiency::from_tops_per_watt(12.5),
+                year: 2022,
+                required_throughput: Throughput::from_tops(2_000.0),
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for DriveSeries {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values_are_faithful() {
+        let px2 = DriveSeries::Px2.spec();
+        assert_eq!(px2.node, ProcessNode::N16);
+        assert!((px2.gate_count - 15.3e9).abs() < 1.0);
+        assert!((px2.efficiency.tops_per_watt() - 0.75).abs() < 1e-12);
+        assert_eq!(px2.year, 2016);
+
+        let thor = DriveSeries::Thor.spec();
+        assert_eq!(thor.node, ProcessNode::N5);
+        assert!((thor.gate_count - 77.0e9).abs() < 1.0);
+        assert!((thor.efficiency.tops_per_watt() - 12.5).abs() < 1e-12);
+        assert_eq!(thor.year, 2022);
+    }
+
+    #[test]
+    fn efficiency_grows_generation_over_generation() {
+        let mut prev = 0.0;
+        for platform in DriveSeries::ALL {
+            let eff = platform.spec().efficiency.tops_per_watt();
+            assert!(eff > prev, "{platform}");
+            prev = eff;
+        }
+    }
+
+    #[test]
+    fn throughput_requirements_grow() {
+        let mut prev = 0.0;
+        for platform in DriveSeries::ALL {
+            let th = platform.spec().required_throughput.tops();
+            assert!(th > prev, "{platform}");
+            prev = th;
+        }
+    }
+
+    #[test]
+    fn as_2d_design_round_trips_spec() {
+        let design = DriveSeries::Orin.spec().as_2d_design();
+        let dies = design.dies();
+        assert_eq!(dies.len(), 1);
+        assert_eq!(dies[0].node(), ProcessNode::N7);
+        assert_eq!(dies[0].gate_count(), Some(17.0e9));
+        assert!(dies[0].efficiency().is_some());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DriveSeries::Orin.to_string(), "ORIN");
+        assert_eq!(DriveSeries::Px2.to_string(), "PX 2");
+    }
+}

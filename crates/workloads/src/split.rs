@@ -1,0 +1,269 @@
+//! The paper's die-division strategies (§5): homogeneous and
+//! heterogeneous splits of a monolithic 2D SoC into 2-die 3D/2.5D
+//! designs.
+
+use crate::drive::DriveSpec;
+use serde::{Deserialize, Serialize};
+use tdc_core::{ChipDesign, DieSpec, ModelError};
+use tdc_integration::{IntegrationFamily, IntegrationTechnology, StackOrientation};
+use tdc_technode::{ProcessNode, TechnologyDb};
+use tdc_wirelength::RentParameters;
+use tdc_yield::StackingFlow;
+
+/// Area penalty when memory/IO content moves to the old node: SRAM and
+/// pads shrink weakly, so the isolated die occupies its original area
+/// fraction times this factor.
+const MEMIO_AREA_PENALTY: f64 = 1.5;
+
+/// How the 2D IC is divided into two dies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitStrategy {
+    /// Split into two similar dies (half the gates each, same node).
+    Homogeneous,
+    /// Isolate memory and I/O into a separate die on an older node
+    /// (the paper uses 28 nm), leaving the logic on the original node.
+    Heterogeneous {
+        /// Fraction of the gates moved into the memory/IO die.
+        memio_fraction: f64,
+        /// Node of the memory/IO die.
+        memio_node: ProcessNode,
+    },
+}
+
+impl SplitStrategy {
+    /// The paper's heterogeneous configuration: 20 % of the design
+    /// (memory arrays + pads) re-implemented at 28 nm.
+    #[must_use]
+    pub fn paper_heterogeneous() -> Self {
+        SplitStrategy::Heterogeneous {
+            memio_fraction: 0.2,
+            memio_node: ProcessNode::N28,
+        }
+    }
+}
+
+/// Builds the two [`DieSpec`]s of a split.
+fn split_dies(spec: &DriveSpec, strategy: SplitStrategy) -> Result<Vec<DieSpec>, ModelError> {
+    match strategy {
+        SplitStrategy::Homogeneous => {
+            let half = spec.gate_count / 2.0;
+            let mk = |name: String| {
+                DieSpec::builder(name, spec.node)
+                    .gate_count(half)
+                    .efficiency(spec.efficiency)
+                    .build()
+            };
+            Ok(vec![mk(format!("{}-a", spec.name))?, mk(format!("{}-b", spec.name))?])
+        }
+        SplitStrategy::Heterogeneous {
+            memio_fraction,
+            memio_node,
+        } => {
+            if !(0.0..1.0).contains(&memio_fraction) || memio_fraction == 0.0 {
+                return Err(ModelError::InvalidParameter(format!(
+                    "memory/IO fraction must be in (0, 1), got {memio_fraction}"
+                )));
+            }
+            // The memory/IO die is sized by *area*, not by Eq. 8's
+            // logic-gate scaling: SRAM bit-cells and pad rings shrink
+            // far slower than logic, which is exactly why moving them
+            // to an old node is cheap. The die keeps the area fraction
+            // it occupied on the original floorplan, inflated by a
+            // modest old-node density penalty.
+            let db = TechnologyDb::default();
+            let original_area = db.node(spec.node).area_for_gates(spec.gate_count);
+            let memio_area = original_area * (memio_fraction * MEMIO_AREA_PENALTY);
+            // Memory-dominated silicon wires much more locally: lower
+            // Rent exponent.
+            let memory_rent = RentParameters::new(0.45, 3.0, 3.0, 0.25)
+                .map_err(ModelError::InvalidParameter)?;
+            let memio = DieSpec::builder(format!("{}-memio", spec.name), memio_node)
+                .area(memio_area)
+                .compute_share(0.0)
+                .rent(memory_rent)
+                .build()?;
+            let logic = DieSpec::builder(format!("{}-logic", spec.name), spec.node)
+                .gate_count(spec.gate_count * (1.0 - memio_fraction))
+                .efficiency(spec.efficiency)
+                .compute_share(1.0)
+                .build()?;
+            // Base die first: the memory/IO die sits under (3D) or
+            // beside (2.5D) the logic die.
+            Ok(vec![memio, logic])
+        }
+    }
+}
+
+/// Wraps two dies into a design for `tech`, using the paper's §5
+/// conventions: 3D stacks are face-to-face with D2W bonding (except
+/// M3D, which is sequential face-to-back).
+fn assemble(
+    dies: Vec<DieSpec>,
+    tech: IntegrationTechnology,
+) -> Result<ChipDesign, ModelError> {
+    match tech.family() {
+        IntegrationFamily::ThreeD => match tech {
+            IntegrationTechnology::Monolithic3d => {
+                ChipDesign::stack_3d(dies, tech, StackOrientation::FaceToBack, None)
+            }
+            _ => ChipDesign::stack_3d(
+                dies,
+                tech,
+                StackOrientation::FaceToFace,
+                Some(StackingFlow::DieToWafer),
+            ),
+        },
+        IntegrationFamily::TwoPointFiveD => ChipDesign::assembly_25d(dies, tech),
+    }
+}
+
+/// Homogeneous 2-die redesign of a DRIVE platform for `tech`.
+///
+/// # Errors
+///
+/// Propagates design-validation errors.
+pub fn homogeneous_split(
+    spec: &DriveSpec,
+    tech: IntegrationTechnology,
+) -> Result<ChipDesign, ModelError> {
+    assemble(split_dies(spec, SplitStrategy::Homogeneous)?, tech)
+}
+
+/// Heterogeneous (memory/IO @ 28 nm) 2-die redesign for `tech`.
+///
+/// # Errors
+///
+/// Propagates design-validation errors.
+pub fn heterogeneous_split(
+    spec: &DriveSpec,
+    tech: IntegrationTechnology,
+) -> Result<ChipDesign, ModelError> {
+    assemble(split_dies(spec, SplitStrategy::paper_heterogeneous())?, tech)
+}
+
+/// The full Fig. 5 candidate list for one platform: the original 2D
+/// design plus a 2-die redesign per integration technology.
+///
+/// # Errors
+///
+/// Propagates design-validation errors (none occur for the shipped
+/// specs).
+pub fn candidate_designs(
+    spec: &DriveSpec,
+    strategy: SplitStrategy,
+) -> Result<Vec<(String, ChipDesign)>, ModelError> {
+    let mut out = Vec::with_capacity(1 + IntegrationTechnology::ALL.len());
+    out.push(("2D".to_owned(), spec.as_2d_design()));
+    for tech in IntegrationTechnology::ALL {
+        let dies = split_dies(spec, strategy)?;
+        out.push((tech.label().to_owned(), assemble(dies, tech)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::DriveSeries;
+
+    fn orin() -> DriveSpec {
+        DriveSeries::Orin.spec()
+    }
+
+    #[test]
+    fn homogeneous_split_halves_gates() {
+        let d = homogeneous_split(&orin(), IntegrationTechnology::HybridBonding3d).unwrap();
+        let dies = d.dies();
+        assert_eq!(dies.len(), 2);
+        for die in dies {
+            assert_eq!(die.gate_count(), Some(8.5e9));
+            assert_eq!(die.node(), ProcessNode::N7);
+            assert!(die.efficiency().is_some());
+        }
+    }
+
+    #[test]
+    fn heterogeneous_split_isolates_memio_at_28nm() {
+        let d = heterogeneous_split(&orin(), IntegrationTechnology::HybridBonding3d).unwrap();
+        let dies = d.dies();
+        assert_eq!(dies.len(), 2);
+        let memio = &dies[0];
+        let logic = &dies[1];
+        assert_eq!(memio.node(), ProcessNode::N28);
+        assert_eq!(memio.compute_share(), Some(0.0));
+        // Area-sized: 20 % of the original ~458 mm² die × 1.5 penalty.
+        let area = memio.area_override().expect("memio die is area-sized");
+        assert!(
+            (120.0..160.0).contains(&area.mm2()),
+            "memio area {} mm²",
+            area.mm2()
+        );
+        assert!(memio.rent().is_some(), "memory die gets a memory Rent exponent");
+        assert_eq!(logic.node(), ProcessNode::N7);
+        assert_eq!(logic.compute_share(), Some(1.0));
+        assert!((logic.gate_count().unwrap() - 0.8 * 17.0e9).abs() < 1.0);
+        // The memory die is the *smaller* die (the paper's §5.1 point).
+        let logic_area = TechnologyDb::default()
+            .node(ProcessNode::N7)
+            .area_for_gates(logic.gate_count().unwrap());
+        assert!(area.mm2() < logic_area.mm2());
+    }
+
+    #[test]
+    fn paper_conventions_for_3d() {
+        // Micro/hybrid are F2F D2W; M3D is F2B sequential.
+        let micro = homogeneous_split(&orin(), IntegrationTechnology::MicroBump3d).unwrap();
+        match micro {
+            ChipDesign::Stack3d {
+                orientation, flow, ..
+            } => {
+                assert_eq!(orientation, StackOrientation::FaceToFace);
+                assert_eq!(flow, Some(StackingFlow::DieToWafer));
+            }
+            other => panic!("expected 3D stack, got {other:?}"),
+        }
+        let m3d = homogeneous_split(&orin(), IntegrationTechnology::Monolithic3d).unwrap();
+        match m3d {
+            ChipDesign::Stack3d {
+                orientation, flow, ..
+            } => {
+                assert_eq!(orientation, StackOrientation::FaceToBack);
+                assert_eq!(flow, None);
+            }
+            other => panic!("expected M3D stack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_list_covers_2d_plus_all_techs() {
+        let candidates =
+            candidate_designs(&orin(), SplitStrategy::Homogeneous).unwrap();
+        assert_eq!(candidates.len(), 9);
+        assert_eq!(candidates[0].0, "2D");
+        let labels: Vec<&str> = candidates.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"M3D"));
+        assert!(labels.contains(&"Si_int"));
+        assert!(labels.contains(&"InFO_1"));
+    }
+
+    #[test]
+    fn invalid_memio_fraction_rejected() {
+        let bad = SplitStrategy::Heterogeneous {
+            memio_fraction: 0.0,
+            memio_node: ProcessNode::N28,
+        };
+        assert!(candidate_designs(&orin(), bad).is_err());
+    }
+
+    #[test]
+    fn works_for_every_platform() {
+        for platform in DriveSeries::ALL {
+            let spec = platform.spec();
+            for strategy in [SplitStrategy::Homogeneous, SplitStrategy::paper_heterogeneous()]
+            {
+                let c = candidate_designs(&spec, strategy).unwrap();
+                assert_eq!(c.len(), 9, "{platform}");
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Single-die yield models ([`DieYieldModel`]).
+
+use serde::{Deserialize, Serialize};
+use tdc_units::Area;
+
+/// Error produced by yield evaluation on invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum YieldError {
+    /// Die area was non-finite or negative.
+    InvalidArea(f64),
+    /// Defect density was non-finite or negative.
+    InvalidDefectDensity(f64),
+    /// Clustering parameter α was non-finite or non-positive.
+    InvalidAlpha(f64),
+    /// A component yield handed to a composition routine was outside
+    /// `(0, 1]`.
+    InvalidComponentYield(f64),
+}
+
+impl core::fmt::Display for YieldError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            YieldError::InvalidArea(a) => {
+                write!(f, "die area must be finite and non-negative, got {a} mm²")
+            }
+            YieldError::InvalidDefectDensity(d) => {
+                write!(f, "defect density must be finite and non-negative, got {d} /cm²")
+            }
+            YieldError::InvalidAlpha(a) => {
+                write!(f, "clustering alpha must be finite and positive, got {a}")
+            }
+            YieldError::InvalidComponentYield(y) => {
+                write!(f, "component yield must be in (0, 1], got {y}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for YieldError {}
+
+/// A model mapping die area and defect density to fabrication yield.
+///
+/// All variants agree in the small-defect limit (`y → 1 − A·D0`) and
+/// order as `Poisson ≤ Murphy ≤ NegativeBinomial` for the same inputs —
+/// clustering makes defects land together, sparing more dies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DieYieldModel {
+    /// Negative-binomial yield — the paper's Eq. 15:
+    /// `y = (1 + A·D0/α)^(−α)` with clustering parameter `α`.
+    NegativeBinomial {
+        /// Clustering parameter α (smaller = more clustered defects =
+        /// higher yield at equal density). Typically 1.5–3.
+        alpha: f64,
+    },
+    /// Poisson yield `y = e^(−A·D0)` — the no-clustering limit
+    /// (α → ∞).
+    Poisson,
+    /// Murphy's yield `y = ((1 − e^(−A·D0)) / (A·D0))²` — the classic
+    /// compromise model.
+    Murphy,
+}
+
+impl Default for DieYieldModel {
+    fn default() -> Self {
+        DieYieldModel::NegativeBinomial { alpha: 3.0 }
+    }
+}
+
+impl DieYieldModel {
+    /// Evaluates the yield of a die of `area` under defect density
+    /// `d0_per_cm2` (defects per cm²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`YieldError`] when the area or defect density is
+    /// negative/non-finite, or the clustering α is non-positive.
+    pub fn die_yield(self, area: Area, d0_per_cm2: f64) -> Result<f64, YieldError> {
+        let a_cm2 = area.cm2();
+        if !a_cm2.is_finite() || a_cm2 < 0.0 {
+            return Err(YieldError::InvalidArea(area.mm2()));
+        }
+        if !d0_per_cm2.is_finite() || d0_per_cm2 < 0.0 {
+            return Err(YieldError::InvalidDefectDensity(d0_per_cm2));
+        }
+        let defects = a_cm2 * d0_per_cm2; // expected defects per die
+        let y = match self {
+            DieYieldModel::NegativeBinomial { alpha } => {
+                if !alpha.is_finite() || alpha <= 0.0 {
+                    return Err(YieldError::InvalidAlpha(alpha));
+                }
+                (1.0 + defects / alpha).powf(-alpha)
+            }
+            DieYieldModel::Poisson => (-defects).exp(),
+            DieYieldModel::Murphy => {
+                if defects == 0.0 {
+                    1.0
+                } else {
+                    let t = (1.0 - (-defects).exp()) / defects;
+                    t * t
+                }
+            }
+        };
+        Ok(y.clamp(0.0, 1.0))
+    }
+
+    /// Short, stable name for reports and benches.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DieYieldModel::NegativeBinomial { .. } => "negative-binomial",
+            DieYieldModel::Poisson => "poisson",
+            DieYieldModel::Murphy => "murphy",
+        }
+    }
+}
+
+/// Validates that a component yield (bond, substrate, …) lies in
+/// `(0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`YieldError::InvalidComponentYield`] otherwise.
+pub(crate) fn validate_component_yield(y: f64) -> Result<(), YieldError> {
+    if y.is_finite() && y > 0.0 && y <= 1.0 {
+        Ok(())
+    } else {
+        Err(YieldError::InvalidComponentYield(y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq15_known_value() {
+        // (1 + 0.74·0.13/2.5)^(−2.5) ≈ 0.9098
+        let y = DieYieldModel::NegativeBinomial { alpha: 2.5 }
+            .die_yield(Area::from_mm2(74.0), 0.13)
+            .unwrap();
+        assert!((y - 0.9098).abs() < 5e-4, "got {y}");
+    }
+
+    #[test]
+    fn zero_defects_or_zero_area_is_perfect_yield() {
+        for model in [
+            DieYieldModel::default(),
+            DieYieldModel::Poisson,
+            DieYieldModel::Murphy,
+        ] {
+            assert_eq!(model.die_yield(Area::from_mm2(100.0), 0.0).unwrap(), 1.0);
+            assert_eq!(model.die_yield(Area::ZERO, 0.5).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn yield_decreases_with_area_and_density() {
+        let model = DieYieldModel::default();
+        let mut prev = 1.1;
+        for mm2 in [10.0, 50.0, 100.0, 400.0, 800.0] {
+            let y = model.die_yield(Area::from_mm2(mm2), 0.1).unwrap();
+            assert!(y < prev);
+            prev = y;
+        }
+        let lo = model.die_yield(Area::from_mm2(100.0), 0.05).unwrap();
+        let hi = model.die_yield(Area::from_mm2(100.0), 0.25).unwrap();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn model_ordering_poisson_murphy_negbin() {
+        let area = Area::from_mm2(400.0);
+        let d0 = 0.15;
+        let poisson = DieYieldModel::Poisson.die_yield(area, d0).unwrap();
+        let murphy = DieYieldModel::Murphy.die_yield(area, d0).unwrap();
+        let negbin = DieYieldModel::NegativeBinomial { alpha: 2.0 }
+            .die_yield(area, d0)
+            .unwrap();
+        assert!(poisson < murphy, "{poisson} !< {murphy}");
+        assert!(murphy < negbin, "{murphy} !< {negbin}");
+    }
+
+    #[test]
+    fn negbin_approaches_poisson_for_large_alpha() {
+        let area = Area::from_mm2(200.0);
+        let d0 = 0.1;
+        let poisson = DieYieldModel::Poisson.die_yield(area, d0).unwrap();
+        let negbin = DieYieldModel::NegativeBinomial { alpha: 1.0e6 }
+            .die_yield(area, d0)
+            .unwrap();
+        assert!((poisson - negbin).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_defect_limit_is_linear() {
+        let area = Area::from_mm2(1.0);
+        let d0 = 0.001; // A·D0 = 1e-5
+        for model in [
+            DieYieldModel::default(),
+            DieYieldModel::Poisson,
+            DieYieldModel::Murphy,
+        ] {
+            let y = model.die_yield(area, d0).unwrap();
+            assert!((y - (1.0 - 1.0e-5)).abs() < 1e-9, "{}: {y}", model.name());
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        let m = DieYieldModel::default();
+        assert!(matches!(
+            m.die_yield(Area::from_mm2(-1.0), 0.1),
+            Err(YieldError::InvalidArea(_))
+        ));
+        assert!(matches!(
+            m.die_yield(Area::from_mm2(10.0), f64::NAN),
+            Err(YieldError::InvalidDefectDensity(_))
+        ));
+        assert!(matches!(
+            DieYieldModel::NegativeBinomial { alpha: 0.0 }
+                .die_yield(Area::from_mm2(10.0), 0.1),
+            Err(YieldError::InvalidAlpha(_))
+        ));
+        // Error messages are meaningful (C-GOOD-ERR).
+        let err = m.die_yield(Area::from_mm2(-1.0), 0.1).unwrap_err();
+        assert!(err.to_string().contains("die area"));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DieYieldModel::default().name(), "negative-binomial");
+        assert_eq!(DieYieldModel::Poisson.name(), "poisson");
+        assert_eq!(DieYieldModel::Murphy.name(), "murphy");
+    }
+}

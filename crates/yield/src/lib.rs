@@ -1,0 +1,40 @@
+//! IC yield models for 2D, 3D, and 2.5D integration.
+//!
+//! Three layers of machinery, mirroring §3.2.5 of the paper:
+//!
+//! 1. **Die yield** ([`DieYieldModel`]) — the probability that a die of
+//!    a given area survives fabrication. The paper uses the
+//!    negative-binomial distribution of Eq. 15,
+//!    `y = (1 + A·D0/α)^(−α)`; Poisson and Murphy variants are included
+//!    for ablation.
+//! 2. **Stacking yield composition** ([`three_d_stack_yields`],
+//!    [`assembly_2_5d_yields`]) — Table 3 of the paper: how individual
+//!    die, bond, and substrate yields combine into the *composite*
+//!    divisors of Eqs. 4 and 11 for die-to-wafer (D2W), wafer-to-wafer
+//!    (W2W), chip-first, and chip-last flows.
+//! 3. **Monte-Carlo cross-check** ([`monte_carlo`]) — a seeded
+//!    defect-draw simulation that verifies the closed forms.
+//!
+//! ```
+//! use tdc_units::Area;
+//! use tdc_yield::DieYieldModel;
+//!
+//! // EPYC-class 7 nm chiplet: 74 mm², D0 = 0.13 /cm², α = 2.5.
+//! let y = DieYieldModel::NegativeBinomial { alpha: 2.5 }
+//!     .die_yield(Area::from_mm2(74.0), 0.13)
+//!     .unwrap();
+//! assert!((0.89..0.93).contains(&y));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod die;
+pub mod monte_carlo;
+mod stacking;
+
+pub use die::{DieYieldModel, YieldError};
+pub use stacking::{
+    assembly_2_5d_yields, three_d_stack_yields, Assembly25dYields, AssemblyFlow,
+    StackingFlow, ThreeDStackYields,
+};

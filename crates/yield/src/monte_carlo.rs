@@ -1,0 +1,262 @@
+//! Seeded Monte-Carlo verification of the closed-form yield models.
+//!
+//! The negative-binomial yield of Eq. 15 is exactly the zero-defect
+//! probability of a gamma-mixed Poisson process: each die draws a local
+//! defect rate `Λ ~ Gamma(α, A·D0/α)` (clustering) and then a defect
+//! count `K ~ Poisson(Λ)`; the die is good iff `K = 0`, and
+//! `P(K = 0) = (1 + A·D0/α)^(−α)`.
+//!
+//! This module simulates that process with a small, self-contained
+//! sampler stack (Marsaglia–Tsang gamma, Knuth poisson, Box–Muller
+//! normal) so the analytical formulas can be validated end-to-end
+//! without extra dependencies.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use tdc_units::Area;
+//! use tdc_yield::monte_carlo::simulate_die_yield;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let sim = simulate_die_yield(Area::from_mm2(100.0), 0.2, 2.5, 20_000, &mut rng);
+//! let analytical = (1.0 + 1.0 * 0.2 / 2.5f64).powf(-2.5);
+//! assert!((sim - analytical).abs() < 0.02);
+//! ```
+
+use rand::Rng;
+use tdc_units::Area;
+
+/// Draws one standard normal via Box–Muller.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * core::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Draws `Gamma(shape, scale)` via Marsaglia–Tsang (with the standard
+/// shape-boost for `shape < 1`).
+///
+/// # Panics
+///
+/// Panics if `shape` or `scale` is not finite and positive.
+pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, scale: f64, rng: &mut R) -> f64 {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive"
+    );
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "gamma scale must be positive"
+    );
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, scale, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Draws `Poisson(lambda)` via Knuth's product method (adequate for the
+/// per-die defect rates of this model, which are ≪ 100).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson rate must be non-negative"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Defensive cap: lambda is small in this model; a runaway loop
+        // indicates an upstream bug, not a legitimate sample.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Simulates the fabrication of `trials` dies of `area` under defect
+/// density `d0_per_cm2` and clustering `alpha`, returning the fraction
+/// that came out defect-free.
+///
+/// This is the empirical counterpart of
+/// [`DieYieldModel::NegativeBinomial`](crate::DieYieldModel); agreement
+/// within Monte-Carlo error is asserted by this crate's tests.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero or the physical parameters are
+/// non-positive (see [`sample_gamma`]).
+pub fn simulate_die_yield<R: Rng + ?Sized>(
+    area: Area,
+    d0_per_cm2: f64,
+    alpha: f64,
+    trials: u32,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let mean_defects = area.cm2() * d0_per_cm2;
+    if mean_defects == 0.0 {
+        return 1.0;
+    }
+    let scale = mean_defects / alpha;
+    let mut good = 0u32;
+    for _ in 0..trials {
+        let lambda = sample_gamma(alpha, scale, rng);
+        if sample_poisson(lambda, rng) == 0 {
+            good += 1;
+        }
+    }
+    f64::from(good) / f64::from(trials)
+}
+
+/// Simulates `trials` assemblies of an `N`-die D2W stack with
+/// per-die yields `die_yields` and per-step bond yield `bond_yield`,
+/// returning the observed fraction of working stacks. Cross-checks
+/// [`three_d_stack_yields`](crate::three_d_stack_yields)'s `overall`.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn simulate_stack_survival<R: Rng + ?Sized>(
+    die_yields: &[f64],
+    bond_yield: f64,
+    trials: u32,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let steps = die_yields.len().saturating_sub(1);
+    let mut good = 0u32;
+    for _ in 0..trials {
+        let dies_ok = die_yields.iter().all(|&y| rng.random::<f64>() < y);
+        let bonds_ok = (0..steps).all(|_| rng.random::<f64>() < bond_yield);
+        if dies_ok && bonds_ok {
+            good += 1;
+        }
+    }
+    f64::from(good) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{three_d_stack_yields, DieYieldModel, StackingFlow};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_sampler_matches_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (shape, scale) = (2.5, 0.08);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gamma(shape, scale, &mut rng)).collect();
+        #[allow(clippy::cast_precision_loss)]
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - shape * scale).abs() < 0.01, "mean {mean}");
+        assert!((var - shape * scale * scale).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn gamma_sampler_small_shape_branch() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let (shape, scale) = (0.5, 1.0);
+        let n = 50_000;
+        #[allow(clippy::cast_precision_loss)]
+        let mean = (0..n)
+            .map(|_| sample_gamma(shape, scale, &mut rng))
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_sampler_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let lambda = 3.0;
+        let n = 50_000;
+        #[allow(clippy::cast_precision_loss)]
+        let mean = (0..n)
+            .map(|_| sample_poisson(lambda, &mut rng) as f64)
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_eq15() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let area = Area::from_mm2(300.0);
+        let d0 = 0.13;
+        let alpha = 2.5;
+        let analytical = DieYieldModel::NegativeBinomial { alpha }
+            .die_yield(area, d0)
+            .unwrap();
+        let simulated = simulate_die_yield(area, d0, alpha, 60_000, &mut rng);
+        assert!(
+            (simulated - analytical).abs() < 0.01,
+            "sim {simulated} vs analytical {analytical}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_stack_overall() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dies = [0.92, 0.88, 0.95];
+        let bond = 0.96;
+        let analytical = three_d_stack_yields(&dies, bond, StackingFlow::DieToWafer)
+            .unwrap()
+            .overall();
+        let simulated = simulate_stack_survival(&dies, bond, 60_000, &mut rng);
+        assert!(
+            (simulated - analytical).abs() < 0.01,
+            "sim {simulated} vs analytical {analytical}"
+        );
+    }
+
+    #[test]
+    fn zero_defect_density_simulates_perfect_yield() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = simulate_die_yield(Area::from_mm2(100.0), 0.0, 2.0, 10, &mut rng);
+        assert_eq!(y, 1.0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            simulate_die_yield(Area::from_mm2(120.0), 0.1, 2.0, 5_000, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,457 @@
+//! Stacking-yield composition — the paper's Table 3.
+//!
+//! Eq. 4 divides each die's manufacturing carbon by a *composite* yield
+//! `Y_die_i`, and Eq. 11 divides each bonding step's carbon by a
+//! composite `Y_bonding_i`. Table 3 defines those composites for the
+//! four assembly flows. This module reproduces the table verbatim;
+//! where the published formulas are asymmetric (the top die of a D2W
+//! stack bears no bonding risk), we keep the published form and note it.
+
+use crate::die::{validate_component_yield, YieldError};
+use serde::{Deserialize, Serialize};
+
+/// How 3D tiers are mated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StackingFlow {
+    /// Die-to-wafer: dies are singulated and tested before stacking
+    /// (known-good-die), so each die carries only its own fab yield plus
+    /// the bonding steps that follow it.
+    DieToWafer,
+    /// Wafer-to-wafer: whole wafers are bonded blind; every die carries
+    /// the *product* of all tier yields (an undetected bad die kills the
+    /// whole stack position).
+    WaferToWafer,
+}
+
+impl core::fmt::Display for StackingFlow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StackingFlow::DieToWafer => write!(f, "D2W"),
+            StackingFlow::WaferToWafer => write!(f, "W2W"),
+        }
+    }
+}
+
+/// How 2.5D dies meet their substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssemblyFlow {
+    /// Chip-first (e.g. InFO): dies are embedded before the RDL is
+    /// built, so die carbon is additionally at the mercy of the
+    /// substrate yield.
+    ChipFirst,
+    /// Chip-last (e.g. CoWoS): the substrate is finished first and dies
+    /// are attached one by one; every attach step risks the work done
+    /// so far.
+    ChipLast,
+}
+
+impl core::fmt::Display for AssemblyFlow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AssemblyFlow::ChipFirst => write!(f, "chip-first"),
+            AssemblyFlow::ChipLast => write!(f, "chip-last"),
+        }
+    }
+}
+
+/// Composite yields of a 3D stack (Table 3, upper half).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreeDStackYields {
+    flow: StackingFlow,
+    die_composites: Vec<f64>,
+    bonding_composites: Vec<f64>,
+    overall: f64,
+}
+
+impl ThreeDStackYields {
+    /// The flow these composites were computed for.
+    #[must_use]
+    pub fn flow(&self) -> StackingFlow {
+        self.flow
+    }
+
+    /// Composite yield `Y_die_i` dividing die *i*'s carbon in Eq. 4
+    /// (0-based; die 0 is the base of the stack).
+    #[must_use]
+    pub fn die_composite(&self, i: usize) -> Option<f64> {
+        self.die_composites.get(i).copied()
+    }
+
+    /// All per-die composites, base die first.
+    #[must_use]
+    pub fn die_composites(&self) -> &[f64] {
+        &self.die_composites
+    }
+
+    /// Composite yield `Y_bonding_i` dividing bonding step *i*'s carbon
+    /// in Eq. 11 (0-based; step 0 attaches die 1 onto die 0; there are
+    /// `N − 1` steps).
+    #[must_use]
+    pub fn bonding_composite(&self, i: usize) -> Option<f64> {
+        self.bonding_composites.get(i).copied()
+    }
+
+    /// All per-step bonding composites.
+    #[must_use]
+    pub fn bonding_composites(&self) -> &[f64] {
+        &self.bonding_composites
+    }
+
+    /// Probability that one assembled stack is fully functional:
+    /// `Π y_die · y_bond^(N−1)` (flow-independent — the flows differ in
+    /// *whose carbon* is wasted, not in final stack survival).
+    #[must_use]
+    pub fn overall(&self) -> f64 {
+        self.overall
+    }
+
+    fn new(
+        flow: StackingFlow,
+        die_composites: Vec<f64>,
+        bonding_composites: Vec<f64>,
+        overall: f64,
+    ) -> Self {
+        Self {
+            flow,
+            die_composites,
+            bonding_composites,
+            overall,
+        }
+    }
+}
+
+/// Computes Table 3's composite yields for an `N`-die 3D stack.
+///
+/// * `die_yields` — fab yield `y_die_j` of each die, base first
+///   (`N ≥ 1`; a single "die" degenerates to no bonding).
+/// * `bond_yield` — per-step bonding yield `y_D2W` or `y_W2W`.
+///
+/// Published formulas (1-based `i`, `N` dies):
+///
+/// | flow | `Y_die_i` | `Y_bonding_i` |
+/// |------|-----------|----------------|
+/// | D2W | `y_die_i · y_b^(N−i)` | `y_b^(N−i)` |
+/// | W2W | `Π_j y_die_j · y_b^(N−1)` | `Π_j y_die_j · y_b^(N−1)` |
+///
+/// # Errors
+///
+/// Returns [`YieldError::InvalidComponentYield`] if any input yield is
+/// outside `(0, 1]`.
+pub fn three_d_stack_yields(
+    die_yields: &[f64],
+    bond_yield: f64,
+    flow: StackingFlow,
+) -> Result<ThreeDStackYields, YieldError> {
+    for &y in die_yields {
+        validate_component_yield(y)?;
+    }
+    validate_component_yield(bond_yield)?;
+    let n = die_yields.len();
+    let steps = n.saturating_sub(1);
+    let product: f64 = die_yields.iter().product();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+    let overall = product * bond_yield.powi(steps as i32);
+    let (die_composites, bonding_composites) = match flow {
+        StackingFlow::DieToWafer => {
+            let die = die_yields
+                .iter()
+                .enumerate()
+                .map(|(idx, &y)| {
+                    // 1-based i = idx + 1; exponent N − i = n − idx − 1.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let exp = (n - idx - 1) as i32;
+                    y * bond_yield.powi(exp)
+                })
+                .collect();
+            let bonds = (0..steps)
+                .map(|step| {
+                    // 1-based step i = step + 1; exponent N − i.
+                    #[allow(clippy::cast_possible_truncation)]
+                    let exp = (n - step - 1) as i32;
+                    bond_yield.powi(exp)
+                })
+                .collect();
+            (die, bonds)
+        }
+        StackingFlow::WaferToWafer => {
+            let composite = overall;
+            (vec![composite; n], vec![composite; steps])
+        }
+    };
+    Ok(ThreeDStackYields::new(
+        flow,
+        die_composites,
+        bonding_composites,
+        overall,
+    ))
+}
+
+/// Composite yields of a 2.5D assembly (Table 3, lower half).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assembly25dYields {
+    flow: AssemblyFlow,
+    die_composites: Vec<f64>,
+    substrate_composite: f64,
+    bonding_composites: Vec<f64>,
+    overall: f64,
+}
+
+impl Assembly25dYields {
+    /// The assembly flow.
+    #[must_use]
+    pub fn flow(&self) -> AssemblyFlow {
+        self.flow
+    }
+
+    /// Composite `Y_die_i` for die *i* (0-based).
+    #[must_use]
+    pub fn die_composite(&self, i: usize) -> Option<f64> {
+        self.die_composites.get(i).copied()
+    }
+
+    /// All per-die composites.
+    #[must_use]
+    pub fn die_composites(&self) -> &[f64] {
+        &self.die_composites
+    }
+
+    /// Composite `Y_substrate` dividing the interposer/RDL carbon.
+    #[must_use]
+    pub fn substrate_composite(&self) -> f64 {
+        self.substrate_composite
+    }
+
+    /// Composite `Y_bonding_i` for attach step *i* (0-based).
+    #[must_use]
+    pub fn bonding_composite(&self, i: usize) -> Option<f64> {
+        self.bonding_composites.get(i).copied()
+    }
+
+    /// All per-step bonding composites.
+    #[must_use]
+    pub fn bonding_composites(&self) -> &[f64] {
+        &self.bonding_composites
+    }
+
+    /// Probability the finished assembly works.
+    #[must_use]
+    pub fn overall(&self) -> f64 {
+        self.overall
+    }
+}
+
+/// Computes Table 3's composite yields for a 2.5D assembly of `N` dies
+/// on one substrate.
+///
+/// * `die_yields` — fab yield of each die.
+/// * `substrate_yield` — fab yield of the interposer / RDL / bridge.
+/// * `bond_yields` — per-die attach yield `y_bonding_j` (chip-last;
+///   must have the same length as `die_yields`). Chip-first flows fold
+///   attach risk into the substrate build and take `bond_yields` as the
+///   *embedding* yields whose product multiplies nothing per Table 3
+///   (the table pins `Y_bonding_i = 1`).
+///
+/// Published formulas (1-based, `N` dies):
+///
+/// | flow | `Y_die_i` | `Y_substrate` | `Y_bonding_i` |
+/// |------|-----------|---------------|----------------|
+/// | chip-first | `y_die_i · y_sub` | `y_sub` | `1` |
+/// | chip-last | `y_die_i · Π_j y_b_j` | `y_sub · Π_j y_b_j` | `Π_j y_b_j` |
+///
+/// # Errors
+///
+/// Returns [`YieldError::InvalidComponentYield`] on any yield outside
+/// `(0, 1]`, and treats a `bond_yields`/`die_yields` length mismatch in
+/// chip-last flows as an invalid component (reported with value −1).
+pub fn assembly_2_5d_yields(
+    die_yields: &[f64],
+    substrate_yield: f64,
+    bond_yields: &[f64],
+    flow: AssemblyFlow,
+) -> Result<Assembly25dYields, YieldError> {
+    for &y in die_yields {
+        validate_component_yield(y)?;
+    }
+    validate_component_yield(substrate_yield)?;
+    for &y in bond_yields {
+        validate_component_yield(y)?;
+    }
+    let n = die_yields.len();
+    match flow {
+        AssemblyFlow::ChipFirst => {
+            let die = die_yields
+                .iter()
+                .map(|&y| y * substrate_yield)
+                .collect::<Vec<_>>();
+            let die_product: f64 = die_yields.iter().product();
+            let overall = die_product * substrate_yield;
+            Ok(Assembly25dYields {
+                flow,
+                die_composites: die,
+                substrate_composite: substrate_yield,
+                bonding_composites: vec![1.0; n],
+                overall,
+            })
+        }
+        AssemblyFlow::ChipLast => {
+            if bond_yields.len() != n {
+                return Err(YieldError::InvalidComponentYield(-1.0));
+            }
+            let bond_product: f64 = bond_yields.iter().product();
+            let die = die_yields
+                .iter()
+                .map(|&y| y * bond_product)
+                .collect::<Vec<_>>();
+            let die_product: f64 = die_yields.iter().product();
+            let overall = die_product * substrate_yield * bond_product;
+            Ok(Assembly25dYields {
+                flow,
+                die_composites: die,
+                substrate_composite: substrate_yield * bond_product,
+                bonding_composites: vec![bond_product; n],
+                overall,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn d2w_two_die_stack_matches_table3() {
+        // Lakefield-style: base (memory) die y=0.92, top (logic) y=0.90,
+        // bond 0.95.
+        let y = three_d_stack_yields(&[0.92, 0.90], 0.95, StackingFlow::DieToWafer)
+            .unwrap();
+        // Base die (i=1): y · b^(2−1) = 0.92·0.95
+        assert!((y.die_composite(0).unwrap() - 0.92 * 0.95).abs() < EPS);
+        // Top die (i=2): y · b^0 = 0.90
+        assert!((y.die_composite(1).unwrap() - 0.90).abs() < EPS);
+        // One bonding step (i=1): b^(2−1)
+        assert!((y.bonding_composite(0).unwrap() - 0.95).abs() < EPS);
+        assert!((y.overall() - 0.92 * 0.90 * 0.95).abs() < EPS);
+    }
+
+    #[test]
+    fn w2w_everyone_bears_everything() {
+        let y = three_d_stack_yields(&[0.92, 0.90], 0.95, StackingFlow::WaferToWafer)
+            .unwrap();
+        let composite = 0.92 * 0.90 * 0.95;
+        for i in 0..2 {
+            assert!((y.die_composite(i).unwrap() - composite).abs() < EPS);
+        }
+        assert!((y.bonding_composite(0).unwrap() - composite).abs() < EPS);
+        assert!((y.overall() - composite).abs() < EPS);
+    }
+
+    #[test]
+    fn d2w_composites_dominate_w2w() {
+        // Known-good-die testing must never make a die's composite yield
+        // *worse* than blind wafer bonding.
+        let dies = [0.9, 0.85, 0.95, 0.8];
+        let d2w = three_d_stack_yields(&dies, 0.97, StackingFlow::DieToWafer).unwrap();
+        let w2w = three_d_stack_yields(&dies, 0.97, StackingFlow::WaferToWafer).unwrap();
+        for i in 0..dies.len() {
+            assert!(d2w.die_composite(i).unwrap() >= w2w.die_composite(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn four_die_d2w_exponents() {
+        let y = three_d_stack_yields(&[0.9; 4], 0.9, StackingFlow::DieToWafer).unwrap();
+        // die i (1-based) bears b^(4−i)
+        for (idx, expect_exp) in [(0usize, 3), (1, 2), (2, 1), (3, 0)] {
+            let expect = 0.9 * 0.9_f64.powi(expect_exp);
+            assert!((y.die_composite(idx).unwrap() - expect).abs() < EPS);
+        }
+        // bonding step i bears b^(4−i)
+        for (idx, expect_exp) in [(0usize, 3), (1, 2), (2, 1)] {
+            let expect = 0.9_f64.powi(expect_exp);
+            assert!((y.bonding_composite(idx).unwrap() - expect).abs() < EPS);
+        }
+        assert_eq!(y.bonding_composites().len(), 3);
+        assert_eq!(y.die_composites().len(), 4);
+        assert_eq!(y.flow(), StackingFlow::DieToWafer);
+    }
+
+    #[test]
+    fn single_die_stack_degenerates() {
+        for flow in [StackingFlow::DieToWafer, StackingFlow::WaferToWafer] {
+            let y = three_d_stack_yields(&[0.88], 0.95, flow).unwrap();
+            // No bonding steps; W2W composite = product of dies × b^0.
+            assert_eq!(y.bonding_composites().len(), 0);
+            assert!((y.die_composite(0).unwrap() - 0.88).abs() < EPS);
+            assert!((y.overall() - 0.88).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn chip_first_matches_table3() {
+        let y = assembly_2_5d_yields(
+            &[0.9, 0.8],
+            0.95,
+            &[0.99, 0.99],
+            AssemblyFlow::ChipFirst,
+        )
+        .unwrap();
+        assert!((y.die_composite(0).unwrap() - 0.9 * 0.95).abs() < EPS);
+        assert!((y.die_composite(1).unwrap() - 0.8 * 0.95).abs() < EPS);
+        assert!((y.substrate_composite() - 0.95).abs() < EPS);
+        assert!((y.bonding_composite(0).unwrap() - 1.0).abs() < EPS);
+        assert!((y.overall() - 0.9 * 0.8 * 0.95).abs() < EPS);
+        assert_eq!(y.flow(), AssemblyFlow::ChipFirst);
+    }
+
+    #[test]
+    fn chip_last_matches_table3() {
+        let dies = [0.9, 0.8];
+        let bonds = [0.98, 0.97];
+        let bond_product = 0.98 * 0.97;
+        let y = assembly_2_5d_yields(&dies, 0.95, &bonds, AssemblyFlow::ChipLast)
+            .unwrap();
+        assert!((y.die_composite(0).unwrap() - 0.9 * bond_product).abs() < EPS);
+        assert!((y.die_composite(1).unwrap() - 0.8 * bond_product).abs() < EPS);
+        assert!((y.substrate_composite() - 0.95 * bond_product).abs() < EPS);
+        for i in 0..2 {
+            assert!((y.bonding_composite(i).unwrap() - bond_product).abs() < EPS);
+        }
+        assert!((y.overall() - 0.9 * 0.8 * 0.95 * bond_product).abs() < EPS);
+    }
+
+    #[test]
+    fn invalid_yields_are_rejected() {
+        assert!(three_d_stack_yields(&[1.2], 0.9, StackingFlow::DieToWafer).is_err());
+        assert!(three_d_stack_yields(&[0.9], 0.0, StackingFlow::DieToWafer).is_err());
+        assert!(
+            assembly_2_5d_yields(&[0.9], -0.1, &[0.9], AssemblyFlow::ChipFirst).is_err()
+        );
+        assert!(
+            assembly_2_5d_yields(&[0.9], 0.9, &[f64::NAN], AssemblyFlow::ChipLast)
+                .is_err()
+        );
+        // Length mismatch in chip-last.
+        assert!(
+            assembly_2_5d_yields(&[0.9, 0.9], 0.9, &[0.9], AssemblyFlow::ChipLast)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn out_of_range_index_returns_none() {
+        let y = three_d_stack_yields(&[0.9, 0.9], 0.9, StackingFlow::DieToWafer).unwrap();
+        assert!(y.die_composite(2).is_none());
+        assert!(y.bonding_composite(1).is_none());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(StackingFlow::DieToWafer.to_string(), "D2W");
+        assert_eq!(StackingFlow::WaferToWafer.to_string(), "W2W");
+        assert_eq!(AssemblyFlow::ChipFirst.to_string(), "chip-first");
+        assert_eq!(AssemblyFlow::ChipLast.to_string(), "chip-last");
+    }
+}

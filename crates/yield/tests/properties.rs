@@ -1,0 +1,138 @@
+//! Property-based tests for the yield models.
+
+use proptest::prelude::*;
+use tdc_units::Area;
+use tdc_yield::{
+    assembly_2_5d_yields, three_d_stack_yields, AssemblyFlow, DieYieldModel, StackingFlow,
+};
+
+fn yield_value() -> impl Strategy<Value = f64> {
+    0.01..=1.0f64
+}
+
+proptest! {
+    #[test]
+    fn die_yield_is_a_probability(
+        area in 0.0..5_000.0f64,
+        d0 in 0.0..2.0f64,
+        alpha in 0.1..50.0f64,
+    ) {
+        for model in [
+            DieYieldModel::NegativeBinomial { alpha },
+            DieYieldModel::Poisson,
+            DieYieldModel::Murphy,
+        ] {
+            let y = model.die_yield(Area::from_mm2(area), d0).unwrap();
+            prop_assert!((0.0..=1.0).contains(&y), "{}: {y}", model.name());
+        }
+    }
+
+    #[test]
+    fn die_yield_monotone_in_area(
+        a1 in 1.0..2_000.0f64,
+        extra in 1.0..2_000.0f64,
+        d0 in 0.001..1.0f64,
+        alpha in 0.5..10.0f64,
+    ) {
+        let model = DieYieldModel::NegativeBinomial { alpha };
+        let small = model.die_yield(Area::from_mm2(a1), d0).unwrap();
+        let large = model.die_yield(Area::from_mm2(a1 + extra), d0).unwrap();
+        prop_assert!(large <= small);
+    }
+
+    #[test]
+    fn die_yield_monotone_in_defect_density(
+        area in 1.0..2_000.0f64,
+        d0 in 0.001..1.0f64,
+        extra in 0.001..1.0f64,
+    ) {
+        for model in [
+            DieYieldModel::NegativeBinomial { alpha: 2.5 },
+            DieYieldModel::Poisson,
+            DieYieldModel::Murphy,
+        ] {
+            let lo = model.die_yield(Area::from_mm2(area), d0).unwrap();
+            let hi = model.die_yield(Area::from_mm2(area), d0 + extra).unwrap();
+            prop_assert!(hi <= lo, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn clustering_always_helps(
+        area in 1.0..2_000.0f64,
+        d0 in 0.001..1.0f64,
+        alpha in 0.5..20.0f64,
+    ) {
+        // Negative binomial ≥ Poisson for any finite clustering.
+        let nb = DieYieldModel::NegativeBinomial { alpha }
+            .die_yield(Area::from_mm2(area), d0)
+            .unwrap();
+        let poisson = DieYieldModel::Poisson
+            .die_yield(Area::from_mm2(area), d0)
+            .unwrap();
+        prop_assert!(nb >= poisson - 1e-12);
+    }
+
+    #[test]
+    fn stack_composites_are_probabilities_and_d2w_dominates(
+        dies in proptest::collection::vec(yield_value(), 1..6),
+        bond in yield_value(),
+    ) {
+        let d2w = three_d_stack_yields(&dies, bond, StackingFlow::DieToWafer).unwrap();
+        let w2w = three_d_stack_yields(&dies, bond, StackingFlow::WaferToWafer).unwrap();
+        for i in 0..dies.len() {
+            let yd = d2w.die_composite(i).unwrap();
+            let yw = w2w.die_composite(i).unwrap();
+            prop_assert!((0.0..=1.0).contains(&yd));
+            prop_assert!((0.0..=1.0).contains(&yw));
+            // Known-good-die can never be worse than blind bonding.
+            prop_assert!(yd >= yw - 1e-12);
+        }
+        prop_assert!((d2w.overall() - w2w.overall()).abs() < 1e-12,
+            "overall stack survival is flow-independent");
+    }
+
+    #[test]
+    fn stack_overall_is_product_form(
+        dies in proptest::collection::vec(yield_value(), 1..6),
+        bond in yield_value(),
+    ) {
+        let stack = three_d_stack_yields(&dies, bond, StackingFlow::DieToWafer).unwrap();
+        let product: f64 = dies.iter().product();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        let expect = product * bond.powi(dies.len() as i32 - 1);
+        prop_assert!((stack.overall() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assembly_composites_are_probabilities(
+        dies in proptest::collection::vec(yield_value(), 1..6),
+        substrate in yield_value(),
+        bond in yield_value(),
+    ) {
+        let bonds = vec![bond; dies.len()];
+        for flow in [AssemblyFlow::ChipFirst, AssemblyFlow::ChipLast] {
+            let y = assembly_2_5d_yields(&dies, substrate, &bonds, flow).unwrap();
+            for i in 0..dies.len() {
+                prop_assert!((0.0..=1.0).contains(&y.die_composite(i).unwrap()));
+            }
+            prop_assert!((0.0..=1.0).contains(&y.substrate_composite()));
+            prop_assert!((0.0..=1.0).contains(&y.overall()));
+        }
+    }
+
+    #[test]
+    fn chip_first_spares_the_attach_risk(
+        dies in proptest::collection::vec(yield_value(), 2..5),
+        substrate in yield_value(),
+        bond in 0.01..0.999f64,
+    ) {
+        let bonds = vec![bond; dies.len()];
+        let first =
+            assembly_2_5d_yields(&dies, substrate, &bonds, AssemblyFlow::ChipFirst).unwrap();
+        // Chip-first bonding composites are pinned at 1 per Table 3.
+        for i in 0..dies.len() {
+            prop_assert_eq!(first.bonding_composite(i).unwrap(), 1.0);
+        }
+    }
+}

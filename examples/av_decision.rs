@@ -1,0 +1,73 @@
+//! Sustainable decision-making for an autonomous-vehicle platform —
+//! the paper's §5.2 scenario as an application.
+//!
+//! Should a fleet operator *choose* a 3D/2.5D redesign for new
+//! vehicles, and should they *replace* the computers in vehicles
+//! already on the road? The answer depends on the embodied/operational
+//! trade and the vehicle's remaining lifetime.
+//!
+//! ```text
+//! cargo run --example av_decision
+//! ```
+
+use threed_carbon::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    let model = CarbonModel::new(ModelContext::default());
+    let profile = AvMissionProfile::default();
+
+    let spec = DriveSeries::Orin.spec();
+    let workload = profile.workload(spec.required_throughput);
+    let baseline = spec.as_2d_design();
+
+    println!(
+        "Fleet decision for {} ({} driving h/day, {:.0}-year life):\n",
+        spec.name,
+        profile.driving_hours_per_day,
+        profile.lifetime_years
+    );
+
+    for (label, design) in candidate_designs(&spec, SplitStrategy::Homogeneous)?
+        .into_iter()
+        .skip(1)
+    {
+        let cmp = model.compare(&baseline, &design, &workload)?;
+        if !cmp.alt.operational.is_viable() {
+            println!("{label:>8}: rejected — interface bandwidth below requirement");
+            continue;
+        }
+        let lifetime = profile.lifetime();
+        let choose = cmp.metrics.recommend_choosing(lifetime);
+        let replace = cmp.metrics.recommend_replacing(lifetime);
+        println!(
+            "{label:>8}: embodied {:+.1}%, lifecycle {:+.1}% → {} new fleets; {} retrofits",
+            -cmp.embodied_save.percent(),
+            -cmp.overall_save.percent(),
+            if choose { "USE for" } else { "skip for" },
+            if replace { "DO" } else { "skip" },
+        );
+        match cmp.metrics.outcome {
+            ChoiceOutcome::AlwaysBetter => {
+                println!("          (better at any lifetime)");
+            }
+            ChoiceOutcome::BetterUntil(t) => {
+                println!(
+                    "          (stays ahead of 2D until year {:.1})",
+                    t.years()
+                );
+            }
+            ChoiceOutcome::BetterAfter(t) => {
+                println!("          (pays off after year {:.1})", t.years());
+            }
+            ChoiceOutcome::NeverBetter => {}
+        }
+    }
+
+    println!(
+        "\nRule of thumb reproduced from the paper: choosing efficient 3D/2.5D \
+         redesigns for *new* vehicles saves carbon, but replacing working 2D \
+         silicon almost never does — the new chip's embodied carbon is too \
+         large to win back within the fleet's life."
+    );
+    Ok(())
+}

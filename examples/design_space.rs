@@ -1,0 +1,95 @@
+//! Design-space exploration: sweep one design across every process
+//! node, integration technology, and fab location in a few
+//! milliseconds — the "early design stage" use-case the paper's
+//! conclusion targets.
+//!
+//! ```text
+//! cargo run --example design_space
+//! ```
+
+use threed_carbon::prelude::*;
+
+fn two_die_design(
+    node: ProcessNode,
+    gates: f64,
+    tech: IntegrationTechnology,
+) -> Result<ChipDesign, ModelError> {
+    let half = gates / 2.0;
+    let die = |name: &str| DieSpec::builder(name, node).gate_count(half).build();
+    match tech.family() {
+        IntegrationFamily::ThreeD => {
+            let (orientation, flow) = if tech == IntegrationTechnology::Monolithic3d {
+                (StackOrientation::FaceToBack, None)
+            } else {
+                (StackOrientation::FaceToFace, Some(StackingFlow::DieToWafer))
+            };
+            ChipDesign::stack_3d(vec![die("a")?, die("b")?], tech, orientation, flow)
+        }
+        IntegrationFamily::TwoPointFiveD => {
+            ChipDesign::assembly_25d(vec![die("a")?, die("b")?], tech)
+        }
+    }
+}
+
+fn main() -> Result<(), ModelError> {
+    let gates = 10.0e9;
+    println!("Embodied carbon (kg CO2e) of a {:.0} G-gate chip, two-die designs:\n", gates / 1.0e9);
+
+    // Header.
+    print!("{:>8}", "node");
+    for tech in IntegrationTechnology::ALL {
+        print!("{:>9}", tech.label());
+    }
+    println!("{:>9}", "2D ref");
+
+    let model = CarbonModel::new(ModelContext::default());
+    let mut best: Option<(f64, ProcessNode, String)> = None;
+    for node in [
+        ProcessNode::N28,
+        ProcessNode::N16,
+        ProcessNode::N12,
+        ProcessNode::N7,
+        ProcessNode::N5,
+        ProcessNode::N3,
+    ] {
+        print!("{:>8}", node.to_string());
+        for tech in IntegrationTechnology::ALL {
+            let design = two_die_design(node, gates, tech)?;
+            let total = model.embodied(&design)?.total();
+            print!("{:>9.2}", total.kg());
+            if best.as_ref().is_none_or(|(b, _, _)| total.kg() < *b) {
+                best = Some((total.kg(), node, tech.label().to_owned()));
+            }
+        }
+        let mono = ChipDesign::monolithic_2d(
+            DieSpec::builder("ref", node).gate_count(gates).build()?,
+        );
+        println!("{:>9.2}", model.embodied(&mono)?.total().kg());
+    }
+
+    if let Some((kg, node, tech)) = best {
+        println!("\nlowest embodied: {kg:.2} kg at {node} with {tech}");
+    }
+
+    println!("\nSame design, fab-location sensitivity (7 nm hybrid-bond stack):");
+    for region in [
+        GridRegion::CoalHeavy,
+        GridRegion::Taiwan,
+        GridRegion::UnitedStates,
+        GridRegion::France,
+        GridRegion::Renewable,
+    ] {
+        let model = CarbonModel::new(ModelContext::builder().fab_region(region).build());
+        let design = two_die_design(
+            ProcessNode::N7,
+            gates,
+            IntegrationTechnology::HybridBonding3d,
+        )?;
+        println!(
+            "  {:<28} {:>8.2} kg",
+            region.to_string(),
+            model.embodied(&design)?.total().kg()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Heterogeneous die division: isolate a SoC's memory and I/O into a
+//! cheap 28 nm die and keep only the logic on the leading-edge node —
+//! the paper's §5 "heterogeneous approach".
+//!
+//! Sweeps the memory/IO fraction to show when the strategy pays and
+//! when it stops helping (the paper finds it saves *less* than the
+//! homogeneous split because the second die is small and the old node
+//! only helps the area it carries).
+//!
+//! ```text
+//! cargo run --example heterogeneous_split
+//! ```
+
+use threed_carbon::prelude::*;
+use threed_carbon::workloads::heterogeneous_split;
+
+fn main() -> Result<(), ModelError> {
+    let model = CarbonModel::new(ModelContext::default());
+    let spec = DriveSeries::Orin.spec();
+    let workload = AvMissionProfile::default().workload(spec.required_throughput);
+    let baseline = spec.as_2d_design();
+    let base_report = model.lifecycle(&baseline, &workload)?;
+
+    println!(
+        "ORIN 2D baseline: {:.2} kg embodied, {:.2} kg lifecycle\n",
+        base_report.embodied.total().kg(),
+        base_report.total().kg()
+    );
+
+    println!("Paper's configuration (20 % of gates to a 28 nm mem/IO die):\n");
+    for tech in [
+        IntegrationTechnology::HybridBonding3d,
+        IntegrationTechnology::Monolithic3d,
+        IntegrationTechnology::Emib,
+    ] {
+        let design = heterogeneous_split(&spec, tech)?;
+        let report = model.lifecycle(&design, &workload)?;
+        let emb_save = Ratio::saving(
+            base_report.embodied.total().kg(),
+            report.embodied.total().kg(),
+        )
+        .unwrap_or(Ratio::ZERO);
+        println!(
+            "  {:<8} embodied {:>6.2} kg (saves {:>6.2} %), lifecycle {:>6.2} kg, {}",
+            format!("{}:", tech.label()),
+            report.embodied.total().kg(),
+            emb_save.percent(),
+            report.total().kg(),
+            if report.operational.is_viable() {
+                "viable"
+            } else {
+                "bandwidth-invalid"
+            }
+        );
+    }
+
+    println!("\nSweep of the memory/IO fraction (hybrid bonding):\n");
+    println!("  fraction   embodied kg   vs 2D");
+    for percent in [10u32, 20, 30, 40, 50] {
+        let fraction = f64::from(percent) / 100.0;
+        let dies = {
+            use threed_carbon::workloads::SplitStrategy;
+            let strategy = SplitStrategy::Heterogeneous {
+                memio_fraction: fraction,
+                memio_node: ProcessNode::N28,
+            };
+            candidate_designs(&spec, strategy)?
+                .into_iter()
+                .find(|(label, _)| label == "Hybrid")
+                .expect("hybrid candidate exists")
+                .1
+        };
+        let report = model.embodied(&dies)?;
+        let save = Ratio::saving(base_report.embodied.total().kg(), report.total().kg())
+            .unwrap_or(Ratio::ZERO);
+        println!(
+            "  {:>7} %   {:>9.2}   {:>+6.2} %",
+            percent,
+            report.total().kg(),
+            -save.percent()
+        );
+    }
+
+    println!(
+        "\nCompare with the homogeneous split of the same chip, which saves more \
+         (run `cargo run -p tdc-bench --bin table5_decision`)."
+    );
+    Ok(())
+}

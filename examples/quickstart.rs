@@ -1,0 +1,69 @@
+//! Quickstart: life-cycle carbon of one chip, three ways.
+//!
+//! Builds an Orin-class SoC as (a) a monolithic 2D die, (b) a two-tier
+//! hybrid-bonded 3D stack, and (c) a two-die EMIB 2.5D assembly, and
+//! prints the full embodied + operational breakdown for each.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use threed_carbon::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    // --- Describe the silicon -------------------------------------------
+    // 17 G gates at 7 nm, 2.74 TOPS/W (NVIDIA Orin's public numbers).
+    let monolith = ChipDesign::monolithic_2d(
+        DieSpec::builder("orin", ProcessNode::N7)
+            .gate_count(17.0e9)
+            .efficiency(Efficiency::from_tops_per_watt(2.74))
+            .build()?,
+    );
+
+    let half = |name: &str| {
+        DieSpec::builder(name, ProcessNode::N7)
+            .gate_count(8.5e9)
+            .efficiency(Efficiency::from_tops_per_watt(2.74))
+            .build()
+    };
+
+    let stack = ChipDesign::stack_3d(
+        vec![half("tier0")?, half("tier1")?],
+        IntegrationTechnology::HybridBonding3d,
+        StackOrientation::FaceToFace,
+        Some(StackingFlow::DieToWafer),
+    )?;
+
+    let assembly = ChipDesign::assembly_25d(
+        vec![half("west")?, half("east")?],
+        IntegrationTechnology::Emib,
+    )?;
+
+    // --- Describe the mission -------------------------------------------
+    // A 10-year AV deployment sustaining 254 TOPS while driving.
+    let workload = av_workload(Throughput::from_tops(254.0));
+
+    // --- Evaluate ---------------------------------------------------------
+    let model = CarbonModel::new(ModelContext::default());
+    for design in [&monolith, &stack, &assembly] {
+        let report = model.lifecycle(design, &workload)?;
+        println!("{report}\n");
+    }
+
+    // --- Decide -----------------------------------------------------------
+    let cmp = model.compare(&monolith, &stack, &workload)?;
+    println!(
+        "hybrid 3D vs 2D: saves {:.1} of embodied and {:.1} of lifecycle carbon",
+        cmp.embodied_save.as_percent_display(),
+        cmp.overall_save.as_percent_display(),
+    );
+    println!(
+        "choose it for a 10-year deployment? {}",
+        if cmp.metrics.recommend_choosing(TimeSpan::from_years(10.0)) {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    Ok(())
+}

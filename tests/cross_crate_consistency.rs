@@ -1,0 +1,192 @@
+//! Consistency checks across crates: the same physics computed through
+//! different paths must agree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use threed_carbon::baselines::{greenchip, ActModel};
+use threed_carbon::prelude::*;
+use threed_carbon::yields::{monte_carlo, DieYieldModel};
+
+fn model() -> CarbonModel {
+    CarbonModel::new(ModelContext::default())
+}
+
+/// Core's `DecisionMetrics` must agree with GreenChip's raw Eq. 2
+/// formulas wherever the latter produce a positive, finite crossing.
+#[test]
+fn decision_metrics_match_greenchip_formulas() {
+    let ci = CarbonIntensity::from_g_per_kwh(475.0);
+    let cases = [
+        (100.0, 150.0, 100.0, 80.0),
+        (100.0, 70.0, 100.0, 105.0),
+        (50.0, 60.0, 30.0, 25.0),
+        (10.0, 9.0, 5.0, 4.0),
+    ];
+    for (emb_2d, emb_alt, p_2d, p_alt) in cases {
+        let metrics = threed_carbon::DecisionMetrics::evaluate(
+            Co2Mass::from_kg(emb_2d),
+            Power::from_watts(p_2d),
+            Co2Mass::from_kg(emb_alt),
+            Power::from_watts(p_alt),
+            ci,
+        );
+        let tc_raw = greenchip::indifference_point(
+            Co2Mass::from_kg(emb_2d),
+            Co2Mass::from_kg(emb_alt),
+            Power::from_watts(p_2d),
+            Power::from_watts(p_alt),
+            ci,
+        )
+        .unwrap();
+        let tr_raw = greenchip::breakeven_time(
+            Co2Mass::from_kg(emb_alt),
+            Power::from_watts(p_2d),
+            Power::from_watts(p_alt),
+            ci,
+        );
+        if tc_raw.hours().is_finite() && tc_raw.hours() > 0.0 {
+            assert!(
+                (metrics.tc.hours() - tc_raw.hours()).abs() < 1e-6,
+                "tc mismatch for {emb_2d}/{emb_alt}/{p_2d}/{p_alt}"
+            );
+        }
+        assert_eq!(metrics.tr.is_infinite(), tr_raw.is_infinite());
+        if !tr_raw.is_infinite() {
+            assert!((metrics.tr.hours() - tr_raw.hours()).abs() < 1e-6);
+        }
+    }
+}
+
+/// A 2D die run through 3D-Carbon with the BEOL adjustment disabled
+/// differs from ACT only by the dies-per-wafer edge losses and the
+/// area-based packaging — both strictly positive, bounded effects.
+#[test]
+fn act_and_core_agree_on_2d_dies_up_to_known_mechanisms() {
+    let ctx = ModelContext::builder().beol_adjustment(false).build();
+    let m = CarbonModel::new(ctx);
+    let act = ActModel::default();
+    for (node, mm2) in [
+        (ProcessNode::N7, 74.0),
+        (ProcessNode::N14, 416.0),
+        (ProcessNode::N28, 100.0),
+    ] {
+        let design = ChipDesign::monolithic_2d(
+            DieSpec::builder("die", node)
+                .area(Area::from_mm2(mm2))
+                .build()
+                .unwrap(),
+        );
+        let core_die = m.embodied(&design).unwrap().die_carbon;
+        let act_die = act.die_embodied(node, Area::from_mm2(mm2)).unwrap();
+        // Same per-area data and yield model → core must sit above ACT
+        // (edge losses waste wafer area) but within 25 %.
+        let ratio = core_die.kg() / act_die.kg();
+        assert!(
+            (1.0..1.25).contains(&ratio),
+            "{node} {mm2} mm²: core/ACT = {ratio}"
+        );
+    }
+}
+
+/// The negative-binomial closed form agrees with the seeded
+/// Monte-Carlo defect simulation, through the public API.
+#[test]
+fn eq15_matches_monte_carlo() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for (mm2, d0, alpha) in [(74.0, 0.13, 2.5), (416.0, 0.09, 3.0), (455.0, 0.13, 2.5)] {
+        let area = Area::from_mm2(mm2);
+        let analytical = DieYieldModel::NegativeBinomial { alpha }
+            .die_yield(area, d0)
+            .unwrap();
+        let simulated = monte_carlo::simulate_die_yield(area, d0, alpha, 40_000, &mut rng);
+        assert!(
+            (analytical - simulated).abs() < 0.015,
+            "{mm2} mm²: analytical {analytical} vs simulated {simulated}"
+        );
+    }
+}
+
+/// A 3D stack with perfect bonding yield and free bonding energy
+/// converges to the sum of its dies evaluated separately (the
+/// degenerate-configuration identity).
+#[test]
+fn stack_degenerates_to_sum_of_dies() {
+    use threed_carbon::integration::{BondingMethod, BondingProcess, IntegrationCatalog};
+    use threed_carbon::units::EnergyPerArea;
+
+    let mut catalog = IntegrationCatalog::default();
+    catalog.set_bonding(
+        IntegrationTechnology::HybridBonding3d,
+        BondingProcess::new(
+            BondingMethod::HybridBonding,
+            EnergyPerArea::from_kwh_per_cm2(1.0e-9),
+            EnergyPerArea::from_kwh_per_cm2(1.0e-9),
+            1.0,
+            1.0,
+        )
+        .unwrap(),
+    );
+    let ctx = ModelContext::builder().catalog(catalog).build();
+    let m = CarbonModel::new(ctx);
+
+    let die = |name: &str| {
+        DieSpec::builder(name, ProcessNode::N7)
+            .area(Area::from_mm2(100.0))
+            .build()
+            .unwrap()
+    };
+    let stack = ChipDesign::stack_3d(
+        vec![die("a"), die("b")],
+        IntegrationTechnology::HybridBonding3d,
+        StackOrientation::FaceToFace,
+        Some(StackingFlow::DieToWafer),
+    )
+    .unwrap();
+    let single = ChipDesign::monolithic_2d(die("solo"));
+
+    let stack_b = m.embodied(&stack).unwrap();
+    let single_b = m.embodied(&single).unwrap();
+    // With unit bonding yield and ~zero bonding energy, per-die carbon
+    // in the stack equals the standalone die's.
+    assert!(
+        (stack_b.die_carbon.kg() - 2.0 * single_b.die_carbon.kg()).abs()
+            / stack_b.die_carbon.kg()
+            < 1e-9
+    );
+    assert!(stack_b.bonding_carbon.kg() < 1e-6);
+}
+
+/// The facade re-exports the same types as the member crates.
+#[test]
+fn facade_reexports_are_the_same_types() {
+    let a: threed_carbon::ProcessNode = ProcessNode::N7;
+    let b: threed_carbon::technode::ProcessNode = a;
+    assert_eq!(b.nanometers(), 7);
+    let w: threed_carbon::model::Workload =
+        Workload::fixed("x", Throughput::from_tops(1.0), TimeSpan::from_hours(1.0));
+    assert_eq!(w.phases().len(), 1);
+}
+
+/// Operational carbon through the core model equals Eq. 16 computed by
+/// hand from the reported power and duration (2D case, no stretch).
+#[test]
+fn eq16_hand_check() {
+    let m = model();
+    let design = ChipDesign::monolithic_2d(
+        DieSpec::builder("orin", ProcessNode::N7)
+            .gate_count(17.0e9)
+            .efficiency(Efficiency::from_tops_per_watt(2.74))
+            .build()
+            .unwrap(),
+    );
+    let w = Workload::fixed(
+        "drive",
+        Throughput::from_tops(254.0),
+        TimeSpan::from_hours(1_000.0),
+    );
+    let report = m.operational(&design, &w).unwrap();
+    let expect_kwh = (254.0 / 2.74) * 1_000.0 / 1_000.0; // W × h → kWh
+    assert!((report.energy.kwh() - expect_kwh).abs() < 1e-9);
+    let expect_carbon = 0.475 * expect_kwh;
+    assert!((report.carbon.kg() - expect_carbon).abs() < 1e-6);
+}

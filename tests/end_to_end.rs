@@ -1,0 +1,195 @@
+//! End-to-end workflows a downstream user would actually run:
+//! serialization of reports, deep stacks, wafer-size studies, the
+//! sweep API, and the logistics extension.
+
+use threed_carbon::model::sweep::DesignSweep;
+use threed_carbon::model::ComparisonReport;
+use threed_carbon::prelude::*;
+use threed_carbon::workloads::hbm_stack;
+
+fn model() -> CarbonModel {
+    CarbonModel::new(ModelContext::default())
+}
+
+fn orin_workload() -> Workload {
+    av_workload(Throughput::from_tops(254.0))
+}
+
+/// Reports are data structures (C-SERDE): the main report types
+/// implement `Serialize`/`Deserialize`/`Clone`/`PartialEq`, so they
+/// can leave the process (dashboards, caching, CI artifacts).
+#[test]
+fn reports_are_data_structures() {
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    assert_serde::<LifecycleReport>();
+    assert_serde::<EmbodiedBreakdown>();
+    assert_serde::<OperationalReport>();
+    assert_serde::<ComparisonReport>();
+    assert_serde::<DecisionMetrics>();
+    assert_serde::<ChipDesign>();
+    assert_serde::<Workload>();
+
+    let m = model();
+    let design = DriveSeries::Orin.spec().as_2d_design();
+    let report = m.lifecycle(&design, &orin_workload()).unwrap();
+    let copy = report.clone();
+    assert_eq!(copy, report);
+}
+
+/// Deep F2B stacks (the HBM path) behave monotonically in tier count
+/// for both flows, end to end.
+#[test]
+fn hbm_depth_monotonicity() {
+    let m = model();
+    let mut prev_d2w = 0.0;
+    let mut prev_w2w = 0.0;
+    for tiers in [1, 2, 4, 8] {
+        let d2w = m
+            .embodied(&hbm_stack(tiers, StackingFlow::DieToWafer).unwrap())
+            .unwrap()
+            .total()
+            .kg();
+        let w2w = m
+            .embodied(&hbm_stack(tiers, StackingFlow::WaferToWafer).unwrap())
+            .unwrap()
+            .total()
+            .kg();
+        assert!(d2w > prev_d2w);
+        assert!(w2w > prev_w2w);
+        assert!(w2w > d2w, "blind bonding always costs more at depth {tiers}");
+        prev_d2w = d2w;
+        prev_w2w = w2w;
+    }
+}
+
+/// Bigger wafers amortize edge losses: moving EPYC production from
+/// 300 mm to 450 mm wafers cuts per-part die carbon; 200 mm raises it.
+#[test]
+fn wafer_size_study() {
+    let design = threed_carbon::workloads::epyc_7452().unwrap();
+    let per_wafer = |wafer| {
+        CarbonModel::new(ModelContext::builder().wafer(wafer).build())
+            .embodied(&design)
+            .unwrap()
+            .die_carbon
+            .kg()
+    };
+    let w200 = per_wafer(Wafer::W200);
+    let w300 = per_wafer(Wafer::W300);
+    let w450 = per_wafer(Wafer::W450);
+    assert!(w200 > w300, "{w200} !> {w300}");
+    assert!(w300 > w450, "{w300} !> {w450}");
+    // The effect is edge losses only — well under 2×.
+    assert!(w200 / w450 < 2.0);
+}
+
+/// The sweep API reproduces the hand-rolled Fig. 5 comparison: its
+/// best viable Orin point matches the best of the candidate list.
+#[test]
+fn sweep_agrees_with_candidate_enumeration() {
+    let m = model();
+    let workload = orin_workload();
+    let spec = DriveSeries::Orin.spec();
+
+    let sweep_best = DesignSweep::new(spec.gate_count)
+        .nodes(vec![ProcessNode::N7])
+        .efficiency(spec.efficiency)
+        .best(&m, &workload)
+        .unwrap()
+        .expect("a viable point exists");
+
+    let manual_best = candidate_designs(&spec, SplitStrategy::Homogeneous)
+        .unwrap()
+        .into_iter()
+        .filter_map(|(label, design)| {
+            let r = m.lifecycle(&design, &workload).ok()?;
+            r.operational.is_viable().then(|| (label, r.total().kg()))
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+
+    assert_eq!(
+        sweep_best.technology.map(|t| t.label().to_owned()),
+        Some(manual_best.0.clone()),
+        "sweep best {} vs manual best {}",
+        sweep_best.label,
+        manual_best.0
+    );
+    assert!((sweep_best.report.total().kg() - manual_best.1).abs() < 1e-9);
+}
+
+/// The logistics extension stays a small correction for leading-edge
+/// parts and composes with the lifecycle report.
+#[test]
+fn logistics_extension_composes() {
+    use threed_carbon::model::logistics::LogisticsProfile;
+    let m = model();
+    let report = m
+        .lifecycle(&DriveSeries::Orin.spec().as_2d_design(), &orin_workload())
+        .unwrap();
+    let extras = LogisticsProfile::air_freight().extras(&report.embodied);
+    let four_phase_total = report.total() + extras.total();
+    assert!(four_phase_total > report.total());
+    assert!(extras.total().kg() / four_phase_total.kg() < 0.03);
+    // Sea freight strictly cleaner.
+    let sea = LogisticsProfile::sea_freight().extras(&report.embodied);
+    assert!(sea.total() < extras.total());
+}
+
+/// `compare` is antisymmetric-ish: swapping base and alt flips the
+/// sign of the embodied delta and inverts the recommendation direction.
+#[test]
+fn comparison_symmetry() {
+    let m = model();
+    let workload = orin_workload();
+    let spec = DriveSeries::Orin.spec();
+    let base = spec.as_2d_design();
+    let alt = candidate_designs(&spec, SplitStrategy::Homogeneous)
+        .unwrap()
+        .into_iter()
+        .find(|(l, _)| l == "Hybrid")
+        .unwrap()
+        .1;
+    let fwd: ComparisonReport = m.compare(&base, &alt, &workload).unwrap();
+    let rev: ComparisonReport = m.compare(&alt, &base, &workload).unwrap();
+    assert!(
+        (fwd.metrics.embodied_delta.kg() + rev.metrics.embodied_delta.kg()).abs() < 1e-9
+    );
+    assert!((fwd.metrics.power_saving.watts() + rev.metrics.power_saving.watts()).abs() < 1e-9);
+    // Hybrid dominates 2D here, so the reverse comparison must say the
+    // 2D design is never better.
+    assert_eq!(fwd.metrics.outcome, ChoiceOutcome::AlwaysBetter);
+    assert_eq!(rev.metrics.outcome, ChoiceOutcome::NeverBetter);
+}
+
+/// Everything composes: a custom context (clean fab, dirty use, small
+/// wafer, Murphy yield) still satisfies Eq. 1/Eq. 3 additivity on a
+/// 2.5D design.
+#[test]
+fn custom_context_full_stack() {
+    let ctx = ModelContext::builder()
+        .fab_region(GridRegion::France)
+        .use_region(GridRegion::CoalHeavy)
+        .wafer(Wafer::W200)
+        .die_yield(DieYieldChoice::Murphy)
+        .build();
+    let m = CarbonModel::new(ctx);
+    let design = ChipDesign::assembly_25d(
+        vec![
+            DieSpec::builder("l", ProcessNode::N7).gate_count(4.0e9).build().unwrap(),
+            DieSpec::builder("r", ProcessNode::N12).gate_count(4.0e9).build().unwrap(),
+        ],
+        IntegrationTechnology::Emib,
+    )
+    .unwrap();
+    let r = m.lifecycle(&design, &orin_workload()).unwrap();
+    let b = &r.embodied;
+    let parts = b.die_carbon
+        + b.bonding_carbon
+        + b.packaging_carbon
+        + b.substrate.as_ref().map(|s| s.carbon).unwrap_or(Co2Mass::ZERO);
+    assert!((b.total().kg() - parts.kg()).abs() < 1e-12);
+    assert!((r.total().kg() - (b.total() + r.operational.carbon).kg()).abs() < 1e-12);
+    // Mixed-node dies evaluated against their own node tables.
+    assert_ne!(b.dies[0].wafer_carbon, b.dies[1].wafer_carbon);
+}

@@ -1,0 +1,231 @@
+//! Property-based tests on the full 3D-Carbon model: invariants that
+//! must hold for *any* physically sensible design, not just the paper's
+//! case studies.
+
+use proptest::prelude::*;
+use threed_carbon::prelude::*;
+
+fn model() -> CarbonModel {
+    CarbonModel::new(ModelContext::default())
+}
+
+fn any_node() -> impl Strategy<Value = ProcessNode> {
+    prop::sample::select(ProcessNode::ALL.to_vec())
+}
+
+fn any_3d_tech() -> impl Strategy<Value = IntegrationTechnology> {
+    prop::sample::select(vec![
+        IntegrationTechnology::MicroBump3d,
+        IntegrationTechnology::HybridBonding3d,
+    ])
+}
+
+fn any_25d_tech() -> impl Strategy<Value = IntegrationTechnology> {
+    prop::sample::select(vec![
+        IntegrationTechnology::Mcm,
+        IntegrationTechnology::InfoChipFirst,
+        IntegrationTechnology::InfoChipLast,
+        IntegrationTechnology::Emib,
+        IntegrationTechnology::SiliconInterposer,
+    ])
+}
+
+fn die(name: &str, node: ProcessNode, gates: f64) -> DieSpec {
+    DieSpec::builder(name, node).gate_count(gates).build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn embodied_carbon_is_positive_and_additive(
+        node in any_node(),
+        gates in 1.0e8..1.0e10f64,
+    ) {
+        let m = model();
+        let b = m
+            .embodied(&ChipDesign::monolithic_2d(die("d", node, gates)))
+            .unwrap();
+        prop_assert!(b.total().kg() > 0.0);
+        let parts = b.die_carbon + b.bonding_carbon + b.packaging_carbon;
+        prop_assert!((b.total().kg() - parts.kg()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_gates_cost_more_carbon(
+        node in any_node(),
+        gates in 1.0e8..1.0e10f64,
+        factor in 1.2..2.0f64,
+    ) {
+        let m = model();
+        let small = m
+            .embodied(&ChipDesign::monolithic_2d(die("s", node, gates)))
+            .unwrap()
+            .total();
+        let large = m
+            .embodied(&ChipDesign::monolithic_2d(die("l", node, gates * factor)))
+            .unwrap()
+            .total();
+        prop_assert!(large > small);
+    }
+
+    #[test]
+    fn cleaner_fab_grid_never_hurts(
+        node in any_node(),
+        gates in 1.0e8..1.0e10f64,
+    ) {
+        let dirty = CarbonModel::new(
+            ModelContext::builder().fab_region(GridRegion::CoalHeavy).build(),
+        );
+        let clean = CarbonModel::new(
+            ModelContext::builder().fab_region(GridRegion::Renewable).build(),
+        );
+        let design = ChipDesign::monolithic_2d(die("d", node, gates));
+        prop_assert!(
+            clean.embodied(&design).unwrap().total()
+                < dirty.embodied(&design).unwrap().total()
+        );
+    }
+
+    #[test]
+    fn stack_yield_composites_never_exceed_fab_yields(
+        tech in any_3d_tech(),
+        gates in 5.0e8..8.0e9f64,
+        flow in prop::sample::select(vec![
+            StackingFlow::DieToWafer,
+            StackingFlow::WaferToWafer,
+        ]),
+    ) {
+        let m = model();
+        let design = ChipDesign::stack_3d(
+            vec![die("t0", ProcessNode::N7, gates), die("t1", ProcessNode::N7, gates)],
+            tech,
+            StackOrientation::FaceToBack,
+            Some(flow),
+        )
+        .unwrap();
+        let b = m.embodied(&design).unwrap();
+        for d in &b.dies {
+            prop_assert!((0.0..=1.0).contains(&d.fab_yield));
+            prop_assert!(d.composite_yield <= d.fab_yield + 1e-12);
+            prop_assert!(d.composite_yield > 0.0);
+        }
+    }
+
+    #[test]
+    fn lifecycle_total_is_emb_plus_op(
+        tech in any_25d_tech(),
+        gates in 5.0e8..8.0e9f64,
+        tops in 1.0..500.0f64,
+    ) {
+        let m = model();
+        let design = ChipDesign::assembly_25d(
+            vec![die("l", ProcessNode::N7, gates), die("r", ProcessNode::N7, gates)],
+            tech,
+        )
+        .unwrap();
+        let w = Workload::fixed(
+            "app",
+            Throughput::from_tops(tops),
+            TimeSpan::from_hours(10_000.0),
+        );
+        let r = m.lifecycle(&design, &w).unwrap();
+        prop_assert!(
+            (r.total().kg() - (r.embodied.total() + r.operational.carbon).kg()).abs()
+                < 1e-12
+        );
+        prop_assert!(r.operational.runtime_stretch >= 1.0);
+        prop_assert!(r.operational.carbon.kg() >= 0.0);
+    }
+
+    #[test]
+    fn longer_missions_emit_more(
+        gates in 5.0e8..1.0e10f64,
+        tops in 1.0..500.0f64,
+        hours in 100.0..50_000.0f64,
+        factor in 1.5..4.0f64,
+    ) {
+        let m = model();
+        let design = ChipDesign::monolithic_2d(die("d", ProcessNode::N7, gates));
+        let short = m
+            .lifecycle(
+                &design,
+                &Workload::fixed("a", Throughput::from_tops(tops), TimeSpan::from_hours(hours)),
+            )
+            .unwrap();
+        let long = m
+            .lifecycle(
+                &design,
+                &Workload::fixed(
+                    "a",
+                    Throughput::from_tops(tops),
+                    TimeSpan::from_hours(hours * factor),
+                ),
+            )
+            .unwrap();
+        prop_assert!(long.operational.carbon > short.operational.carbon);
+        // Embodied carbon is workload-independent.
+        prop_assert!(
+            (long.embodied.total().kg() - short.embodied.total().kg()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn comparison_save_ratios_match_reports(
+        gates in 5.0e8..8.0e9f64,
+        tops in 10.0..300.0f64,
+    ) {
+        let m = model();
+        let base = ChipDesign::monolithic_2d(die("base", ProcessNode::N7, 2.0 * gates));
+        let alt = ChipDesign::stack_3d(
+            vec![die("t0", ProcessNode::N7, gates), die("t1", ProcessNode::N7, gates)],
+            IntegrationTechnology::HybridBonding3d,
+            StackOrientation::FaceToFace,
+            Some(StackingFlow::DieToWafer),
+        )
+        .unwrap();
+        let w = Workload::fixed(
+            "app",
+            Throughput::from_tops(tops),
+            TimeSpan::from_hours(5_000.0),
+        );
+        let cmp = m.compare(&base, &alt, &w).unwrap();
+        let expect = (cmp.base.embodied.total().kg() - cmp.alt.embodied.total().kg())
+            / cmp.base.embodied.total().kg();
+        prop_assert!((cmp.embodied_save.fraction() - expect).abs() < 1e-12);
+        // Decision self-consistency: AlwaysBetter implies choosing at
+        // any lifetime.
+        if cmp.metrics.outcome == ChoiceOutcome::AlwaysBetter {
+            prop_assert!(cmp.metrics.recommend_choosing(TimeSpan::from_years(1.0)));
+            prop_assert!(cmp.metrics.recommend_choosing(TimeSpan::from_years(100.0)));
+        }
+    }
+
+    #[test]
+    fn bandwidth_constraint_only_ever_adds_carbon(
+        tech in any_25d_tech(),
+        gates in 5.0e8..8.0e9f64,
+        tops in 50.0..2_000.0f64,
+    ) {
+        let on = model();
+        let off = CarbonModel::new(
+            ModelContext::builder().bandwidth_constraint(false).build(),
+        );
+        let design = ChipDesign::assembly_25d(
+            vec![die("l", ProcessNode::N7, gates), die("r", ProcessNode::N7, gates)],
+            tech,
+        )
+        .unwrap();
+        let w = Workload::fixed(
+            "app",
+            Throughput::from_tops(tops),
+            TimeSpan::from_hours(10_000.0),
+        );
+        let with = on.lifecycle(&design, &w).unwrap();
+        let without = off.lifecycle(&design, &w).unwrap();
+        prop_assert!(with.operational.carbon.kg() >= without.operational.carbon.kg() - 1e-9);
+        prop_assert!(
+            (with.embodied.total().kg() - without.embodied.total().kg()).abs() < 1e-12
+        );
+    }
+}

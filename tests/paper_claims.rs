@@ -1,0 +1,263 @@
+//! End-to-end assertions of the paper's headline claims — the
+//! qualitative *shape* of every table and figure, as reproduced by
+//! this implementation. If any of these fail, the reproduction has
+//! drifted.
+
+use threed_carbon::baselines::{ActPlusModel, DieInput, LcaDatabase, PackageClass};
+use threed_carbon::prelude::*;
+use threed_carbon::workloads::{
+    epyc_7452, epyc_7452_as_monolithic_2d, lakefield, EpycReference, LakefieldReference,
+};
+
+fn model() -> CarbonModel {
+    CarbonModel::new(ModelContext::default())
+}
+
+/// Fig. 4(a): the LCA figure sits a few percent above the 2D-adjusted
+/// model; the real 2.5D product comes out below both; packaging is
+/// area-based (≫ ACT+'s constant).
+#[test]
+fn fig4a_epyc_relations() {
+    let m = model();
+    let mcm = m.embodied(&epyc_7452().unwrap()).unwrap();
+    let as_2d = m.embodied(&epyc_7452_as_monolithic_2d().unwrap()).unwrap();
+    let lca = LcaDatabase::default()
+        .embodied(threed_carbon::baselines::EPYC_7452)
+        .unwrap();
+
+    // LCA above 2D-adjusted, within 10 % (paper: 4.4 %).
+    let discrepancy = (lca.kg() - as_2d.total().kg()) / as_2d.total().kg();
+    assert!(
+        (0.0..0.10).contains(&discrepancy),
+        "LCA vs 2D-adjusted: {discrepancy}"
+    );
+    // The chiplet product beats the monolithic view (yield!).
+    assert!(mcm.total() < as_2d.total());
+    // Packaging dwarfs ACT+'s fixed 0.15 kg.
+    assert!(mcm.packaging_carbon.kg() > 10.0 * 0.15);
+    // And is in the paper's reported ballpark (3.47 kg ± 30 %).
+    assert!(
+        (2.4..4.5).contains(&mcm.packaging_carbon.kg()),
+        "packaging {}",
+        mcm.packaging_carbon.kg()
+    );
+}
+
+/// Fig. 4(b): D2W beats W2W on composite die yields (KGD testing), and
+/// the magnitudes land near the paper's reported percentages.
+#[test]
+fn fig4b_lakefield_yields() {
+    let m = CarbonModel::new(LakefieldReference::context());
+    let d2w = m.embodied(&lakefield(StackingFlow::DieToWafer).unwrap()).unwrap();
+    let w2w = m.embodied(&lakefield(StackingFlow::WaferToWafer).unwrap()).unwrap();
+
+    // Paper: D2W logic 89.3 %, memory 88.4 %; W2W both 79.7 %.
+    assert!((d2w.dies[1].composite_yield - 0.893).abs() < 0.05);
+    assert!((d2w.dies[0].composite_yield - 0.884).abs() < 0.05);
+    assert!((w2w.dies[0].composite_yield - 0.797).abs() < 0.05);
+    assert!(
+        (w2w.dies[0].composite_yield - w2w.dies[1].composite_yield).abs() < 1e-12,
+        "W2W tiers share fate"
+    );
+    assert!(w2w.total() > d2w.total());
+}
+
+/// Fig. 4(b): ACT+ treats the 3D stack as two 2D dies — no bonding, a
+/// fixed packaging constant — so it undershoots 3D-Carbon.
+#[test]
+fn fig4b_act_plus_underestimates() {
+    let m = CarbonModel::new(LakefieldReference::context());
+    let d2w = m.embodied(&lakefield(StackingFlow::DieToWafer).unwrap()).unwrap();
+    let act = ActPlusModel::default()
+        .embodied(
+            &[
+                DieInput {
+                    node: ProcessNode::N14,
+                    area: LakefieldReference::base_die_area(),
+                },
+                DieInput {
+                    node: ProcessNode::N7,
+                    area: LakefieldReference::logic_die_area(),
+                },
+            ],
+            PackageClass::ThreeD,
+        )
+        .unwrap();
+    assert!(act.total() < d2w.total());
+    assert_eq!(act.assembly_uplift, Co2Mass::ZERO);
+}
+
+/// Table 5 orderings for Orin (homogeneous split): M3D saves the most
+/// embodied carbon, then hybrid, then micro, then EMIB; the silicon
+/// interposer *increases* embodied carbon.
+#[test]
+fn table5_embodied_save_ordering() {
+    let m = model();
+    let spec = DriveSeries::Orin.spec();
+    let workload = av_workload(spec.required_throughput);
+    let baseline = spec.as_2d_design();
+
+    let mut saves = std::collections::HashMap::new();
+    for (label, design) in candidate_designs(&spec, SplitStrategy::Homogeneous)
+        .unwrap()
+        .into_iter()
+        .skip(1)
+    {
+        let cmp = m.compare(&baseline, &design, &workload).unwrap();
+        saves.insert(label, cmp.embodied_save.percent());
+    }
+    assert!(saves["M3D"] > saves["Hybrid"], "{saves:?}");
+    assert!(saves["Hybrid"] > saves["Micro"] - 2.0, "{saves:?}");
+    assert!(saves["Micro"] > saves["EMIB"], "{saves:?}");
+    assert!(saves["EMIB"] > 0.0, "{saves:?}");
+    assert!(saves["Si_int"] < 0.0, "interposer must increase embodied");
+    assert!(saves["InFO_1"] < 0.0, "chip-first InFO must increase embodied");
+}
+
+/// Table 5 decision metrics: choosing EMIB or any 3D option pays at a
+/// 10-year lifetime; replacing never does; Si_int is never better.
+#[test]
+fn table5_decisions() {
+    let m = model();
+    let spec = DriveSeries::Orin.spec();
+    let workload = av_workload(spec.required_throughput);
+    let baseline = spec.as_2d_design();
+    let lifetime = TimeSpan::from_years(10.0);
+
+    for (label, design) in candidate_designs(&spec, SplitStrategy::Homogeneous)
+        .unwrap()
+        .into_iter()
+        .skip(1)
+    {
+        let cmp = m.compare(&baseline, &design, &workload).unwrap();
+        let viable = cmp.alt.operational.is_viable();
+        match label.as_str() {
+            "EMIB" | "Micro" | "Hybrid" | "M3D" => {
+                assert!(viable, "{label} must be bandwidth-viable for Orin");
+                assert!(
+                    cmp.metrics.recommend_choosing(lifetime),
+                    "{label} should be chosen at 10 years"
+                );
+                assert!(
+                    !cmp.metrics.recommend_replacing(lifetime),
+                    "{label} must not justify replacement at 10 years"
+                );
+            }
+            "Si_int" => {
+                assert!(viable, "Si_int meets Orin bandwidth");
+                assert_eq!(cmp.metrics.outcome, ChoiceOutcome::NeverBetter);
+                assert!(cmp.metrics.tc.is_infinite());
+                assert!(cmp.metrics.tr.is_infinite());
+            }
+            "MCM" | "InFO_1" | "InFO_2" => {
+                assert!(!viable, "{label} must be bandwidth-starved for Orin");
+            }
+            other => panic!("unexpected candidate {other}"),
+        }
+    }
+}
+
+/// Fig. 5: for THOR, *none* of the four 2.5D technologies meets the
+/// bandwidth requirement; every 3D option does.
+#[test]
+fn fig5_thor_25d_invalidity() {
+    let m = model();
+    let spec = DriveSeries::Thor.spec();
+    let workload = av_workload(spec.required_throughput);
+    for (label, design) in candidate_designs(&spec, SplitStrategy::Homogeneous)
+        .unwrap()
+        .into_iter()
+        .skip(1)
+    {
+        let report = m.lifecycle(&design, &workload).unwrap();
+        let is_25d = matches!(
+            design.technology().map(IntegrationTechnology::family),
+            Some(IntegrationFamily::TwoPointFiveD)
+        );
+        if is_25d {
+            assert!(
+                !report.operational.is_viable(),
+                "{label} must fail THOR's bandwidth"
+            );
+            assert!(report.operational.runtime_stretch > 1.0);
+        } else {
+            assert!(report.operational.is_viable(), "{label} (3D) must pass");
+        }
+    }
+}
+
+/// Fig. 5(b): the heterogeneous division saves less embodied carbon
+/// than the homogeneous one for the bonded-stack technologies (paper
+/// §5.1 — "lesser saving due to smaller memory die areas and limited
+/// benefits from the older technology"). M3D is excluded: with tiers
+/// sharing a wafer footprint, the two divisions come out within a few
+/// percent of each other (recorded in EXPERIMENTS.md).
+#[test]
+fn fig5b_heterogeneous_saves_less() {
+    let m = model();
+    let spec = DriveSeries::Orin.spec();
+    let workload = av_workload(spec.required_throughput);
+    let baseline = spec.as_2d_design();
+    for tech_label in ["Hybrid", "Micro"] {
+        let find = |strategy| {
+            candidate_designs(&spec, strategy)
+                .unwrap()
+                .into_iter()
+                .find(|(l, _)| l == tech_label)
+                .unwrap()
+                .1
+        };
+        let homo = m
+            .compare(&baseline, &find(SplitStrategy::Homogeneous), &workload)
+            .unwrap();
+        let hetero = m
+            .compare(
+                &baseline,
+                &find(SplitStrategy::paper_heterogeneous()),
+                &workload,
+            )
+            .unwrap();
+        assert!(
+            homo.embodied_save.percent() > hetero.embodied_save.percent(),
+            "{tech_label}: homogeneous {h} should beat heterogeneous {e}",
+            h = homo.embodied_save.percent(),
+            e = hetero.embodied_save.percent()
+        );
+    }
+}
+
+/// §5.1: invalid 2.5D designs pay for their starved interfaces with
+/// *higher operational carbon* than the 2D baseline (runtime stretch).
+#[test]
+fn fig5_invalid_designs_burn_more_operational_carbon() {
+    let m = model();
+    let spec = DriveSeries::Orin.spec();
+    let workload = av_workload(spec.required_throughput);
+    let base = m
+        .lifecycle(&spec.as_2d_design(), &workload)
+        .unwrap()
+        .operational
+        .carbon;
+    let mcm = candidate_designs(&spec, SplitStrategy::Homogeneous)
+        .unwrap()
+        .into_iter()
+        .find(|(l, _)| l == "MCM")
+        .unwrap()
+        .1;
+    let op = m.lifecycle(&mcm, &workload).unwrap().operational;
+    assert!(!op.is_viable());
+    assert!(op.carbon > base);
+}
+
+/// §4.1 sanity: EPYC's five dies beat one monolithic die *because of
+/// yield*, with everything else held fixed.
+#[test]
+fn chiplet_yield_advantage_is_real() {
+    let m = model();
+    let mcm = m.embodied(&epyc_7452().unwrap()).unwrap();
+    let mono = m.embodied(&epyc_7452_as_monolithic_2d().unwrap()).unwrap();
+    let ccd_yield = mcm.dies[0].fab_yield;
+    let mono_yield = mono.dies[0].fab_yield;
+    assert!(ccd_yield > mono_yield + 0.2);
+    assert_eq!(EpycReference::ccd_count(), 4);
+}
