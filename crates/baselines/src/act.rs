@@ -123,8 +123,12 @@ mod tests {
     fn embodied_grows_superlinearly_with_area() {
         // Yield decay makes 2× area cost more than 2× carbon.
         let act = ActModel::default();
-        let small = act.die_embodied(ProcessNode::N7, Area::from_mm2(100.0)).unwrap();
-        let large = act.die_embodied(ProcessNode::N7, Area::from_mm2(200.0)).unwrap();
+        let small = act
+            .die_embodied(ProcessNode::N7, Area::from_mm2(100.0))
+            .unwrap();
+        let large = act
+            .die_embodied(ProcessNode::N7, Area::from_mm2(200.0))
+            .unwrap();
         assert!(large.kg() > 2.0 * small.kg());
     }
 
@@ -143,8 +147,12 @@ mod tests {
     fn packaging_is_the_fixed_constant() {
         let act = ActModel::default();
         assert!((act.packaging().kg() - 0.15).abs() < 1e-12);
-        let die = act.die_embodied(ProcessNode::N7, Area::from_mm2(74.0)).unwrap();
-        let chip = act.chip_embodied(ProcessNode::N7, Area::from_mm2(74.0)).unwrap();
+        let die = act
+            .die_embodied(ProcessNode::N7, Area::from_mm2(74.0))
+            .unwrap();
+        let chip = act
+            .chip_embodied(ProcessNode::N7, Area::from_mm2(74.0))
+            .unwrap();
         assert!((chip.kg() - die.kg() - 0.15).abs() < 1e-12);
     }
 
@@ -163,6 +171,8 @@ mod tests {
     #[test]
     fn invalid_area_errors() {
         let act = ActModel::default();
-        assert!(act.die_embodied(ProcessNode::N7, Area::from_mm2(-1.0)).is_err());
+        assert!(act
+            .die_embodied(ProcessNode::N7, Area::from_mm2(-1.0))
+            .is_err());
     }
 }

@@ -140,8 +140,12 @@ mod tests {
         let r = model.embodied(&dies, PackageClass::ThreeD).unwrap();
         assert_eq!(r.assembly_uplift, Co2Mass::ZERO);
         let act = ActModel::default();
-        let expect = act.die_embodied(ProcessNode::N7, Area::from_mm2(82.0)).unwrap()
-            + act.die_embodied(ProcessNode::N14, Area::from_mm2(92.0)).unwrap();
+        let expect = act
+            .die_embodied(ProcessNode::N7, Area::from_mm2(82.0))
+            .unwrap()
+            + act
+                .die_embodied(ProcessNode::N14, Area::from_mm2(92.0))
+                .unwrap();
         assert!((r.dies.kg() - expect.kg()).abs() < 1e-12);
         assert!((r.total().kg() - expect.kg() - 0.15).abs() < 1e-12);
     }

@@ -82,11 +82,7 @@ impl LcaDatabase {
 
     /// Adds or replaces an entry (for calibration studies).
     pub fn upsert(&mut self, entry: LcaEntry) {
-        if let Some(slot) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.product == entry.product)
-        {
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.product == entry.product) {
             *slot = entry;
         } else {
             self.entries.push(entry);

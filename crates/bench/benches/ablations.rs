@@ -45,14 +45,12 @@ fn mcm() -> ChipDesign {
 fn print_ablation_report() {
     REPORT.call_once(|| {
         let on = CarbonModel::new(ModelContext::default());
-        let no_beol = CarbonModel::new(
-            ModelContext::builder().beol_adjustment(false).build(),
-        );
-        let no_bw = CarbonModel::new(
-            ModelContext::builder().bandwidth_constraint(false).build(),
-        );
+        let no_beol = CarbonModel::new(ModelContext::builder().beol_adjustment(false).build());
+        let no_bw = CarbonModel::new(ModelContext::builder().bandwidth_constraint(false).build());
         let poisson = CarbonModel::new(
-            ModelContext::builder().die_yield(DieYieldChoice::Poisson).build(),
+            ModelContext::builder()
+                .die_yield(DieYieldChoice::Poisson)
+                .build(),
         );
         let w = av_workload(Throughput::from_tops(254.0));
         let h = hybrid();
@@ -113,9 +111,7 @@ fn bench_yield_models(c: &mut Criterion) {
 
 fn bench_bandwidth_constraint(c: &mut Criterion) {
     let on = CarbonModel::new(ModelContext::default());
-    let off = CarbonModel::new(
-        ModelContext::builder().bandwidth_constraint(false).build(),
-    );
+    let off = CarbonModel::new(ModelContext::builder().bandwidth_constraint(false).build());
     let design = mcm();
     let w = av_workload(Throughput::from_tops(254.0));
     let mut group = c.benchmark_group("ablation/bandwidth_constraint");

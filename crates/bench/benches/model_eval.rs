@@ -56,8 +56,14 @@ fn bench_embodied(c: &mut Criterion) {
     });
     let d25 = ChipDesign::assembly_25d(
         vec![
-            DieSpec::builder("l", ProcessNode::N7).gate_count(8.5e9).build().unwrap(),
-            DieSpec::builder("r", ProcessNode::N7).gate_count(8.5e9).build().unwrap(),
+            DieSpec::builder("l", ProcessNode::N7)
+                .gate_count(8.5e9)
+                .build()
+                .unwrap(),
+            DieSpec::builder("r", ProcessNode::N7)
+                .gate_count(8.5e9)
+                .build()
+                .unwrap(),
         ],
         IntegrationTechnology::SiliconInterposer,
     )
@@ -86,9 +92,7 @@ fn bench_full_dse_sweep(c: &mut Criterion) {
             for platform in DriveSeries::ALL {
                 let spec = platform.spec();
                 let w = av_workload(spec.required_throughput);
-                for (_, design) in
-                    candidate_designs(&spec, SplitStrategy::Homogeneous).unwrap()
-                {
+                for (_, design) in candidate_designs(&spec, SplitStrategy::Homogeneous).unwrap() {
                     let r = model.lifecycle(&design, &w).unwrap();
                     total += r.total().kg();
                 }

@@ -46,7 +46,14 @@ fn main() {
         .embodied(tdc_baselines::EPYC_7452)
         .expect("entry exists");
 
-    let mut table = TextTable::new(vec!["model", "die", "bonding", "substrate", "packaging", "total (kg)"]);
+    let mut table = TextTable::new(vec![
+        "model",
+        "die",
+        "bonding",
+        "substrate",
+        "packaging",
+        "total (kg)",
+    ]);
     table.push_row(vec![
         "LCA (GaBi stand-in, 2D monolithic)".to_owned(),
         "-".to_owned(),
@@ -67,7 +74,10 @@ fn main() {
         "3D-Carbon (2.5D MCM)".to_owned(),
         kg(mcm.die_carbon),
         kg(mcm.bonding_carbon),
-        kg(mcm.substrate.as_ref().map_or(tdc_units::Co2Mass::ZERO, |s| s.carbon)),
+        kg(mcm
+            .substrate
+            .as_ref()
+            .map_or(tdc_units::Co2Mass::ZERO, |s| s.carbon)),
         kg(mcm.packaging_carbon),
         kg(mcm.total()),
     ]);

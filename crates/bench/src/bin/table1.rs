@@ -52,8 +52,16 @@ fn main() {
             } else {
                 orientations
             },
-            if flows.is_empty() { "N/A".to_owned() } else { flows },
-            if tiers.is_empty() { "N/A".to_owned() } else { tiers },
+            if flows.is_empty() {
+                "N/A".to_owned()
+            } else {
+                flows
+            },
+            if tiers.is_empty() {
+                "N/A".to_owned()
+            } else {
+                tiers
+            },
             assembly,
             mfg.to_owned(),
             products.to_owned(),

@@ -48,7 +48,10 @@ fn main() {
     println!("\nWafer areas (paper range 31 415.93–159 043.13 mm²):\n");
     let mut wafers = TextTable::new(vec!["wafer", "area (mm²)"]);
     for wafer in [Wafer::W200, Wafer::W300, Wafer::W450] {
-        wafers.push_row(vec![wafer.to_string(), format!("{:.2}", wafer.area().mm2())]);
+        wafers.push_row(vec![
+            wafer.to_string(),
+            format!("{:.2}", wafer.area().mm2()),
+        ]);
     }
     wafers.print();
 

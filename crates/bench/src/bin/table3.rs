@@ -7,9 +7,7 @@
 //! ```
 
 use tdc_bench::TextTable;
-use tdc_yield::{
-    assembly_2_5d_yields, three_d_stack_yields, AssemblyFlow, StackingFlow,
-};
+use tdc_yield::{assembly_2_5d_yields, three_d_stack_yields, AssemblyFlow, StackingFlow};
 
 fn main() {
     println!("Table 3: stacking yields\n");
@@ -19,14 +17,7 @@ fn main() {
     );
     let dies = [0.90; 4];
     let mut table = TextTable::new(vec![
-        "flow",
-        "Y_die_1",
-        "Y_die_2",
-        "Y_die_3",
-        "Y_die_4",
-        "Y_bond_1",
-        "Y_bond_2",
-        "Y_bond_3",
+        "flow", "Y_die_1", "Y_die_2", "Y_die_3", "Y_die_4", "Y_bond_1", "Y_bond_2", "Y_bond_3",
         "overall",
     ]);
     for flow in [StackingFlow::DieToWafer, StackingFlow::WaferToWafer] {
@@ -57,8 +48,8 @@ fn main() {
         "overall",
     ]);
     for flow in [AssemblyFlow::ChipFirst, AssemblyFlow::ChipLast] {
-        let y = assembly_2_5d_yields(&[0.90, 0.85], 0.95, &[0.98, 0.98], flow)
-            .expect("valid yields");
+        let y =
+            assembly_2_5d_yields(&[0.90, 0.85], 0.95, &[0.98, 0.98], flow).expect("valid yields");
         table.push_row(vec![
             flow.to_string(),
             format!("{:.4}", y.die_composite(0).unwrap()),

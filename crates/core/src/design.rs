@@ -261,9 +261,8 @@ impl ChipDesign {
                 "{tech} is not a 3D integration technology"
             )));
         }
-        let tiers = u32::try_from(dies.len()).map_err(|_| {
-            ModelError::InvalidDesign("too many tiers".to_owned())
-        })?;
+        let tiers = u32::try_from(dies.len())
+            .map_err(|_| ModelError::InvalidDesign("too many tiers".to_owned()))?;
         IntegrationCatalog::capabilities(tech)
             .validate_stack(orientation, flow, tiers)
             .map_err(ModelError::InvalidDesign)?;
@@ -312,9 +311,7 @@ impl ChipDesign {
     pub fn technology(&self) -> Option<IntegrationTechnology> {
         match self {
             ChipDesign::Monolithic2d { .. } => None,
-            ChipDesign::Stack3d { tech, .. } | ChipDesign::Assembly25d { tech, .. } => {
-                Some(*tech)
-            }
+            ChipDesign::Stack3d { tech, .. } | ChipDesign::Assembly25d { tech, .. } => Some(*tech),
         }
     }
 
@@ -446,8 +443,7 @@ mod tests {
             ChipDesign::assembly_25d(vec![die("a")], IntegrationTechnology::Emib).unwrap_err();
         assert!(err.to_string().contains("two dies"));
         assert!(
-            ChipDesign::assembly_25d(vec![die("a"), die("b")], IntegrationTechnology::Emib)
-                .is_ok()
+            ChipDesign::assembly_25d(vec![die("a"), die("b")], IntegrationTechnology::Emib).is_ok()
         );
     }
 
@@ -466,7 +462,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(d3.dies().len(), 2);
-        assert_eq!(d3.technology(), Some(IntegrationTechnology::HybridBonding3d));
+        assert_eq!(
+            d3.technology(),
+            Some(IntegrationTechnology::HybridBonding3d)
+        );
         assert!(d3.describe().contains("Hybrid"));
         assert!(d3.describe().contains("F2F"));
 

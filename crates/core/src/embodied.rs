@@ -5,9 +5,7 @@ use crate::design::{ChipDesign, DieSpec};
 use crate::error::ModelError;
 use serde::{Deserialize, Serialize};
 use tdc_floorplan::{rdl_emib_area, silicon_interposer_area, DieOutline, Floorplan};
-use tdc_integration::{
-    IntegrationCatalog, IntegrationTechnology, StackOrientation, SubstrateKind,
-};
+use tdc_integration::{IntegrationCatalog, IntegrationTechnology, StackOrientation, SubstrateKind};
 use tdc_technode::{NodeParameters, ProcessNode};
 use tdc_units::{Area, Co2Mass, Length};
 use tdc_yield::{assembly_2_5d_yields, three_d_stack_yields, DieYieldModel, StackingFlow};
@@ -411,10 +409,7 @@ pub(crate) fn compute_embodied(
     // M3D tiers are grown sequentially on ONE wafer: the silicon
     // consumed per stack is set by the largest tier's footprint, not by
     // each tier's own patterned area.
-    let m3d_footprint = resolved
-        .iter()
-        .map(|d| d.area)
-        .fold(Area::ZERO, Area::max);
+    let m3d_footprint = resolved.iter().map(|d| d.area).fold(Area::ZERO, Area::max);
     let mut die_reports = Vec::with_capacity(resolved.len());
     let mut die_carbon = Co2Mass::ZERO;
     for (tier, (die, composite)) in resolved.iter().zip(&composites.per_die).enumerate() {
@@ -518,10 +513,7 @@ pub(crate) fn compute_embodied(
     // ---- C_packaging (Eq. 12) ----
     let base_area = match design {
         ChipDesign::Monolithic2d { .. } => resolved[0].area,
-        ChipDesign::Stack3d { .. } => resolved
-            .iter()
-            .map(|d| d.area)
-            .fold(Area::ZERO, Area::max),
+        ChipDesign::Stack3d { .. } => resolved.iter().map(|d| d.area).fold(Area::ZERO, Area::max),
         ChipDesign::Assembly25d { .. } => {
             // The package must span whichever is larger: the silicon it
             // carries or a manufactured substrate carrying it. The MCM
@@ -580,11 +572,7 @@ mod tests {
     }
 
     fn orin_25d(tech: IntegrationTechnology) -> ChipDesign {
-        ChipDesign::assembly_25d(
-            vec![die_n7("left", 8.5e9), die_n7("right", 8.5e9)],
-            tech,
-        )
-        .unwrap()
+        ChipDesign::assembly_25d(vec![die_n7("left", 8.5e9), die_n7("right", 8.5e9)], tech).unwrap()
     }
 
     #[test]
@@ -596,12 +584,16 @@ mod tests {
         assert!(b.die_carbon.kg() > 0.0);
         assert!(b.packaging_carbon.kg() > 0.0);
         let total = b.total();
-        assert!((total.kg()
-            - (b.die_carbon + b.packaging_carbon + b.bonding_carbon).kg())
-        .abs()
-            < 1e-12);
+        assert!(
+            (total.kg() - (b.die_carbon + b.packaging_carbon + b.bonding_carbon).kg()).abs()
+                < 1e-12
+        );
         // Die ~455 mm² (Eq. 8 calibration).
-        assert!((b.dies[0].area.mm2() - 458.0).abs() < 10.0, "{}", b.dies[0].area.mm2());
+        assert!(
+            (b.dies[0].area.mm2() - 458.0).abs() < 10.0,
+            "{}",
+            b.dies[0].area.mm2()
+        );
     }
 
     #[test]
@@ -620,7 +612,10 @@ mod tests {
     #[test]
     fn f2f_top_die_has_no_tsvs() {
         let b = compute_embodied(&ctx(), &orin_hybrid_3d()).unwrap();
-        assert!(b.dies[0].tsv_count > 0.0, "base die carries external-IO TSVs");
+        assert!(
+            b.dies[0].tsv_count > 0.0,
+            "base die carries external-IO TSVs"
+        );
         assert_eq!(b.dies[1].tsv_count, 0.0);
         assert!(b.dies[0].tsv_area.mm2() > 0.0);
     }
@@ -651,11 +646,7 @@ mod tests {
         // substrate; EMIB only a sliver of silicon.
         let c = ctx();
         let emib = compute_embodied(&c, &orin_25d(IntegrationTechnology::Emib)).unwrap();
-        let si = compute_embodied(
-            &c,
-            &orin_25d(IntegrationTechnology::SiliconInterposer),
-        )
-        .unwrap();
+        let si = compute_embodied(&c, &orin_25d(IntegrationTechnology::SiliconInterposer)).unwrap();
         let e_sub = emib.substrate.as_ref().unwrap();
         let s_sub = si.substrate.as_ref().unwrap();
         assert!(s_sub.area.mm2() > 10.0 * e_sub.area.mm2());
@@ -666,10 +657,8 @@ mod tests {
     #[test]
     fn chip_first_vs_chip_last_differ() {
         let c = ctx();
-        let first =
-            compute_embodied(&c, &orin_25d(IntegrationTechnology::InfoChipFirst)).unwrap();
-        let last =
-            compute_embodied(&c, &orin_25d(IntegrationTechnology::InfoChipLast)).unwrap();
+        let first = compute_embodied(&c, &orin_25d(IntegrationTechnology::InfoChipFirst)).unwrap();
+        let last = compute_embodied(&c, &orin_25d(IntegrationTechnology::InfoChipLast)).unwrap();
         // Same geometry, different yield composition → different carbon.
         assert_ne!(first.die_carbon, last.die_carbon);
     }

@@ -187,8 +187,7 @@ impl CarbonModel {
         )
         .unwrap_or(Ratio::ZERO);
         let overall_save =
-            Ratio::saving(base_report.total().kg(), alt_report.total().kg())
-                .unwrap_or(Ratio::ZERO);
+            Ratio::saving(base_report.total().kg(), alt_report.total().kg()).unwrap_or(Ratio::ZERO);
         Ok(ComparisonReport {
             base: base_report,
             alt: alt_report,
@@ -258,10 +257,7 @@ mod tests {
     fn lifecycle_total_is_emb_plus_op() {
         let model = CarbonModel::default();
         let r = model.lifecycle(&orin_2d(), &workload()).unwrap();
-        assert!(
-            (r.total().kg() - (r.embodied.total() + r.operational.carbon).kg()).abs()
-                < 1e-12
-        );
+        assert!((r.total().kg() - (r.embodied.total() + r.operational.carbon).kg()).abs() < 1e-12);
         assert!(r.total().kg() > 0.0);
     }
 
@@ -285,8 +281,7 @@ mod tests {
         let expect = (cmp.base.embodied.total().kg() - cmp.alt.embodied.total().kg())
             / cmp.base.embodied.total().kg();
         assert!((cmp.embodied_save.fraction() - expect).abs() < 1e-12);
-        let expect_overall =
-            (cmp.base.total().kg() - cmp.alt.total().kg()) / cmp.base.total().kg();
+        let expect_overall = (cmp.base.total().kg() - cmp.alt.total().kg()) / cmp.base.total().kg();
         assert!((cmp.overall_save.fraction() - expect_overall).abs() < 1e-12);
     }
 
@@ -320,8 +315,8 @@ mod tests {
     #[test]
     fn power_model_swap_changes_results() {
         let base = CarbonModel::default();
-        let alt = CarbonModel::default()
-            .with_power_model(Box::new(tdc_power::AnalyticalCmos::new()));
+        let alt =
+            CarbonModel::default().with_power_model(Box::new(tdc_power::AnalyticalCmos::new()));
         // Die without explicit efficiency so the plug-in matters.
         let d = DieSpec::builder("orin", ProcessNode::N7)
             .gate_count(17.0e9)

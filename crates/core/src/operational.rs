@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 use tdc_integration::{IoDensity, StackOrientation};
 use tdc_power::{pitch_count, AppPhase, BandwidthVerdict, PowerModel};
 use tdc_technode::surveyed_efficiency;
-use tdc_units::{
-    Area, Bandwidth, Co2Mass, Efficiency, Energy, Power, Throughput, TimeSpan,
-};
+use tdc_units::{Area, Bandwidth, Co2Mass, Efficiency, Energy, Power, Throughput, TimeSpan};
 
 /// One phase of the application mix (Eq. 16's index `k`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,11 +42,7 @@ impl Workload {
     /// A single-phase fixed-throughput workload (the AV pattern:
     /// `throughput` sustained for `active_time` total).
     #[must_use]
-    pub fn fixed(
-        name: impl Into<String>,
-        throughput: Throughput,
-        active_time: TimeSpan,
-    ) -> Self {
+    pub fn fixed(name: impl Into<String>, throughput: Throughput, active_time: TimeSpan) -> Self {
         Self::new(vec![WorkloadPhase {
             name: name.into(),
             throughput,
@@ -304,11 +298,9 @@ fn io_lanes(
     let spec = ctx.catalog().interface(tech);
     let die = &breakdown.dies[index];
     match spec.io_density() {
-        IoDensity::PerEdge { per_mm_per_layer } => pitch_count(
-            die.area.square_side(),
-            per_mm_per_layer,
-            die.beol_layers,
-        ),
+        IoDensity::PerEdge { per_mm_per_layer } => {
+            pitch_count(die.area.square_side(), per_mm_per_layer, die.beol_layers)
+        }
         IoDensity::AreaArray { pitch } => {
             // Lanes are bounded by the overlap with the neighbouring
             // tier and by the Rent cut actually needing to cross.
@@ -381,9 +373,7 @@ pub(crate) fn compute_operational(
             ChipDesign::Assembly25d { tech, .. } => {
                 let spec = ctx.catalog().interface(*tech);
                 let bottleneck = (0..breakdown.dies.len())
-                    .map(|i| {
-                        spec.aggregate_bandwidth(io_lanes(ctx, design, breakdown, i))
-                    })
+                    .map(|i| spec.aggregate_bandwidth(io_lanes(ctx, design, breakdown, i)))
                     .fold(Bandwidth::new(f64::INFINITY), Bandwidth::min);
                 let v = ctx.bandwidth().check(peak, peak, bottleneck, required_bw);
                 (Some(v), Some(bottleneck))
@@ -394,9 +384,10 @@ pub(crate) fn compute_operational(
 
     // Interconnect-shortening efficiency uplift (3D only; §2.2.2).
     let uplift = 1.0
-        + design
-            .technology()
-            .map_or(0.0, tdc_integration::IntegrationCatalog::interconnect_uplift);
+        + design.technology().map_or(
+            0.0,
+            tdc_integration::IntegrationCatalog::interconnect_uplift,
+        );
 
     // Interface traffic actually flowing (bits/s) at a given
     // throughput: *average* intensity, capped by what the interface
@@ -522,8 +513,7 @@ mod tests {
     fn eval(design: &ChipDesign) -> OperationalReport {
         let c = ctx();
         let b = compute_embodied(&c, design).unwrap();
-        compute_operational(&c, design, &b, &workload(), &SurveyedEfficiency::new())
-            .unwrap()
+        compute_operational(&c, design, &b, &workload(), &SurveyedEfficiency::new()).unwrap()
     }
 
     #[test]
@@ -564,8 +554,7 @@ mod tests {
     #[test]
     fn emib_orin_is_valid_but_mcm_is_not() {
         let mk = |tech| {
-            ChipDesign::assembly_25d(vec![die_n7("l", 8.5e9), die_n7("r", 8.5e9)], tech)
-                .unwrap()
+            ChipDesign::assembly_25d(vec![die_n7("l", 8.5e9), die_n7("r", 8.5e9)], tech).unwrap()
         };
         let emib = eval(&mk(tdc_integration::IntegrationTechnology::Emib));
         assert!(
@@ -636,11 +625,8 @@ mod tests {
                 .build()
                 .unwrap(),
         ];
-        let design = ChipDesign::assembly_25d(
-            dies,
-            tdc_integration::IntegrationTechnology::Emib,
-        )
-        .unwrap();
+        let design =
+            ChipDesign::assembly_25d(dies, tdc_integration::IntegrationTechnology::Emib).unwrap();
         let b = compute_embodied(&c, &design).unwrap();
         let err = compute_operational(&c, &design, &b, &workload(), &SurveyedEfficiency::new())
             .unwrap_err();
@@ -656,8 +642,8 @@ mod tests {
         )
         .unwrap();
         let b = compute_embodied(&c, &design).unwrap();
-        let r = compute_operational(&c, &design, &b, &workload(), &SurveyedEfficiency::new())
-            .unwrap();
+        let r =
+            compute_operational(&c, &design, &b, &workload(), &SurveyedEfficiency::new()).unwrap();
         assert!(r.verdict.is_none());
         assert_eq!(r.runtime_stretch, 1.0);
     }

@@ -101,14 +101,34 @@ pub fn sensitivity_report(
     // Fab grid.
     push(
         "fab grid (renewable ↔ coal)",
-        eval(rebuild().to_builder().fab_region(GridRegion::Renewable).build())?,
-        eval(rebuild().to_builder().fab_region(GridRegion::CoalHeavy).build())?,
+        eval(
+            rebuild()
+                .to_builder()
+                .fab_region(GridRegion::Renewable)
+                .build(),
+        )?,
+        eval(
+            rebuild()
+                .to_builder()
+                .fab_region(GridRegion::CoalHeavy)
+                .build(),
+        )?,
     );
     // Use grid.
     push(
         "use grid (renewable ↔ coal)",
-        eval(rebuild().to_builder().use_region(GridRegion::Renewable).build())?,
-        eval(rebuild().to_builder().use_region(GridRegion::CoalHeavy).build())?,
+        eval(
+            rebuild()
+                .to_builder()
+                .use_region(GridRegion::Renewable)
+                .build(),
+        )?,
+        eval(
+            rebuild()
+                .to_builder()
+                .use_region(GridRegion::CoalHeavy)
+                .build(),
+        )?,
     );
     // Defect density.
     push(
@@ -135,7 +155,12 @@ pub fn sensitivity_report(
                 .die_yield(DieYieldChoice::PaperNegativeBinomial)
                 .build(),
         )?,
-        eval(rebuild().to_builder().die_yield(DieYieldChoice::Poisson).build())?,
+        eval(
+            rebuild()
+                .to_builder()
+                .die_yield(DieYieldChoice::Poisson)
+                .build(),
+        )?,
     );
     // BEOL carbon fraction.
     push(
@@ -165,8 +190,14 @@ mod tests {
     fn design() -> ChipDesign {
         ChipDesign::assembly_25d(
             vec![
-                DieSpec::builder("l", ProcessNode::N7).gate_count(5.0e9).build().unwrap(),
-                DieSpec::builder("r", ProcessNode::N7).gate_count(5.0e9).build().unwrap(),
+                DieSpec::builder("l", ProcessNode::N7)
+                    .gate_count(5.0e9)
+                    .build()
+                    .unwrap(),
+                DieSpec::builder("r", ProcessNode::N7)
+                    .gate_count(5.0e9)
+                    .build()
+                    .unwrap(),
             ],
             IntegrationTechnology::Mcm,
         )
@@ -183,8 +214,7 @@ mod tests {
 
     #[test]
     fn report_covers_all_knobs_sorted_by_swing() {
-        let entries =
-            sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
+        let entries = sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
         assert_eq!(entries.len(), 6);
         for pair in entries.windows(2) {
             assert!(pair[0].swing().kg().abs() >= pair[1].swing().kg().abs());
@@ -198,8 +228,7 @@ mod tests {
 
     #[test]
     fn grids_move_carbon_in_the_expected_direction() {
-        let entries =
-            sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
+        let entries = sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
         for e in &entries {
             if e.knob.starts_with("fab grid") || e.knob.starts_with("use grid") {
                 assert!(e.low < e.high, "{}: cleaner grid must cost less", e.knob);
@@ -210,8 +239,7 @@ mod tests {
 
     #[test]
     fn defect_density_hurts_monotonically() {
-        let entries =
-            sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
+        let entries = sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
         let dd = entries
             .iter()
             .find(|e| e.knob.starts_with("defect density"))
@@ -227,8 +255,7 @@ mod tests {
         // ~zero — it is a *validity* gate, not an energy knob. For this
         // operational-dominated design the use-phase grid dominates
         // instead.
-        let entries =
-            sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
+        let entries = sensitivity_report(&ModelContext::default(), &design(), &workload()).unwrap();
         let bw = entries
             .iter()
             .find(|e| e.knob.starts_with("bandwidth constraint"))

@@ -223,12 +223,7 @@ impl DesignSweep {
                 }
             }
         }
-        entries.sort_by(|a, b| {
-            a.report
-                .total()
-                .kg()
-                .total_cmp(&b.report.total().kg())
-        });
+        entries.sort_by(|a, b| a.report.total().kg().total_cmp(&b.report.total().kg()));
         Ok(entries)
     }
 
@@ -358,8 +353,6 @@ mod tests {
             .efficiency(Efficiency::from_tops_per_watt(1.0))
             .run(&model(), &workload())
             .unwrap();
-        assert!(
-            fast[0].report.operational.carbon < slow[0].report.operational.carbon
-        );
+        assert!(fast[0].report.operational.carbon < slow[0].report.operational.carbon);
     }
 }

@@ -105,12 +105,10 @@ impl PackagingProfile {
     ///
     /// Rejects non-positive carbon-per-area and yields outside `(0, 1]`.
     pub fn new(carbon_per_area: CarbonPerArea, packaging_yield: f64) -> Result<Self, String> {
-        if !(carbon_per_area.kg_per_cm2().is_finite() && carbon_per_area.kg_per_cm2() > 0.0)
-        {
+        if !(carbon_per_area.kg_per_cm2().is_finite() && carbon_per_area.kg_per_cm2() > 0.0) {
             return Err("packaging carbon per area must be positive".to_owned());
         }
-        if !(packaging_yield.is_finite() && packaging_yield > 0.0 && packaging_yield <= 1.0)
-        {
+        if !(packaging_yield.is_finite() && packaging_yield > 0.0 && packaging_yield <= 1.0) {
             return Err(format!(
                 "packaging yield must be in (0, 1], got {packaging_yield}"
             ));

@@ -198,9 +198,8 @@ impl Floorplan {
 /// Shared edge length (mm) between two placed dies, or 0 when not
 /// adjacent. `tol` is the maximum face-to-face separation to count.
 fn shared_edge_mm(a: &PlacedDie, b: &PlacedDie, tol: f64) -> f64 {
-    let overlap = |lo1: f64, hi1: f64, lo2: f64, hi2: f64| -> f64 {
-        (hi1.min(hi2) - lo1.max(lo2)).max(0.0)
-    };
+    let overlap =
+        |lo1: f64, hi1: f64, lo2: f64, hi2: f64| -> f64 { (hi1.min(hi2) - lo1.max(lo2)).max(0.0) };
     // Horizontal adjacency (b right of a or vice versa).
     let dx = (b.x.mm() - a.x_max().mm()).max(a.x.mm() - b.x_max().mm());
     // Vertical adjacency.
@@ -259,10 +258,7 @@ mod tests {
 
     #[test]
     fn row_interior_dies_have_two_neighbours() {
-        let plan = Floorplan::place_row(
-            &[sq(100.0), sq(100.0), sq(100.0)],
-            Length::from_mm(1.0),
-        );
+        let plan = Floorplan::place_row(&[sq(100.0), sq(100.0), sq(100.0)], Length::from_mm(1.0));
         let adj = plan.adjacency_lengths();
         assert!((adj[0].mm() - 10.0).abs() < 1e-9);
         assert!((adj[1].mm() - 20.0).abs() < 1e-9, "middle die faces both");

@@ -103,8 +103,6 @@ mod tests {
         let gap = Length::from_mm(0.5);
         let two = Floorplan::place_row(&[sq(100.0), sq(100.0)], gap);
         let three = Floorplan::place_row(&[sq(100.0), sq(100.0), sq(100.0)], gap);
-        assert!(
-            rdl_emib_area(&three, 1.0, gap).mm2() > rdl_emib_area(&two, 1.0, gap).mm2()
-        );
+        assert!(rdl_emib_area(&three, 1.0, gap).mm2() > rdl_emib_area(&two, 1.0, gap).mm2());
     }
 }

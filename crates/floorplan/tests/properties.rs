@@ -1,9 +1,7 @@
 //! Property-based tests for the floorplanner and area models.
 
 use proptest::prelude::*;
-use tdc_floorplan::{
-    rdl_emib_area, silicon_interposer_area, DieOutline, Floorplan, PackageModel,
-};
+use tdc_floorplan::{rdl_emib_area, silicon_interposer_area, DieOutline, Floorplan, PackageModel};
 use tdc_units::{Area, Length};
 
 fn die_areas() -> impl Strategy<Value = Vec<f64>> {

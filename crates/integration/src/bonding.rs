@@ -6,9 +6,7 @@ use tdc_units::EnergyPerArea;
 use tdc_yield::StackingFlow;
 
 /// The physical mechanism joining two dies/wafers.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BondingMethod {
     /// C4 solder bumps — the flip-chip attach used by every 2.5D option
     /// to mate dies with their substrate/package.
@@ -92,10 +90,7 @@ impl BondingProcess {
         yield_d2w: f64,
         yield_w2w: f64,
     ) -> Result<Self, String> {
-        for (name, e) in [
-            ("D2W", energy_per_area_d2w),
-            ("W2W", energy_per_area_w2w),
-        ] {
+        for (name, e) in [("D2W", energy_per_area_d2w), ("W2W", energy_per_area_w2w)] {
             if !(e.kwh_per_cm2().is_finite() && e.kwh_per_cm2() > 0.0) {
                 return Err(format!("{name} bonding energy must be positive"));
             }
@@ -169,8 +164,7 @@ mod tests {
         for method in [BondingMethod::MicroBump, BondingMethod::HybridBonding] {
             let p = BondingProcess::shipped(method);
             assert!(
-                p.step_yield(StackingFlow::DieToWafer)
-                    < p.step_yield(StackingFlow::WaferToWafer),
+                p.step_yield(StackingFlow::DieToWafer) < p.step_yield(StackingFlow::WaferToWafer),
                 "{method}"
             );
         }

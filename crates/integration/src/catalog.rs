@@ -256,9 +256,7 @@ impl IntegrationCatalog {
                 Some(SubstrateKind::Rdl)
             }
             IntegrationTechnology::Emib => Some(SubstrateKind::EmibBridge),
-            IntegrationTechnology::SiliconInterposer => {
-                Some(SubstrateKind::SiliconInterposer)
-            }
+            IntegrationTechnology::SiliconInterposer => Some(SubstrateKind::SiliconInterposer),
             _ => None,
         }
     }
@@ -279,7 +277,10 @@ impl IntegrationCatalog {
     /// Overrides the profile of a substrate kind.
     pub fn set_substrate(&mut self, profile: SubstrateProfile) {
         let kind = profile.kind();
-        if let Some(slot) = self.substrate_overrides.iter_mut().find(|(k, _)| *k == kind)
+        if let Some(slot) = self
+            .substrate_overrides
+            .iter_mut()
+            .find(|(k, _)| *k == kind)
         {
             slot.1 = profile;
         } else {
@@ -295,12 +296,9 @@ impl IntegrationCatalog {
     pub fn io_area_ratio(tech: IntegrationTechnology) -> f64 {
         match tech {
             IntegrationTechnology::MicroBump3d => 0.03,
-            IntegrationTechnology::HybridBonding3d
-            | IntegrationTechnology::Monolithic3d => 0.0,
+            IntegrationTechnology::HybridBonding3d | IntegrationTechnology::Monolithic3d => 0.0,
             IntegrationTechnology::Mcm => 0.10,
-            IntegrationTechnology::InfoChipFirst | IntegrationTechnology::InfoChipLast => {
-                0.07
-            }
+            IntegrationTechnology::InfoChipFirst | IntegrationTechnology::InfoChipLast => 0.07,
             IntegrationTechnology::Emib => 0.05,
             IntegrationTechnology::SiliconInterposer => 0.04,
         }
@@ -390,9 +388,15 @@ mod tests {
     #[test]
     fn io_power_counting_rule() {
         let c = IntegrationCatalog::default();
-        assert!(c.interface(IntegrationTechnology::MicroBump3d).io_power_counted());
-        assert!(!c.interface(IntegrationTechnology::HybridBonding3d).io_power_counted());
-        assert!(!c.interface(IntegrationTechnology::Monolithic3d).io_power_counted());
+        assert!(c
+            .interface(IntegrationTechnology::MicroBump3d)
+            .io_power_counted());
+        assert!(!c
+            .interface(IntegrationTechnology::HybridBonding3d)
+            .io_power_counted());
+        assert!(!c
+            .interface(IntegrationTechnology::Monolithic3d)
+            .io_power_counted());
         for t in [
             IntegrationTechnology::Mcm,
             IntegrationTechnology::InfoChipFirst,
@@ -411,10 +415,11 @@ mod tests {
             IoDensity::PerEdge { per_mm_per_layer } => per_mm_per_layer,
             IoDensity::AreaArray { .. } => panic!("expected edge density for {t:?}"),
         };
-        assert!(per_edge(IntegrationTechnology::Mcm) < per_edge(IntegrationTechnology::InfoChipFirst));
         assert!(
-            per_edge(IntegrationTechnology::InfoChipFirst)
-                < per_edge(IntegrationTechnology::Emib)
+            per_edge(IntegrationTechnology::Mcm) < per_edge(IntegrationTechnology::InfoChipFirst)
+        );
+        assert!(
+            per_edge(IntegrationTechnology::InfoChipFirst) < per_edge(IntegrationTechnology::Emib)
         );
         assert!(
             per_edge(IntegrationTechnology::Emib)

@@ -82,8 +82,7 @@ impl InterfaceSpec {
             "data rate must be positive"
         );
         assert!(
-            energy_per_bit.joules_per_bit().is_finite()
-                && energy_per_bit.joules_per_bit() > 0.0,
+            energy_per_bit.joules_per_bit().is_finite() && energy_per_bit.joules_per_bit() > 0.0,
             "energy per bit must be positive"
         );
         Self {
@@ -161,7 +160,9 @@ mod tests {
         let sites = d.io_sites(Length::ZERO, 0, Area::from_mm2(100.0));
         assert!((sites - 160_000.0).abs() < 1e-6);
         // Degenerate pitch.
-        let broken = IoDensity::AreaArray { pitch: Length::ZERO };
+        let broken = IoDensity::AreaArray {
+            pitch: Length::ZERO,
+        };
         assert_eq!(broken.io_sites(Length::ZERO, 0, Area::from_mm2(1.0)), 0.0);
     }
 

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use tdc_units::{CarbonIntensity, CarbonPerArea, EnergyPerArea, Length};
 
 /// The manufactured structure that carries 2.5D dies.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SubstrateKind {
     /// Organic laminate (MCM): not a fabricated wafer product; cheap,
     /// coarse, high-yield.
@@ -174,11 +172,10 @@ mod tests {
     #[test]
     fn cost_ordering_laminate_cheapest_silicon_dearest() {
         let ci = CarbonIntensity::from_g_per_kwh(509.0);
-        let laminate = SubstrateProfile::shipped(SubstrateKind::OrganicLaminate)
-            .carbon_per_area(ci);
+        let laminate =
+            SubstrateProfile::shipped(SubstrateKind::OrganicLaminate).carbon_per_area(ci);
         let rdl = SubstrateProfile::shipped(SubstrateKind::Rdl).carbon_per_area(ci);
-        let si = SubstrateProfile::shipped(SubstrateKind::SiliconInterposer)
-            .carbon_per_area(ci);
+        let si = SubstrateProfile::shipped(SubstrateKind::SiliconInterposer).carbon_per_area(ci);
         assert!(laminate < rdl);
         assert!(rdl < si);
     }
@@ -212,9 +209,7 @@ mod tests {
         assert_eq!(p.with_scale_factor(3.0).scale_factor(), 3.0);
         assert_eq!(p.with_die_gap(Length::from_mm(2.0)).die_gap().mm(), 2.0);
         assert!(std::panic::catch_unwind(|| p.with_scale_factor(0.5)).is_err());
-        assert!(
-            std::panic::catch_unwind(|| p.with_die_gap(Length::from_mm(-1.0))).is_err()
-        );
+        assert!(std::panic::catch_unwind(|| p.with_die_gap(Length::from_mm(-1.0))).is_err());
     }
 
     #[test]

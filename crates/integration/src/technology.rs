@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 /// The two InFO variants reflect the paper's case study, which
 /// distinguishes chip-first (`InFO_1`) and chip-last (`InFO_2`)
 /// assembly of the same fan-out technology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum IntegrationTechnology {
     /// 3D stacking with micron-scale solder micro-bumps (TSMC SoIC-P,
     /// Intel Foveros; e.g. Lakefield, HBM).
@@ -117,9 +115,10 @@ impl IntegrationTechnology {
     #[must_use]
     pub fn representative(self) -> (&'static str, &'static str) {
         match self {
-            IntegrationTechnology::MicroBump3d => {
-                ("TSMC SoIC-P / Intel Foveros", "Intel Lakefield i5-L16G7, HBM")
-            }
+            IntegrationTechnology::MicroBump3d => (
+                "TSMC SoIC-P / Intel Foveros",
+                "Intel Lakefield i5-L16G7, HBM",
+            ),
             IntegrationTechnology::HybridBonding3d => (
                 "TSMC SoIC-X / Intel Foveros Direct",
                 "AMD 3D V-Cache, Ryzen 7 5800X3D",
@@ -129,9 +128,7 @@ impl IntegrationTechnology {
             IntegrationTechnology::InfoChipFirst => ("TSMC InFO-2.5D", "AMD Navi 31"),
             IntegrationTechnology::InfoChipLast => ("TSMC CoWoS-L/R", "AMD Navi 31"),
             IntegrationTechnology::Emib => ("Intel EMIB", "Intel Stratix 10"),
-            IntegrationTechnology::SiliconInterposer => {
-                ("TSMC CoWoS-S", "NVIDIA GPU P100")
-            }
+            IntegrationTechnology::SiliconInterposer => ("TSMC CoWoS-S", "NVIDIA GPU P100"),
         }
     }
 }
@@ -143,9 +140,7 @@ impl core::fmt::Display for IntegrationTechnology {
 }
 
 /// Vertical (3D) vs planar multi-die (2.5D) integration.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum IntegrationFamily {
     /// Dies stacked vertically.
     ThreeD,
@@ -164,9 +159,7 @@ impl core::fmt::Display for IntegrationFamily {
 
 /// Which faces of the stacked dies meet (Table 1, "F2F or F2B
 /// stacking").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum StackOrientation {
     /// Face-to-face: both dies' metal stacks meet directly; only the
     /// external I/O needs TSVs, and the stack is limited to two dies.

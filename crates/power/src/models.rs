@@ -171,10 +171,7 @@ mod tests {
         let now = SurveyedEfficiency::for_year(2019);
         let later = SurveyedEfficiency::for_year(2023);
         let th = Throughput::from_tops(100.0);
-        assert!(
-            later.compute_power(th, ProcessNode::N7)
-                < now.compute_power(th, ProcessNode::N7)
-        );
+        assert!(later.compute_power(th, ProcessNode::N7) < now.compute_power(th, ProcessNode::N7));
     }
 
     #[test]

@@ -67,10 +67,7 @@ impl AppPhase {
 /// ```
 #[must_use]
 pub fn operational_carbon(ci_use: CarbonIntensity, phases: &[AppPhase]) -> Co2Mass {
-    phases
-        .iter()
-        .map(|phase| ci_use * phase.energy())
-        .sum()
+    phases.iter().map(|phase| ci_use * phase.energy()).sum()
 }
 
 #[cfg(test)]

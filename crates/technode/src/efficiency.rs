@@ -104,10 +104,7 @@ mod tests {
 
     #[test]
     fn orin_pin_matches_table4() {
-        assert_eq!(
-            surveyed_efficiency(ProcessNode::N7).tops_per_watt(),
-            2.74
-        );
+        assert_eq!(surveyed_efficiency(ProcessNode::N7).tops_per_watt(), 2.74);
     }
 
     #[test]

@@ -15,9 +15,7 @@ use tdc_units::CarbonIntensity;
 /// let tw = GridRegion::Taiwan.carbon_intensity();
 /// assert!((tw.g_per_kwh() - 509.0).abs() < 1e-9);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum GridRegion {
     /// Taiwan — hosts the bulk of advanced-node capacity (TSMC).
@@ -152,7 +150,11 @@ mod tests {
     #[test]
     fn fab_heavy_regions_are_dirtier_than_france() {
         let france = GridRegion::France.carbon_intensity();
-        for region in [GridRegion::Taiwan, GridRegion::SouthKorea, GridRegion::China] {
+        for region in [
+            GridRegion::Taiwan,
+            GridRegion::SouthKorea,
+            GridRegion::China,
+        ] {
             assert!(region.carbon_intensity() > france);
         }
     }

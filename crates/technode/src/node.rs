@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ProcessNode::from_nanometers(6), None);
 /// assert!(ProcessNode::N5 < ProcessNode::N28); // finer node sorts first
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ProcessNode {
     /// 3 nm-class node.
     N3,

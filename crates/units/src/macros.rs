@@ -233,10 +233,7 @@ mod tests {
         assert!(a.is_negative());
         assert!(!b.is_negative());
         assert!(Widgets::ZERO.is_zero());
-        assert_eq!(
-            b.clamp(Widgets::ZERO, Widgets::new(1.0)),
-            Widgets::new(1.0)
-        );
+        assert_eq!(b.clamp(Widgets::ZERO, Widgets::new(1.0)), Widgets::new(1.0));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tdc_units::{
-    Area, Bandwidth, CarbonIntensity, Co2Mass, Energy, EnergyPerArea, Length, Power,
-    Ratio, Throughput, TimeSpan,
+    Area, Bandwidth, CarbonIntensity, Co2Mass, Energy, EnergyPerArea, Length, Power, Ratio,
+    Throughput, TimeSpan,
 };
 
 fn finite() -> impl Strategy<Value = f64> {

@@ -148,9 +148,7 @@ impl BeolEstimator {
         let global_each = die_area.square_side() * 2.0;
         let global_wire_total = global_each * n_global;
         let wire_total = local_wire_total + global_wire_total;
-        let demand = Area::from_mm2(
-            self.rent.fanout() * node.wire_pitch().mm() * wire_total.mm(),
-        );
+        let demand = Area::from_mm2(self.rent.fanout() * node.wire_pitch().mm() * wire_total.mm());
         let supply_per_layer = die_area * self.router_efficiency;
         let raw_layers = demand.mm2() / supply_per_layer.mm2();
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -204,9 +202,8 @@ mod tests {
     fn memory_die_needs_far_fewer_layers() {
         let node = n7();
         let logic = BeolEstimator::default();
-        let memory = BeolEstimator::default().with_rent(
-            RentParameters::new(0.45, 3.0, 3.0, 0.25).unwrap(),
-        );
+        let memory =
+            BeolEstimator::default().with_rent(RentParameters::new(0.45, 3.0, 3.0, 0.25).unwrap());
         let area = node.area_for_gates(4.0e9);
         let l = logic.layers(4.0e9, area, &node);
         let m = memory.layers(4.0e9, area, &node);
@@ -225,7 +222,11 @@ mod tests {
             .estimate(full_gates, node.area_for_gates(full_gates), &node)
             .unwrap();
         let half = est
-            .estimate(full_gates / 2.0, node.area_for_gates(full_gates / 2.0), &node)
+            .estimate(
+                full_gates / 2.0,
+                node.area_for_gates(full_gates / 2.0),
+                &node,
+            )
             .unwrap();
         assert!(
             half.raw_layers < full.raw_layers,

@@ -89,9 +89,7 @@ impl Default for WirelengthModel {
     /// One-million-gate blocks: calibrated so a 7 nm logic die lands at
     /// 13–14 of its 15 available metal layers (see `BeolEstimator`).
     fn default() -> Self {
-        WirelengthModel::BlockDonath {
-            block_gates: 1.0e6,
-        }
+        WirelengthModel::BlockDonath { block_gates: 1.0e6 }
     }
 }
 

@@ -113,7 +113,10 @@ impl RentParameters {
     #[must_use]
     pub fn with_exponent(self, p: f64) -> Self {
         assert!(p > 0.0 && p < 1.0, "Rent exponent must be in (0,1)");
-        Self { exponent: p, ..self }
+        Self {
+            exponent: p,
+            ..self
+        }
     }
 
     /// Returns a copy with a different fanout.
@@ -214,9 +217,7 @@ mod tests {
     #[test]
     fn bisection_cut_is_half_block_terminals() {
         let rent = RentParameters::default();
-        assert!(
-            (rent.bisection_cut(2.0e6) - rent.terminals(1.0e6)).abs() < 1e-9
-        );
+        assert!((rent.bisection_cut(2.0e6) - rent.terminals(1.0e6)).abs() < 1e-9);
     }
 
     #[test]

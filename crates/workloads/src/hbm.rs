@@ -79,10 +79,7 @@ mod tests {
     fn hbm8_shape() {
         let cube = hbm_stack(8, StackingFlow::DieToWafer).unwrap();
         assert_eq!(cube.dies().len(), 9);
-        assert_eq!(
-            cube.technology(),
-            Some(IntegrationTechnology::MicroBump3d)
-        );
+        assert_eq!(cube.technology(), Some(IntegrationTechnology::MicroBump3d));
     }
 
     #[test]
@@ -93,8 +90,12 @@ mod tests {
     #[test]
     fn deeper_cubes_cost_more_but_sublinearly_per_tier() {
         let m = model();
-        let c4 = m.embodied(&hbm_stack(4, StackingFlow::DieToWafer).unwrap()).unwrap();
-        let c8 = m.embodied(&hbm_stack(8, StackingFlow::DieToWafer).unwrap()).unwrap();
+        let c4 = m
+            .embodied(&hbm_stack(4, StackingFlow::DieToWafer).unwrap())
+            .unwrap();
+        let c8 = m
+            .embodied(&hbm_stack(8, StackingFlow::DieToWafer).unwrap())
+            .unwrap();
         assert!(c8.total() > c4.total());
         // Per-DRAM-tier cost grows with depth (later tiers amortize the
         // earlier bonding risk), so 8-high costs more than 2× 4-high's
@@ -108,8 +109,12 @@ mod tests {
         // 9 untested dies sharing fate: W2W composite collapses
         // multiplicatively with depth.
         let m = model();
-        let d2w = m.embodied(&hbm_stack(8, StackingFlow::DieToWafer).unwrap()).unwrap();
-        let w2w = m.embodied(&hbm_stack(8, StackingFlow::WaferToWafer).unwrap()).unwrap();
+        let d2w = m
+            .embodied(&hbm_stack(8, StackingFlow::DieToWafer).unwrap())
+            .unwrap();
+        let w2w = m
+            .embodied(&hbm_stack(8, StackingFlow::WaferToWafer).unwrap())
+            .unwrap();
         assert!(w2w.total().kg() > 1.3 * d2w.total().kg());
         // The W2W composite of any die is the whole-stack product.
         let composite = w2w.dies[0].composite_yield;
@@ -122,7 +127,9 @@ mod tests {
     #[test]
     fn base_die_carries_the_tsvs() {
         let m = model();
-        let b = m.embodied(&hbm_stack(4, StackingFlow::DieToWafer).unwrap()).unwrap();
+        let b = m
+            .embodied(&hbm_stack(4, StackingFlow::DieToWafer).unwrap())
+            .unwrap();
         // F2B: every die except the top carries inter-tier TSVs...
         assert_eq!(b.dies.last().unwrap().tsv_count, 0.0);
         // Explicit-area dies keep their area (DRAM vendors quote final

@@ -53,7 +53,10 @@ fn split_dies(spec: &DriveSpec, strategy: SplitStrategy) -> Result<Vec<DieSpec>,
                     .efficiency(spec.efficiency)
                     .build()
             };
-            Ok(vec![mk(format!("{}-a", spec.name))?, mk(format!("{}-b", spec.name))?])
+            Ok(vec![
+                mk(format!("{}-a", spec.name))?,
+                mk(format!("{}-b", spec.name))?,
+            ])
         }
         SplitStrategy::Heterogeneous {
             memio_fraction,
@@ -75,8 +78,8 @@ fn split_dies(spec: &DriveSpec, strategy: SplitStrategy) -> Result<Vec<DieSpec>,
             let memio_area = original_area * (memio_fraction * MEMIO_AREA_PENALTY);
             // Memory-dominated silicon wires much more locally: lower
             // Rent exponent.
-            let memory_rent = RentParameters::new(0.45, 3.0, 3.0, 0.25)
-                .map_err(ModelError::InvalidParameter)?;
+            let memory_rent =
+                RentParameters::new(0.45, 3.0, 3.0, 0.25).map_err(ModelError::InvalidParameter)?;
             let memio = DieSpec::builder(format!("{}-memio", spec.name), memio_node)
                 .area(memio_area)
                 .compute_share(0.0)
@@ -97,10 +100,7 @@ fn split_dies(spec: &DriveSpec, strategy: SplitStrategy) -> Result<Vec<DieSpec>,
 /// Wraps two dies into a design for `tech`, using the paper's §5
 /// conventions: 3D stacks are face-to-face with D2W bonding (except
 /// M3D, which is sequential face-to-back).
-fn assemble(
-    dies: Vec<DieSpec>,
-    tech: IntegrationTechnology,
-) -> Result<ChipDesign, ModelError> {
+fn assemble(dies: Vec<DieSpec>, tech: IntegrationTechnology) -> Result<ChipDesign, ModelError> {
     match tech.family() {
         IntegrationFamily::ThreeD => match tech {
             IntegrationTechnology::Monolithic3d => {
@@ -138,7 +138,10 @@ pub fn heterogeneous_split(
     spec: &DriveSpec,
     tech: IntegrationTechnology,
 ) -> Result<ChipDesign, ModelError> {
-    assemble(split_dies(spec, SplitStrategy::paper_heterogeneous())?, tech)
+    assemble(
+        split_dies(spec, SplitStrategy::paper_heterogeneous())?,
+        tech,
+    )
 }
 
 /// The full Fig. 5 candidate list for one platform: the original 2D
@@ -198,7 +201,10 @@ mod tests {
             "memio area {} mm²",
             area.mm2()
         );
-        assert!(memio.rent().is_some(), "memory die gets a memory Rent exponent");
+        assert!(
+            memio.rent().is_some(),
+            "memory die gets a memory Rent exponent"
+        );
         assert_eq!(logic.node(), ProcessNode::N7);
         assert_eq!(logic.compute_share(), Some(1.0));
         assert!((logic.gate_count().unwrap() - 0.8 * 17.0e9).abs() < 1.0);
@@ -236,8 +242,7 @@ mod tests {
 
     #[test]
     fn candidate_list_covers_2d_plus_all_techs() {
-        let candidates =
-            candidate_designs(&orin(), SplitStrategy::Homogeneous).unwrap();
+        let candidates = candidate_designs(&orin(), SplitStrategy::Homogeneous).unwrap();
         assert_eq!(candidates.len(), 9);
         assert_eq!(candidates[0].0, "2D");
         let labels: Vec<&str> = candidates.iter().map(|(l, _)| l.as_str()).collect();
@@ -259,8 +264,10 @@ mod tests {
     fn works_for_every_platform() {
         for platform in DriveSeries::ALL {
             let spec = platform.spec();
-            for strategy in [SplitStrategy::Homogeneous, SplitStrategy::paper_heterogeneous()]
-            {
+            for strategy in [
+                SplitStrategy::Homogeneous,
+                SplitStrategy::paper_heterogeneous(),
+            ] {
                 let c = candidate_designs(&spec, strategy).unwrap();
                 assert_eq!(c.len(), 9, "{platform}");
             }

@@ -112,7 +112,9 @@ impl LakefieldReference {
     /// `ModelContext::builder().package(PackageModel::mobile())`.
     #[must_use]
     pub fn context() -> ModelContext {
-        ModelContext::builder().package(PackageModel::mobile()).build()
+        ModelContext::builder()
+            .package(PackageModel::mobile())
+            .build()
     }
 }
 
@@ -175,8 +177,12 @@ mod tests {
         // The §4.2 claim: D2W's testable dies yield better composites
         // than blind W2W stacking.
         let model = CarbonModel::new(LakefieldReference::context());
-        let d2w = model.embodied(&lakefield(StackingFlow::DieToWafer).unwrap()).unwrap();
-        let w2w = model.embodied(&lakefield(StackingFlow::WaferToWafer).unwrap()).unwrap();
+        let d2w = model
+            .embodied(&lakefield(StackingFlow::DieToWafer).unwrap())
+            .unwrap();
+        let w2w = model
+            .embodied(&lakefield(StackingFlow::WaferToWafer).unwrap())
+            .unwrap();
         // Logic die composite: D2W ≈ its own fab yield; W2W shares fate.
         assert!(d2w.dies[1].composite_yield > w2w.dies[1].composite_yield);
         assert!(w2w.total() > d2w.total());
@@ -197,7 +203,9 @@ mod tests {
     #[test]
     fn lakefield_mobile_package_is_small() {
         let model = CarbonModel::new(LakefieldReference::context());
-        let b = model.embodied(&lakefield(StackingFlow::DieToWafer).unwrap()).unwrap();
+        let b = model
+            .embodied(&lakefield(StackingFlow::DieToWafer).unwrap())
+            .unwrap();
         assert!(
             (120.0..200.0).contains(&b.package_area.mm2()),
             "got {} mm²",

@@ -24,7 +24,10 @@ impl core::fmt::Display for YieldError {
                 write!(f, "die area must be finite and non-negative, got {a} mm²")
             }
             YieldError::InvalidDefectDensity(d) => {
-                write!(f, "defect density must be finite and non-negative, got {d} /cm²")
+                write!(
+                    f,
+                    "defect density must be finite and non-negative, got {d} /cm²"
+                )
             }
             YieldError::InvalidAlpha(a) => {
                 write!(f, "clustering alpha must be finite and positive, got {a}")
@@ -217,8 +220,7 @@ mod tests {
             Err(YieldError::InvalidDefectDensity(_))
         ));
         assert!(matches!(
-            DieYieldModel::NegativeBinomial { alpha: 0.0 }
-                .die_yield(Area::from_mm2(10.0), 0.1),
+            DieYieldModel::NegativeBinomial { alpha: 0.0 }.die_yield(Area::from_mm2(10.0), 0.1),
             Err(YieldError::InvalidAlpha(_))
         ));
         // Error messages are meaningful (C-GOOD-ERR).

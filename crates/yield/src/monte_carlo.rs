@@ -177,7 +177,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let (shape, scale) = (2.5, 0.08);
         let n = 50_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_gamma(shape, scale, &mut rng)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_gamma(shape, scale, &mut rng))
+            .collect();
         #[allow(clippy::cast_precision_loss)]
         let mean = samples.iter().sum::<f64>() / n as f64;
         #[allow(clippy::cast_precision_loss)]

@@ -325,8 +325,7 @@ mod tests {
     fn d2w_two_die_stack_matches_table3() {
         // Lakefield-style: base (memory) die y=0.92, top (logic) y=0.90,
         // bond 0.95.
-        let y = three_d_stack_yields(&[0.92, 0.90], 0.95, StackingFlow::DieToWafer)
-            .unwrap();
+        let y = three_d_stack_yields(&[0.92, 0.90], 0.95, StackingFlow::DieToWafer).unwrap();
         // Base die (i=1): y · b^(2−1) = 0.92·0.95
         assert!((y.die_composite(0).unwrap() - 0.92 * 0.95).abs() < EPS);
         // Top die (i=2): y · b^0 = 0.90
@@ -338,8 +337,7 @@ mod tests {
 
     #[test]
     fn w2w_everyone_bears_everything() {
-        let y = three_d_stack_yields(&[0.92, 0.90], 0.95, StackingFlow::WaferToWafer)
-            .unwrap();
+        let y = three_d_stack_yields(&[0.92, 0.90], 0.95, StackingFlow::WaferToWafer).unwrap();
         let composite = 0.92 * 0.90 * 0.95;
         for i in 0..2 {
             assert!((y.die_composite(i).unwrap() - composite).abs() < EPS);
@@ -391,13 +389,8 @@ mod tests {
 
     #[test]
     fn chip_first_matches_table3() {
-        let y = assembly_2_5d_yields(
-            &[0.9, 0.8],
-            0.95,
-            &[0.99, 0.99],
-            AssemblyFlow::ChipFirst,
-        )
-        .unwrap();
+        let y = assembly_2_5d_yields(&[0.9, 0.8], 0.95, &[0.99, 0.99], AssemblyFlow::ChipFirst)
+            .unwrap();
         assert!((y.die_composite(0).unwrap() - 0.9 * 0.95).abs() < EPS);
         assert!((y.die_composite(1).unwrap() - 0.8 * 0.95).abs() < EPS);
         assert!((y.substrate_composite() - 0.95).abs() < EPS);
@@ -411,8 +404,7 @@ mod tests {
         let dies = [0.9, 0.8];
         let bonds = [0.98, 0.97];
         let bond_product = 0.98 * 0.97;
-        let y = assembly_2_5d_yields(&dies, 0.95, &bonds, AssemblyFlow::ChipLast)
-            .unwrap();
+        let y = assembly_2_5d_yields(&dies, 0.95, &bonds, AssemblyFlow::ChipLast).unwrap();
         assert!((y.die_composite(0).unwrap() - 0.9 * bond_product).abs() < EPS);
         assert!((y.die_composite(1).unwrap() - 0.8 * bond_product).abs() < EPS);
         assert!((y.substrate_composite() - 0.95 * bond_product).abs() < EPS);
@@ -426,18 +418,10 @@ mod tests {
     fn invalid_yields_are_rejected() {
         assert!(three_d_stack_yields(&[1.2], 0.9, StackingFlow::DieToWafer).is_err());
         assert!(three_d_stack_yields(&[0.9], 0.0, StackingFlow::DieToWafer).is_err());
-        assert!(
-            assembly_2_5d_yields(&[0.9], -0.1, &[0.9], AssemblyFlow::ChipFirst).is_err()
-        );
-        assert!(
-            assembly_2_5d_yields(&[0.9], 0.9, &[f64::NAN], AssemblyFlow::ChipLast)
-                .is_err()
-        );
+        assert!(assembly_2_5d_yields(&[0.9], -0.1, &[0.9], AssemblyFlow::ChipFirst).is_err());
+        assert!(assembly_2_5d_yields(&[0.9], 0.9, &[f64::NAN], AssemblyFlow::ChipLast).is_err());
         // Length mismatch in chip-last.
-        assert!(
-            assembly_2_5d_yields(&[0.9, 0.9], 0.9, &[0.9], AssemblyFlow::ChipLast)
-                .is_err()
-        );
+        assert!(assembly_2_5d_yields(&[0.9, 0.9], 0.9, &[0.9], AssemblyFlow::ChipLast).is_err());
     }
 
     #[test]

@@ -22,9 +22,7 @@ fn main() -> Result<(), ModelError> {
 
     println!(
         "Fleet decision for {} ({} driving h/day, {:.0}-year life):\n",
-        spec.name,
-        profile.driving_hours_per_day,
-        profile.lifetime_years
+        spec.name, profile.driving_hours_per_day, profile.lifetime_years
     );
 
     for (label, design) in candidate_designs(&spec, SplitStrategy::Homogeneous)?
@@ -51,10 +49,7 @@ fn main() -> Result<(), ModelError> {
                 println!("          (better at any lifetime)");
             }
             ChoiceOutcome::BetterUntil(t) => {
-                println!(
-                    "          (stays ahead of 2D until year {:.1})",
-                    t.years()
-                );
+                println!("          (stays ahead of 2D until year {:.1})", t.years());
             }
             ChoiceOutcome::BetterAfter(t) => {
                 println!("          (pays off after year {:.1})", t.years());

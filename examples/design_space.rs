@@ -33,7 +33,10 @@ fn two_die_design(
 
 fn main() -> Result<(), ModelError> {
     let gates = 10.0e9;
-    println!("Embodied carbon (kg CO2e) of a {:.0} G-gate chip, two-die designs:\n", gates / 1.0e9);
+    println!(
+        "Embodied carbon (kg CO2e) of a {:.0} G-gate chip, two-die designs:\n",
+        gates / 1.0e9
+    );
 
     // Header.
     print!("{:>8}", "node");
@@ -61,9 +64,8 @@ fn main() -> Result<(), ModelError> {
                 best = Some((total.kg(), node, tech.label().to_owned()));
             }
         }
-        let mono = ChipDesign::monolithic_2d(
-            DieSpec::builder("ref", node).gate_count(gates).build()?,
-        );
+        let mono =
+            ChipDesign::monolithic_2d(DieSpec::builder("ref", node).gate_count(gates).build()?);
         println!("{:>9.2}", model.embodied(&mono)?.total().kg());
     }
 

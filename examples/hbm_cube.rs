@@ -13,7 +13,10 @@ fn main() -> Result<(), ModelError> {
     let model = CarbonModel::new(ModelContext::default());
 
     println!("HBM cube embodied carbon vs stack depth (1 base + N DRAM tiers):\n");
-    println!("{:>7} {:>12} {:>12} {:>14} {:>16}", "tiers", "D2W (kg)", "W2W (kg)", "W2W premium", "D2W stack yield");
+    println!(
+        "{:>7} {:>12} {:>12} {:>14} {:>16}",
+        "tiers", "D2W (kg)", "W2W (kg)", "W2W premium", "D2W stack yield"
+    );
     for tiers in [1u32, 2, 4, 8, 12] {
         let d2w = model.embodied(&hbm_stack(tiers, StackingFlow::DieToWafer)?)?;
         let w2w = model.embodied(&hbm_stack(tiers, StackingFlow::WaferToWafer)?)?;

@@ -40,14 +40,28 @@ fn main() -> Result<(), ModelError> {
         EpycReference::ccd_area() * EpycReference::ccd_count() as f64,
     ) + first_order_embodied(ProcessNode::N14, EpycReference::io_die_area());
 
-    let lca = LcaDatabase::default().embodied(EPYC_7452).expect("entry exists");
+    let lca = LcaDatabase::default()
+        .embodied(EPYC_7452)
+        .expect("entry exists");
 
     println!("AMD EPYC 7452 embodied carbon, four estimators:\n");
     println!("  LCA reference (2D monolithic view) {:>8.2} kg", lca.kg());
-    println!("  3D-Carbon, adjusted to 2D          {:>8.2} kg", as_2d.total().kg());
-    println!("  3D-Carbon, real 2.5D MCM           {:>8.2} kg", mcm.total().kg());
-    println!("  ACT+                               {:>8.2} kg", act_plus.total().kg());
-    println!("  first-order (die size only)        {:>8.2} kg", first_order.kg());
+    println!(
+        "  3D-Carbon, adjusted to 2D          {:>8.2} kg",
+        as_2d.total().kg()
+    );
+    println!(
+        "  3D-Carbon, real 2.5D MCM           {:>8.2} kg",
+        mcm.total().kg()
+    );
+    println!(
+        "  ACT+                               {:>8.2} kg",
+        act_plus.total().kg()
+    );
+    println!(
+        "  first-order (die size only)        {:>8.2} kg",
+        first_order.kg()
+    );
 
     println!("\nWhy the 2.5D product beats the monolithic view:");
     println!(

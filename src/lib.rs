@@ -113,22 +113,20 @@ pub use tdc_yield::StackingFlow;
 
 /// One-stop import for applications.
 pub mod prelude {
+    pub use tdc_core::sensitivity::{sensitivity_report, SensitivityEntry};
+    pub use tdc_core::sweep::{DesignSweep, SweepEntry};
     pub use tdc_core::{
-        CarbonModel, ChipDesign, ChoiceOutcome, DecisionMetrics, DieSpec,
-        DieYieldChoice, EmbodiedBreakdown, LifecycleReport, ModelContext, ModelError,
-        OperationalReport, Workload,
+        CarbonModel, ChipDesign, ChoiceOutcome, DecisionMetrics, DieSpec, DieYieldChoice,
+        EmbodiedBreakdown, LifecycleReport, ModelContext, ModelError, OperationalReport, Workload,
     };
     pub use tdc_integration::{IntegrationFamily, IntegrationTechnology, StackOrientation};
     pub use tdc_technode::{GridRegion, ProcessNode, TechnologyDb, Wafer};
     pub use tdc_units::{
-        Area, Bandwidth, CarbonIntensity, Co2Mass, Efficiency, Energy, Length, Power,
-        Ratio, Throughput, TimeSpan,
+        Area, Bandwidth, CarbonIntensity, Co2Mass, Efficiency, Energy, Length, Power, Ratio,
+        Throughput, TimeSpan,
     };
-    pub use tdc_core::sensitivity::{sensitivity_report, SensitivityEntry};
-    pub use tdc_core::sweep::{DesignSweep, SweepEntry};
     pub use tdc_workloads::{
-        av_workload, candidate_designs, hbm_stack, AvMissionProfile, DriveSeries,
-        SplitStrategy,
+        av_workload, candidate_designs, hbm_stack, AvMissionProfile, DriveSeries, SplitStrategy,
     };
     pub use tdc_yield::{AssemblyFlow, StackingFlow};
 }

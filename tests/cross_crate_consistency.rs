@@ -149,8 +149,7 @@ fn stack_degenerates_to_sum_of_dies() {
     // With unit bonding yield and ~zero bonding energy, per-die carbon
     // in the stack equals the standalone die's.
     assert!(
-        (stack_b.die_carbon.kg() - 2.0 * single_b.die_carbon.kg()).abs()
-            / stack_b.die_carbon.kg()
+        (stack_b.die_carbon.kg() - 2.0 * single_b.die_carbon.kg()).abs() / stack_b.die_carbon.kg()
             < 1e-9
     );
     assert!(stack_b.bonding_carbon.kg() < 1e-6);

@@ -56,7 +56,10 @@ fn hbm_depth_monotonicity() {
             .kg();
         assert!(d2w > prev_d2w);
         assert!(w2w > prev_w2w);
-        assert!(w2w > d2w, "blind bonding always costs more at depth {tiers}");
+        assert!(
+            w2w > d2w,
+            "blind bonding always costs more at depth {tiers}"
+        );
         prev_d2w = d2w;
         prev_w2w = w2w;
     }
@@ -152,9 +155,7 @@ fn comparison_symmetry() {
         .1;
     let fwd: ComparisonReport = m.compare(&base, &alt, &workload).unwrap();
     let rev: ComparisonReport = m.compare(&alt, &base, &workload).unwrap();
-    assert!(
-        (fwd.metrics.embodied_delta.kg() + rev.metrics.embodied_delta.kg()).abs() < 1e-9
-    );
+    assert!((fwd.metrics.embodied_delta.kg() + rev.metrics.embodied_delta.kg()).abs() < 1e-9);
     assert!((fwd.metrics.power_saving.watts() + rev.metrics.power_saving.watts()).abs() < 1e-9);
     // Hybrid dominates 2D here, so the reverse comparison must say the
     // 2D design is never better.
@@ -176,8 +177,14 @@ fn custom_context_full_stack() {
     let m = CarbonModel::new(ctx);
     let design = ChipDesign::assembly_25d(
         vec![
-            DieSpec::builder("l", ProcessNode::N7).gate_count(4.0e9).build().unwrap(),
-            DieSpec::builder("r", ProcessNode::N12).gate_count(4.0e9).build().unwrap(),
+            DieSpec::builder("l", ProcessNode::N7)
+                .gate_count(4.0e9)
+                .build()
+                .unwrap(),
+            DieSpec::builder("r", ProcessNode::N12)
+                .gate_count(4.0e9)
+                .build()
+                .unwrap(),
         ],
         IntegrationTechnology::Emib,
     )
@@ -187,7 +194,10 @@ fn custom_context_full_stack() {
     let parts = b.die_carbon
         + b.bonding_carbon
         + b.packaging_carbon
-        + b.substrate.as_ref().map(|s| s.carbon).unwrap_or(Co2Mass::ZERO);
+        + b.substrate
+            .as_ref()
+            .map(|s| s.carbon)
+            .unwrap_or(Co2Mass::ZERO);
     assert!((b.total().kg() - parts.kg()).abs() < 1e-12);
     assert!((r.total().kg() - (b.total() + r.operational.carbon).kg()).abs() < 1e-12);
     // Mixed-node dies evaluated against their own node tables.

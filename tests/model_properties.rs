@@ -31,7 +31,10 @@ fn any_25d_tech() -> impl Strategy<Value = IntegrationTechnology> {
 }
 
 fn die(name: &str, node: ProcessNode, gates: f64) -> DieSpec {
-    DieSpec::builder(name, node).gate_count(gates).build().unwrap()
+    DieSpec::builder(name, node)
+        .gate_count(gates)
+        .build()
+        .unwrap()
 }
 
 proptest! {

@@ -48,8 +48,12 @@ fn fig4a_epyc_relations() {
 #[test]
 fn fig4b_lakefield_yields() {
     let m = CarbonModel::new(LakefieldReference::context());
-    let d2w = m.embodied(&lakefield(StackingFlow::DieToWafer).unwrap()).unwrap();
-    let w2w = m.embodied(&lakefield(StackingFlow::WaferToWafer).unwrap()).unwrap();
+    let d2w = m
+        .embodied(&lakefield(StackingFlow::DieToWafer).unwrap())
+        .unwrap();
+    let w2w = m
+        .embodied(&lakefield(StackingFlow::WaferToWafer).unwrap())
+        .unwrap();
 
     // Paper: D2W logic 89.3 %, memory 88.4 %; W2W both 79.7 %.
     assert!((d2w.dies[1].composite_yield - 0.893).abs() < 0.05);
@@ -67,7 +71,9 @@ fn fig4b_lakefield_yields() {
 #[test]
 fn fig4b_act_plus_underestimates() {
     let m = CarbonModel::new(LakefieldReference::context());
-    let d2w = m.embodied(&lakefield(StackingFlow::DieToWafer).unwrap()).unwrap();
+    let d2w = m
+        .embodied(&lakefield(StackingFlow::DieToWafer).unwrap())
+        .unwrap();
     let act = ActPlusModel::default()
         .embodied(
             &[
@@ -111,7 +117,10 @@ fn table5_embodied_save_ordering() {
     assert!(saves["Micro"] > saves["EMIB"], "{saves:?}");
     assert!(saves["EMIB"] > 0.0, "{saves:?}");
     assert!(saves["Si_int"] < 0.0, "interposer must increase embodied");
-    assert!(saves["InFO_1"] < 0.0, "chip-first InFO must increase embodied");
+    assert!(
+        saves["InFO_1"] < 0.0,
+        "chip-first InFO must increase embodied"
+    );
 }
 
 /// Table 5 decision metrics: choosing EMIB or any 3D option pays at a

@@ -1,0 +1,144 @@
+//! Offline mini benchmark harness.
+//!
+//! Stand-in for the subset of `criterion` this workspace's bench suites
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark is warmed up briefly, then timed over a batch
+//! sized to run for roughly [`MEASURE_TARGET`], and the mean time per
+//! iteration is printed. There is no statistical analysis, HTML report,
+//! or baseline comparison — just honest wall-clock numbers, with no
+//! crates.io dependency.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Warm-up budget per benchmark.
+pub const WARMUP_TARGET: Duration = Duration::from_millis(150);
+/// Measurement budget per benchmark.
+pub const MEASURE_TARGET: Duration = Duration::from_millis(400);
+
+/// Times one closure (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also calibrates how many iterations fit the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let n = ((MEASURE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_secs_f64() * 1.0e9 / n as f64;
+        self.iterations = n;
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    let ns = bencher.mean_ns;
+    let (value, unit) = if ns < 1.0e3 {
+        (ns, "ns")
+    } else if ns < 1.0e6 {
+        (ns / 1.0e3, "µs")
+    } else if ns < 1.0e9 {
+        (ns / 1.0e6, "ms")
+    } else {
+        (ns / 1.0e9, "s")
+    };
+    println!(
+        "{id:<50} {value:>10.3} {unit}/iter ({} iters)",
+        bencher.iterations
+    );
+}
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with the group
+    /// name, `criterion`-style.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group. (No-op here; kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups (mirrors
+/// `criterion::criterion_main!`). Requires `harness = false` on the
+/// bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags (e.g. `--bench`);
+            // accept and ignore them.
+            $($group();)+
+        }
+    };
+}

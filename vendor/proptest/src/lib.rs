@@ -1,0 +1,387 @@
+//! Offline mini property-testing harness.
+//!
+//! Stand-in for the subset of `proptest` this workspace uses, built so
+//! the property suites compile and run without crates.io access:
+//!
+//! - [`proptest!`] wrapping `#[test] fn name(x in strategy, ...)` bodies,
+//! - [`prop_assert!`] / [`prop_assert_eq!`] early-return assertions,
+//! - [`Strategy`] implemented for `Range<f64>` / `RangeInclusive<f64>`,
+//! - [`collection::vec`] for variable-length `Vec` strategies.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of cases seeded deterministically from the test name, and a
+//! failing case reports its inputs via the assertion message. That is a
+//! deliberate trade for a zero-dependency build; the strategies used in
+//! this workspace are simple enough that shrinking adds little.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each `proptest!` test executes.
+pub const CASES: u32 = 96;
+
+/// A failed property-test case (mirrors `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-block configuration accepted by
+/// `#![proptest_config(...)]` inside [`proptest!`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run for each test in the block.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+/// Deterministic source of test inputs.
+pub mod test_runner {
+    /// SplitMix64 generator seeded from the test name, so every run of a
+    /// given test sees the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from `name` (typically the test function
+        /// name) via FNV-1a.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+            ((self.next_u64() >> 11) as f64) * SCALE
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty length range {lo}..{hi}");
+            let span = (hi - lo) as u64;
+            lo + (self.next_u64() % span) as usize
+        }
+    }
+}
+
+/// A recipe for generating test values (mirrors `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value from `rng`.
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut test_runner::TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut test_runner::TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Scale by the next-up fraction so `hi` itself is reachable.
+        let u = ((rng.next_u64() >> 11) as f64) / ((1u64 << 53) - 1) as f64;
+        lo + (hi - lo) * u
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{test_runner::TestRng, Strategy};
+    use std::fmt;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len` (half-open, like proptest's size
+    /// ranges).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.len.start, self.len.end);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Value-set strategies (mirrors `proptest::sample`).
+pub mod sample {
+    use super::{test_runner::TestRng, Strategy};
+    use std::fmt;
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Picks one of `items` uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics at sample time if `items` is empty.
+    pub fn select<T: Clone + fmt::Debug>(items: Vec<T>) -> Select<T> {
+        Select { items }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.items.is_empty(), "select over an empty set");
+            self.items[rng.usize_in(0, self.items.len())].clone()
+        }
+    }
+}
+
+/// One-stop import mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Alias of the crate root so `prop::sample::select(...)` etc. work,
+    /// as with real proptest's prelude.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = ($config).cases;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    // Render inputs before the body runs: the body may
+                    // consume its arguments.
+                    let case_inputs =
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                            err,
+                            case_inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, returning a
+/// [`TestCaseError`] (rather than panicking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body, returning a
+/// [`TestCaseError`] on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn unit() -> impl Strategy<Value = f64> {
+        0.0..1.0f64
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in unit(), y in -5.0..=5.0f64) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((-5.0..=5.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0.0..1.0f64, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert_eq!(v.iter().filter(|x| !(0.0..1.0).contains(*x)).count(), 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! downstream users of the real serde ecosystem get serializable types,
+//! but nothing in-tree serializes at runtime and the build environment
+//! cannot reach crates.io. This crate provides just enough surface for
+//! the source to compile unchanged: the two trait names and no-op derive
+//! macros (from the sibling `serde_derive` stand-in) that accept
+//! `#[serde(...)]` helper attributes.
+//!
+//! Swapping in real serde is a one-line change in the workspace manifest;
+//! no source edits are required.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Blanket-implemented for every type: the no-op derive cannot emit
+/// real impls, and downstream code only uses these traits in
+/// compile-time `T: Serialize` assertions, which should keep passing
+/// exactly as they would with real serde (where the derives provide
+/// the impls).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented;
+/// see [`Serialize`].
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Mirrors `serde::de` for the `DeserializeOwned` bound.
+pub mod de {
+    /// Marker trait mirroring `serde::de::DeserializeOwned`.
+    /// Blanket-implemented; see [`crate::Serialize`].
+    pub trait DeserializeOwned {}
+
+    impl<T> DeserializeOwned for T {}
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes at runtime (the derives only keep the
+//! public API source-compatible with real serde). These derive macros
+//! therefore accept the full `#[derive(Serialize, Deserialize)]` +
+//! `#[serde(...)]` surface and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with any `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
