@@ -1,0 +1,85 @@
+//! Criterion benches: serial vs. parallel design-space sweeps over the
+//! Table 2 design space (every known process node × the 2D reference +
+//! all 8 integration technologies — the full early-design-stage
+//! exploration the paper's conclusion motivates).
+//!
+//! Three regimes are measured, and recorded in `BENCH_sweep.json`:
+//!
+//! * `serial` — the classic single-thread `DesignSweep::run` path;
+//! * `parallel-8` — a fresh 8-worker executor per iteration (cold
+//!   cache, so the number is pure thread-pool scaling; ≥2× on
+//!   multi-core hardware, a wash on a single-core host);
+//! * `warm-cache` — a persistent executor re-executing the same plan
+//!   (every point answered from the memoization cache), the regime an
+//!   interactive tool re-ranking a design space lives in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdc_core::sweep::{DesignSweep, SweepExecutor};
+use tdc_core::{CarbonModel, ModelContext, Workload};
+use tdc_units::{Efficiency, Throughput, TimeSpan};
+
+/// The Table 2 design space: a 17 G-gate (Orin-class) budget on all 11
+/// known nodes × (2D + 8 technologies) = 99 enumerated points.
+fn table2_sweep() -> DesignSweep {
+    DesignSweep::new(17.0e9).efficiency(Efficiency::from_tops_per_watt(2.74))
+}
+
+fn workload() -> Workload {
+    Workload::fixed(
+        "inference",
+        Throughput::from_tops(254.0),
+        TimeSpan::from_years(10.0) * (1.3 / 24.0),
+    )
+    .with_average_utilization(0.15)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelContext::default());
+    let w = workload();
+    let sweep = table2_sweep();
+    let plan = sweep.plan().expect("plan builds");
+
+    let mut group = c.benchmark_group("table2_sweep");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(sweep.run(black_box(&model), black_box(&w)).unwrap()));
+    });
+    group.bench_function("parallel-8", |b| {
+        // A fresh executor per iteration: cold cache, honest
+        // thread-pool scaling only.
+        b.iter(|| {
+            black_box(
+                SweepExecutor::new(8)
+                    .execute(black_box(&model), black_box(&plan), black_box(&w))
+                    .unwrap(),
+            )
+        });
+    });
+    let warm = SweepExecutor::new(8);
+    warm.execute(&model, &plan, &w).expect("warms the cache");
+    group.bench_function("warm-cache-8", |b| {
+        b.iter(|| {
+            black_box(
+                warm.execute(black_box(&model), black_box(&plan), black_box(&w))
+                    .unwrap(),
+            )
+        });
+    });
+    let warm_serial = SweepExecutor::serial();
+    warm_serial
+        .execute(&model, &plan, &w)
+        .expect("warms the cache");
+    group.bench_function("warm-cache-serial", |b| {
+        b.iter(|| {
+            black_box(
+                warm_serial
+                    .execute(black_box(&model), black_box(&plan), black_box(&w))
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

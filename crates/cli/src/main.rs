@@ -1,0 +1,261 @@
+//! The `tdc` binary: scenario-file-driven 3D-Carbon evaluations.
+//!
+//! ```text
+//! tdc run         <scenario.json>   single evaluation (lifecycle, or embodied-only without a workload)
+//! tdc sweep       <scenario.json>   design-space sweep, ranked by life-cycle carbon
+//! tdc sensitivity <scenario.json>   one-at-a-time tornado analysis
+//! tdc scenarios                     list preset names scenario files can reference
+//!
+//! options: --format table|json|csv   --out <path>   --workers <n>   --serial
+//! ```
+
+use std::process::ExitCode;
+use tdc_cli::report::{
+    render_embodied, render_lifecycle, render_sensitivity, render_sweep, OutputFormat,
+};
+use tdc_cli::Scenario;
+use tdc_core::sensitivity::sensitivity_report;
+use tdc_core::sweep::SweepExecutor;
+use tdc_core::CarbonModel;
+
+const USAGE: &str = "\
+tdc — 3D-Carbon scenario runner
+
+USAGE:
+    tdc <COMMAND> [OPTIONS] <scenario.json>
+
+COMMANDS:
+    run           Evaluate the scenario's design (lifecycle; embodied-only without a workload)
+    sweep         Explore the scenario's design space, ranked by life-cycle carbon
+    sensitivity   One-at-a-time sensitivity (tornado) analysis of the design
+    scenarios     List design/workload preset names usable in scenario files
+    help          Show this message
+
+OPTIONS:
+    --format <table|json|csv>   Output format (default: table)
+    --out <path>                Write the report to a file instead of stdout
+    --workers <n>               Sweep worker threads (0 = one per core; overrides the
+                                scenario; `sweep` only)
+    --serial                    Shorthand for --workers 1 (`sweep` only)
+
+Scenario files are documented in docs/SCENARIOS.md; runnable examples
+live in scenarios/.
+";
+
+struct Options {
+    command: String,
+    file: Option<String>,
+    format: Option<OutputFormat>,
+    out: Option<String>,
+    workers: Option<usize>,
+}
+
+impl Options {
+    fn format(&self) -> OutputFormat {
+        self.format.unwrap_or_default()
+    }
+}
+
+fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
+    if args.is_empty() {
+        return Err("missing command".to_owned());
+    }
+    let command = args.remove(0);
+    let mut options = Options {
+        command,
+        file: None,
+        format: None,
+        out: None,
+        workers: None,
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => {
+                let token = iter.next().ok_or("--format needs a value")?;
+                options.format = Some(
+                    OutputFormat::from_token(&token)
+                        .ok_or_else(|| format!("unknown format `{token}` (table, json, csv)"))?,
+                );
+            }
+            "--out" => {
+                options.out = Some(iter.next().ok_or("--out needs a path")?);
+            }
+            "--workers" => {
+                let token = iter.next().ok_or("--workers needs a count")?;
+                let n: usize = token
+                    .parse()
+                    .map_err(|_| format!("invalid worker count `{token}`"))?;
+                options.workers = Some(n);
+            }
+            "--serial" => options.workers = Some(1),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => {
+                if options.file.replace(file.to_owned()).is_some() {
+                    return Err("more than one scenario file given".to_owned());
+                }
+            }
+        }
+    }
+    // Options that a command would silently ignore are rejected, the
+    // same way the scenario schema rejects unknown fields.
+    if options.workers.is_some() && options.command != "sweep" {
+        return Err(format!(
+            "--workers/--serial only apply to `tdc sweep`, not `tdc {}`",
+            options.command
+        ));
+    }
+    if matches!(
+        options.command.as_str(),
+        "scenarios" | "help" | "--help" | "-h"
+    ) {
+        if options.file.is_some() {
+            return Err(format!("`tdc {}` takes no scenario file", options.command));
+        }
+        if options.format.is_some() || options.out.is_some() {
+            return Err(format!(
+                "--format/--out do not apply to `tdc {}`",
+                options.command
+            ));
+        }
+    }
+    Ok(options)
+}
+
+fn load_scenario(options: &Options) -> Result<Scenario, String> {
+    let Some(path) = &options.file else {
+        return Err(format!("`tdc {}` needs a scenario file", options.command));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn emit(options: &Options, report: &str) -> Result<(), String> {
+    match &options.out {
+        None => {
+            print!("{report}");
+            Ok(())
+        }
+        Some(path) => {
+            std::fs::write(path, report).map_err(|e| format!("cannot write `{path}`: {e}"))
+        }
+    }
+}
+
+fn cmd_run(options: &Options) -> Result<(), String> {
+    let scenario = load_scenario(options)?;
+    let model = CarbonModel::new(scenario.build_context().map_err(|e| e.to_string())?);
+    let design = scenario.build_design().map_err(|e| e.to_string())?;
+    let report = match scenario.build_workload().map_err(|e| e.to_string())? {
+        Some(workload) => {
+            let lifecycle = model
+                .lifecycle(&design, &workload)
+                .map_err(|e| e.to_string())?;
+            render_lifecycle(&scenario.name, &lifecycle, options.format())
+        }
+        None => {
+            let breakdown = model.embodied(&design).map_err(|e| e.to_string())?;
+            render_embodied(&scenario.name, &breakdown, options.format())
+        }
+    };
+    emit(options, &report)
+}
+
+fn cmd_sweep(options: &Options) -> Result<(), String> {
+    let scenario = load_scenario(options)?;
+    let model = CarbonModel::new(scenario.build_context().map_err(|e| e.to_string())?);
+    let workload = scenario
+        .build_workload()
+        .map_err(|e| e.to_string())?
+        .ok_or("`tdc sweep` needs a workload block")?;
+    let plan = scenario
+        .build_sweep()
+        .map_err(|e| e.to_string())?
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let workers = options
+        .workers
+        .or_else(|| scenario.sweep_workers())
+        .unwrap_or(0);
+    let result = SweepExecutor::new(workers)
+        .execute(&model, &plan, &workload)
+        .map_err(|e| e.to_string())?;
+    let stats = result.stats();
+    // Bookkeeping goes to stderr so stdout is byte-identical for any
+    // worker count.
+    eprintln!(
+        "sweep: {} points, {} ranked, {} dropped; {} workers; cache {}/{} hits",
+        stats.points,
+        stats.evaluated,
+        stats.dropped,
+        stats.workers,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+    );
+    emit(
+        options,
+        &render_sweep(&scenario.name, result.entries(), options.format()),
+    )
+}
+
+fn cmd_sensitivity(options: &Options) -> Result<(), String> {
+    let scenario = load_scenario(options)?;
+    let ctx = scenario.build_context().map_err(|e| e.to_string())?;
+    let design = scenario.build_design().map_err(|e| e.to_string())?;
+    let workload = scenario
+        .build_workload()
+        .map_err(|e| e.to_string())?
+        .ok_or("`tdc sensitivity` needs a workload block")?;
+    let entries = sensitivity_report(&ctx, &design, &workload).map_err(|e| e.to_string())?;
+    emit(
+        options,
+        &render_sensitivity(&scenario.name, &entries, options.format()),
+    )
+}
+
+fn cmd_scenarios() {
+    println!("design presets (a sample — the grammar also accepts e.g. hbm<N>-d2w,");
+    println!("<platform>-homo-<tech>, <platform>-het-<tech>):");
+    for name in tdc_workloads::DESIGN_PRESET_EXAMPLES {
+        println!("  {name}");
+    }
+    println!("\nworkload presets (combined with `throughput_tops`):");
+    for name in tdc_workloads::WORKLOAD_PRESETS {
+        println!("  {name}");
+    }
+    println!("\nSee docs/SCENARIOS.md for the file schema and scenarios/ for examples.");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match options.command.as_str() {
+        "run" => cmd_run(&options),
+        "sweep" => cmd_sweep(&options),
+        "sensitivity" => cmd_sensitivity(&options),
+        "scenarios" => {
+            cmd_scenarios();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Report rendering: every CLI command's result in `table`, `json`,
+//! or `csv` form.
+//!
+//! All renderers are pure `&data -> String` functions, so they are
+//! trivially testable and — crucially for the sweep path — produce
+//! **byte-identical output for identical inputs**: a parallel sweep
+//! renders exactly the bytes a serial sweep does, because the ranked
+//! entries themselves are identical.
+
+use crate::json::JsonValue;
+use crate::table::TextTable;
+use tdc_core::sensitivity::SensitivityEntry;
+use tdc_core::sweep::SweepEntry;
+use tdc_core::{EmbodiedBreakdown, LifecycleReport};
+use tdc_integration::IntegrationTechnology;
+
+/// The output format of a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable fixed-width tables (the default).
+    #[default]
+    Table,
+    /// Pretty-printed JSON.
+    Json,
+    /// RFC-4180-style comma-separated values.
+    Csv,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` token.
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        Some(match token.trim().to_ascii_lowercase().as_str() {
+            "table" | "pretty" | "text" => OutputFormat::Table,
+            "json" => OutputFormat::Json,
+            "csv" => OutputFormat::Csv,
+            _ => return None,
+        })
+    }
+}
+
+fn kg(value: tdc_units::Co2Mass) -> String {
+    format!("{:.3}", value.kg())
+}
+
+fn tech_label(tech: Option<IntegrationTechnology>) -> &'static str {
+    tech.map_or("2D", IntegrationTechnology::label)
+}
+
+/// CSV-quotes a field when needed (commas, quotes, newlines).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn embodied_json(b: &EmbodiedBreakdown) -> JsonValue {
+    let dies = b
+        .dies
+        .iter()
+        .map(|d| {
+            JsonValue::Object(vec![
+                ("name".to_owned(), JsonValue::String(d.name.clone())),
+                ("node".to_owned(), JsonValue::String(d.node.to_string())),
+                ("area_mm2".to_owned(), JsonValue::Number(d.area.mm2())),
+                (
+                    "beol_layers".to_owned(),
+                    JsonValue::Number(f64::from(d.beol_layers)),
+                ),
+                ("fab_yield".to_owned(), JsonValue::Number(d.fab_yield)),
+                (
+                    "composite_yield".to_owned(),
+                    JsonValue::Number(d.composite_yield),
+                ),
+                ("carbon_kg".to_owned(), JsonValue::Number(d.carbon.kg())),
+            ])
+        })
+        .collect();
+    let substrate = b.substrate.as_ref().map_or(JsonValue::Null, |s| {
+        JsonValue::Object(vec![
+            ("kind".to_owned(), JsonValue::String(s.kind.to_string())),
+            ("area_mm2".to_owned(), JsonValue::Number(s.area.mm2())),
+            ("fab_yield".to_owned(), JsonValue::Number(s.fab_yield)),
+            (
+                "composite_yield".to_owned(),
+                JsonValue::Number(s.composite_yield),
+            ),
+            ("carbon_kg".to_owned(), JsonValue::Number(s.carbon.kg())),
+        ])
+    });
+    JsonValue::Object(vec![
+        ("dies".to_owned(), JsonValue::Array(dies)),
+        (
+            "die_carbon_kg".to_owned(),
+            JsonValue::Number(b.die_carbon.kg()),
+        ),
+        (
+            "bonding_kg".to_owned(),
+            JsonValue::Number(b.bonding_carbon.kg()),
+        ),
+        ("substrate".to_owned(), substrate),
+        (
+            "packaging_kg".to_owned(),
+            JsonValue::Number(b.packaging_carbon.kg()),
+        ),
+        (
+            "package_area_mm2".to_owned(),
+            JsonValue::Number(b.package_area.mm2()),
+        ),
+        ("total_kg".to_owned(), JsonValue::Number(b.total().kg())),
+    ])
+}
+
+fn embodied_csv_rows(b: &EmbodiedBreakdown, out: &mut String) {
+    for d in &b.dies {
+        out.push_str(&format!(
+            "embodied,die:{},{}\n",
+            csv_field(&d.name),
+            kg(d.carbon)
+        ));
+    }
+    out.push_str(&format!("embodied,bonding,{}\n", kg(b.bonding_carbon)));
+    if let Some(s) = &b.substrate {
+        out.push_str(&format!("embodied,substrate,{}\n", kg(s.carbon)));
+    }
+    out.push_str(&format!("embodied,packaging,{}\n", kg(b.packaging_carbon)));
+    out.push_str(&format!("embodied,total,{}\n", kg(b.total())));
+}
+
+/// Renders a `tdc run` result for a design evaluated **without** a
+/// workload (embodied carbon only).
+#[must_use]
+pub fn render_embodied(
+    scenario: &str,
+    breakdown: &EmbodiedBreakdown,
+    format: OutputFormat,
+) -> String {
+    match format {
+        OutputFormat::Table => format!("scenario: {scenario}\n\n{breakdown}\n"),
+        OutputFormat::Json => JsonValue::Object(vec![
+            (
+                "scenario".to_owned(),
+                JsonValue::String(scenario.to_owned()),
+            ),
+            (
+                "design".to_owned(),
+                JsonValue::String(breakdown.design.clone()),
+            ),
+            ("embodied".to_owned(), embodied_json(breakdown)),
+        ])
+        .render(),
+        OutputFormat::Csv => {
+            let mut out = String::from("section,component,kg_co2e\n");
+            embodied_csv_rows(breakdown, &mut out);
+            out
+        }
+    }
+}
+
+/// Renders a `tdc run` result for a full life-cycle evaluation.
+#[must_use]
+pub fn render_lifecycle(scenario: &str, report: &LifecycleReport, format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Table => format!("scenario: {scenario}\n\n{report}\n"),
+        OutputFormat::Json => {
+            let op = &report.operational;
+            let operational = JsonValue::Object(vec![
+                ("power_w".to_owned(), JsonValue::Number(op.power.watts())),
+                ("energy_kwh".to_owned(), JsonValue::Number(op.energy.kwh())),
+                ("carbon_kg".to_owned(), JsonValue::Number(op.carbon.kg())),
+                ("viable".to_owned(), JsonValue::Bool(op.is_viable())),
+                (
+                    "runtime_stretch".to_owned(),
+                    JsonValue::Number(op.runtime_stretch),
+                ),
+                (
+                    "required_bandwidth_tbps".to_owned(),
+                    JsonValue::Number(op.required_bandwidth.tbps()),
+                ),
+                (
+                    "achieved_bandwidth_tbps".to_owned(),
+                    op.achieved_bandwidth
+                        .map_or(JsonValue::Null, |b| JsonValue::Number(b.tbps())),
+                ),
+            ]);
+            JsonValue::Object(vec![
+                (
+                    "scenario".to_owned(),
+                    JsonValue::String(scenario.to_owned()),
+                ),
+                (
+                    "design".to_owned(),
+                    JsonValue::String(report.embodied.design.clone()),
+                ),
+                ("embodied".to_owned(), embodied_json(&report.embodied)),
+                ("operational".to_owned(), operational),
+                (
+                    "total_kg".to_owned(),
+                    JsonValue::Number(report.total().kg()),
+                ),
+            ])
+            .render()
+        }
+        OutputFormat::Csv => {
+            let mut out = String::from("section,component,kg_co2e\n");
+            embodied_csv_rows(&report.embodied, &mut out);
+            out.push_str(&format!(
+                "operational,total,{}\n",
+                kg(report.operational.carbon)
+            ));
+            out.push_str(&format!("lifecycle,total,{}\n", kg(report.total())));
+            out
+        }
+    }
+}
+
+/// Renders ranked sweep entries. Identical entries render identical
+/// bytes, whatever executor produced them.
+#[must_use]
+pub fn render_sweep(scenario: &str, entries: &[SweepEntry], format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Table => {
+            let mut table = TextTable::new(vec![
+                "rank",
+                "label",
+                "dies",
+                "viable",
+                "embodied kg",
+                "operational kg",
+                "total kg",
+            ]);
+            for (rank, e) in entries.iter().enumerate() {
+                table.push_row(vec![
+                    (rank + 1).to_string(),
+                    e.label.clone(),
+                    e.design.dies().len().to_string(),
+                    if e.is_viable() { "yes" } else { "NO" }.to_owned(),
+                    kg(e.report.embodied.total()),
+                    kg(e.report.operational.carbon),
+                    kg(e.report.total()),
+                ]);
+            }
+            format!("scenario: {scenario}\n\n{}", table.render())
+        }
+        OutputFormat::Json => {
+            let items = entries
+                .iter()
+                .enumerate()
+                .map(|(rank, e)| {
+                    JsonValue::Object(vec![
+                        ("rank".to_owned(), JsonValue::Number((rank + 1) as f64)),
+                        ("label".to_owned(), JsonValue::String(e.label.clone())),
+                        (
+                            "node_nm".to_owned(),
+                            JsonValue::Number(f64::from(e.node.nanometers())),
+                        ),
+                        (
+                            "technology".to_owned(),
+                            JsonValue::String(tech_label(e.technology).to_owned()),
+                        ),
+                        (
+                            "dies".to_owned(),
+                            JsonValue::Number(e.design.dies().len() as f64),
+                        ),
+                        ("viable".to_owned(), JsonValue::Bool(e.is_viable())),
+                        (
+                            "embodied_kg".to_owned(),
+                            JsonValue::Number(e.report.embodied.total().kg()),
+                        ),
+                        (
+                            "operational_kg".to_owned(),
+                            JsonValue::Number(e.report.operational.carbon.kg()),
+                        ),
+                        (
+                            "total_kg".to_owned(),
+                            JsonValue::Number(e.report.total().kg()),
+                        ),
+                    ])
+                })
+                .collect();
+            JsonValue::Object(vec![
+                (
+                    "scenario".to_owned(),
+                    JsonValue::String(scenario.to_owned()),
+                ),
+                ("entries".to_owned(), JsonValue::Array(items)),
+            ])
+            .render()
+        }
+        OutputFormat::Csv => {
+            let mut out = String::from(
+                "rank,label,node_nm,technology,dies,viable,embodied_kg,operational_kg,total_kg\n",
+            );
+            for (rank, e) in entries.iter().enumerate() {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{}\n",
+                    rank + 1,
+                    csv_field(&e.label),
+                    e.node.nanometers(),
+                    tech_label(e.technology),
+                    e.design.dies().len(),
+                    e.is_viable(),
+                    kg(e.report.embodied.total()),
+                    kg(e.report.operational.carbon),
+                    kg(e.report.total()),
+                ));
+            }
+            out
+        }
+    }
+}
+
+/// Renders a sensitivity (tornado) report.
+#[must_use]
+pub fn render_sensitivity(
+    scenario: &str,
+    entries: &[SensitivityEntry],
+    format: OutputFormat,
+) -> String {
+    match format {
+        OutputFormat::Table => {
+            let mut table = TextTable::new(vec![
+                "knob", "low kg", "base kg", "high kg", "swing kg", "swing %",
+            ]);
+            for e in entries {
+                table.push_row(vec![
+                    e.knob.clone(),
+                    kg(e.low),
+                    kg(e.base),
+                    kg(e.high),
+                    kg(e.swing()),
+                    format!("{:.2}", e.relative_swing() * 100.0),
+                ]);
+            }
+            format!("scenario: {scenario}\n\n{}", table.render())
+        }
+        OutputFormat::Json => {
+            let items = entries
+                .iter()
+                .map(|e| {
+                    JsonValue::Object(vec![
+                        ("knob".to_owned(), JsonValue::String(e.knob.clone())),
+                        ("low_kg".to_owned(), JsonValue::Number(e.low.kg())),
+                        ("base_kg".to_owned(), JsonValue::Number(e.base.kg())),
+                        ("high_kg".to_owned(), JsonValue::Number(e.high.kg())),
+                        ("swing_kg".to_owned(), JsonValue::Number(e.swing().kg())),
+                        (
+                            "relative_swing".to_owned(),
+                            JsonValue::Number(e.relative_swing()),
+                        ),
+                    ])
+                })
+                .collect();
+            JsonValue::Object(vec![
+                (
+                    "scenario".to_owned(),
+                    JsonValue::String(scenario.to_owned()),
+                ),
+                ("entries".to_owned(), JsonValue::Array(items)),
+            ])
+            .render()
+        }
+        OutputFormat::Csv => {
+            let mut out = String::from("knob,low_kg,base_kg,high_kg,swing_kg,relative_swing\n");
+            for e in entries {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{:.6}\n",
+                    csv_field(&e.knob),
+                    kg(e.low),
+                    kg(e.base),
+                    kg(e.high),
+                    kg(e.swing()),
+                    e.relative_swing(),
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdc_core::sweep::DesignSweep;
+    use tdc_core::{CarbonModel, ChipDesign, DieSpec, ModelContext, Workload};
+    use tdc_technode::ProcessNode;
+    use tdc_units::{Throughput, TimeSpan};
+
+    fn sample_entries() -> Vec<SweepEntry> {
+        let model = CarbonModel::new(ModelContext::default());
+        let workload = Workload::fixed(
+            "app",
+            Throughput::from_tops(100.0),
+            TimeSpan::from_hours(10_000.0),
+        );
+        DesignSweep::new(8.0e9)
+            .nodes(vec![ProcessNode::N7])
+            .run(&model, &workload)
+            .unwrap()
+    }
+
+    #[test]
+    fn all_formats_render_sweeps() {
+        let entries = sample_entries();
+        let table = render_sweep("s", &entries, OutputFormat::Table);
+        assert!(table.contains("rank") && table.contains("7 nm/2D"));
+        let json = render_sweep("s", &entries, OutputFormat::Json);
+        let parsed = JsonValue::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("entries").unwrap().as_array().unwrap().len(),
+            entries.len()
+        );
+        let csv = render_sweep("s", &entries, OutputFormat::Csv);
+        assert_eq!(csv.lines().count(), entries.len() + 1);
+        assert!(csv.starts_with("rank,label,"));
+    }
+
+    #[test]
+    fn lifecycle_formats_agree_on_total() {
+        let model = CarbonModel::new(ModelContext::default());
+        let design = ChipDesign::monolithic_2d(
+            DieSpec::builder("d", ProcessNode::N7)
+                .gate_count(5.0e9)
+                .build()
+                .unwrap(),
+        );
+        let workload = Workload::fixed(
+            "app",
+            Throughput::from_tops(100.0),
+            TimeSpan::from_hours(10_000.0),
+        );
+        let report = model.lifecycle(&design, &workload).unwrap();
+        let json = render_lifecycle("s", &report, OutputFormat::Json);
+        let parsed = JsonValue::parse(&json).unwrap();
+        let total = parsed.get("total_kg").unwrap().as_f64().unwrap();
+        assert!((total - report.total().kg()).abs() < 1e-9);
+        let csv = render_lifecycle("s", &report, OutputFormat::Csv);
+        assert!(csv.contains("lifecycle,total,"));
+        let table = render_lifecycle("s", &report, OutputFormat::Table);
+        assert!(table.contains("LIFECYCLE"));
+    }
+
+    #[test]
+    fn embodied_only_renders() {
+        let model = CarbonModel::new(ModelContext::default());
+        let design = ChipDesign::monolithic_2d(
+            DieSpec::builder("d", ProcessNode::N7)
+                .gate_count(5.0e9)
+                .build()
+                .unwrap(),
+        );
+        let b = model.embodied(&design).unwrap();
+        for fmt in [OutputFormat::Table, OutputFormat::Json, OutputFormat::Csv] {
+            let out = render_embodied("s", &b, fmt);
+            assert!(!out.is_empty());
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let entries = sample_entries();
+        for fmt in [OutputFormat::Table, OutputFormat::Json, OutputFormat::Csv] {
+            assert_eq!(
+                render_sweep("s", &entries, fmt),
+                render_sweep("s", &entries, fmt)
+            );
+        }
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+
+    #[test]
+    fn format_tokens() {
+        assert_eq!(OutputFormat::from_token("JSON"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::from_token("table"), Some(OutputFormat::Table));
+        assert_eq!(OutputFormat::from_token("csv"), Some(OutputFormat::Csv));
+        assert_eq!(OutputFormat::from_token("xml"), None);
+    }
+}

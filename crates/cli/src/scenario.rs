@@ -1,0 +1,1143 @@
+//! Scenario files ([`Scenario`]): the declarative input of the `tdc`
+//! CLI.
+//!
+//! A scenario is a JSON document with up to four blocks, all of which
+//! are documented with runnable examples in `docs/SCENARIOS.md`:
+//!
+//! * `design` — what chip to evaluate: either `{"preset": "..."}`
+//!   (resolved through [`tdc_workloads::design_preset`]) or an explicit
+//!   die list plus integration technology;
+//! * `workload` — the mission profile: an AV preset or an explicit
+//!   fixed-throughput profile. Optional: without it, `tdc run` reports
+//!   embodied carbon only;
+//! * `context` — overrides of the model configuration (fab/use grid,
+//!   wafer, yield model, ablation knobs). Optional;
+//! * `sweep` — the design-space axes (`tdc sweep`): gate budget,
+//!   nodes, technologies, tier counts, workers. Optional.
+
+use crate::json::{JsonError, JsonValue};
+use std::fmt;
+use tdc_core::sweep::DesignSweep;
+use tdc_core::{ChipDesign, DieSpec, DieYieldChoice, ModelContext, ModelError, Workload};
+use tdc_floorplan::PackageModel;
+use tdc_integration::{IntegrationFamily, IntegrationTechnology, StackOrientation};
+use tdc_technode::{GridRegion, ProcessNode, Wafer};
+use tdc_units::{Area, Efficiency, Length, Throughput, TimeSpan};
+use tdc_workloads::{design_preset, preset_context, workload_preset};
+use tdc_yield::StackingFlow;
+
+/// Why a scenario could not be loaded or elaborated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The file is not valid JSON.
+    Json(JsonError),
+    /// The JSON is valid but violates the scenario schema; the path
+    /// names the offending field (e.g. `design.dies[0].node_nm`).
+    Schema {
+        /// Dotted path of the offending field.
+        path: String,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The scenario is well-formed but the model rejected it.
+    Model(ModelError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Json(e) => write!(f, "{e}"),
+            ScenarioError::Schema { path, message } => {
+                write!(f, "scenario field `{path}`: {message}")
+            }
+            ScenarioError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ModelError> for ScenarioError {
+    fn from(e: ModelError) -> Self {
+        ScenarioError::Model(e)
+    }
+}
+
+fn schema_err<T>(path: impl Into<String>, message: impl Into<String>) -> Result<T, ScenarioError> {
+    Err(ScenarioError::Schema {
+        path: path.into(),
+        message: message.into(),
+    })
+}
+
+/// Typed field extraction helpers over a JSON object.
+struct Fields<'a> {
+    value: &'a JsonValue,
+    path: String,
+}
+
+impl<'a> Fields<'a> {
+    fn new(value: &'a JsonValue, path: impl Into<String>) -> Result<Self, ScenarioError> {
+        let path = path.into();
+        if value.as_object().is_none() {
+            return schema_err(
+                &path,
+                format!("expected an object, got {}", value.type_name()),
+            );
+        }
+        Ok(Self { value, path })
+    }
+
+    fn child(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_owned()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&'a JsonValue> {
+        self.value.get(key)
+    }
+
+    fn number(&self, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_f64().map(Some).ok_or(()).or_else(|()| {
+                schema_err(
+                    self.child(key),
+                    format!("expected a number, got {}", v.type_name()),
+                )
+            }),
+        }
+    }
+
+    fn required_number(&self, key: &str) -> Result<f64, ScenarioError> {
+        self.number(key)?.map_or_else(
+            || schema_err(self.child(key), "required field is missing"),
+            Ok,
+        )
+    }
+
+    fn string(&self, key: &str) -> Result<Option<&'a str>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_str().map(Some).ok_or(()).or_else(|()| {
+                schema_err(
+                    self.child(key),
+                    format!("expected a string, got {}", v.type_name()),
+                )
+            }),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<Option<bool>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_bool().map(Some).ok_or(()).or_else(|()| {
+                schema_err(
+                    self.child(key),
+                    format!("expected a boolean, got {}", v.type_name()),
+                )
+            }),
+        }
+    }
+
+    fn array(&self, key: &str) -> Result<Option<&'a [JsonValue]>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_array().map(Some).ok_or(()).or_else(|()| {
+                schema_err(
+                    self.child(key),
+                    format!("expected an array, got {}", v.type_name()),
+                )
+            }),
+        }
+    }
+
+    /// Rejects keys outside `allowed` — typos in optional fields would
+    /// otherwise be silently ignored.
+    fn deny_unknown(&self, allowed: &[&str]) -> Result<(), ScenarioError> {
+        for (key, _) in self.value.as_object().expect("checked in new") {
+            if !allowed.contains(&key.as_str()) {
+                return schema_err(
+                    self.child(key),
+                    format!("unknown field (expected one of: {})", allowed.join(", ")),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_node(nm: f64, path: &str) -> Result<ProcessNode, ScenarioError> {
+    if nm.fract() != 0.0 || !(1.0..=1000.0).contains(&nm) {
+        return schema_err(path, format!("expected a node size in nm, got {nm}"));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    ProcessNode::from_nanometers(nm as u32).map_or_else(
+        || {
+            let known: Vec<String> = ProcessNode::ALL
+                .into_iter()
+                .map(|n| n.nanometers().to_string())
+                .collect();
+            schema_err(
+                path,
+                format!("unknown node {nm} nm (known: {})", known.join(", ")),
+            )
+        },
+        Ok,
+    )
+}
+
+/// `"2d"` → `None`, anything else through
+/// [`IntegrationTechnology::from_token`].
+fn parse_tech(token: &str, path: &str) -> Result<Option<IntegrationTechnology>, ScenarioError> {
+    if token.trim().eq_ignore_ascii_case("2d") {
+        return Ok(None);
+    }
+    IntegrationTechnology::from_token(token).map_or_else(
+        || {
+            let known: Vec<&str> = IntegrationTechnology::ALL
+                .into_iter()
+                .map(IntegrationTechnology::label)
+                .collect();
+            schema_err(
+                path,
+                format!(
+                    "unknown technology `{token}` (known: 2D, {})",
+                    known.join(", ")
+                ),
+            )
+        },
+        |t| Ok(Some(t)),
+    )
+}
+
+/// The `design` block.
+#[derive(Debug, Clone)]
+enum DesignSpec {
+    Preset(String),
+    Explicit {
+        technology: Option<IntegrationTechnology>,
+        orientation: Option<StackOrientation>,
+        flow: Option<StackingFlow>,
+        dies: Vec<DieSpec>,
+    },
+}
+
+/// The `workload` block.
+#[derive(Debug, Clone)]
+struct WorkloadSpec {
+    preset: Option<String>,
+    name: String,
+    throughput: Throughput,
+    active_hours: Option<f64>,
+    bytes_per_op: Option<f64>,
+    average_bytes_per_op: Option<f64>,
+    average_utilization: Option<f64>,
+    calendar_years: Option<f64>,
+}
+
+/// The `context` block (all fields optional overrides).
+#[derive(Debug, Clone, Default)]
+struct ContextSpec {
+    fab_region: Option<GridRegion>,
+    use_region: Option<GridRegion>,
+    wafer_mm: Option<f64>,
+    die_yield: Option<DieYieldChoice>,
+    package: Option<PackageModel>,
+    beol_adjustment: Option<bool>,
+    bandwidth_constraint: Option<bool>,
+    beol_carbon_fraction: Option<f64>,
+    tsv_keepout: Option<f64>,
+    m3d_sequential_fraction: Option<f64>,
+}
+
+/// The `sweep` block.
+#[derive(Debug, Clone)]
+struct SweepSpec {
+    gate_count: f64,
+    nodes: Option<Vec<ProcessNode>>,
+    technologies: Option<Vec<Option<IntegrationTechnology>>>,
+    tiers: Option<Vec<u32>>,
+    efficiency: Option<Efficiency>,
+    workers: Option<usize>,
+}
+
+/// A parsed scenario file, ready to elaborate into model inputs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (defaults to `"scenario"`).
+    pub name: String,
+    /// Free-text description, if given.
+    pub description: Option<String>,
+    design: Option<DesignSpec>,
+    workload: Option<WorkloadSpec>,
+    context: ContextSpec,
+    sweep: Option<SweepSpec>,
+}
+
+impl Scenario {
+    /// Parses a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Json`] on malformed JSON and
+    /// [`ScenarioError::Schema`] on schema violations (unknown fields,
+    /// wrong types, unknown tokens).
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let root = JsonValue::parse(text).map_err(ScenarioError::Json)?;
+        let fields = Fields::new(&root, "")?;
+        fields.deny_unknown(&[
+            "name",
+            "description",
+            "design",
+            "workload",
+            "context",
+            "sweep",
+        ])?;
+        let name = fields.string("name")?.unwrap_or("scenario").to_owned();
+        let description = fields.string("description")?.map(str::to_owned);
+        let design = match fields.get("design") {
+            None => None,
+            Some(v) => Some(Self::parse_design(v)?),
+        };
+        let workload = match fields.get("workload") {
+            None => None,
+            Some(v) => Some(Self::parse_workload(v)?),
+        };
+        let context = match fields.get("context") {
+            None => ContextSpec::default(),
+            Some(v) => Self::parse_context(v)?,
+        };
+        let sweep = match fields.get("sweep") {
+            None => None,
+            Some(v) => Some(Self::parse_sweep(v)?),
+        };
+        Ok(Self {
+            name,
+            description,
+            design,
+            workload,
+            context,
+            sweep,
+        })
+    }
+
+    fn parse_design(value: &JsonValue) -> Result<DesignSpec, ScenarioError> {
+        let f = Fields::new(value, "design")?;
+        if let Some(preset) = f.string("preset")? {
+            f.deny_unknown(&["preset"])?;
+            return Ok(DesignSpec::Preset(preset.to_owned()));
+        }
+        f.deny_unknown(&["integration", "orientation", "flow", "dies"])?;
+        let technology = match f.string("integration")? {
+            None => None,
+            Some(token) => parse_tech(token, &f.child("integration"))?,
+        };
+        let orientation = match f.string("orientation")? {
+            None => None,
+            Some(token) => Some(match token.trim().to_ascii_lowercase().as_str() {
+                "f2f" | "face-to-face" => StackOrientation::FaceToFace,
+                "f2b" | "face-to-back" => StackOrientation::FaceToBack,
+                other => {
+                    return schema_err(
+                        f.child("orientation"),
+                        format!("expected `f2f` or `f2b`, got `{other}`"),
+                    )
+                }
+            }),
+        };
+        let flow = match f.string("flow")? {
+            None => None,
+            Some(token) => Some(match token.trim().to_ascii_lowercase().as_str() {
+                "d2w" | "die-to-wafer" => StackingFlow::DieToWafer,
+                "w2w" | "wafer-to-wafer" => StackingFlow::WaferToWafer,
+                other => {
+                    return schema_err(
+                        f.child("flow"),
+                        format!("expected `d2w` or `w2w`, got `{other}`"),
+                    )
+                }
+            }),
+        };
+        let Some(die_values) = f.array("dies")? else {
+            return schema_err("design.dies", "an explicit design needs a die list");
+        };
+        if die_values.is_empty() {
+            return schema_err("design.dies", "the die list is empty");
+        }
+        let mut dies = Vec::with_capacity(die_values.len());
+        for (i, die_value) in die_values.iter().enumerate() {
+            dies.push(Self::parse_die(die_value, i)?);
+        }
+        Ok(DesignSpec::Explicit {
+            technology,
+            orientation,
+            flow,
+            dies,
+        })
+    }
+
+    fn parse_die(value: &JsonValue, index: usize) -> Result<DieSpec, ScenarioError> {
+        let path = format!("design.dies[{index}]");
+        let f = Fields::new(value, path.clone())?;
+        f.deny_unknown(&[
+            "name",
+            "node_nm",
+            "gate_count",
+            "area_mm2",
+            "beol_layers",
+            "efficiency_tops_per_watt",
+            "compute_share",
+        ])?;
+        let name = f
+            .string("name")?
+            .map_or_else(|| format!("die{index}"), str::to_owned);
+        let node = parse_node(f.required_number("node_nm")?, &f.child("node_nm"))?;
+        let mut b = DieSpec::builder(name, node);
+        if let Some(g) = f.number("gate_count")? {
+            b = b.gate_count(g);
+        }
+        if let Some(a) = f.number("area_mm2")? {
+            b = b.area(Area::from_mm2(a));
+        }
+        if let Some(l) = f.number("beol_layers")? {
+            if l.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&l) {
+                return schema_err(
+                    f.child("beol_layers"),
+                    format!("expected a whole layer count, got {l}"),
+                );
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                b = b.beol_layers(l as u32);
+            }
+        }
+        if let Some(e) = f.number("efficiency_tops_per_watt")? {
+            b = b.efficiency(Efficiency::from_tops_per_watt(e));
+        }
+        if let Some(s) = f.number("compute_share")? {
+            b = b.compute_share(s);
+        }
+        Ok(b.build()?)
+    }
+
+    fn parse_workload(value: &JsonValue) -> Result<WorkloadSpec, ScenarioError> {
+        let f = Fields::new(value, "workload")?;
+        f.deny_unknown(&[
+            "preset",
+            "name",
+            "throughput_tops",
+            "active_hours",
+            "bytes_per_op",
+            "average_bytes_per_op",
+            "average_utilization",
+            "calendar_years",
+        ])?;
+        let preset = f.string("preset")?.map(str::to_owned);
+        let tops = f.required_number("throughput_tops")?;
+        if !(tops.is_finite() && tops > 0.0) {
+            return schema_err(
+                "workload.throughput_tops",
+                format!("must be positive, got {tops}"),
+            );
+        }
+        let throughput = Throughput::from_tops(tops);
+        let active_hours = f.number("active_hours")?;
+        if preset.is_none() && active_hours.is_none() {
+            return schema_err(
+                "workload.active_hours",
+                "required unless a workload preset is used",
+            );
+        }
+        // A preset fixes the duty cycle; silently discarding a
+        // user-written active time or name would defeat the
+        // reject-don't-ignore design of this schema. (The remaining
+        // optional fields *override* the preset's values.)
+        if preset.is_some() {
+            for fixed in ["active_hours", "name"] {
+                if f.get(fixed).is_some() {
+                    return schema_err(
+                        f.child(fixed),
+                        "a workload preset fixes this; drop `preset` to set it explicitly",
+                    );
+                }
+            }
+        }
+        Ok(WorkloadSpec {
+            preset,
+            name: f.string("name")?.unwrap_or("mission").to_owned(),
+            throughput,
+            active_hours,
+            bytes_per_op: f.number("bytes_per_op")?,
+            average_bytes_per_op: f.number("average_bytes_per_op")?,
+            average_utilization: f.number("average_utilization")?,
+            calendar_years: f.number("calendar_years")?,
+        })
+    }
+
+    fn parse_context(value: &JsonValue) -> Result<ContextSpec, ScenarioError> {
+        let f = Fields::new(value, "context")?;
+        f.deny_unknown(&[
+            "fab_region",
+            "use_region",
+            "wafer_mm",
+            "die_yield",
+            "package",
+            "beol_adjustment",
+            "bandwidth_constraint",
+            "beol_carbon_fraction",
+            "tsv_keepout",
+            "m3d_sequential_fraction",
+        ])?;
+        let region = |key: &str| -> Result<Option<GridRegion>, ScenarioError> {
+            match f.string(key)? {
+                None => Ok(None),
+                Some(token) => GridRegion::from_token(token).map_or_else(
+                    || {
+                        schema_err(
+                            f.child(key),
+                            format!("unknown grid region `{token}` (e.g. taiwan, us, france, world, coal, renewable)"),
+                        )
+                    },
+                    |r| Ok(Some(r)),
+                ),
+            }
+        };
+        let die_yield = match f.string("die_yield")? {
+            None => None,
+            Some(token) => Some(match token.trim().to_ascii_lowercase().as_str() {
+                "paper" | "negative-binomial" | "neg-bin" => DieYieldChoice::PaperNegativeBinomial,
+                "poisson" => DieYieldChoice::Poisson,
+                "murphy" => DieYieldChoice::Murphy,
+                other => {
+                    return schema_err(
+                        f.child("die_yield"),
+                        format!("expected `paper`, `poisson`, or `murphy`, got `{other}`"),
+                    )
+                }
+            }),
+        };
+        let package = match f.string("package")? {
+            None => None,
+            Some(token) => Some(match token.trim().to_ascii_lowercase().as_str() {
+                "server" => PackageModel::server(),
+                "mobile" => PackageModel::mobile(),
+                other => {
+                    return schema_err(
+                        f.child("package"),
+                        format!("expected `server` or `mobile`, got `{other}`"),
+                    )
+                }
+            }),
+        };
+        // The builder would clamp out-of-range knobs; a scenario file
+        // rejects them instead — results must match what was written.
+        let bounded = |key: &str, lo: f64, hi: f64| -> Result<Option<f64>, ScenarioError> {
+            match f.number(key)? {
+                None => Ok(None),
+                Some(v) if (lo..=hi).contains(&v) => Ok(Some(v)),
+                Some(v) => schema_err(f.child(key), format!("must be in [{lo}, {hi}], got {v}")),
+            }
+        };
+        Ok(ContextSpec {
+            fab_region: region("fab_region")?,
+            use_region: region("use_region")?,
+            wafer_mm: f.number("wafer_mm")?,
+            die_yield,
+            package,
+            beol_adjustment: f.boolean("beol_adjustment")?,
+            bandwidth_constraint: f.boolean("bandwidth_constraint")?,
+            beol_carbon_fraction: bounded("beol_carbon_fraction", 0.0, 1.0)?,
+            tsv_keepout: bounded("tsv_keepout", 1.0, 100.0)?,
+            m3d_sequential_fraction: bounded("m3d_sequential_fraction", 0.0, 1.0)?,
+        })
+    }
+
+    fn parse_sweep(value: &JsonValue) -> Result<SweepSpec, ScenarioError> {
+        let f = Fields::new(value, "sweep")?;
+        f.deny_unknown(&[
+            "gate_count",
+            "nodes_nm",
+            "technologies",
+            "tiers",
+            "efficiency_tops_per_watt",
+            "workers",
+        ])?;
+        let gate_count = f.required_number("gate_count")?;
+        if !(gate_count.is_finite() && gate_count > 0.0) {
+            return schema_err(
+                "sweep.gate_count",
+                format!("must be positive, got {gate_count}"),
+            );
+        }
+        let nodes = match f.array("nodes_nm")? {
+            None => None,
+            Some(items) => {
+                let mut nodes = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let path = format!("sweep.nodes_nm[{i}]");
+                    let nm = item
+                        .as_f64()
+                        .ok_or(())
+                        .or_else(|()| schema_err::<f64>(&path, "expected a number"))?;
+                    nodes.push(parse_node(nm, &path)?);
+                }
+                Some(nodes)
+            }
+        };
+        let technologies = match f.array("technologies")? {
+            None => None,
+            Some(items) => {
+                let mut techs = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let path = format!("sweep.technologies[{i}]");
+                    let token = item
+                        .as_str()
+                        .ok_or(())
+                        .or_else(|()| schema_err::<&str>(&path, "expected a string"))?;
+                    techs.push(parse_tech(token, &path)?);
+                }
+                Some(techs)
+            }
+        };
+        let tiers = match f.array("tiers")? {
+            None => None,
+            Some(items) => {
+                let mut tiers = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let path = format!("sweep.tiers[{i}]");
+                    let t = item
+                        .as_f64()
+                        .ok_or(())
+                        .or_else(|()| schema_err::<f64>(&path, "expected a number"))?;
+                    if t.fract() != 0.0 || !(2.0..=64.0).contains(&t) {
+                        return schema_err(
+                            &path,
+                            format!("expected a tier count in 2..=64, got {t}"),
+                        );
+                    }
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    tiers.push(t as u32);
+                }
+                if tiers.is_empty() {
+                    return schema_err("sweep.tiers", "the tier list is empty");
+                }
+                Some(tiers)
+            }
+        };
+        let workers = match f.number("workers")? {
+            None => None,
+            Some(w) => {
+                if w.fract() != 0.0 || !(0.0..=1024.0).contains(&w) {
+                    return schema_err(
+                        "sweep.workers",
+                        format!("expected a count in 0..=1024, got {w}"),
+                    );
+                }
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(w as usize)
+            }
+        };
+        Ok(SweepSpec {
+            gate_count,
+            nodes,
+            technologies,
+            tiers,
+            efficiency: f
+                .number("efficiency_tops_per_watt")?
+                .map(Efficiency::from_tops_per_watt),
+            workers,
+        })
+    }
+
+    /// Whether a `design` block is present.
+    #[must_use]
+    pub fn has_design(&self) -> bool {
+        self.design.is_some()
+    }
+
+    /// Whether a `workload` block is present.
+    #[must_use]
+    pub fn has_workload(&self) -> bool {
+        self.workload.is_some()
+    }
+
+    /// Whether a `sweep` block is present.
+    #[must_use]
+    pub fn has_sweep(&self) -> bool {
+        self.sweep.is_some()
+    }
+
+    /// Worker-thread request of the `sweep` block, if any.
+    #[must_use]
+    pub fn sweep_workers(&self) -> Option<usize> {
+        self.sweep.as_ref().and_then(|s| s.workers)
+    }
+
+    /// Elaborates the `design` block into a [`ChipDesign`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block is missing, names an unknown preset, or
+    /// describes a design the model rejects.
+    pub fn build_design(&self) -> Result<ChipDesign, ScenarioError> {
+        let Some(spec) = &self.design else {
+            return schema_err("design", "this command needs a design block");
+        };
+        match spec {
+            DesignSpec::Preset(name) => design_preset(name).map_or_else(
+                || {
+                    schema_err(
+                        "design.preset",
+                        format!("unknown preset `{name}` (try `tdc scenarios` for the list)"),
+                    )
+                },
+                |d| Ok(d?),
+            ),
+            DesignSpec::Explicit {
+                technology,
+                orientation,
+                flow,
+                dies,
+            } => Self::build_explicit(*technology, *orientation, *flow, dies),
+        }
+    }
+
+    fn build_explicit(
+        technology: Option<IntegrationTechnology>,
+        orientation: Option<StackOrientation>,
+        flow: Option<StackingFlow>,
+        dies: &[DieSpec],
+    ) -> Result<ChipDesign, ScenarioError> {
+        // Orientation/flow only mean something for a 3D stack —
+        // accepting them elsewhere would silently ignore what the
+        // user wrote.
+        let reject_stack_fields = |kind: &str| -> Result<(), ScenarioError> {
+            if orientation.is_some() {
+                return schema_err(
+                    "design.orientation",
+                    format!("only 3D stacks have an orientation ({kind} design)"),
+                );
+            }
+            if flow.is_some() {
+                return schema_err(
+                    "design.flow",
+                    format!("only 3D stacks have a bonding flow ({kind} design)"),
+                );
+            }
+            Ok(())
+        };
+        let Some(tech) = technology else {
+            reject_stack_fields("2D")?;
+            if dies.len() != 1 {
+                return schema_err(
+                    "design.dies",
+                    format!("a 2D design has exactly one die, got {}", dies.len()),
+                );
+            }
+            return Ok(ChipDesign::monolithic_2d(dies[0].clone()));
+        };
+        match tech.family() {
+            IntegrationFamily::ThreeD => {
+                let orientation = orientation.unwrap_or(
+                    if tech == IntegrationTechnology::Monolithic3d || dies.len() > 2 {
+                        StackOrientation::FaceToBack
+                    } else {
+                        StackOrientation::FaceToFace
+                    },
+                );
+                let flow = if tech == IntegrationTechnology::Monolithic3d {
+                    flow // M3D takes no flow; an explicit one errors below.
+                } else {
+                    flow.or(Some(StackingFlow::DieToWafer))
+                };
+                Ok(ChipDesign::stack_3d(
+                    dies.to_vec(),
+                    tech,
+                    orientation,
+                    flow,
+                )?)
+            }
+            IntegrationFamily::TwoPointFiveD => {
+                reject_stack_fields("2.5D")?;
+                Ok(ChipDesign::assembly_25d(dies.to_vec(), tech)?)
+            }
+        }
+    }
+
+    /// Elaborates the `workload` block, when present.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown presets or out-of-domain values.
+    pub fn build_workload(&self) -> Result<Option<Workload>, ScenarioError> {
+        let Some(spec) = &self.workload else {
+            return Ok(None);
+        };
+        // Base profile: the preset's duty cycle, or an explicit
+        // fixed-throughput mission. The optional fields below override
+        // the base in both cases.
+        let mut w = if let Some(preset) = &spec.preset {
+            match workload_preset(preset, spec.throughput) {
+                Some(w) => w,
+                None => {
+                    return schema_err(
+                        "workload.preset",
+                        format!(
+                            "unknown preset `{preset}` (known: {})",
+                            tdc_workloads::WORKLOAD_PRESETS.join(", ")
+                        ),
+                    )
+                }
+            }
+        } else {
+            let hours = spec.active_hours.expect("checked at parse time");
+            if !(hours.is_finite() && hours > 0.0) {
+                return schema_err(
+                    "workload.active_hours",
+                    format!("must be positive, got {hours}"),
+                );
+            }
+            Workload::fixed(
+                spec.name.clone(),
+                spec.throughput,
+                TimeSpan::from_hours(hours),
+            )
+        };
+        if let Some(b) = spec.bytes_per_op {
+            if !(b.is_finite() && b >= 0.0) {
+                return schema_err(
+                    "workload.bytes_per_op",
+                    format!("must be non-negative, got {b}"),
+                );
+            }
+            w = w.with_bytes_per_op(b);
+        }
+        if let Some(b) = spec.average_bytes_per_op {
+            if !(b.is_finite() && b >= 0.0) {
+                return schema_err(
+                    "workload.average_bytes_per_op",
+                    format!("must be non-negative, got {b}"),
+                );
+            }
+            w = w.with_average_bytes_per_op(b);
+        }
+        if let Some(u) = spec.average_utilization {
+            if !(u > 0.0 && u <= 1.0) {
+                return schema_err(
+                    "workload.average_utilization",
+                    format!("must be in (0, 1], got {u}"),
+                );
+            }
+            w = w.with_average_utilization(u);
+        }
+        if let Some(y) = spec.calendar_years {
+            if !(y.is_finite() && y > 0.0) {
+                return schema_err(
+                    "workload.calendar_years",
+                    format!("must be positive, got {y}"),
+                );
+            }
+            w = w.with_calendar_lifetime(TimeSpan::from_years(y));
+        }
+        Ok(Some(w))
+    }
+
+    /// Elaborates the model context: the design preset's default
+    /// context (e.g. Lakefield's mobile package), with the `context`
+    /// block's overrides applied on top.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-domain values (e.g. a non-positive wafer
+    /// diameter).
+    pub fn build_context(&self) -> Result<ModelContext, ScenarioError> {
+        let base = match &self.design {
+            Some(DesignSpec::Preset(name)) => preset_context(name),
+            _ => ModelContext::default(),
+        };
+        let c = &self.context;
+        let mut b = base.to_builder();
+        if let Some(r) = c.fab_region {
+            b = b.fab_region(r);
+        }
+        if let Some(r) = c.use_region {
+            b = b.use_region(r);
+        }
+        if let Some(mm) = c.wafer_mm {
+            if !(mm.is_finite() && mm > 0.0) {
+                return schema_err("context.wafer_mm", format!("must be positive, got {mm}"));
+            }
+            b = b.wafer(Wafer::with_diameter(Length::from_mm(mm)));
+        }
+        if let Some(y) = c.die_yield {
+            b = b.die_yield(y);
+        }
+        if let Some(p) = c.package {
+            b = b.package(p);
+        }
+        if let Some(on) = c.beol_adjustment {
+            b = b.beol_adjustment(on);
+        }
+        if let Some(on) = c.bandwidth_constraint {
+            b = b.bandwidth_constraint(on);
+        }
+        if let Some(v) = c.beol_carbon_fraction {
+            b = b.beol_carbon_fraction(v);
+        }
+        if let Some(v) = c.tsv_keepout {
+            b = b.tsv_keepout(v);
+        }
+        if let Some(v) = c.m3d_sequential_fraction {
+            b = b.m3d_sequential_fraction(v);
+        }
+        Ok(b.build())
+    }
+
+    /// Elaborates the `sweep` block into a [`DesignSweep`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block is missing.
+    pub fn build_sweep(&self) -> Result<DesignSweep, ScenarioError> {
+        let Some(spec) = &self.sweep else {
+            return schema_err("sweep", "this command needs a sweep block");
+        };
+        let mut sweep = DesignSweep::new(spec.gate_count);
+        if let Some(nodes) = &spec.nodes {
+            sweep = sweep.nodes(nodes.clone());
+        }
+        if let Some(techs) = &spec.technologies {
+            sweep = sweep.technologies(techs.clone());
+        }
+        if let Some(tiers) = &spec.tiers {
+            sweep = sweep.tier_counts(tiers.clone());
+        }
+        if let Some(eff) = spec.efficiency {
+            sweep = sweep.efficiency(eff);
+        }
+        Ok(sweep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_preset_scenario_parses() {
+        let s = Scenario::parse(r#"{"design": {"preset": "epyc-7452"}}"#).unwrap();
+        assert_eq!(s.name, "scenario");
+        assert!(s.has_design());
+        assert!(!s.has_workload());
+        let d = s.build_design().unwrap();
+        assert_eq!(d.dies().len(), 5);
+        assert!(s.build_workload().unwrap().is_none());
+    }
+
+    #[test]
+    fn explicit_design_elaborates() {
+        let s = Scenario::parse(
+            r#"{
+              "design": {
+                "integration": "hybrid-3d",
+                "dies": [
+                  {"name": "t0", "node_nm": 7, "gate_count": 8.5e9},
+                  {"name": "t1", "node_nm": 7, "gate_count": 8.5e9}
+                ]
+              }
+            }"#,
+        )
+        .unwrap();
+        let d = s.build_design().unwrap();
+        assert_eq!(d.technology(), Some(IntegrationTechnology::HybridBonding3d));
+        match d {
+            ChipDesign::Stack3d {
+                orientation, flow, ..
+            } => {
+                assert_eq!(orientation, StackOrientation::FaceToFace);
+                assert_eq!(flow, Some(StackingFlow::DieToWafer));
+            }
+            other => panic!("expected a stack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workload_and_context_elaborate() {
+        let s = Scenario::parse(
+            r#"{
+              "workload": {
+                "throughput_tops": 254,
+                "active_hours": 10000,
+                "average_utilization": 0.4,
+                "calendar_years": 10
+              },
+              "context": {"fab_region": "renewable", "use_region": "france", "die_yield": "poisson"}
+            }"#,
+        )
+        .unwrap();
+        let w = s.build_workload().unwrap().unwrap();
+        assert!((w.peak_throughput().tops() - 254.0).abs() < 1e-12);
+        assert!((w.average_utilization() - 0.4).abs() < 1e-12);
+        let ctx = s.build_context().unwrap();
+        assert_eq!(ctx.fab_region(), GridRegion::Renewable);
+        assert_eq!(ctx.use_region(), GridRegion::France);
+        assert_eq!(ctx.die_yield(), DieYieldChoice::Poisson);
+    }
+
+    #[test]
+    fn workload_preset_resolves() {
+        let s =
+            Scenario::parse(r#"{"workload": {"preset": "av-robotaxi", "throughput_tops": 254}}"#)
+                .unwrap();
+        let w = s.build_workload().unwrap().unwrap();
+        assert!(w.calendar_lifetime().is_some());
+    }
+
+    #[test]
+    fn workload_preset_accepts_overrides_but_not_fixed_fields() {
+        // Optional fields override the preset's values...
+        let s = Scenario::parse(
+            r#"{"workload": {"preset": "av-robotaxi", "throughput_tops": 254,
+                 "average_utilization": 0.9, "calendar_years": 3}}"#,
+        )
+        .unwrap();
+        let w = s.build_workload().unwrap().unwrap();
+        assert!((w.average_utilization() - 0.9).abs() < 1e-12);
+        assert!((w.calendar_lifetime().unwrap().years() - 3.0).abs() < 1e-12);
+        // ...but fields the preset computes are rejected, not ignored.
+        let err = Scenario::parse(
+            r#"{"workload": {"preset": "av-robotaxi", "throughput_tops": 254, "active_hours": 1}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("workload.active_hours"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_context_knobs_are_rejected_not_clamped() {
+        for (field, value) in [
+            ("beol_carbon_fraction", "4.5"),
+            ("tsv_keepout", "0.5"),
+            ("m3d_sequential_fraction", "-0.1"),
+        ] {
+            let err =
+                Scenario::parse(&format!(r#"{{"context": {{"{field}": {value}}}}}"#)).unwrap_err();
+            assert!(err.to_string().contains(field), "{err}");
+        }
+        // In-range values pass through unclamped.
+        let s = Scenario::parse(r#"{"context": {"beol_carbon_fraction": 0.3}}"#).unwrap();
+        let ctx = s.build_context().unwrap();
+        assert!((ctx.beol_carbon_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_throughput_is_rejected() {
+        for tops in ["-254", "0"] {
+            let err = Scenario::parse(&format!(
+                r#"{{"workload": {{"throughput_tops": {tops}, "active_hours": 10}}}}"#
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("throughput_tops"), "{err}");
+        }
+    }
+
+    #[test]
+    fn stack_fields_on_non_3d_designs_are_rejected() {
+        let dies_25d = r#"[{"node_nm": 7, "gate_count": 1e9}, {"node_nm": 7, "gate_count": 1e9}]"#;
+        let s = Scenario::parse(&format!(
+            r#"{{"design": {{"integration": "emib", "flow": "w2w", "dies": {dies_25d}}}}}"#
+        ))
+        .unwrap();
+        let err = s.build_design().unwrap_err();
+        assert!(err.to_string().contains("design.flow"), "{err}");
+        let s = Scenario::parse(&format!(
+            r#"{{"design": {{"integration": "emib", "orientation": "f2f", "dies": {dies_25d}}}}}"#
+        ))
+        .unwrap();
+        let err = s.build_design().unwrap_err();
+        assert!(err.to_string().contains("design.orientation"), "{err}");
+        let s = Scenario::parse(
+            r#"{"design": {"orientation": "f2f", "dies": [{"node_nm": 7, "gate_count": 1e9}]}}"#,
+        )
+        .unwrap();
+        assert!(s.build_design().is_err());
+    }
+
+    #[test]
+    fn sweep_block_elaborates() {
+        let s = Scenario::parse(
+            r#"{
+              "sweep": {
+                "gate_count": 17e9,
+                "nodes_nm": [7, 5],
+                "technologies": ["2d", "hybrid", "emib"],
+                "tiers": [2, 4],
+                "workers": 8
+              }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(s.sweep_workers(), Some(8));
+        let plan = s.build_sweep().unwrap().plan().unwrap();
+        // Per node: 1×2D + hybrid@{2,4} + emib@{2,4} = 5 points.
+        assert_eq!(plan.len(), 10);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_paths() {
+        let err = Scenario::parse(r#"{"design": {"preset": "orin-2d", "oops": 1}}"#).unwrap_err();
+        assert!(err.to_string().contains("design.oops"), "{err}");
+        let err = Scenario::parse(
+            r#"{"workload": {"throughput_tops": 1, "active_hours": 1, "utilization": 0.5}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("workload.utilization"), "{err}");
+    }
+
+    #[test]
+    fn bad_tokens_name_the_field() {
+        let err = Scenario::parse(
+            r#"{"design": {"integration": "warp", "dies": [{"node_nm": 7, "gate_count": 1e9}]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("design.integration"), "{err}");
+        let err = Scenario::parse(r#"{"context": {"fab_region": "atlantis"}}"#).unwrap_err();
+        assert!(err.to_string().contains("context.fab_region"), "{err}");
+        let err =
+            Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "nodes_nm": [6]}}"#).unwrap_err();
+        assert!(err.to_string().contains("nodes_nm[0]"), "{err}");
+    }
+
+    #[test]
+    fn missing_blocks_error_cleanly() {
+        let s = Scenario::parse("{}").unwrap();
+        assert!(s.build_design().is_err());
+        assert!(s.build_sweep().is_err());
+        assert!(s.build_workload().unwrap().is_none());
+        // Default context still builds.
+        assert!(s.build_context().is_ok());
+    }
+
+    #[test]
+    fn unknown_preset_is_a_schema_error() {
+        let s = Scenario::parse(r#"{"design": {"preset": "warp-core"}}"#).unwrap();
+        let err = s.build_design().unwrap_err();
+        assert!(matches!(err, ScenarioError::Schema { .. }));
+        assert!(err.to_string().contains("warp-core"));
+    }
+
+    #[test]
+    fn preset_context_flows_through() {
+        let s = Scenario::parse(r#"{"design": {"preset": "lakefield-d2w"}}"#).unwrap();
+        let mobile = s.build_context().unwrap();
+        let probe = Area::from_mm2(100.0);
+        let default = ModelContext::default();
+        assert!(
+            mobile.package().package_area(probe) < default.package().package_area(probe),
+            "lakefield preset implies the mobile package"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Fixed-width text-table rendering for the `table` output format.
+//!
+//! The CLI deliberately carries its own renderer instead of importing
+//! `tdc-bench`'s: the bench crate sits at the top of the dependency
+//! DAG for *paper artifacts*, and coupling the user-facing CLI to it
+//! would invert the workspace layering for ~60 lines of formatting.
+
+/// A minimal fixed-width text table (markdown-ish pipes, padded
+/// columns, deterministic output).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub(crate) fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (padded/truncated to the header width).
+    pub(crate) fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table (trailing newline included).
+    pub(crate) fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                let pad = w - cell.chars().count();
+                line.push(' ');
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad + 1));
+                line.push('|');
+            }
+            line
+        };
+        let mut out = render_row(&self.header);
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.push_row(vec!["x", "y"]);
+        t.push_row(vec!["wide-cell"]); // short row is padded
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| a "));
+        assert!(lines[1].starts_with("|--"));
+        // All lines have equal width.
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
+    }
+}

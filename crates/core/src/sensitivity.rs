@@ -16,10 +16,13 @@ use serde::{Deserialize, Serialize};
 use tdc_technode::{GridRegion, NodeParameters, TechnologyDb};
 use tdc_units::Co2Mass;
 
-/// The effect of one input perturbation.
+/// The effect of one input perturbation: the design's life-cycle
+/// total with the input at its low and high extremes, against the
+/// unperturbed base — one bar of the tornado diagram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SensitivityEntry {
-    /// What was perturbed.
+    /// Which input was perturbed, with its range spelled out (e.g.
+    /// `"defect density (×0.5 ↔ ×1.5)"`).
     pub knob: String,
     /// Life-cycle total with the input pushed low.
     pub low: Co2Mass,
@@ -30,13 +33,20 @@ pub struct SensitivityEntry {
 }
 
 impl SensitivityEntry {
-    /// The swing `high − low` — the tornado-bar width.
+    /// The signed swing `high − low` — the tornado-bar width. Positive
+    /// when pushing the input "high" costs carbon (the usual case);
+    /// negative for inputs whose high setting *saves* carbon (e.g. a
+    /// larger BEOL carbon fraction increases the credit for unused
+    /// metal layers).
     #[must_use]
     pub fn swing(&self) -> Co2Mass {
         self.high - self.low
     }
 
-    /// Relative swing against the base total.
+    /// Magnitude of the swing as a fraction of the base life-cycle
+    /// total — the unitless number to rank knobs by across designs of
+    /// very different absolute footprints. Zero when the base total is
+    /// zero.
     #[must_use]
     pub fn relative_swing(&self) -> f64 {
         if self.base.kg() == 0.0 {

@@ -1,0 +1,391 @@
+//! Memoization of design evaluations ([`EvalCache`]).
+//!
+//! The cache pays off across the *lifetime of a
+//! [`SweepExecutor`](crate::sweep::SweepExecutor)*: re-executing a
+//! plan answers every point from the cache (the regime an interactive
+//! tool re-ranking a design space lives in — 2.6× measured in
+//! `BENCH_sweep.json`), and overlapping plans (a broad survey
+//! followed by a refined sweep over the interesting nodes) only pay
+//! for the new points. Within one plan there is no duplication to
+//! exploit — `plan()` already deduplicates the tier-independent 2D
+//! reference — and the convenience `DesignSweep::run`/`best` methods
+//! build a fresh executor per call, so cross-call reuse requires
+//! holding a `SweepExecutor`.
+//!
+//! Keys are the *canonical form of the design* — every die's
+//! [`DieSpec`](crate::DieSpec) (name, [`ProcessNode`], gate count /
+//! area / overrides) plus the [`IntegrationTechnology`], orientation,
+//! and bonding flow — so any two points that would produce the same
+//! [`LifecycleReport`] are computed once.
+//!
+//! Cached results are only valid for a fixed (model, workload) pair;
+//! the cache fingerprints both, namespaces every key by the
+//! fingerprint's hash, and self-invalidates when an executor is
+//! reused against a different configuration.
+//!
+//! [`IntegrationTechnology`]: tdc_integration::IntegrationTechnology
+//! [`ProcessNode`]: tdc_technode::ProcessNode
+
+use crate::design::ChipDesign;
+use crate::error::ModelError;
+use crate::model::{CarbonModel, LifecycleReport};
+use crate::operational::Workload;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What a finished evaluation left behind. Only the two *non-fatal*
+/// outcomes are cached; genuine model errors always propagate and are
+/// re-raised on every attempt.
+#[derive(Debug, Clone)]
+enum CachedOutcome {
+    /// The design evaluated cleanly.
+    Report(Box<LifecycleReport>),
+    /// The design cannot be built on the configured wafer
+    /// ([`ModelError::DieExceedsWafer`]) — a stable property of the
+    /// design under this context, so remembering it is safe.
+    Oversized,
+}
+
+/// Cumulative hit/miss counters of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that had to run the model.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was looked up yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// A thread-safe memoization cache for whole-design life-cycle
+/// evaluations.
+///
+/// The cache is shared by all workers of a
+/// [`SweepExecutor`](crate::sweep::SweepExecutor) and survives across
+/// `execute` calls, so repeated sweeps over overlapping design spaces
+/// (same model, same workload) skip already-computed points entirely.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    entries: Mutex<HashMap<String, CachedOutcome>>,
+    /// `format!("{model:?}|{workload:?}")` of the configuration the
+    /// stored entries were computed under.
+    fingerprint: Mutex<Option<String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical key of a design: every die spec (name, node, and
+    /// the raw bit pattern of each numeric field, so distinct values
+    /// get distinct keys) plus the integration technology, orientation,
+    /// and flow. Compact by construction — building a key costs a
+    /// fraction of a model evaluation, so a cache hit is a real win.
+    #[must_use]
+    pub fn key_for(design: &ChipDesign) -> String {
+        use std::fmt::Write as _;
+        fn bits(out: &mut String, value: Option<f64>) {
+            match value {
+                // `~` cannot collide with a hex digit.
+                None => out.push('~'),
+                Some(v) => {
+                    let _ = write!(out, "{:x}", v.to_bits());
+                }
+            }
+            out.push(',');
+        }
+        let mut key = String::with_capacity(64 * design.dies().len());
+        match design {
+            ChipDesign::Monolithic2d { .. } => key.push_str("2d|"),
+            ChipDesign::Stack3d {
+                tech,
+                orientation,
+                flow,
+                ..
+            } => {
+                let _ = write!(key, "3d:{tech:?}:{orientation:?}:{flow:?}|");
+            }
+            ChipDesign::Assembly25d { tech, .. } => {
+                let _ = write!(key, "25d:{tech:?}|");
+            }
+        }
+        for die in design.dies() {
+            // Length-prefixing the name makes the encoding injective
+            // even for names that contain the separator characters.
+            let _ = write!(key, "{}:{}{:?};", die.name().len(), die.name(), die.node());
+            bits(&mut key, die.gate_count());
+            bits(&mut key, die.area_override().map(|a| a.mm2()));
+            bits(&mut key, die.beol_override().map(f64::from));
+            bits(&mut key, die.efficiency().map(|e| e.tops_per_watt()));
+            bits(&mut key, die.compute_share());
+            match die.rent() {
+                None => key.push('~'),
+                Some(r) => {
+                    bits(&mut key, Some(r.exponent()));
+                    bits(&mut key, Some(r.terminals_per_gate()));
+                    bits(&mut key, Some(r.fanout()));
+                    bits(&mut key, Some(r.external_exponent()));
+                }
+            }
+            key.push('|');
+        }
+        key
+    }
+
+    /// Current counters and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking worker.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock poisoned").len(),
+        }
+    }
+
+    /// Drops all entries (counters are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking worker.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock poisoned").clear();
+        *self.fingerprint.lock().expect("cache lock poisoned") = None;
+    }
+
+    /// Invalidates the cache when `fingerprint` (the model+workload
+    /// configuration) differs from the one the entries were computed
+    /// under, and returns the tag to prefix this configuration's keys
+    /// with.
+    ///
+    /// The tag — not the clearing — is what makes stale reuse
+    /// impossible: every stored key embeds the configuration hash, so
+    /// even when two `execute` calls with different workloads race on
+    /// a shared executor, neither can read the other's entries. The
+    /// clearing just bounds memory to one configuration's worth of
+    /// entries.
+    pub(crate) fn ensure_configuration(&self, fingerprint: &str) -> u64 {
+        let mut stored = self.fingerprint.lock().expect("cache lock poisoned");
+        if stored.as_deref() != Some(fingerprint) {
+            self.entries.lock().expect("cache lock poisoned").clear();
+            *stored = Some(fingerprint.to_owned());
+        }
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        fingerprint.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Evaluates `design` under (`model`, `workload`), answering from
+    /// the cache when possible. `config_tag` is the value
+    /// [`ensure_configuration`](EvalCache::ensure_configuration)
+    /// returned for this (model, workload) pair; it namespaces the key
+    /// so entries from one configuration can never answer another's
+    /// lookups. Returns `Ok(None)` for designs whose dies outgrow the
+    /// wafer (dropped, and remembered as dropped), and the report plus
+    /// a was-it-a-hit flag otherwise.
+    pub(crate) fn lookup_or_eval(
+        &self,
+        config_tag: u64,
+        model: &CarbonModel,
+        design: &ChipDesign,
+        workload: &Workload,
+    ) -> Result<(Option<LifecycleReport>, bool), ModelError> {
+        let key = format!("{config_tag:x}#{}", Self::key_for(design));
+        if let Some(outcome) = self
+            .entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                match outcome {
+                    CachedOutcome::Report(r) => Some(*r),
+                    CachedOutcome::Oversized => None,
+                },
+                true,
+            ));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match model.lifecycle(design, workload) {
+            Ok(report) => {
+                self.entries
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert(key, CachedOutcome::Report(Box::new(report.clone())));
+                Ok((Some(report), false))
+            }
+            Err(ModelError::DieExceedsWafer { .. }) => {
+                self.entries
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert(key, CachedOutcome::Oversized);
+                Ok((None, false))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ModelContext;
+    use crate::design::DieSpec;
+    use tdc_technode::ProcessNode;
+    use tdc_units::{Throughput, TimeSpan};
+
+    fn model() -> CarbonModel {
+        CarbonModel::new(ModelContext::default())
+    }
+
+    fn workload() -> Workload {
+        Workload::fixed(
+            "app",
+            Throughput::from_tops(50.0),
+            TimeSpan::from_hours(1_000.0),
+        )
+    }
+
+    fn mono(gates: f64) -> ChipDesign {
+        ChipDesign::monolithic_2d(
+            DieSpec::builder("d", ProcessNode::N7)
+                .gate_count(gates)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let d = mono(5.0e9);
+        let tag = cache.ensure_configuration("cfg");
+        let (first, hit1) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
+        let (second, hit2) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_tag_namespaces_entries() {
+        // Even without the clearing (e.g. a racing execute on a shared
+        // executor), entries from one configuration can never answer
+        // another's lookups: the tag is part of the key.
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let d = mono(5.0e9);
+        let tag_a = cache.ensure_configuration("cfg-a");
+        cache.lookup_or_eval(tag_a, &m, &d, &w).unwrap();
+        let tag_b = cache.ensure_configuration("cfg-b");
+        assert_ne!(tag_a, tag_b);
+        let (_, hit) = cache.lookup_or_eval(tag_b, &m, &d, &w).unwrap();
+        assert!(!hit, "a different configuration must miss");
+    }
+
+    #[test]
+    fn distinct_designs_get_distinct_keys() {
+        assert_ne!(
+            EvalCache::key_for(&mono(5.0e9)),
+            EvalCache::key_for(&mono(5.0e9 + 1.0))
+        );
+        assert_eq!(
+            EvalCache::key_for(&mono(5.0e9)),
+            EvalCache::key_for(&mono(5.0e9))
+        );
+    }
+
+    #[test]
+    fn hostile_die_names_cannot_collide() {
+        // A name embedding the field/die separators must not make two
+        // structurally different designs encode identically — names
+        // are length-prefixed.
+        let named = |name: &str| {
+            ChipDesign::monolithic_2d(
+                DieSpec::builder(name, ProcessNode::N7)
+                    .gate_count(1.0e9)
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let plain = named("d0");
+        let hostile = named("d0N7;~,~,~,~,~,~|");
+        assert_ne!(EvalCache::key_for(&plain), EvalCache::key_for(&hostile));
+    }
+
+    #[test]
+    fn oversized_outcome_is_remembered() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let d = ChipDesign::monolithic_2d(
+            DieSpec::builder("huge", ProcessNode::N28)
+                .gate_count(60.0e9) // far beyond a 300 mm wafer at 28 nm
+                .build()
+                .unwrap(),
+        );
+        let tag = cache.ensure_configuration("cfg");
+        let (r1, hit1) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
+        let (r2, hit2) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
+        assert!(r1.is_none() && r2.is_none());
+        assert!(!hit1);
+        assert!(hit2);
+    }
+
+    #[test]
+    fn configuration_change_invalidates() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let tag_a = cache.ensure_configuration("cfg-a");
+        let d = mono(5.0e9);
+        cache.lookup_or_eval(tag_a, &m, &d, &w).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        let tag_b = cache.ensure_configuration("cfg-b");
+        assert_eq!(cache.stats().entries, 0);
+        // Same fingerprint keeps entries.
+        cache.lookup_or_eval(tag_b, &m, &d, &w).unwrap();
+        assert_eq!(cache.ensure_configuration("cfg-b"), tag_b);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_drops_entries() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let tag = cache.ensure_configuration("cfg");
+        cache.lookup_or_eval(tag, &m, &mono(5.0e9), &w).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Parallel evaluation of a [`SweepPlan`] ([`SweepExecutor`]).
+//!
+//! The executor shards plan points across a pool of `std::thread`
+//! workers pulling from a shared atomic cursor — idle workers
+//! immediately steal the next unevaluated index, so uneven point
+//! costs (a 9-die HBM stack next to a single 2D die) cannot leave a
+//! thread starved. Results carry their plan index, and the final
+//! ranking sorts by (life-cycle total, index), so the output is
+//! **byte-identical for any worker count**, including the serial
+//! fast path.
+
+use super::cache::EvalCache;
+use super::plan::{SweepPlan, SweepPoint};
+use super::SweepEntry;
+use crate::error::ModelError;
+use crate::model::CarbonModel;
+use crate::operational::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bookkeeping of one [`SweepExecutor::execute`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Points in the executed plan.
+    pub points: usize,
+    /// Points that produced a ranked entry.
+    pub evaluated: usize,
+    /// Points dropped because their dies outgrow the wafer.
+    pub dropped: usize,
+    /// Evaluations answered from the memoization cache.
+    pub cache_hits: usize,
+    /// Evaluations that ran the model.
+    pub cache_misses: usize,
+    /// Worker threads actually used (1 = serial fast path).
+    pub workers: usize,
+}
+
+/// The outcome of executing a plan: ranked entries plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    entries: Vec<SweepEntry>,
+    stats: SweepStats,
+}
+
+impl SweepResult {
+    /// Entries ranked by life-cycle total, lowest first (plan index
+    /// breaks ties deterministically).
+    #[must_use]
+    pub fn entries(&self) -> &[SweepEntry] {
+        &self.entries
+    }
+
+    /// Consumes the result, yielding the ranked entries.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<SweepEntry> {
+        self.entries
+    }
+
+    /// Execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    /// The best-ranked *viable* entry, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&SweepEntry> {
+        self.entries.iter().find(|e| e.is_viable())
+    }
+}
+
+/// What one point produced (private merge currency).
+enum PointOutcome {
+    Entry(Box<SweepEntry>),
+    Dropped,
+    Failed(ModelError),
+}
+
+/// Evaluates [`SweepPlan`]s over a worker pool with memoization.
+///
+/// ```
+/// use tdc_core::{CarbonModel, ModelContext, Workload};
+/// use tdc_core::sweep::{DesignSweep, SweepExecutor};
+/// use tdc_technode::ProcessNode;
+/// use tdc_units::{Throughput, TimeSpan};
+///
+/// # fn main() -> Result<(), tdc_core::ModelError> {
+/// let model = CarbonModel::new(ModelContext::default());
+/// let workload = Workload::fixed(
+///     "app",
+///     Throughput::from_tops(100.0),
+///     TimeSpan::from_hours(10_000.0),
+/// );
+/// let plan = DesignSweep::new(10.0e9)
+///     .nodes(vec![ProcessNode::N7])
+///     .plan()?;
+/// let executor = SweepExecutor::new(4);
+/// let result = executor.execute(&model, &plan, &workload)?;
+/// assert_eq!(result.stats().points, plan.len());
+/// // Re-executing the same plan is answered from the cache.
+/// let again = executor.execute(&model, &plan, &workload)?;
+/// assert_eq!(again.stats().cache_hits, plan.len());
+/// assert_eq!(result.entries(), again.entries());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SweepExecutor {
+    workers: usize,
+    cache: EvalCache,
+}
+
+impl SweepExecutor {
+    /// Creates an executor with `workers` threads (`0` = one per
+    /// available core).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            cache: EvalCache::new(),
+        }
+    }
+
+    /// A single-threaded executor (no threads are spawned at all).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured worker count (`0` = auto).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The executor's memoization cache (for statistics inspection or
+    /// explicit [`EvalCache::clear`]).
+    #[must_use]
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Resolves the thread count for a plan of `points` points.
+    fn resolve_workers(&self, points: usize) -> usize {
+        let configured = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        configured.clamp(1, points.max(1))
+    }
+
+    /// Evaluates every point of `plan` under (`model`, `workload`)
+    /// and returns the ranked result. The memoization cache persists
+    /// across calls for the same model and workload and is invalidated
+    /// automatically when either changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ModelError`] of the lowest-indexed failing point
+    /// (deterministic regardless of worker count). Oversized-die
+    /// points are dropped, not errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (model evaluation itself never
+    /// panics for plan-constructed designs).
+    pub fn execute(
+        &self,
+        model: &CarbonModel,
+        plan: &SweepPlan,
+        workload: &Workload,
+    ) -> Result<SweepResult, ModelError> {
+        // The fingerprint covers the context, the power plug-in's
+        // parameters (via its `fingerprint()`), and the workload; the
+        // returned tag namespaces every cache key so entries from one
+        // configuration can never answer another's lookups, even when
+        // concurrent `execute` calls race on a shared executor.
+        let config_tag = self
+            .cache
+            .ensure_configuration(&format!("{model:?}|{workload:?}"));
+        let points = plan.points();
+        let workers = self.resolve_workers(points.len());
+
+        let mut slots: Vec<Option<(PointOutcome, bool)>> = Vec::new();
+        if workers <= 1 {
+            for point in points {
+                slots.push(Some(self.eval_point(config_tag, model, point, workload)));
+            }
+        } else {
+            slots.resize_with(points.len(), || None);
+            let cursor = AtomicUsize::new(0);
+            let mut collected: Vec<Vec<(usize, (PointOutcome, bool))>> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(workers);
+                    for _ in 0..workers {
+                        let cursor = &cursor;
+                        handles.push(scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(point) = points.get(i) else { break };
+                                local
+                                    .push((i, self.eval_point(config_tag, model, point, workload)));
+                            }
+                            local
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("sweep worker panicked"))
+                        .collect()
+                });
+            for (i, outcome) in collected.drain(..).flatten() {
+                slots[i] = Some(outcome);
+            }
+        }
+
+        let mut stats = SweepStats {
+            points: points.len(),
+            workers,
+            ..SweepStats::default()
+        };
+        let mut ranked: Vec<(usize, SweepEntry)> = Vec::with_capacity(points.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (outcome, was_hit) = slot.expect("every point is evaluated exactly once");
+            if was_hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+            }
+            match outcome {
+                PointOutcome::Entry(entry) => {
+                    stats.evaluated += 1;
+                    ranked.push((i, *entry));
+                }
+                PointOutcome::Dropped => stats.dropped += 1,
+                // Lowest plan index wins: `slots` is scanned in order.
+                PointOutcome::Failed(e) => return Err(e),
+            }
+        }
+        ranked.sort_by(|(ia, a), (ib, b)| {
+            a.report
+                .total()
+                .kg()
+                .total_cmp(&b.report.total().kg())
+                .then(ia.cmp(ib))
+        });
+        Ok(SweepResult {
+            entries: ranked.into_iter().map(|(_, e)| e).collect(),
+            stats,
+        })
+    }
+
+    /// Evaluates one point via the cache; the bool is the was-a-hit
+    /// flag.
+    fn eval_point(
+        &self,
+        config_tag: u64,
+        model: &CarbonModel,
+        point: &SweepPoint,
+        workload: &Workload,
+    ) -> (PointOutcome, bool) {
+        match self
+            .cache
+            .lookup_or_eval(config_tag, model, point.design(), workload)
+        {
+            Ok((Some(report), hit)) => (
+                PointOutcome::Entry(Box::new(SweepEntry {
+                    label: point.label().to_owned(),
+                    node: point.node(),
+                    technology: point.technology(),
+                    design: point.design().clone(),
+                    report,
+                })),
+                hit,
+            ),
+            Ok((None, hit)) => (PointOutcome::Dropped, hit),
+            Err(e) => (PointOutcome::Failed(e), false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ModelContext;
+    use crate::sweep::DesignSweep;
+    use tdc_technode::ProcessNode;
+    use tdc_units::{Throughput, TimeSpan};
+
+    fn model() -> CarbonModel {
+        CarbonModel::new(ModelContext::default())
+    }
+
+    fn workload() -> Workload {
+        Workload::fixed(
+            "app",
+            Throughput::from_tops(100.0),
+            TimeSpan::from_hours(10_000.0),
+        )
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let sweep = DesignSweep::new(8.0e9).nodes(vec![ProcessNode::N7, ProcessNode::N5]);
+        let plan = sweep.plan().unwrap();
+        let (m, w) = (model(), workload());
+        let serial = SweepExecutor::serial().execute(&m, &plan, &w).unwrap();
+        for workers in [2, 3, 8] {
+            let parallel = SweepExecutor::new(workers).execute(&m, &plan, &w).unwrap();
+            assert_eq!(serial.entries(), parallel.entries(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_point() {
+        let sweep = DesignSweep::new(8.0e9).nodes(vec![ProcessNode::N7]);
+        let plan = sweep.plan().unwrap();
+        let result = SweepExecutor::new(4)
+            .execute(&model(), &plan, &workload())
+            .unwrap();
+        let s = result.stats();
+        assert_eq!(s.points, plan.len());
+        assert_eq!(s.evaluated + s.dropped, s.points);
+        assert_eq!(s.cache_hits + s.cache_misses, s.points);
+        assert_eq!(s.cache_hits, 0, "fresh executor has a cold cache");
+        assert!(s.workers >= 1);
+    }
+
+    #[test]
+    fn reexecution_is_fully_cached() {
+        let sweep = DesignSweep::new(8.0e9).nodes(vec![ProcessNode::N7]);
+        let plan = sweep.plan().unwrap();
+        let executor = SweepExecutor::new(2);
+        let (m, w) = (model(), workload());
+        let first = executor.execute(&m, &plan, &w).unwrap();
+        let second = executor.execute(&m, &plan, &w).unwrap();
+        assert_eq!(second.stats().cache_hits, plan.len());
+        assert_eq!(second.stats().cache_misses, 0);
+        assert_eq!(first.entries(), second.entries());
+    }
+
+    #[test]
+    fn workload_change_invalidates_cache() {
+        let sweep = DesignSweep::new(8.0e9).nodes(vec![ProcessNode::N7]);
+        let plan = sweep.plan().unwrap();
+        let executor = SweepExecutor::serial();
+        let m = model();
+        executor.execute(&m, &plan, &workload()).unwrap();
+        let other = Workload::fixed(
+            "app",
+            Throughput::from_tops(10.0),
+            TimeSpan::from_hours(10_000.0),
+        );
+        let result = executor.execute(&m, &plan, &other).unwrap();
+        assert_eq!(result.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn auto_worker_count_is_clamped_to_plan_size() {
+        let sweep = DesignSweep::new(8.0e9)
+            .nodes(vec![ProcessNode::N7])
+            .technologies(vec![None]);
+        let plan = sweep.plan().unwrap();
+        assert_eq!(plan.len(), 1);
+        let result = SweepExecutor::new(64)
+            .execute(&model(), &plan, &workload())
+            .unwrap();
+        assert_eq!(result.stats().workers, 1);
+    }
+
+    #[test]
+    fn best_respects_viability() {
+        let sweep = DesignSweep::new(8.0e9).nodes(vec![ProcessNode::N7]);
+        let plan = sweep.plan().unwrap();
+        let result = SweepExecutor::serial()
+            .execute(&model(), &plan, &workload())
+            .unwrap();
+        let best = result.best().expect("a viable point exists");
+        assert!(best.is_viable());
+    }
+
+    #[test]
+    fn empty_plan_executes_cleanly() {
+        let plan = DesignSweep::new(8.0e9).nodes(Vec::new()).plan().unwrap();
+        let result = SweepExecutor::new(4)
+            .execute(&model(), &plan, &workload())
+            .unwrap();
+        assert!(result.entries().is_empty());
+        assert_eq!(result.stats().points, 0);
+    }
+}

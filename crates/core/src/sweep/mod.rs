@@ -1,7 +1,23 @@
-//! Design-space exploration ([`DesignSweep`]) — the "early design
-//! stage" workflow the paper's conclusion motivates: enumerate every
-//! (node × integration technology) implementation of a gate budget,
-//! evaluate the full life cycle for each, and rank them.
+//! Design-space exploration — the "early design stage" workflow the
+//! paper's conclusion motivates: enumerate every (node × integration
+//! technology × tier count) implementation of a gate budget, evaluate
+//! the full life cycle for each, and rank them.
+//!
+//! The subsystem is layered:
+//!
+//! * [`DesignSweep`] — builder describing *what* to explore (gate
+//!   budget, node/technology/tier axes);
+//! * [`SweepPlan`] — the fully-enumerated, deterministically-indexed
+//!   list of [`SweepPoint`]s the builder expands into;
+//! * [`SweepExecutor`] — evaluates a plan, either serially or on a
+//!   pool of worker threads, with [`EvalCache`] memoization of
+//!   repeated design evaluations;
+//! * [`SweepResult`] — the ranked [`SweepEntry`] list plus
+//!   [`SweepStats`] bookkeeping (cache hits, dropped points, workers).
+//!
+//! Results are **deterministic regardless of worker count**: entries
+//! are ranked by life-cycle total with the plan index as tie-break, so
+//! a parallel run is byte-for-byte identical to a serial run.
 
 use crate::design::{ChipDesign, DieSpec};
 use crate::error::ModelError;
@@ -13,10 +29,19 @@ use tdc_technode::ProcessNode;
 use tdc_units::Efficiency;
 use tdc_yield::StackingFlow;
 
+mod cache;
+mod executor;
+mod plan;
+
+pub use cache::{CacheStats, EvalCache};
+pub use executor::{SweepExecutor, SweepResult, SweepStats};
+pub use plan::{SweepPlan, SweepPoint};
+
 /// One evaluated point of a sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepEntry {
-    /// `"<node>/<tech>"` label, e.g. `"7 nm/Hybrid"`.
+    /// `"<node>/<tech>"` label, e.g. `"7 nm/Hybrid"` (suffixed with
+    /// `"@<tiers>"` when the plan sweeps more than one tier count).
     pub label: String,
     /// The process node of the point.
     pub node: ProcessNode,
@@ -36,8 +61,8 @@ impl SweepEntry {
     }
 }
 
-/// Enumerates N-die implementations of a gate budget across nodes and
-/// integration technologies.
+/// Enumerates N-die implementations of a gate budget across nodes,
+/// integration technologies, and tier counts.
 ///
 /// ```
 /// use tdc_core::{CarbonModel, ModelContext, Workload};
@@ -67,7 +92,7 @@ pub struct DesignSweep {
     efficiency: Option<Efficiency>,
     nodes: Vec<ProcessNode>,
     technologies: Vec<Option<IntegrationTechnology>>,
-    tiers: u32,
+    tier_counts: Vec<u32>,
 }
 
 impl DesignSweep {
@@ -91,7 +116,7 @@ impl DesignSweep {
             efficiency: None,
             nodes: ProcessNode::ALL.to_vec(),
             technologies,
-            tiers: 2,
+            tier_counts: vec![2],
         }
     }
 
@@ -118,9 +143,22 @@ impl DesignSweep {
     ///
     /// Panics if `tiers < 2`.
     #[must_use]
-    pub fn tiers(mut self, tiers: u32) -> Self {
-        assert!(tiers >= 2, "splits need at least 2 dies");
-        self.tiers = tiers;
+    pub fn tiers(self, tiers: u32) -> Self {
+        self.tier_counts(vec![tiers])
+    }
+
+    /// Sweeps several tier counts as an additional axis (each ≥ 2).
+    /// The 2D reference point is emitted once per node, not once per
+    /// tier count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty or contains a value below 2.
+    #[must_use]
+    pub fn tier_counts(mut self, tiers: Vec<u32>) -> Self {
+        assert!(!tiers.is_empty(), "at least one tier count is needed");
+        assert!(tiers.iter().all(|t| *t >= 2), "splits need at least 2 dies");
+        self.tier_counts = tiers;
         self
     }
 
@@ -139,13 +177,14 @@ impl DesignSweep {
         b.build()
     }
 
-    /// Builds the design for one (node, technology) point. M3D beyond
-    /// two tiers and F2F stacks beyond two dies are skipped
+    /// Builds the design for one (node, technology, tiers) point. M3D
+    /// beyond two tiers and F2F stacks beyond two dies are skipped
     /// (`Ok(None)`), as are configurations the catalog rejects.
     fn design_for(
         &self,
         node: ProcessNode,
         tech: Option<IntegrationTechnology>,
+        tiers: u32,
     ) -> Result<Option<ChipDesign>, ModelError> {
         let Some(tech) = tech else {
             return Ok(Some(ChipDesign::monolithic_2d(self.die(
@@ -154,19 +193,19 @@ impl DesignSweep {
                 self.gate_count,
             )?)));
         };
-        let per_die = self.gate_count / f64::from(self.tiers);
-        let mut dies = Vec::with_capacity(self.tiers as usize);
-        for i in 0..self.tiers {
+        let per_die = self.gate_count / f64::from(tiers);
+        let mut dies = Vec::with_capacity(tiers as usize);
+        for i in 0..tiers {
             dies.push(self.die(format!("d{i}"), node, per_die)?);
         }
         let design = match tech.family() {
             IntegrationFamily::ThreeD => {
                 if tech == IntegrationTechnology::Monolithic3d {
-                    if self.tiers > 2 {
+                    if tiers > 2 {
                         return Ok(None);
                     }
                     ChipDesign::stack_3d(dies, tech, StackOrientation::FaceToBack, None)
-                } else if self.tiers <= 2 {
+                } else if tiers <= 2 {
                     ChipDesign::stack_3d(
                         dies,
                         tech,
@@ -187,10 +226,54 @@ impl DesignSweep {
         Ok(Some(design?))
     }
 
-    /// Runs the sweep, returning entries sorted by life-cycle total
-    /// (lowest first). Points whose dies outgrow the wafer are dropped
-    /// silently (they are unbuildable, not errors of the caller's
-    /// making); all other model errors propagate.
+    /// Expands the builder into a deterministic [`SweepPlan`]: the
+    /// cartesian product of nodes × tier counts × technologies, minus
+    /// the points outside a technology's envelope, with the 2D
+    /// reference emitted once per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] when a die specification is invalid
+    /// (e.g. a non-positive per-die gate count).
+    pub fn plan(&self) -> Result<SweepPlan, ModelError> {
+        let multi_tier = self.tier_counts.len() > 1;
+        let mut points = Vec::new();
+        for &node in &self.nodes {
+            for (tier_slot, &tiers) in self.tier_counts.iter().enumerate() {
+                for &tech in &self.technologies {
+                    if tech.is_none() && tier_slot > 0 {
+                        // The 2D reference is tier-independent.
+                        continue;
+                    }
+                    let Some(design) = self.design_for(node, tech, tiers)? else {
+                        continue;
+                    };
+                    let base =
+                        format!("{node}/{}", tech.map_or("2D", IntegrationTechnology::label));
+                    let label = if multi_tier && tech.is_some() {
+                        format!("{base}@{tiers}")
+                    } else {
+                        base
+                    };
+                    let point_tiers = if tech.is_none() { 1 } else { tiers };
+                    points.push(SweepPoint::new(
+                        points.len(),
+                        label,
+                        node,
+                        tech,
+                        point_tiers,
+                        design,
+                    ));
+                }
+            }
+        }
+        Ok(SweepPlan::new(points))
+    }
+
+    /// Runs the sweep serially, returning entries sorted by life-cycle
+    /// total (lowest first). Points whose dies outgrow the wafer are
+    /// dropped silently (they are unbuildable, not errors of the
+    /// caller's making); all other model errors propagate.
     ///
     /// # Errors
     ///
@@ -201,30 +284,25 @@ impl DesignSweep {
         model: &CarbonModel,
         workload: &Workload,
     ) -> Result<Vec<SweepEntry>, ModelError> {
-        let mut entries = Vec::new();
-        for &node in &self.nodes {
-            for &tech in &self.technologies {
-                let Some(design) = self.design_for(node, tech)? else {
-                    continue;
-                };
-                match model.lifecycle(&design, workload) {
-                    Ok(report) => entries.push(SweepEntry {
-                        label: format!(
-                            "{node}/{}",
-                            tech.map_or("2D", IntegrationTechnology::label)
-                        ),
-                        node,
-                        technology: tech,
-                        design,
-                        report,
-                    }),
-                    Err(ModelError::DieExceedsWafer { .. }) => {}
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-        entries.sort_by(|a, b| a.report.total().kg().total_cmp(&b.report.total().kg()));
-        Ok(entries)
+        Ok(SweepExecutor::serial()
+            .execute(model, &self.plan()?, workload)?
+            .into_entries())
+    }
+
+    /// Runs the sweep on `workers` threads (0 = one per available
+    /// core). The returned entries are identical to [`DesignSweep::run`]
+    /// for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`DesignSweep::run`].
+    pub fn run_parallel(
+        &self,
+        model: &CarbonModel,
+        workload: &Workload,
+        workers: usize,
+    ) -> Result<SweepResult, ModelError> {
+        SweepExecutor::new(workers).execute(model, &self.plan()?, workload)
     }
 
     /// Runs the sweep and returns the best *viable* point, if any.
@@ -354,5 +432,26 @@ mod tests {
             .run(&model(), &workload())
             .unwrap();
         assert!(fast[0].report.operational.carbon < slow[0].report.operational.carbon);
+    }
+
+    #[test]
+    fn tier_axis_emits_2d_once_and_labels_tiers() {
+        let plan = DesignSweep::new(8.0e9)
+            .nodes(vec![ProcessNode::N7])
+            .tier_counts(vec![2, 4])
+            .plan()
+            .unwrap();
+        let labels: Vec<&str> = plan.points().iter().map(SweepPoint::label).collect();
+        // One 2D reference, tier-suffixed stacks for the rest.
+        assert_eq!(labels.iter().filter(|l| l.ends_with("/2D")).count(), 1);
+        assert!(labels.contains(&"7 nm/Hybrid@2"));
+        assert!(labels.contains(&"7 nm/Hybrid@4"));
+        // M3D appears only at 2 tiers.
+        assert!(labels.contains(&"7 nm/M3D@2"));
+        assert!(!labels.iter().any(|l| l.starts_with("7 nm/M3D@4")));
+        // Indices are dense and ordered.
+        for (i, p) in plan.points().iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
     }
 }

@@ -196,7 +196,12 @@ impl IntegrationCatalog {
         }
     }
 
-    /// The interface spec for `tech` (shipped unless overridden).
+    /// The interface spec for `tech`: the per-lane data rate, energy
+    /// per bit, and I/O density that drive Eq. 17's `P_IO` and
+    /// Eq. 18's achievable bandwidth. Returns the shipped Fig. 2
+    /// characterization unless [`set_interface`] replaced it.
+    ///
+    /// [`set_interface`]: IntegrationCatalog::set_interface
     #[must_use]
     pub fn interface(&self, tech: IntegrationTechnology) -> InterfaceSpec {
         self.interfaces
@@ -206,7 +211,13 @@ impl IntegrationCatalog {
             .unwrap_or_else(|| Self::shipped_interface(tech))
     }
 
-    /// Replaces the interface spec for `tech`.
+    /// Replaces the interface spec for `tech` — the hook sensitivity
+    /// studies use to ask "what if hybrid bonding shipped at half the
+    /// energy per bit?" without rebuilding the catalog. The override
+    /// applies to this catalog instance only; [`shipped_interface`]
+    /// always returns the paper-faithful values.
+    ///
+    /// [`shipped_interface`]: IntegrationCatalog::shipped_interface
     pub fn set_interface(&mut self, tech: IntegrationTechnology, spec: InterfaceSpec) {
         if let Some(slot) = self.interfaces.iter_mut().find(|(t, _)| *t == tech) {
             slot.1 = spec;
@@ -227,7 +238,12 @@ impl IntegrationCatalog {
         }
     }
 
-    /// The bonding process characterization for `tech`.
+    /// The bonding process characterization for `tech`: per-step yield
+    /// and per-area bonding energy for each stacking flow, feeding
+    /// Eq. 11's `C_bonding` and Table 3's composite yields. Shipped
+    /// values unless [`set_bonding`] replaced them.
+    ///
+    /// [`set_bonding`]: IntegrationCatalog::set_bonding
     #[must_use]
     pub fn bonding(&self, tech: IntegrationTechnology) -> BondingProcess {
         self.bonding_overrides
@@ -237,7 +253,10 @@ impl IntegrationCatalog {
             .unwrap_or_else(|| BondingProcess::shipped(Self::bonding_method(tech)))
     }
 
-    /// Overrides the bonding process for `tech`.
+    /// Overrides the bonding process for `tech` (e.g. to model a
+    /// maturing line whose per-step yield has climbed above the
+    /// shipped survey value). Instance-local, like
+    /// [`set_interface`](IntegrationCatalog::set_interface).
     pub fn set_bonding(&mut self, tech: IntegrationTechnology, process: BondingProcess) {
         if let Some(slot) = self.bonding_overrides.iter_mut().find(|(t, _)| *t == tech) {
             slot.1 = process;
@@ -274,7 +293,11 @@ impl IntegrationCatalog {
         )
     }
 
-    /// Overrides the profile of a substrate kind.
+    /// Overrides the profile of a substrate kind (keyed by
+    /// [`SubstrateProfile::kind`], so one override covers every
+    /// technology resting on that substrate — replacing the silicon
+    /// interposer profile affects CoWoS-S-class assemblies only, while
+    /// an RDL override reaches both InFO variants).
     pub fn set_substrate(&mut self, profile: SubstrateProfile) {
         let kind = profile.kind();
         if let Some(slot) = self

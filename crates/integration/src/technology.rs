@@ -110,6 +110,47 @@ impl IntegrationTechnology {
         }
     }
 
+    /// Parses a scenario-file/CLI token into a technology, accepting
+    /// the Fig. 5 label (case-insensitive), the enum name, and common
+    /// aliases.
+    ///
+    /// ```
+    /// use tdc_integration::IntegrationTechnology;
+    /// assert_eq!(
+    ///     IntegrationTechnology::from_token("hybrid-3d"),
+    ///     Some(IntegrationTechnology::HybridBonding3d)
+    /// );
+    /// assert_eq!(
+    ///     IntegrationTechnology::from_token("Si_int"),
+    ///     Some(IntegrationTechnology::SiliconInterposer)
+    /// );
+    /// assert_eq!(IntegrationTechnology::from_token("2d"), None);
+    /// ```
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        let t = token.trim().to_ascii_lowercase().replace(['_', ' '], "-");
+        Some(match t.as_str() {
+            "micro" | "micro-3d" | "micro-bump" | "micro-bump-3d" | "microbump3d" => {
+                IntegrationTechnology::MicroBump3d
+            }
+            "hybrid" | "hybrid-3d" | "hybrid-bonding" | "hybrid-bonding-3d" | "hybridbonding3d" => {
+                IntegrationTechnology::HybridBonding3d
+            }
+            "m3d" | "monolithic-3d" | "monolithic3d" => IntegrationTechnology::Monolithic3d,
+            "mcm" => IntegrationTechnology::Mcm,
+            "info-1" | "info1" | "info-chip-first" | "infochipfirst" => {
+                IntegrationTechnology::InfoChipFirst
+            }
+            "info-2" | "info2" | "info-chip-last" | "infochiplast" => {
+                IntegrationTechnology::InfoChipLast
+            }
+            "emib" => IntegrationTechnology::Emib,
+            "si-int" | "si-interposer" | "interposer" | "silicon-interposer"
+            | "siliconinterposer" => IntegrationTechnology::SiliconInterposer,
+            _ => return None,
+        })
+    }
+
     /// Representative manufacturers/technologies and shipped products,
     /// as listed in Table 1.
     #[must_use]

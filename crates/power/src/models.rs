@@ -19,6 +19,15 @@ pub trait PowerModel {
 
     /// Stable, human-readable model name (for reports).
     fn name(&self) -> &'static str;
+
+    /// Configuration fingerprint: must change whenever the model's
+    /// *parameters* change, not just its type — caches key results by
+    /// it. The default (the bare name) is only correct for
+    /// parameterless models; parameterized implementations must
+    /// override it to include their parameters.
+    fn fingerprint(&self) -> String {
+        self.name().to_owned()
+    }
 }
 
 /// The paper's default: divide throughput by a *known* device
@@ -57,6 +66,13 @@ impl PowerModel for FixedEfficiency {
 
     fn name(&self) -> &'static str {
         "fixed-efficiency"
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "fixed-efficiency({:x})",
+            self.efficiency.tops_per_watt().to_bits()
+        )
     }
 }
 
@@ -102,6 +118,13 @@ impl PowerModel for SurveyedEfficiency {
 
     fn name(&self) -> &'static str {
         "surveyed-efficiency"
+    }
+
+    fn fingerprint(&self) -> String {
+        match self.year {
+            Some(y) => format!("surveyed-efficiency@{y}"),
+            None => "surveyed-efficiency".to_owned(),
+        }
     }
 }
 

@@ -93,6 +93,39 @@ impl GridRegion {
         CarbonIntensity::from_g_per_kwh(g_per_kwh)
     }
 
+    /// Parses a scenario-file/CLI token into a region
+    /// (case-insensitive; hyphens, underscores, and spaces are
+    /// interchangeable).
+    ///
+    /// ```
+    /// use tdc_technode::GridRegion;
+    /// assert_eq!(GridRegion::from_token("taiwan"), Some(GridRegion::Taiwan));
+    /// assert_eq!(GridRegion::from_token("world"), Some(GridRegion::WorldAverage));
+    /// assert_eq!(GridRegion::from_token("mars"), None);
+    /// ```
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        let t = token.trim().to_ascii_lowercase().replace(['_', ' '], "-");
+        Some(match t.as_str() {
+            "taiwan" | "tw" => GridRegion::Taiwan,
+            "south-korea" | "korea" | "kr" => GridRegion::SouthKorea,
+            "japan" | "jp" => GridRegion::Japan,
+            "china" | "cn" => GridRegion::China,
+            "singapore" | "sg" => GridRegion::Singapore,
+            "united-states" | "us" | "usa" => GridRegion::UnitedStates,
+            "arizona" => GridRegion::Arizona,
+            "texas" => GridRegion::Texas,
+            "germany" | "de" => GridRegion::Germany,
+            "ireland" | "ie" => GridRegion::Ireland,
+            "france" | "fr" => GridRegion::France,
+            "sweden" | "se" => GridRegion::Sweden,
+            "world" | "world-average" | "global" => GridRegion::WorldAverage,
+            "coal" | "coal-heavy" => GridRegion::CoalHeavy,
+            "renewable" | "green" => GridRegion::Renewable,
+            _ => return None,
+        })
+    }
+
     /// A short human-readable name.
     #[must_use]
     pub fn name(self) -> &'static str {

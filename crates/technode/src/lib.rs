@@ -38,5 +38,5 @@ mod wafer;
 pub use efficiency::{projected_efficiency, surveyed_efficiency, EfficiencySurvey};
 pub use grid::GridRegion;
 pub use node::{NodeParseError, ProcessNode};
-pub use params::{NodeParameters, NodeParametersBuilder, TechnologyDb};
+pub use params::{InvalidNodeParameters, NodeParameters, NodeParametersBuilder, TechnologyDb};
 pub use wafer::Wafer;

@@ -11,7 +11,10 @@
 //!   and the full Fig. 5 design sweep,
 //! * [`epyc_7452`] / [`lakefield`] — the §4 validation targets,
 //! * [`hbm_stack`] — Table 1's HBM cube (micro-bump F2B, the deep-stack
-//!   reference).
+//!   reference),
+//! * [`design_preset`] / [`workload_preset`] — the named-preset grammar
+//!   that scenario files (the `tdc` CLI) resolve designs and missions
+//!   through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,12 +22,16 @@
 mod av;
 mod drive;
 mod hbm;
+pub mod presets;
 mod split;
 mod validation;
 
 pub use av::{av_workload, AvMissionProfile};
 pub use drive::{DriveSeries, DriveSpec};
 pub use hbm::{hbm_base_die_area, hbm_core_die_area, hbm_stack};
+pub use presets::{
+    design_preset, preset_context, workload_preset, DESIGN_PRESET_EXAMPLES, WORKLOAD_PRESETS,
+};
 pub use split::{candidate_designs, heterogeneous_split, homogeneous_split, SplitStrategy};
 pub use validation::{
     epyc_7452, epyc_7452_as_monolithic_2d, lakefield, EpycReference, LakefieldReference,

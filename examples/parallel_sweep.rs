@@ -1,0 +1,66 @@
+//! Parallel design-space exploration: shard the full (node ×
+//! technology × tier) space across worker threads, memoize repeated
+//! points, and get a ranking that is byte-identical to the serial
+//! path.
+//!
+//! ```text
+//! cargo run --example parallel_sweep
+//! ```
+
+use threed_carbon::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    let model = CarbonModel::new(ModelContext::default());
+    let workload = Workload::fixed(
+        "inference",
+        Throughput::from_tops(254.0),
+        TimeSpan::from_years(10.0) * (1.3 / 24.0),
+    )
+    .with_average_utilization(0.15);
+
+    // 17 G gates (Orin-class) across every node, every technology, and
+    // three tier counts.
+    let sweep = DesignSweep::new(17.0e9)
+        .efficiency(Efficiency::from_tops_per_watt(2.74))
+        .tier_counts(vec![2, 3, 4]);
+    let plan = sweep.plan()?;
+    println!("plan: {} points", plan.len());
+
+    let executor = SweepExecutor::new(0); // one worker per core
+    let result = executor.execute(&model, &plan, &workload)?;
+    let stats = result.stats();
+    println!(
+        "evaluated {} ({} dropped as unbuildable) on {} workers\n",
+        stats.evaluated, stats.dropped, stats.workers
+    );
+
+    println!("top 10 by life-cycle carbon:");
+    for (rank, entry) in result.entries().iter().take(10).enumerate() {
+        println!(
+            "  {:>2}. {:<16} {:>8.2} kg  ({})",
+            rank + 1,
+            entry.label,
+            entry.report.total().kg(),
+            if entry.is_viable() {
+                "viable"
+            } else {
+                "bandwidth-limited"
+            },
+        );
+    }
+
+    // Re-executing the same plan is answered entirely from the cache.
+    let again = executor.execute(&model, &plan, &workload)?;
+    println!(
+        "\nre-execution: {}/{} cache hits, identical ranking: {}",
+        again.stats().cache_hits,
+        plan.len(),
+        again.entries() == result.entries(),
+    );
+
+    // And the serial path produces the same entries, bit for bit.
+    let serial = sweep.run(&model, &workload)?;
+    assert_eq!(serial.as_slice(), result.entries());
+    println!("serial path matches: {}", !serial.is_empty());
+    Ok(())
+}

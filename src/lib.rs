@@ -114,7 +114,10 @@ pub use tdc_yield::StackingFlow;
 /// One-stop import for applications.
 pub mod prelude {
     pub use tdc_core::sensitivity::{sensitivity_report, SensitivityEntry};
-    pub use tdc_core::sweep::{DesignSweep, SweepEntry};
+    pub use tdc_core::sweep::{
+        CacheStats, DesignSweep, EvalCache, SweepEntry, SweepExecutor, SweepPlan, SweepPoint,
+        SweepResult, SweepStats,
+    };
     pub use tdc_core::{
         CarbonModel, ChipDesign, ChoiceOutcome, DecisionMetrics, DieSpec, DieYieldChoice,
         EmbodiedBreakdown, LifecycleReport, ModelContext, ModelError, OperationalReport, Workload,
@@ -126,7 +129,8 @@ pub mod prelude {
         Throughput, TimeSpan,
     };
     pub use tdc_workloads::{
-        av_workload, candidate_designs, hbm_stack, AvMissionProfile, DriveSeries, SplitStrategy,
+        av_workload, candidate_designs, design_preset, hbm_stack, preset_context, workload_preset,
+        AvMissionProfile, DriveSeries, SplitStrategy,
     };
     pub use tdc_yield::{AssemblyFlow, StackingFlow};
 }
