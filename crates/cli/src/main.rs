@@ -7,6 +7,7 @@
 //! tdc scenarios                     list preset names scenario files can reference
 //!
 //! options: --format table|json|csv   --out <path>   --workers <n>   --serial
+//!          --repeat <n>
 //! ```
 
 use std::process::ExitCode;
@@ -37,6 +38,9 @@ OPTIONS:
     --workers <n>               Sweep worker threads (0 = one per core; overrides the
                                 scenario; `sweep` only)
     --serial                    Shorthand for --workers 1 (`sweep` only)
+    --repeat <n>                Execute the sweep n times on one warm executor,
+                                reporting per-stage cache hit-rates per round
+                                (`sweep` only; the report is from the last round)
 
 Scenario files are documented in docs/SCENARIOS.md; runnable examples
 live in scenarios/.
@@ -48,6 +52,7 @@ struct Options {
     format: Option<OutputFormat>,
     out: Option<String>,
     workers: Option<usize>,
+    repeat: usize,
 }
 
 impl Options {
@@ -67,6 +72,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
         format: None,
         out: None,
         workers: None,
+        repeat: 1,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -89,6 +95,16 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
                 options.workers = Some(n);
             }
             "--serial" => options.workers = Some(1),
+            "--repeat" => {
+                let token = iter.next().ok_or("--repeat needs a count")?;
+                let n: usize = token
+                    .parse()
+                    .map_err(|_| format!("invalid repeat count `{token}`"))?;
+                if n == 0 {
+                    return Err("--repeat needs a count of at least 1".to_owned());
+                }
+                options.repeat = n;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -104,6 +120,12 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
     if options.workers.is_some() && options.command != "sweep" {
         return Err(format!(
             "--workers/--serial only apply to `tdc sweep`, not `tdc {}`",
+            options.command
+        ));
+    }
+    if options.repeat != 1 && options.command != "sweep" {
+        return Err(format!(
+            "--repeat only applies to `tdc sweep`, not `tdc {}`",
             options.command
         ));
     }
@@ -179,24 +201,51 @@ fn cmd_sweep(options: &Options) -> Result<(), String> {
         .workers
         .or_else(|| scenario.sweep_workers())
         .unwrap_or(0);
-    let result = SweepExecutor::new(workers)
-        .execute(&model, &plan, &workload)
-        .map_err(|e| e.to_string())?;
-    let stats = result.stats();
-    // Bookkeeping goes to stderr so stdout is byte-identical for any
-    // worker count.
-    eprintln!(
-        "sweep: {} points, {} ranked, {} dropped; {} workers; cache {}/{} hits",
+    // One executor for every round, so `--repeat` exercises (and
+    // reports) the per-stage artifact cache warming up.
+    let executor = SweepExecutor::new(workers);
+    let mut result = None;
+    for round in 1..=options.repeat {
+        let r = executor
+            .execute(&model, &plan, &workload)
+            .map_err(|e| e.to_string())?;
+        // Bookkeeping goes to stderr so stdout is byte-identical for
+        // any worker count (and any repeat count).
+        eprintln!("{}", stats_line(&r.stats(), round, options.repeat));
+        result = Some(r);
+    }
+    let result = result.expect("repeat is at least 1");
+    emit(
+        options,
+        &render_sweep(&scenario.name, result.entries(), options.format()),
+    )
+}
+
+/// One sweep round's bookkeeping: point totals, then each pipeline
+/// stage's `hits/lookups`, then the aggregate warm hit-rate.
+fn stats_line(stats: &tdc_core::sweep::SweepStats, round: usize, rounds: usize) -> String {
+    let head = if rounds > 1 {
+        format!("sweep[{round}/{rounds}]")
+    } else {
+        "sweep".to_owned()
+    };
+    let stage = |c: tdc_core::sweep::StageCounters| format!("{}/{}", c.hits, c.hits + c.misses);
+    let s = stats.stages;
+    format!(
+        "{head}: {} points, {} ranked, {} dropped; {} workers; cache {}/{} points; \
+stages physical {} yield {} embodied {} power {} operational {}; warm {:.3}",
         stats.points,
         stats.evaluated,
         stats.dropped,
         stats.workers,
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses,
-    );
-    emit(
-        options,
-        &render_sweep(&scenario.name, result.entries(), options.format()),
+        stage(s.physical),
+        stage(s.yields),
+        stage(s.embodied),
+        stage(s.power),
+        stage(s.operational),
+        s.warm_hit_rate(),
     )
 }
 

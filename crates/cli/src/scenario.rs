@@ -563,6 +563,7 @@ impl Scenario {
             "nodes_nm",
             "technologies",
             "tiers",
+            "tier_counts",
             "efficiency_tops_per_watt",
             "workers",
         ])?;
@@ -603,12 +604,26 @@ impl Scenario {
                 Some(techs)
             }
         };
-        let tiers = match f.array("tiers")? {
+        // The tier-count axis answers to both its `DesignSweep` name
+        // (`tier_counts`) and the shorthand `tiers`; writing both would
+        // be ambiguous, so it is rejected rather than ignored.
+        if f.get("tiers").is_some() && f.get("tier_counts").is_some() {
+            return schema_err(
+                "sweep.tier_counts",
+                "duplicates `sweep.tiers`; write the tier-count axis once",
+            );
+        }
+        let tier_key = if f.get("tier_counts").is_some() {
+            "tier_counts"
+        } else {
+            "tiers"
+        };
+        let tiers = match f.array(tier_key)? {
             None => None,
             Some(items) => {
                 let mut tiers = Vec::with_capacity(items.len());
                 for (i, item) in items.iter().enumerate() {
-                    let path = format!("sweep.tiers[{i}]");
+                    let path = format!("sweep.{tier_key}[{i}]");
                     let t = item
                         .as_f64()
                         .ok_or(())
@@ -623,7 +638,7 @@ impl Scenario {
                     tiers.push(t as u32);
                 }
                 if tiers.is_empty() {
-                    return schema_err("sweep.tiers", "the tier list is empty");
+                    return schema_err(f.child(tier_key), "the tier list is empty");
                 }
                 Some(tiers)
             }
@@ -1084,6 +1099,48 @@ mod tests {
         let plan = s.build_sweep().unwrap().plan().unwrap();
         // Per node: 1×2D + hybrid@{2,4} + emib@{2,4} = 5 points.
         assert_eq!(plan.len(), 10);
+    }
+
+    #[test]
+    fn tier_counts_axis_matches_tiers_shorthand() {
+        let via_alias = Scenario::parse(
+            r#"{"sweep": {"gate_count": 17e9, "nodes_nm": [7], "tier_counts": [2, 4]}}"#,
+        )
+        .unwrap();
+        let via_shorthand =
+            Scenario::parse(r#"{"sweep": {"gate_count": 17e9, "nodes_nm": [7], "tiers": [2, 4]}}"#)
+                .unwrap();
+        let a = via_alias.build_sweep().unwrap().plan().unwrap();
+        let b = via_shorthand.build_sweep().unwrap().plan().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .points()
+            .iter()
+            .zip(b.points())
+            .all(|(x, y)| x.label() == y.label()));
+    }
+
+    #[test]
+    fn tier_counts_schema_errors_name_the_path() {
+        // Out-of-domain entry: the path names the element.
+        let err =
+            Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "tier_counts": [1]}}"#).unwrap_err();
+        assert!(err.to_string().contains("sweep.tier_counts[0]"), "{err}");
+        // Wrong element type.
+        let err = Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "tier_counts": ["two"]}}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("sweep.tier_counts[0]"), "{err}");
+        // Empty list.
+        let err =
+            Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "tier_counts": []}}"#).unwrap_err();
+        assert!(err.to_string().contains("sweep.tier_counts"), "{err}");
+        // Writing the axis under both names is ambiguous — rejected,
+        // not silently resolved.
+        let err =
+            Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "tiers": [2], "tier_counts": [4]}}"#)
+                .unwrap_err();
+        assert!(err.to_string().contains("sweep.tier_counts"), "{err}");
+        assert!(err.to_string().contains("tiers"), "{err}");
     }
 
     #[test]

@@ -112,6 +112,37 @@ fn av_drive_sweep_is_byte_identical_serial_vs_parallel() {
 }
 
 #[test]
+fn mixed_axes_family_sweeps_tier_counts_and_warms_the_staged_cache() {
+    let scenario = load("mixed_axes.json");
+    let model = CarbonModel::new(scenario.build_context().unwrap());
+    let workload = scenario.build_workload().unwrap().unwrap();
+    let plan = scenario.build_sweep().unwrap().plan().unwrap();
+    // 2 nodes x (1 x 2D + {hybrid, emib} x {2, 4} tiers) = 10 points.
+    assert_eq!(plan.len(), 10);
+    assert!(plan
+        .points()
+        .iter()
+        .any(|p| p.label().ends_with("@4") && p.tiers() == 4));
+
+    // Same warm-executor flow as `tdc sweep --repeat 2`: the second
+    // round answers every point from the per-stage artifact store and
+    // renders byte-identical reports.
+    let executor = SweepExecutor::serial();
+    let cold = executor.execute(&model, &plan, &workload).unwrap();
+    assert_eq!(cold.stats().stages.hits(), 0);
+    let warm = executor.execute(&model, &plan, &workload).unwrap();
+    assert_eq!(warm.stats().cache_hits, plan.len());
+    assert!(warm.stats().stages.warm_hit_rate() > 0.99);
+    for format in ALL_FORMATS {
+        assert_eq!(
+            render_sweep(&scenario.name, cold.entries(), format),
+            render_sweep(&scenario.name, warm.entries(), format),
+            "{format:?} warm report must be byte-identical"
+        );
+    }
+}
+
+#[test]
 fn heterogeneous_split_family_runs_lifecycle_and_sensitivity() {
     let scenario = load("heterogeneous_split.json");
     let ctx = scenario.build_context().unwrap();

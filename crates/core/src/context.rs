@@ -204,6 +204,62 @@ impl ModelContext {
     pub fn to_builder(&self) -> ModelContextBuilder {
         ModelContextBuilder { ctx: self.clone() }
     }
+
+    // ---- Per-stage cache fingerprints ---------------------------------
+    //
+    // Each staged-pipeline artifact is a pure function of the design
+    // plus a *slice* of this context; the sweep cache keys each stage
+    // by exactly the slices it (and its upstream stages) read. The
+    // slices are deliberately conservative — a field may appear in a
+    // broader slice than strictly necessary (over-invalidation is
+    // merely slow) — but an input a stage reads MUST appear in its
+    // slice (under-invalidation would serve stale artifacts).
+
+    /// Inputs of the physical (geometry) stage: technology database,
+    /// BEOL estimator, TSV keep-out, integration catalog, and package
+    /// model. Grid regions, the wafer, yield choices, and the workload
+    /// are deliberately absent.
+    pub(crate) fn fingerprint_geometry(&self) -> String {
+        format!(
+            "{:?}|{:?}|{:x}|{:?}|{:?}",
+            self.tech_db,
+            self.beol,
+            self.tsv_keepout.to_bits(),
+            self.catalog,
+            self.package,
+        )
+    }
+
+    /// Additional inputs of the yield stage beyond the geometry slice:
+    /// the die-yield model choice (defect densities and bonding step
+    /// yields already live in the geometry slice's database/catalog).
+    pub(crate) fn fingerprint_yield(&self) -> String {
+        format!("{:?}", self.die_yield)
+    }
+
+    /// Additional inputs of the embodied stage: the fab grid, the
+    /// production wafer, the BEOL carbon knobs, the M3D sequential
+    /// fraction, and the packaging characterization.
+    pub(crate) fn fingerprint_fab(&self) -> String {
+        format!(
+            "{:?}|{:?}|{:x}|{}|{:x}|{:?}",
+            self.fab_region,
+            self.wafer,
+            self.beol_carbon_fraction.to_bits(),
+            self.beol_adjustment_enabled,
+            self.m3d_sequential_fraction.to_bits(),
+            self.packaging,
+        )
+    }
+
+    /// Additional inputs of the operational stage: the use-phase grid
+    /// and the bandwidth constraint.
+    pub(crate) fn fingerprint_use(&self) -> String {
+        format!(
+            "{:?}|{:?}|{}",
+            self.use_region, self.bandwidth, self.bandwidth_constraint_enabled,
+        )
+    }
 }
 
 /// Builder for [`ModelContext`].

@@ -1,14 +1,20 @@
-//! The embodied-carbon model — Eqs. 3–15 of the paper.
+//! The embodied-carbon report types (Eqs. 3–15 of the paper).
+//!
+//! The computation itself lives in [`crate::pipeline`] as three staged
+//! artifacts — [`PhysicalProfile`](crate::pipeline::PhysicalProfile) →
+//! [`YieldProfile`](crate::pipeline::YieldProfile) →
+//! [`EmbodiedBreakdown`] — so the sweep cache can reuse the upstream
+//! stages; [`compute_embodied`] is the single-shot driver that chains
+//! them.
 
 use crate::context::ModelContext;
-use crate::design::{ChipDesign, DieSpec};
+use crate::design::ChipDesign;
 use crate::error::ModelError;
+use crate::pipeline;
 use serde::{Deserialize, Serialize};
-use tdc_floorplan::{rdl_emib_area, silicon_interposer_area, DieOutline, Floorplan};
-use tdc_integration::{IntegrationCatalog, IntegrationTechnology, StackOrientation, SubstrateKind};
-use tdc_technode::{NodeParameters, ProcessNode};
-use tdc_units::{Area, Co2Mass, Length};
-use tdc_yield::{assembly_2_5d_yields, three_d_stack_yields, DieYieldModel, StackingFlow};
+use tdc_integration::SubstrateKind;
+use tdc_technode::ProcessNode;
+use tdc_units::{Area, Co2Mass};
 
 /// Per-die slice of the embodied breakdown (Eq. 4's terms with all
 /// intermediates exposed, C-INTERMEDIATE).
@@ -128,253 +134,8 @@ impl core::fmt::Display for EmbodiedBreakdown {
     }
 }
 
-/// A die with all geometry resolved.
-struct ResolvedDie {
-    name: String,
-    node: ProcessNode,
-    gates: f64,
-    gate_area: Area,
-    tsv_count: f64,
-    tsv_area: Area,
-    io_area: Area,
-    area: Area,
-    beol_layers: u32,
-    max_beol_layers: u32,
-    fab_yield: f64,
-}
-
-/// Resolves geometry for every die of the design (Eqs. 7–10, 15).
-fn resolve_dies(ctx: &ModelContext, design: &ChipDesign) -> Result<Vec<ResolvedDie>, ModelError> {
-    let specs = design.dies();
-    // Gate counts first (TSV cuts need the totals).
-    let mut gates = Vec::with_capacity(specs.len());
-    for spec in specs {
-        let node = ctx.tech_db().node(spec.node());
-        let g = match (spec.gate_count(), spec.area_override()) {
-            (Some(g), _) => g,
-            (None, Some(a)) => node.gates_for_area(a),
-            (None, None) => unreachable!("DieSpecBuilder enforces gates or area"),
-        };
-        gates.push(g);
-    }
-    let mut out = Vec::with_capacity(specs.len());
-    for (i, spec) in specs.iter().enumerate() {
-        let node = ctx.tech_db().node(spec.node()).clone();
-        let (tsv_count, tsv_area, io_area, gate_area, area) =
-            resolve_die_geometry(ctx, design, spec, &gates, i, &node);
-        let rent = spec.rent().unwrap_or_else(|| ctx.beol().rent());
-        let beol_est = ctx.beol().with_rent(rent);
-        let beol_layers = spec
-            .beol_override()
-            .map(|l| l.min(node.max_beol_layers()))
-            .unwrap_or_else(|| beol_est.layers(gates[i], area, &node));
-        let yield_model: DieYieldModel = ctx.die_yield().model_for(&node);
-        let fab_yield = yield_model.die_yield(area, node.defect_density_per_cm2())?;
-        out.push(ResolvedDie {
-            name: spec.name().to_owned(),
-            node: spec.node(),
-            gates: gates[i],
-            gate_area,
-            tsv_count,
-            tsv_area,
-            io_area,
-            area,
-            beol_layers,
-            max_beol_layers: node.max_beol_layers(),
-            fab_yield,
-        });
-    }
-    Ok(out)
-}
-
-/// Eq. 7/8/9 for one die: returns (tsv_count, tsv_area, io_area,
-/// gate_area, total_area).
-fn resolve_die_geometry(
-    ctx: &ModelContext,
-    design: &ChipDesign,
-    spec: &DieSpec,
-    gates: &[f64],
-    index: usize,
-    node: &NodeParameters,
-) -> (f64, Area, Area, Area, Area) {
-    // Explicit areas are final: the user measured the real die, which
-    // already contains its TSVs and PHYs.
-    if let Some(area) = spec.area_override() {
-        return (0.0, Area::ZERO, Area::ZERO, area, area);
-    }
-    let gate_area = node.area_for_gates(gates[index]);
-    let rent = spec.rent().unwrap_or_else(|| ctx.beol().rent());
-    let (tsv_count, via_diameter, keepout) = match design {
-        ChipDesign::Monolithic2d { .. } | ChipDesign::Assembly25d { .. } => {
-            (0.0, Length::ZERO, 1.0)
-        }
-        ChipDesign::Stack3d {
-            tech, orientation, ..
-        } => {
-            let gates_above: f64 = gates[index + 1..].iter().sum();
-            match (tech, orientation) {
-                // M3D: fine MIVs through the inter-tier ILD.
-                (IntegrationTechnology::Monolithic3d, _) => (
-                    if gates_above > 0.0 {
-                        rent.cut_terminals(gates_above)
-                    } else {
-                        0.0
-                    },
-                    Length::from_um(0.6),
-                    1.5,
-                ),
-                // F2B: inter-tier nets tunnel through every die below.
-                (_, StackOrientation::FaceToBack) => (
-                    if gates_above > 0.0 {
-                        rent.cut_terminals(gates_above)
-                    } else {
-                        0.0
-                    },
-                    node.tsv_diameter(),
-                    ctx.tsv_keepout(),
-                ),
-                // F2F: only external I/O needs TSVs, through the base die.
-                (_, StackOrientation::FaceToFace) => (
-                    if index == 0 {
-                        rent.external_io_count(gates.iter().sum())
-                    } else {
-                        0.0
-                    },
-                    node.tsv_diameter(),
-                    ctx.tsv_keepout(),
-                ),
-            }
-        }
-    };
-    let tsv_area = if tsv_count > 0.0 {
-        let cell = (via_diameter * keepout).squared();
-        cell * tsv_count
-    } else {
-        Area::ZERO
-    };
-    let io_ratio = design
-        .technology()
-        .map_or(0.0, IntegrationCatalog::io_area_ratio);
-    let io_area = gate_area * io_ratio;
-    let area = gate_area + tsv_area + io_area;
-    (tsv_count, tsv_area, io_area, gate_area, area)
-}
-
-/// Composite yield divisors per Table 3 for the whole design.
-struct CompositeYields {
-    per_die: Vec<f64>,
-    per_bond_step: Vec<f64>,
-    substrate: Option<f64>,
-}
-
-fn composite_yields(
-    ctx: &ModelContext,
-    design: &ChipDesign,
-    dies: &[ResolvedDie],
-    substrate_fab_yield: Option<f64>,
-) -> Result<CompositeYields, ModelError> {
-    let fab_yields: Vec<f64> = dies.iter().map(|d| d.fab_yield).collect();
-    match design {
-        ChipDesign::Monolithic2d { .. } => Ok(CompositeYields {
-            per_die: fab_yields,
-            per_bond_step: Vec::new(),
-            substrate: None,
-        }),
-        ChipDesign::Stack3d { tech, flow, .. } => {
-            let bond = ctx.catalog().bonding(*tech);
-            // M3D has no pick-and-place flow; its sequential tiers share
-            // fate exactly like blind W2W bonding.
-            let (eff_flow, step_yield) = match flow {
-                Some(f) => (*f, bond.step_yield(*f)),
-                None => (
-                    StackingFlow::WaferToWafer,
-                    bond.step_yield(StackingFlow::WaferToWafer),
-                ),
-            };
-            let stack = three_d_stack_yields(&fab_yields, step_yield, eff_flow)?;
-            Ok(CompositeYields {
-                per_die: stack.die_composites().to_vec(),
-                per_bond_step: stack.bonding_composites().to_vec(),
-                substrate: None,
-            })
-        }
-        ChipDesign::Assembly25d { tech, .. } => {
-            let assembly = IntegrationCatalog::capabilities(*tech)
-                .assembly()
-                .ok_or_else(|| {
-                    ModelError::InvalidDesign(format!("{tech} lacks an assembly flow"))
-                })?;
-            let substrate_yield = substrate_fab_yield.ok_or_else(|| {
-                ModelError::InvalidDesign(format!("{tech} needs a substrate yield"))
-            })?;
-            let c4 = ctx
-                .catalog()
-                .bonding(*tech)
-                .step_yield(StackingFlow::DieToWafer);
-            let bonds = vec![c4; fab_yields.len()];
-            let y = assembly_2_5d_yields(&fab_yields, substrate_yield, &bonds, assembly)?;
-            Ok(CompositeYields {
-                per_die: y.die_composites().to_vec(),
-                per_bond_step: y.bonding_composites().to_vec(),
-                substrate: Some(y.substrate_composite()),
-            })
-        }
-    }
-}
-
-/// Substrate geometry and fab yield for a 2.5D design.
-struct SubstrateGeometry {
-    kind: SubstrateKind,
-    area: Area,
-    fab_yield: f64,
-    wafer_based: bool,
-    carbon_per_area: tdc_units::CarbonPerArea,
-}
-
-fn resolve_substrate(
-    ctx: &ModelContext,
-    tech: IntegrationTechnology,
-    dies: &[ResolvedDie],
-) -> Result<Option<SubstrateGeometry>, ModelError> {
-    let Some(profile) = ctx.catalog().substrate(tech) else {
-        return Ok(None);
-    };
-    let outlines: Vec<DieOutline> = dies
-        .iter()
-        .map(|d| DieOutline::square_from_area(d.area))
-        .collect();
-    let plan = Floorplan::place_row(&outlines, profile.die_gap());
-    let area = match profile.kind() {
-        SubstrateKind::SiliconInterposer => {
-            let areas: Vec<Area> = dies.iter().map(|d| d.area).collect();
-            silicon_interposer_area(&areas, profile.scale_factor())
-        }
-        SubstrateKind::EmibBridge => {
-            rdl_emib_area(&plan, profile.scale_factor(), profile.die_gap())
-        }
-        // Deviation from Eq. 14, recorded in DESIGN.md: an InFO RDL is a
-        // fan-out layer spanning the whole reconstituted footprint, not
-        // just the inter-die strips — Eq. 14's strips cannot reproduce
-        // the paper's observation that InFO *increases* embodied carbon
-        // through "large substrate areas and low substrate yields".
-        SubstrateKind::Rdl => plan.footprint() * profile.scale_factor(),
-        SubstrateKind::OrganicLaminate => plan.footprint(),
-    };
-    let fab_yield = DieYieldModel::NegativeBinomial {
-        alpha: profile.clustering_alpha(),
-    }
-    .die_yield(area, profile.defect_density_per_cm2())?;
-    let wafer_based = !matches!(profile.kind(), SubstrateKind::OrganicLaminate);
-    Ok(Some(SubstrateGeometry {
-        kind: profile.kind(),
-        area,
-        fab_yield,
-        wafer_based,
-        carbon_per_area: profile.carbon_per_area(ctx.ci_fab()),
-    }))
-}
-
-/// Evaluates the full embodied model (Eq. 3) for `design` under `ctx`.
+/// Evaluates the full embodied model (Eq. 3) for `design` under `ctx`
+/// by chaining the pipeline's physical, yield, and embodied stages.
 ///
 /// # Errors
 ///
@@ -384,167 +145,17 @@ pub(crate) fn compute_embodied(
     ctx: &ModelContext,
     design: &ChipDesign,
 ) -> Result<EmbodiedBreakdown, ModelError> {
-    let resolved = resolve_dies(ctx, design)?;
-    let substrate_geom = match design {
-        ChipDesign::Assembly25d { tech, .. } => resolve_substrate(ctx, *tech, &resolved)?,
-        _ => None,
-    };
-    let composites = composite_yields(
-        ctx,
-        design,
-        &resolved,
-        substrate_geom.as_ref().map(|s| s.fab_yield),
-    )?;
-
-    // ---- C_die (Eqs. 4–6, 10 adjustment) ----
-    let ci_fab = ctx.ci_fab();
-    let wafer = ctx.wafer();
-    let is_m3d = matches!(
-        design,
-        ChipDesign::Stack3d {
-            tech: IntegrationTechnology::Monolithic3d,
-            ..
-        }
-    );
-    // M3D tiers are grown sequentially on ONE wafer: the silicon
-    // consumed per stack is set by the largest tier's footprint, not by
-    // each tier's own patterned area.
-    let m3d_footprint = resolved.iter().map(|d| d.area).fold(Area::ZERO, Area::max);
-    let mut die_reports = Vec::with_capacity(resolved.len());
-    let mut die_carbon = Co2Mass::ZERO;
-    for (tier, (die, composite)) in resolved.iter().zip(&composites.per_die).enumerate() {
-        let node = ctx.tech_db().node(die.node);
-        let beol_factor = if ctx.beol_adjustment_enabled() {
-            let usage = f64::from(die.beol_layers) / f64::from(die.max_beol_layers);
-            1.0 - ctx.beol_carbon_fraction() * (1.0 - usage.min(1.0))
-        } else {
-            1.0
-        };
-        // Eq. 6 with process terms (electricity, gases) scaled by the
-        // BEOL factor; the raw-material term stays (the wafer is bought
-        // whole).
-        let process_per_area = ci_fab * node.energy_per_area() + node.gas_per_area();
-        let per_area = if is_m3d && tier > 0 {
-            // Sequential M3D: upper tiers are grown on the *same* wafer
-            // — no second substrate (no MPA), and a reduced low-
-            // temperature process pass.
-            process_per_area * (beol_factor * ctx.m3d_sequential_fraction())
-        } else {
-            process_per_area * beol_factor + node.material_per_area()
-        };
-        let wafer_carbon = per_area * wafer.area();
-        let dpw_area = if is_m3d { m3d_footprint } else { die.area };
-        let dpw = wafer
-            .dies_per_wafer(dpw_area)
-            .filter(|d| *d >= 1.0)
-            .ok_or_else(|| ModelError::DieExceedsWafer {
-                die: die.name.clone(),
-                area_mm2: dpw_area.mm2(),
-            })?;
-        let carbon = wafer_carbon / dpw / *composite;
-        die_carbon += carbon;
-        die_reports.push(DieReport {
-            name: die.name.clone(),
-            node: die.node,
-            gate_count: die.gates,
-            gate_area: die.gate_area,
-            tsv_area: die.tsv_area,
-            io_area: die.io_area,
-            area: die.area,
-            tsv_count: die.tsv_count,
-            beol_layers: die.beol_layers,
-            beol_factor,
-            wafer_carbon,
-            dies_per_wafer: dpw,
-            fab_yield: die.fab_yield,
-            composite_yield: *composite,
-            carbon,
-        });
-    }
-
-    // ---- C_bonding (Eq. 11) ----
-    let mut bonding_carbon = Co2Mass::ZERO;
-    match design {
-        ChipDesign::Monolithic2d { .. } => {}
-        ChipDesign::Stack3d { tech, flow, .. } => {
-            let bond = ctx.catalog().bonding(*tech);
-            let eff_flow = flow.unwrap_or(StackingFlow::WaferToWafer);
-            let epa = bond.energy_per_area(eff_flow);
-            for (step, composite) in composites.per_bond_step.iter().enumerate() {
-                let area = resolved[step].area;
-                bonding_carbon += ci_fab * (epa * area) / *composite;
-            }
-        }
-        ChipDesign::Assembly25d { tech, .. } => {
-            let bond = ctx.catalog().bonding(*tech);
-            let epa = bond.energy_per_area(StackingFlow::DieToWafer);
-            for (die, composite) in resolved.iter().zip(&composites.per_bond_step) {
-                bonding_carbon += ci_fab * (epa * die.area) / *composite;
-            }
-        }
-    }
-
-    // ---- C_int (Eqs. 13–14) ----
-    let substrate = match (&substrate_geom, composites.substrate) {
-        (Some(geom), Some(composite)) => {
-            let carbon = if geom.wafer_based {
-                let dpw = wafer
-                    .dies_per_wafer(geom.area)
-                    .filter(|d| *d >= 1.0)
-                    .ok_or_else(|| ModelError::DieExceedsWafer {
-                        die: format!("{} substrate", geom.kind),
-                        area_mm2: geom.area.mm2(),
-                    })?;
-                geom.carbon_per_area * wafer.area() / dpw / composite
-            } else {
-                geom.carbon_per_area * geom.area / composite
-            };
-            Some(SubstrateReport {
-                kind: geom.kind,
-                area: geom.area,
-                fab_yield: geom.fab_yield,
-                composite_yield: composite,
-                carbon,
-            })
-        }
-        _ => None,
-    };
-
-    // ---- C_packaging (Eq. 12) ----
-    let base_area = match design {
-        ChipDesign::Monolithic2d { .. } => resolved[0].area,
-        ChipDesign::Stack3d { .. } => resolved.iter().map(|d| d.area).fold(Area::ZERO, Area::max),
-        ChipDesign::Assembly25d { .. } => {
-            // The package must span whichever is larger: the silicon it
-            // carries or a manufactured substrate carrying it. The MCM
-            // laminate *is* the package substrate, so it never inflates
-            // the base.
-            let total: Area = resolved.iter().map(|d| d.area).sum();
-            match &substrate {
-                Some(s) if s.kind != SubstrateKind::OrganicLaminate => total.max(s.area),
-                _ => total,
-            }
-        }
-    };
-    let package_area = ctx.package().package_area(base_area);
-    let packaging_carbon = ctx.packaging().packaging_carbon(package_area);
-
-    Ok(EmbodiedBreakdown {
-        design: design.describe(),
-        dies: die_reports,
-        die_carbon,
-        bonding_carbon,
-        packaging_carbon,
-        package_area,
-        substrate,
-    })
+    let phys = pipeline::physical_profile(ctx, design);
+    let yld = pipeline::yield_profile(ctx, design, &phys)?;
+    pipeline::embodied_breakdown(ctx, design, &phys, &yld)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::design::DieSpec;
-    use tdc_integration::StackOrientation;
+    use tdc_integration::{IntegrationTechnology, StackOrientation};
+    use tdc_yield::StackingFlow;
 
     fn ctx() -> ModelContext {
         ModelContext::default()

@@ -53,6 +53,7 @@ mod error;
 pub mod logistics;
 mod model;
 mod operational;
+pub mod pipeline;
 pub mod sensitivity;
 pub mod sweep;
 

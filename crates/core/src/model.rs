@@ -5,7 +5,8 @@ use crate::decision::DecisionMetrics;
 use crate::design::ChipDesign;
 use crate::embodied::{compute_embodied, EmbodiedBreakdown};
 use crate::error::ModelError;
-use crate::operational::{compute_operational, OperationalReport, Workload};
+use crate::operational::{OperationalReport, Workload};
+use crate::pipeline;
 use serde::{Deserialize, Serialize};
 use tdc_power::{PowerModel, SurveyedEfficiency};
 use tdc_units::{Co2Mass, Ratio, TimeSpan};
@@ -110,6 +111,12 @@ impl CarbonModel {
         &self.ctx
     }
 
+    /// The operational power plug-in (for cache fingerprinting and the
+    /// pipeline's operational stage).
+    pub(crate) fn power_model(&self) -> &(dyn PowerModel + Send + Sync) {
+        &*self.power_model
+    }
+
     /// Evaluates the embodied model (Eq. 3) for `design`.
     ///
     /// # Errors
@@ -123,6 +130,11 @@ impl CarbonModel {
     /// Evaluates the operational model (Eqs. 16–18) for `design` under
     /// `workload`.
     ///
+    /// The full pipeline runs (an unbuildable design still errors with
+    /// [`ModelError::DieExceedsWafer`], exactly like
+    /// [`CarbonModel::lifecycle`]); only the embodied artifact is
+    /// discarded.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError`] on inconsistent designs or zero compute
@@ -132,11 +144,22 @@ impl CarbonModel {
         design: &ChipDesign,
         workload: &Workload,
     ) -> Result<OperationalReport, ModelError> {
-        let breakdown = compute_embodied(&self.ctx, design)?;
-        compute_operational(&self.ctx, design, &breakdown, workload, &*self.power_model)
+        let phys = pipeline::physical_profile(&self.ctx, design);
+        let yld = pipeline::yield_profile(&self.ctx, design, &phys)?;
+        let _embodied = pipeline::embodied_breakdown(&self.ctx, design, &phys, &yld)?;
+        let power = pipeline::power_profile(&self.ctx, design, &phys)?;
+        pipeline::operational_report(
+            &self.ctx,
+            design,
+            &phys,
+            &power,
+            workload,
+            &*self.power_model,
+        )
     }
 
-    /// Evaluates the full life cycle (Eq. 1).
+    /// Evaluates the full life cycle (Eq. 1) by driving the staged
+    /// pipeline end to end.
     ///
     /// # Errors
     ///
@@ -147,9 +170,18 @@ impl CarbonModel {
         design: &ChipDesign,
         workload: &Workload,
     ) -> Result<LifecycleReport, ModelError> {
-        let embodied = compute_embodied(&self.ctx, design)?;
-        let operational =
-            compute_operational(&self.ctx, design, &embodied, workload, &*self.power_model)?;
+        let phys = pipeline::physical_profile(&self.ctx, design);
+        let yld = pipeline::yield_profile(&self.ctx, design, &phys)?;
+        let embodied = pipeline::embodied_breakdown(&self.ctx, design, &phys, &yld)?;
+        let power = pipeline::power_profile(&self.ctx, design, &phys)?;
+        let operational = pipeline::operational_report(
+            &self.ctx,
+            design,
+            &phys,
+            &power,
+            workload,
+            &*self.power_model,
+        )?;
         Ok(LifecycleReport {
             embodied,
             operational,

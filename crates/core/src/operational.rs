@@ -1,14 +1,14 @@
-//! The operational-carbon model — Eqs. 16–18 of the paper.
+//! The operational-carbon report types and [`Workload`] (Eqs. 16–18).
+//!
+//! The computation itself lives in [`crate::pipeline`]: the
+//! workload-independent silicon half is the cached
+//! [`PowerProfile`](crate::pipeline::PowerProfile) artifact, and
+//! [`operational_report`](crate::pipeline::operational_report) folds a
+//! workload over it.
 
-use crate::context::ModelContext;
-use crate::design::ChipDesign;
-use crate::embodied::EmbodiedBreakdown;
-use crate::error::ModelError;
 use serde::{Deserialize, Serialize};
-use tdc_integration::{IoDensity, StackOrientation};
-use tdc_power::{pitch_count, AppPhase, BandwidthVerdict, PowerModel};
-use tdc_technode::surveyed_efficiency;
-use tdc_units::{Area, Bandwidth, Co2Mass, Efficiency, Energy, Power, Throughput, TimeSpan};
+use tdc_power::BandwidthVerdict;
+use tdc_units::{Bandwidth, Co2Mass, Efficiency, Energy, Power, Throughput, TimeSpan};
 
 /// One phase of the application mix (Eq. 16's index `k`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -258,235 +258,13 @@ impl OperationalReport {
     }
 }
 
-/// Resolves each die's share of the application throughput:
-/// explicit shares win; otherwise gate-count-proportional. Shares are
-/// normalized when explicit values don't sum to 1 exactly (unless all
-/// are zero, which is rejected).
-fn resolve_shares(
-    design: &ChipDesign,
-    breakdown: &EmbodiedBreakdown,
-) -> Result<Vec<f64>, ModelError> {
-    let specs = design.dies();
-    let any_explicit = specs.iter().any(|s| s.compute_share().is_some());
-    let raw: Vec<f64> = if any_explicit {
-        specs
-            .iter()
-            .map(|s| s.compute_share().unwrap_or(0.0))
-            .collect()
-    } else {
-        breakdown.dies.iter().map(|d| d.gate_count).collect()
-    };
-    let sum: f64 = raw.iter().sum();
-    if sum <= 0.0 {
-        return Err(ModelError::InvalidDesign(
-            "compute shares sum to zero; at least one die must do work".to_owned(),
-        ));
-    }
-    Ok(raw.iter().map(|r| r / sum).collect())
-}
-
-/// Interface I/O lanes per die (Eq. 17's `N_pitch` / Eq. 18's `N_I/O`).
-fn io_lanes(
-    ctx: &ModelContext,
-    design: &ChipDesign,
-    breakdown: &EmbodiedBreakdown,
-    index: usize,
-) -> f64 {
-    let Some(tech) = design.technology() else {
-        return 0.0;
-    };
-    let spec = ctx.catalog().interface(tech);
-    let die = &breakdown.dies[index];
-    match spec.io_density() {
-        IoDensity::PerEdge { per_mm_per_layer } => {
-            pitch_count(die.area.square_side(), per_mm_per_layer, die.beol_layers)
-        }
-        IoDensity::AreaArray { pitch } => {
-            // Lanes are bounded by the overlap with the neighbouring
-            // tier and by the Rent cut actually needing to cross.
-            let overlap = overlap_area(breakdown, index);
-            let capacity = if pitch.mm() > 0.0 {
-                overlap.mm2() / pitch.squared().mm2()
-            } else {
-                0.0
-            };
-            let rent = design.dies()[index]
-                .rent()
-                .unwrap_or_else(|| ctx.beol().rent());
-            let gates_above: f64 = breakdown.dies[index + 1..]
-                .iter()
-                .map(|d| d.gate_count)
-                .sum();
-            let demand = match design {
-                ChipDesign::Stack3d {
-                    orientation: StackOrientation::FaceToFace,
-                    ..
-                } if index == 1 => rent.cut_terminals(breakdown.dies[0].gate_count),
-                _ if gates_above > 0.0 => rent.cut_terminals(gates_above),
-                _ => 0.0,
-            };
-            demand.min(capacity)
-        }
-    }
-}
-
-/// Overlap area between tier `index` and its upper neighbour (or lower
-/// neighbour for the top tier).
-fn overlap_area(breakdown: &EmbodiedBreakdown, index: usize) -> Area {
-    let this = breakdown.dies[index].area;
-    let neighbour = if index + 1 < breakdown.dies.len() {
-        breakdown.dies[index + 1].area
-    } else if index > 0 {
-        breakdown.dies[index - 1].area
-    } else {
-        return Area::ZERO;
-    };
-    this.min(neighbour)
-}
-
-/// Evaluates the operational model for `design` under `ctx`, using the
-/// already-computed embodied breakdown for geometry.
-pub(crate) fn compute_operational(
-    ctx: &ModelContext,
-    design: &ChipDesign,
-    breakdown: &EmbodiedBreakdown,
-    workload: &Workload,
-    power_model: &dyn PowerModel,
-) -> Result<OperationalReport, ModelError> {
-    let shares = resolve_shares(design, breakdown)?;
-    let required_bw = workload.required_bandwidth();
-    let peak = workload.peak_throughput();
-
-    // ---- Bandwidth constraint (Eq. 18 + §3.4) ----
-    let (verdict, achieved_bw) = if !ctx.bandwidth_constraint_enabled() {
-        (None, None)
-    } else {
-        match design {
-            ChipDesign::Monolithic2d { .. } => (None, None),
-            ChipDesign::Stack3d { .. } => {
-                // §3.4: 3D die-to-die bandwidth matches on-chip bandwidth.
-                (
-                    Some(ctx.bandwidth().check(peak, peak, required_bw, required_bw)),
-                    Some(required_bw),
-                )
-            }
-            ChipDesign::Assembly25d { tech, .. } => {
-                let spec = ctx.catalog().interface(*tech);
-                let bottleneck = (0..breakdown.dies.len())
-                    .map(|i| spec.aggregate_bandwidth(io_lanes(ctx, design, breakdown, i)))
-                    .fold(Bandwidth::new(f64::INFINITY), Bandwidth::min);
-                let v = ctx.bandwidth().check(peak, peak, bottleneck, required_bw);
-                (Some(v), Some(bottleneck))
-            }
-        }
-    };
-    let stretch = verdict.map_or(1.0, |v| v.runtime_stretch(peak));
-
-    // Interconnect-shortening efficiency uplift (3D only; §2.2.2).
-    let uplift = 1.0
-        + design.technology().map_or(
-            0.0,
-            tdc_integration::IntegrationCatalog::interconnect_uplift,
-        );
-
-    // Interface traffic actually flowing (bits/s) at a given
-    // throughput: *average* intensity, capped by what the interface
-    // can carry.
-    let traffic_at = |th: Throughput| -> Bandwidth {
-        let demand = Bandwidth::from_gbps(
-            th.tops() * 1.0e12 * workload.average_bytes_per_op() * 8.0 / 1.0e9,
-        );
-        achieved_bw.map_or(demand, |a| demand.min(a))
-    };
-
-    // Per-die interface power at a given throughput: every die's
-    // interface sees the bisection traffic (Eq. 17's P_IO, energy
-    // following traffic rather than provisioned lanes).
-    let io_power_at = |th: Throughput| -> Power {
-        design.technology().map_or(Power::ZERO, |tech| {
-            let spec = ctx.catalog().interface(tech);
-            spec.interface_power(traffic_at(th))
-        })
-    };
-
-    // ---- Per-die report at peak throughput (Eq. 17) ----
-    let mut die_reports = Vec::with_capacity(breakdown.dies.len());
-    for (i, (die, spec)) in breakdown.dies.iter().zip(design.dies()).enumerate() {
-        let efficiency = spec
-            .efficiency()
-            .unwrap_or_else(|| surveyed_efficiency(spec.node()));
-        let lanes = io_lanes(ctx, design, breakdown, i);
-        let p_io = io_power_at(peak / stretch);
-        let th_share = peak * shares[i] / stretch;
-        let compute = if spec.efficiency().is_some() {
-            th_share / (efficiency * uplift)
-        } else {
-            power_model.compute_power(th_share, spec.node()) * (1.0 / uplift)
-        };
-        die_reports.push(DieOperationalReport {
-            name: die.name.clone(),
-            share: shares[i],
-            efficiency,
-            compute_power: compute,
-            io_lanes: lanes,
-            io_power: p_io,
-        });
-    }
-
-    // ---- Eq. 16 over phases, with utilization and runtime stretch ----
-    let util = workload.average_utilization();
-    // Every die drives its own interface; the bisection traffic crosses
-    // each of them.
-    #[allow(clippy::cast_precision_loss)]
-    let interface_count = if design.technology().is_some() {
-        breakdown.dies.len() as f64
-    } else {
-        0.0
-    };
-    let mut phases = Vec::with_capacity(workload.phases().len());
-    for phase in workload.phases() {
-        let th_avg = phase.throughput * (util / stretch);
-        let mut p = io_power_at(th_avg) * interface_count;
-        for (i, spec) in design.dies().iter().enumerate() {
-            let th_share = th_avg * shares[i];
-            p += if let Some(eff) = spec.efficiency() {
-                th_share / (eff * uplift)
-            } else {
-                power_model.compute_power(th_share, spec.node()) * (1.0 / uplift)
-            };
-        }
-        phases.push(AppPhase::new(
-            phase.name.clone(),
-            p,
-            phase.duration * stretch,
-        ));
-    }
-    let carbon = tdc_power::operational_carbon(ctx.ci_use(), &phases);
-    let energy: Energy = phases.iter().map(AppPhase::energy).sum();
-    let power = die_reports
-        .iter()
-        .map(|d| d.compute_power + d.io_power)
-        .fold(Power::ZERO, |a, b| a + b);
-
-    Ok(OperationalReport {
-        dies: die_reports,
-        power,
-        verdict,
-        achieved_bandwidth: achieved_bw,
-        required_bandwidth: required_bw,
-        runtime_stretch: stretch,
-        energy,
-        mission_time: workload.mission_time(),
-        carbon,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::design::DieSpec;
-    use crate::embodied::compute_embodied;
-    use tdc_power::SurveyedEfficiency;
+    use crate::context::ModelContext;
+    use crate::design::{ChipDesign, DieSpec};
+    use crate::model::CarbonModel;
+    use tdc_integration::StackOrientation;
     use tdc_technode::ProcessNode;
     use tdc_yield::StackingFlow;
 
@@ -511,9 +289,9 @@ mod tests {
     }
 
     fn eval(design: &ChipDesign) -> OperationalReport {
-        let c = ctx();
-        let b = compute_embodied(&c, design).unwrap();
-        compute_operational(&c, design, &b, &workload(), &SurveyedEfficiency::new()).unwrap()
+        CarbonModel::new(ctx())
+            .operational(design, &workload())
+            .unwrap()
     }
 
     #[test]
@@ -627,8 +405,8 @@ mod tests {
         ];
         let design =
             ChipDesign::assembly_25d(dies, tdc_integration::IntegrationTechnology::Emib).unwrap();
-        let b = compute_embodied(&c, &design).unwrap();
-        let err = compute_operational(&c, &design, &b, &workload(), &SurveyedEfficiency::new())
+        let err = CarbonModel::new(c)
+            .operational(&design, &workload())
             .unwrap_err();
         assert!(err.to_string().contains("shares"));
     }
@@ -641,9 +419,9 @@ mod tests {
             tdc_integration::IntegrationTechnology::Mcm,
         )
         .unwrap();
-        let b = compute_embodied(&c, &design).unwrap();
-        let r =
-            compute_operational(&c, &design, &b, &workload(), &SurveyedEfficiency::new()).unwrap();
+        let r = CarbonModel::new(c)
+            .operational(&design, &workload())
+            .unwrap();
         assert!(r.verdict.is_none());
         assert_eq!(r.runtime_stretch, 1.0);
     }

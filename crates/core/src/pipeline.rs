@@ -1,0 +1,928 @@
+//! The staged evaluation pipeline: Eq. 1 as five explicit artifacts.
+//!
+//! The paper's lifecycle model is naturally staged — geometry
+//! (Eqs. 5–10), yield (Eq. 15 + Table 3), embodied carbon (Eqs. 3–14),
+//! power characterization (Eq. 17's silicon half), and operational
+//! carbon (Eq. 16) each read *disjoint slices* of the inputs. This
+//! module makes each stage an explicit, typed artifact so callers (and
+//! the sweep cache) can recompute only the stages whose inputs
+//! actually changed:
+//!
+//! ```text
+//!                    ┌──────────────────┐
+//!  ChipDesign ──────▶│ PhysicalProfile  │ areas, TSVs, BEOL layers,
+//!  ctx: tech_db,     │  (Eqs. 5, 7–10,  │ substrate geometry,
+//!   beol, keep-out,  │   13–14 areas,   │ package outline
+//!   catalog, package │   Eq. 12 area)   │
+//!                    └───┬──────────┬───┘
+//!          ctx: die_yield│          │
+//!                    ┌───▼──────┐   │    ┌───────────────┐
+//!                    │ Yield-   │   ├───▶│ PowerProfile  │ shares, I/O
+//!                    │ Profile  │   │    │ (Eq. 17 silicon│ lanes, uplift
+//!                    │ (Eq. 15, │   │    │  half)        │
+//!                    │ Table 3) │   │    └───────┬───────┘
+//!                    └───┬──────┘   │            │ workload, power
+//!  ctx: fab grid,        │          │            │ plug-in, ctx: use
+//!   wafer, BEOL knobs,   │          │            │ grid, bandwidth
+//!   packaging        ┌───▼──────────▼───┐   ┌────▼─────────────┐
+//!                    │ EmbodiedBreakdown│   │ OperationalReport│
+//!                    │ (Eqs. 3–6,11–14) │   │ (Eqs. 16–18)     │
+//!                    └──────────────────┘   └──────────────────┘
+//! ```
+//!
+//! [`CarbonModel`](crate::CarbonModel)'s `embodied`/`operational`/
+//! `lifecycle` methods and the sweep executor's per-stage
+//! [`EvalCache`](crate::sweep::EvalCache) are both thin drivers over
+//! these functions, so the single-shot, CLI, sensitivity, and sweep
+//! paths share one evaluation code path. Every stage preserves the
+//! exact floating-point operation order of the original single-pass
+//! evaluator, so staged results are byte-identical to it (enforced by
+//! `crates/core/tests/staged_pipeline.rs`).
+
+use crate::context::ModelContext;
+use crate::design::{ChipDesign, DieSpec};
+use crate::embodied::{DieReport, EmbodiedBreakdown, SubstrateReport};
+use crate::error::ModelError;
+use crate::operational::{DieOperationalReport, OperationalReport, Workload};
+use serde::{Deserialize, Serialize};
+use tdc_floorplan::{
+    package_base_area, rdl_emib_area, silicon_interposer_area, DieOutline, Floorplan,
+};
+use tdc_integration::{
+    IntegrationCatalog, IntegrationTechnology, IoDensity, StackOrientation, SubstrateKind,
+};
+use tdc_power::{pitch_count, AppPhase, PowerModel};
+use tdc_technode::{surveyed_efficiency, NodeParameters, ProcessNode};
+use tdc_units::{Area, Bandwidth, Co2Mass, Energy, Length, Power, Throughput};
+use tdc_yield::{
+    assembly_2_5d_yields, three_d_stack_yields, CompositeYieldProfile, DieYieldModel, StackingFlow,
+};
+
+pub use tdc_power::StackPowerProfile as PowerProfile;
+
+/// One die with all geometry resolved (Eqs. 7–10) — the per-die slice
+/// of a [`PhysicalProfile`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiePhysical {
+    /// Die name.
+    pub name: String,
+    /// Process node.
+    pub node: ProcessNode,
+    /// Gate count (given or derived from area).
+    pub gate_count: f64,
+    /// Logic gate area (Eq. 8).
+    pub gate_area: Area,
+    /// Number of TSVs/MIVs through this die.
+    pub tsv_count: f64,
+    /// TSV/MIV keep-out area (Eq. 7's `A_TSV`).
+    pub tsv_area: Area,
+    /// Interface I/O driver area (Eq. 9).
+    pub io_area: Area,
+    /// Total die area (Eq. 7).
+    pub area: Area,
+    /// BEOL metal layers (given or Eq. 10).
+    pub beol_layers: u32,
+    /// The node's full metal stack (Eq. 10's ceiling).
+    pub max_beol_layers: u32,
+}
+
+/// Resolved substrate geometry of a 2.5D assembly (Eqs. 13–14, area
+/// only — yield and carbon are downstream stages).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubstratePhysical {
+    /// Substrate kind.
+    pub kind: SubstrateKind,
+    /// Substrate area (Eq. 13 or 14).
+    pub area: Area,
+    /// Whether the substrate is diced from a wafer (drives Eq. 5-style
+    /// amortization in the embodied stage).
+    pub wafer_based: bool,
+}
+
+/// Stage 1 — everything geometric about a design: die areas, TSV
+/// keep-outs, I/O driver areas, BEOL layer counts, substrate area, and
+/// the package outline.
+///
+/// Reads only the design plus the context's technology database, BEOL
+/// estimator, TSV keep-out, integration catalog, and package model —
+/// never a grid region, wafer, yield choice, or workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalProfile {
+    /// Per-die resolved geometry, base die first.
+    pub dies: Vec<DiePhysical>,
+    /// Substrate geometry (2.5D assemblies only).
+    pub substrate: Option<SubstratePhysical>,
+    /// Package area (Eq. 12).
+    pub package_area: Area,
+}
+
+/// Stage 2 — every survival probability of the design: per-die fab
+/// yields (Eq. 15), the substrate fab yield, and the Table 3 composite
+/// divisors.
+///
+/// Reads the [`PhysicalProfile`] plus the context's yield-model choice
+/// and the defect/bonding characterization already fingerprinted with
+/// the geometry inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YieldProfile {
+    /// Fab yield of each bare die (Eq. 15), base die first.
+    pub die_fab_yields: Vec<f64>,
+    /// Fab yield of the substrate (2.5D assemblies only).
+    pub substrate_fab_yield: Option<f64>,
+    /// Table 3 composite divisors for dies, bond steps, and substrate.
+    pub composites: CompositeYieldProfile,
+}
+
+/// Resolves geometry for every die of the design (Eqs. 7–10) and the
+/// substrate/package outlines (Eqs. 12–14). This stage is total: any
+/// design that passed [`ChipDesign`] construction has a geometry.
+#[must_use]
+pub fn physical_profile(ctx: &ModelContext, design: &ChipDesign) -> PhysicalProfile {
+    let specs = design.dies();
+    // Gate counts first (TSV cuts need the totals).
+    let mut gates = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let node = ctx.tech_db().node(spec.node());
+        let g = match (spec.gate_count(), spec.area_override()) {
+            (Some(g), _) => g,
+            (None, Some(a)) => node.gates_for_area(a),
+            (None, None) => unreachable!("DieSpecBuilder enforces gates or area"),
+        };
+        gates.push(g);
+    }
+    let mut dies = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let node = ctx.tech_db().node(spec.node()).clone();
+        let (tsv_count, tsv_area, io_area, gate_area, area) =
+            resolve_die_geometry(ctx, design, spec, &gates, i, &node);
+        let rent = spec.rent().unwrap_or_else(|| ctx.beol().rent());
+        let beol_est = ctx.beol().with_rent(rent);
+        let beol_layers = spec
+            .beol_override()
+            .map(|l| l.min(node.max_beol_layers()))
+            .unwrap_or_else(|| beol_est.layers(gates[i], area, &node));
+        dies.push(DiePhysical {
+            name: spec.name().to_owned(),
+            node: spec.node(),
+            gate_count: gates[i],
+            gate_area,
+            tsv_count,
+            tsv_area,
+            io_area,
+            area,
+            beol_layers,
+            max_beol_layers: node.max_beol_layers(),
+        });
+    }
+    let substrate = match design {
+        ChipDesign::Assembly25d { tech, .. } => resolve_substrate_geometry(ctx, *tech, &dies),
+        _ => None,
+    };
+    // Eq. 12's base area: stacks overlap (largest die), assemblies
+    // spread out (total silicon, or a manufactured carrier if larger).
+    let die_areas: Vec<Area> = dies.iter().map(|d| d.area).collect();
+    let stacked = !matches!(design, ChipDesign::Assembly25d { .. });
+    let carrier = substrate
+        .as_ref()
+        .filter(|s| s.kind != SubstrateKind::OrganicLaminate)
+        .map(|s| s.area);
+    let base_area = package_base_area(&die_areas, stacked, carrier);
+    let package_area = ctx.package().package_area(base_area);
+    PhysicalProfile {
+        dies,
+        substrate,
+        package_area,
+    }
+}
+
+/// Eq. 7/8/9 for one die: returns (tsv_count, tsv_area, io_area,
+/// gate_area, total_area).
+fn resolve_die_geometry(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    spec: &DieSpec,
+    gates: &[f64],
+    index: usize,
+    node: &NodeParameters,
+) -> (f64, Area, Area, Area, Area) {
+    // Explicit areas are final: the user measured the real die, which
+    // already contains its TSVs and PHYs.
+    if let Some(area) = spec.area_override() {
+        return (0.0, Area::ZERO, Area::ZERO, area, area);
+    }
+    let gate_area = node.area_for_gates(gates[index]);
+    let rent = spec.rent().unwrap_or_else(|| ctx.beol().rent());
+    let (tsv_count, via_diameter, keepout) = match design {
+        ChipDesign::Monolithic2d { .. } | ChipDesign::Assembly25d { .. } => {
+            (0.0, Length::ZERO, 1.0)
+        }
+        ChipDesign::Stack3d {
+            tech, orientation, ..
+        } => {
+            let gates_above: f64 = gates[index + 1..].iter().sum();
+            match (tech, orientation) {
+                // M3D: fine MIVs through the inter-tier ILD.
+                (IntegrationTechnology::Monolithic3d, _) => (
+                    if gates_above > 0.0 {
+                        rent.cut_terminals(gates_above)
+                    } else {
+                        0.0
+                    },
+                    Length::from_um(0.6),
+                    1.5,
+                ),
+                // F2B: inter-tier nets tunnel through every die below.
+                (_, StackOrientation::FaceToBack) => (
+                    if gates_above > 0.0 {
+                        rent.cut_terminals(gates_above)
+                    } else {
+                        0.0
+                    },
+                    node.tsv_diameter(),
+                    ctx.tsv_keepout(),
+                ),
+                // F2F: only external I/O needs TSVs, through the base die.
+                (_, StackOrientation::FaceToFace) => (
+                    if index == 0 {
+                        rent.external_io_count(gates.iter().sum())
+                    } else {
+                        0.0
+                    },
+                    node.tsv_diameter(),
+                    ctx.tsv_keepout(),
+                ),
+            }
+        }
+    };
+    let tsv_area = if tsv_count > 0.0 {
+        let cell = (via_diameter * keepout).squared();
+        cell * tsv_count
+    } else {
+        Area::ZERO
+    };
+    let io_ratio = design
+        .technology()
+        .map_or(0.0, IntegrationCatalog::io_area_ratio);
+    let io_area = gate_area * io_ratio;
+    let area = gate_area + tsv_area + io_area;
+    (tsv_count, tsv_area, io_area, gate_area, area)
+}
+
+/// Substrate *geometry* for a 2.5D design (Eqs. 13–14 areas; yield and
+/// carbon belong to later stages).
+fn resolve_substrate_geometry(
+    ctx: &ModelContext,
+    tech: IntegrationTechnology,
+    dies: &[DiePhysical],
+) -> Option<SubstratePhysical> {
+    let profile = ctx.catalog().substrate(tech)?;
+    let outlines: Vec<DieOutline> = dies
+        .iter()
+        .map(|d| DieOutline::square_from_area(d.area))
+        .collect();
+    let plan = Floorplan::place_row(&outlines, profile.die_gap());
+    let area = match profile.kind() {
+        SubstrateKind::SiliconInterposer => {
+            let areas: Vec<Area> = dies.iter().map(|d| d.area).collect();
+            silicon_interposer_area(&areas, profile.scale_factor())
+        }
+        SubstrateKind::EmibBridge => {
+            rdl_emib_area(&plan, profile.scale_factor(), profile.die_gap())
+        }
+        // Deviation from Eq. 14, recorded in DESIGN.md: an InFO RDL is a
+        // fan-out layer spanning the whole reconstituted footprint, not
+        // just the inter-die strips — Eq. 14's strips cannot reproduce
+        // the paper's observation that InFO *increases* embodied carbon
+        // through "large substrate areas and low substrate yields".
+        SubstrateKind::Rdl => plan.footprint() * profile.scale_factor(),
+        SubstrateKind::OrganicLaminate => plan.footprint(),
+    };
+    let wafer_based = !matches!(profile.kind(), SubstrateKind::OrganicLaminate);
+    Some(SubstratePhysical {
+        kind: profile.kind(),
+        area,
+        wafer_based,
+    })
+}
+
+/// Resolves every survival probability of the design: Eq. 15 per die
+/// and substrate, composed into Table 3 divisors.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when a yield formula rejects its inputs or
+/// the design's assembly flow is inconsistent with its technology.
+pub fn yield_profile(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    phys: &PhysicalProfile,
+) -> Result<YieldProfile, ModelError> {
+    let mut die_fab_yields = Vec::with_capacity(phys.dies.len());
+    for die in &phys.dies {
+        let node = ctx.tech_db().node(die.node);
+        let yield_model: DieYieldModel = ctx.die_yield().model_for(node);
+        die_fab_yields.push(yield_model.die_yield(die.area, node.defect_density_per_cm2())?);
+    }
+    let substrate_fab_yield = match &phys.substrate {
+        None => None,
+        Some(geom) => {
+            let ChipDesign::Assembly25d { tech, .. } = design else {
+                unreachable!("substrate geometry implies a 2.5D assembly");
+            };
+            let profile = ctx
+                .catalog()
+                .substrate(*tech)
+                .expect("substrate geometry implies a profile");
+            Some(
+                DieYieldModel::NegativeBinomial {
+                    alpha: profile.clustering_alpha(),
+                }
+                .die_yield(geom.area, profile.defect_density_per_cm2())?,
+            )
+        }
+    };
+    let composites = composite_yields(ctx, design, &die_fab_yields, substrate_fab_yield)?;
+    Ok(YieldProfile {
+        die_fab_yields,
+        substrate_fab_yield,
+        composites,
+    })
+}
+
+/// Composite yield divisors per Table 3 for the whole design.
+fn composite_yields(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    fab_yields: &[f64],
+    substrate_fab_yield: Option<f64>,
+) -> Result<CompositeYieldProfile, ModelError> {
+    match design {
+        ChipDesign::Monolithic2d { .. } => Ok(CompositeYieldProfile::bare_dies(fab_yields)),
+        ChipDesign::Stack3d { tech, flow, .. } => {
+            let bond = ctx.catalog().bonding(*tech);
+            // M3D has no pick-and-place flow; its sequential tiers share
+            // fate exactly like blind W2W bonding.
+            let (eff_flow, step_yield) = match flow {
+                Some(f) => (*f, bond.step_yield(*f)),
+                None => (
+                    StackingFlow::WaferToWafer,
+                    bond.step_yield(StackingFlow::WaferToWafer),
+                ),
+            };
+            let stack = three_d_stack_yields(fab_yields, step_yield, eff_flow)?;
+            Ok(CompositeYieldProfile::from(&stack))
+        }
+        ChipDesign::Assembly25d { tech, .. } => {
+            let assembly = IntegrationCatalog::capabilities(*tech)
+                .assembly()
+                .ok_or_else(|| {
+                    ModelError::InvalidDesign(format!("{tech} lacks an assembly flow"))
+                })?;
+            let substrate_yield = substrate_fab_yield.ok_or_else(|| {
+                ModelError::InvalidDesign(format!("{tech} needs a substrate yield"))
+            })?;
+            let c4 = ctx
+                .catalog()
+                .bonding(*tech)
+                .step_yield(StackingFlow::DieToWafer);
+            let bonds = vec![c4; fab_yields.len()];
+            let y = assembly_2_5d_yields(fab_yields, substrate_yield, &bonds, assembly)?;
+            Ok(CompositeYieldProfile::from(&y))
+        }
+    }
+}
+
+/// Stage 3 — the embodied model (Eqs. 3–6 and 11–14) over resolved
+/// geometry and yields.
+///
+/// Reads, beyond the upstream artifacts: the fab grid region, the
+/// production wafer, the BEOL carbon knobs, the M3D sequential
+/// fraction, bonding energies, substrate carbon intensities, and the
+/// packaging characterization — never the use-phase grid or workload.
+///
+/// # Errors
+///
+/// Returns [`ModelError::DieExceedsWafer`] when a die (or wafer-based
+/// substrate) does not fit the configured wafer.
+pub fn embodied_breakdown(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    phys: &PhysicalProfile,
+    yld: &YieldProfile,
+) -> Result<EmbodiedBreakdown, ModelError> {
+    // ---- C_die (Eqs. 4–6, 10 adjustment) ----
+    let ci_fab = ctx.ci_fab();
+    let wafer = ctx.wafer();
+    let is_m3d = matches!(
+        design,
+        ChipDesign::Stack3d {
+            tech: IntegrationTechnology::Monolithic3d,
+            ..
+        }
+    );
+    // M3D tiers are grown sequentially on ONE wafer: the silicon
+    // consumed per stack is set by the largest tier's footprint, not by
+    // each tier's own patterned area.
+    let m3d_footprint = phys.dies.iter().map(|d| d.area).fold(Area::ZERO, Area::max);
+    let mut die_reports = Vec::with_capacity(phys.dies.len());
+    let mut die_carbon = Co2Mass::ZERO;
+    for (tier, ((die, fab_yield), composite)) in phys
+        .dies
+        .iter()
+        .zip(&yld.die_fab_yields)
+        .zip(yld.composites.per_die())
+        .enumerate()
+    {
+        let node = ctx.tech_db().node(die.node);
+        let beol_factor = if ctx.beol_adjustment_enabled() {
+            let usage = f64::from(die.beol_layers) / f64::from(die.max_beol_layers);
+            1.0 - ctx.beol_carbon_fraction() * (1.0 - usage.min(1.0))
+        } else {
+            1.0
+        };
+        // Eq. 6 with process terms (electricity, gases) scaled by the
+        // BEOL factor; the raw-material term stays (the wafer is bought
+        // whole).
+        let process_per_area = ci_fab * node.energy_per_area() + node.gas_per_area();
+        let per_area = if is_m3d && tier > 0 {
+            // Sequential M3D: upper tiers are grown on the *same* wafer
+            // — no second substrate (no MPA), and a reduced low-
+            // temperature process pass.
+            process_per_area * (beol_factor * ctx.m3d_sequential_fraction())
+        } else {
+            process_per_area * beol_factor + node.material_per_area()
+        };
+        let wafer_carbon = per_area * wafer.area();
+        let dpw_area = if is_m3d { m3d_footprint } else { die.area };
+        let dpw = wafer
+            .dies_per_wafer(dpw_area)
+            .filter(|d| *d >= 1.0)
+            .ok_or_else(|| ModelError::DieExceedsWafer {
+                die: die.name.clone(),
+                area_mm2: dpw_area.mm2(),
+            })?;
+        let carbon = wafer_carbon / dpw / *composite;
+        die_carbon += carbon;
+        die_reports.push(DieReport {
+            name: die.name.clone(),
+            node: die.node,
+            gate_count: die.gate_count,
+            gate_area: die.gate_area,
+            tsv_area: die.tsv_area,
+            io_area: die.io_area,
+            area: die.area,
+            tsv_count: die.tsv_count,
+            beol_layers: die.beol_layers,
+            beol_factor,
+            wafer_carbon,
+            dies_per_wafer: dpw,
+            fab_yield: *fab_yield,
+            composite_yield: *composite,
+            carbon,
+        });
+    }
+
+    // ---- C_bonding (Eq. 11) ----
+    let mut bonding_carbon = Co2Mass::ZERO;
+    match design {
+        ChipDesign::Monolithic2d { .. } => {}
+        ChipDesign::Stack3d { tech, flow, .. } => {
+            let bond = ctx.catalog().bonding(*tech);
+            let eff_flow = flow.unwrap_or(StackingFlow::WaferToWafer);
+            let epa = bond.energy_per_area(eff_flow);
+            for (step, composite) in yld.composites.per_bond_step().iter().enumerate() {
+                let area = phys.dies[step].area;
+                bonding_carbon += ci_fab * (epa * area) / *composite;
+            }
+        }
+        ChipDesign::Assembly25d { tech, .. } => {
+            let bond = ctx.catalog().bonding(*tech);
+            let epa = bond.energy_per_area(StackingFlow::DieToWafer);
+            for (die, composite) in phys.dies.iter().zip(yld.composites.per_bond_step()) {
+                bonding_carbon += ci_fab * (epa * die.area) / *composite;
+            }
+        }
+    }
+
+    // ---- C_int (Eqs. 13–14) ----
+    let substrate = match (&phys.substrate, yld.composites.substrate()) {
+        (Some(geom), Some(composite)) => {
+            let ChipDesign::Assembly25d { tech, .. } = design else {
+                unreachable!("substrate geometry implies a 2.5D assembly");
+            };
+            let carbon_per_area = ctx
+                .catalog()
+                .substrate(*tech)
+                .expect("substrate geometry implies a profile")
+                .carbon_per_area(ci_fab);
+            let carbon = if geom.wafer_based {
+                let dpw = wafer
+                    .dies_per_wafer(geom.area)
+                    .filter(|d| *d >= 1.0)
+                    .ok_or_else(|| ModelError::DieExceedsWafer {
+                        die: format!("{} substrate", geom.kind),
+                        area_mm2: geom.area.mm2(),
+                    })?;
+                carbon_per_area * wafer.area() / dpw / composite
+            } else {
+                carbon_per_area * geom.area / composite
+            };
+            Some(SubstrateReport {
+                kind: geom.kind,
+                area: geom.area,
+                fab_yield: yld
+                    .substrate_fab_yield
+                    .expect("substrate geometry implies a fab yield"),
+                composite_yield: composite,
+                carbon,
+            })
+        }
+        _ => None,
+    };
+
+    // ---- C_packaging (Eq. 12) ----
+    let packaging_carbon = ctx.packaging().packaging_carbon(phys.package_area);
+
+    Ok(EmbodiedBreakdown {
+        design: design.describe(),
+        dies: die_reports,
+        die_carbon,
+        bonding_carbon,
+        packaging_carbon,
+        package_area: phys.package_area,
+        substrate,
+    })
+}
+
+/// Resolves each die's share of the application throughput:
+/// explicit shares win; otherwise gate-count-proportional. Shares are
+/// normalized when explicit values don't sum to 1 exactly (unless all
+/// are zero, which is rejected).
+fn resolve_shares(design: &ChipDesign, phys: &PhysicalProfile) -> Result<Vec<f64>, ModelError> {
+    let specs = design.dies();
+    let any_explicit = specs.iter().any(|s| s.compute_share().is_some());
+    let raw: Vec<f64> = if any_explicit {
+        specs
+            .iter()
+            .map(|s| s.compute_share().unwrap_or(0.0))
+            .collect()
+    } else {
+        phys.dies.iter().map(|d| d.gate_count).collect()
+    };
+    let sum: f64 = raw.iter().sum();
+    if sum <= 0.0 {
+        return Err(ModelError::InvalidDesign(
+            "compute shares sum to zero; at least one die must do work".to_owned(),
+        ));
+    }
+    Ok(raw.iter().map(|r| r / sum).collect())
+}
+
+/// Interface I/O lanes per die (Eq. 17's `N_pitch` / Eq. 18's `N_I/O`).
+fn io_lanes(ctx: &ModelContext, design: &ChipDesign, phys: &PhysicalProfile, index: usize) -> f64 {
+    let Some(tech) = design.technology() else {
+        return 0.0;
+    };
+    let spec = ctx.catalog().interface(tech);
+    let die = &phys.dies[index];
+    match spec.io_density() {
+        IoDensity::PerEdge { per_mm_per_layer } => {
+            pitch_count(die.area.square_side(), per_mm_per_layer, die.beol_layers)
+        }
+        IoDensity::AreaArray { pitch } => {
+            // Lanes are bounded by the overlap with the neighbouring
+            // tier and by the Rent cut actually needing to cross.
+            let overlap = overlap_area(phys, index);
+            let capacity = if pitch.mm() > 0.0 {
+                overlap.mm2() / pitch.squared().mm2()
+            } else {
+                0.0
+            };
+            let rent = design.dies()[index]
+                .rent()
+                .unwrap_or_else(|| ctx.beol().rent());
+            let gates_above: f64 = phys.dies[index + 1..].iter().map(|d| d.gate_count).sum();
+            let demand = match design {
+                ChipDesign::Stack3d {
+                    orientation: StackOrientation::FaceToFace,
+                    ..
+                } if index == 1 => rent.cut_terminals(phys.dies[0].gate_count),
+                _ if gates_above > 0.0 => rent.cut_terminals(gates_above),
+                _ => 0.0,
+            };
+            demand.min(capacity)
+        }
+    }
+}
+
+/// Overlap area between tier `index` and its upper neighbour (or lower
+/// neighbour for the top tier).
+fn overlap_area(phys: &PhysicalProfile, index: usize) -> Area {
+    let this = phys.dies[index].area;
+    let neighbour = if index + 1 < phys.dies.len() {
+        phys.dies[index + 1].area
+    } else if index > 0 {
+        phys.dies[index - 1].area
+    } else {
+        return Area::ZERO;
+    };
+    this.min(neighbour)
+}
+
+/// Stage 4 — the workload-independent power characterization of the
+/// design: throughput shares, provisioned I/O lanes, and the
+/// interconnect-shortening uplift (Eq. 17's silicon half).
+///
+/// Reads only the design, the [`PhysicalProfile`], and the context's
+/// interface catalog and Rent parameters.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidDesign`] when all explicit compute
+/// shares are zero.
+pub fn power_profile(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    phys: &PhysicalProfile,
+) -> Result<PowerProfile, ModelError> {
+    let shares = resolve_shares(design, phys)?;
+    let lanes: Vec<f64> = (0..phys.dies.len())
+        .map(|i| io_lanes(ctx, design, phys, i))
+        .collect();
+    // Interconnect-shortening efficiency uplift (3D only; §2.2.2).
+    let uplift = 1.0
+        + design.technology().map_or(
+            0.0,
+            tdc_integration::IntegrationCatalog::interconnect_uplift,
+        );
+    Ok(PowerProfile::new(shares, lanes, uplift))
+}
+
+/// Stage 5 — the operational model (Eqs. 16–18) for a design under a
+/// workload, using the cached physical and power artifacts.
+///
+/// Reads, beyond the upstream artifacts: the workload, the power
+/// plug-in, the use-phase grid region, and the bandwidth constraint —
+/// never the fab grid, wafer, or packaging inputs.
+///
+/// # Errors
+///
+/// Propagates power-model and bandwidth-constraint failures.
+pub fn operational_report(
+    ctx: &ModelContext,
+    design: &ChipDesign,
+    phys: &PhysicalProfile,
+    power_profile: &PowerProfile,
+    workload: &Workload,
+    power_model: &dyn PowerModel,
+) -> Result<OperationalReport, ModelError> {
+    let shares = power_profile.shares();
+    let required_bw = workload.required_bandwidth();
+    let peak = workload.peak_throughput();
+
+    // ---- Bandwidth constraint (Eq. 18 + §3.4) ----
+    let (verdict, achieved_bw) = if !ctx.bandwidth_constraint_enabled() {
+        (None, None)
+    } else {
+        match design {
+            ChipDesign::Monolithic2d { .. } => (None, None),
+            ChipDesign::Stack3d { .. } => {
+                // §3.4: 3D die-to-die bandwidth matches on-chip bandwidth.
+                (
+                    Some(ctx.bandwidth().check(peak, peak, required_bw, required_bw)),
+                    Some(required_bw),
+                )
+            }
+            ChipDesign::Assembly25d { tech, .. } => {
+                let spec = ctx.catalog().interface(*tech);
+                let bottleneck = (0..phys.dies.len())
+                    .map(|i| spec.aggregate_bandwidth(power_profile.io_lanes()[i]))
+                    .fold(Bandwidth::new(f64::INFINITY), Bandwidth::min);
+                let v = ctx.bandwidth().check(peak, peak, bottleneck, required_bw);
+                (Some(v), Some(bottleneck))
+            }
+        }
+    };
+    let stretch = verdict.map_or(1.0, |v| v.runtime_stretch(peak));
+
+    let uplift = power_profile.uplift();
+
+    // Interface traffic actually flowing (bits/s) at a given
+    // throughput: *average* intensity, capped by what the interface
+    // can carry.
+    let traffic_at = |th: Throughput| -> Bandwidth {
+        let demand = Bandwidth::from_gbps(
+            th.tops() * 1.0e12 * workload.average_bytes_per_op() * 8.0 / 1.0e9,
+        );
+        achieved_bw.map_or(demand, |a| demand.min(a))
+    };
+
+    // Per-die interface power at a given throughput: every die's
+    // interface sees the bisection traffic (Eq. 17's P_IO, energy
+    // following traffic rather than provisioned lanes).
+    let io_power_at = |th: Throughput| -> Power {
+        design.technology().map_or(Power::ZERO, |tech| {
+            let spec = ctx.catalog().interface(tech);
+            spec.interface_power(traffic_at(th))
+        })
+    };
+
+    // ---- Per-die report at peak throughput (Eq. 17) ----
+    let mut die_reports = Vec::with_capacity(phys.dies.len());
+    for (i, (die, spec)) in phys.dies.iter().zip(design.dies()).enumerate() {
+        let efficiency = spec
+            .efficiency()
+            .unwrap_or_else(|| surveyed_efficiency(spec.node()));
+        let lanes = power_profile.io_lanes()[i];
+        let p_io = io_power_at(peak / stretch);
+        let th_share = peak * shares[i] / stretch;
+        let compute = if spec.efficiency().is_some() {
+            th_share / (efficiency * uplift)
+        } else {
+            power_model.compute_power(th_share, spec.node()) * (1.0 / uplift)
+        };
+        die_reports.push(DieOperationalReport {
+            name: die.name.clone(),
+            share: shares[i],
+            efficiency,
+            compute_power: compute,
+            io_lanes: lanes,
+            io_power: p_io,
+        });
+    }
+
+    // ---- Eq. 16 over phases, with utilization and runtime stretch ----
+    let util = workload.average_utilization();
+    // Every die drives its own interface; the bisection traffic crosses
+    // each of them.
+    #[allow(clippy::cast_precision_loss)]
+    let interface_count = if design.technology().is_some() {
+        phys.dies.len() as f64
+    } else {
+        0.0
+    };
+    let mut phases = Vec::with_capacity(workload.phases().len());
+    for phase in workload.phases() {
+        let th_avg = phase.throughput * (util / stretch);
+        let mut p = io_power_at(th_avg) * interface_count;
+        for (i, spec) in design.dies().iter().enumerate() {
+            let th_share = th_avg * shares[i];
+            p += if let Some(eff) = spec.efficiency() {
+                th_share / (eff * uplift)
+            } else {
+                power_model.compute_power(th_share, spec.node()) * (1.0 / uplift)
+            };
+        }
+        phases.push(AppPhase::new(
+            phase.name.clone(),
+            p,
+            phase.duration * stretch,
+        ));
+    }
+    let carbon = tdc_power::operational_carbon(ctx.ci_use(), &phases);
+    let energy: Energy = phases.iter().map(AppPhase::energy).sum();
+    let power = die_reports
+        .iter()
+        .map(|d| d.compute_power + d.io_power)
+        .fold(Power::ZERO, |a, b| a + b);
+
+    Ok(OperationalReport {
+        dies: die_reports,
+        power,
+        verdict,
+        achieved_bandwidth: achieved_bw,
+        required_bandwidth: required_bw,
+        runtime_stretch: stretch,
+        energy,
+        mission_time: workload.mission_time(),
+        carbon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DieSpec;
+    use crate::model::CarbonModel;
+    use tdc_technode::GridRegion;
+    use tdc_units::{Efficiency, TimeSpan};
+
+    fn die(name: &str, gates: f64) -> DieSpec {
+        DieSpec::builder(name, ProcessNode::N7)
+            .gate_count(gates)
+            .efficiency(Efficiency::from_tops_per_watt(2.74))
+            .build()
+            .unwrap()
+    }
+
+    fn emib() -> ChipDesign {
+        ChipDesign::assembly_25d(
+            vec![die("l", 8.5e9), die("r", 8.5e9)],
+            IntegrationTechnology::Emib,
+        )
+        .unwrap()
+    }
+
+    fn workload() -> Workload {
+        Workload::fixed(
+            "app",
+            Throughput::from_tops(100.0),
+            TimeSpan::from_hours(10_000.0),
+        )
+    }
+
+    #[test]
+    fn physical_profile_is_grid_region_independent() {
+        // The geometry stage must not read any grid region — that is
+        // what lets the staged cache reuse it across operational axes.
+        let design = emib();
+        let base = physical_profile(&ModelContext::default(), &design);
+        let moved = physical_profile(
+            &ModelContext::builder()
+                .fab_region(GridRegion::CoalHeavy)
+                .use_region(GridRegion::Renewable)
+                .build(),
+            &design,
+        );
+        assert_eq!(base, moved);
+        assert!(base.substrate.is_some());
+        assert!(base.package_area.mm2() > 0.0);
+    }
+
+    #[test]
+    fn yield_profile_matches_embodied_reports() {
+        let ctx = ModelContext::default();
+        let design = emib();
+        let phys = physical_profile(&ctx, &design);
+        let yld = yield_profile(&ctx, &design, &phys).unwrap();
+        let breakdown = embodied_breakdown(&ctx, &design, &phys, &yld).unwrap();
+        for (die, fab) in breakdown.dies.iter().zip(&yld.die_fab_yields) {
+            assert!((die.fab_yield - fab).abs() == 0.0);
+        }
+        assert_eq!(
+            breakdown.substrate.as_ref().map(|s| s.fab_yield),
+            yld.substrate_fab_yield
+        );
+    }
+
+    #[test]
+    fn staged_stages_reassemble_the_monolithic_result() {
+        let ctx = ModelContext::default();
+        let design = emib();
+        let w = workload();
+        let model = CarbonModel::new(ctx.clone());
+        let reference = model.lifecycle(&design, &w).unwrap();
+
+        let phys = physical_profile(&ctx, &design);
+        let yld = yield_profile(&ctx, &design, &phys).unwrap();
+        let embodied = embodied_breakdown(&ctx, &design, &phys, &yld).unwrap();
+        let power = power_profile(&ctx, &design, &phys).unwrap();
+        let operational = operational_report(
+            &ctx,
+            &design,
+            &phys,
+            &power,
+            &w,
+            &tdc_power::SurveyedEfficiency::new(),
+        )
+        .unwrap();
+        assert_eq!(reference.embodied, embodied);
+        assert_eq!(reference.operational, operational);
+    }
+
+    #[test]
+    fn power_profile_is_workload_and_grid_independent() {
+        let design = emib();
+        let ctx_a = ModelContext::default();
+        let ctx_b = ModelContext::builder()
+            .use_region(GridRegion::France)
+            .fab_region(GridRegion::Renewable)
+            .build();
+        let phys = physical_profile(&ctx_a, &design);
+        let a = power_profile(&ctx_a, &design, &phys).unwrap();
+        let b = power_profile(&ctx_b, &design, &phys).unwrap();
+        assert_eq!(a, b);
+        assert!((a.shares().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(a.io_lanes().iter().all(|l| *l > 0.0));
+    }
+
+    #[test]
+    fn operational_report_ignores_fab_inputs() {
+        // Swapping fab-side knobs must not move the operational stage —
+        // the invariant behind the embodied-artifact reuse guarantee.
+        let design = emib();
+        let w = workload();
+        let base_ctx = ModelContext::default();
+        let fab_ctx = ModelContext::builder()
+            .fab_region(GridRegion::CoalHeavy)
+            .beol_carbon_fraction(0.9)
+            .m3d_sequential_fraction(0.9)
+            .build();
+        let pm = tdc_power::SurveyedEfficiency::new();
+        let phys = physical_profile(&base_ctx, &design);
+        let power = power_profile(&base_ctx, &design, &phys).unwrap();
+        let a = operational_report(&base_ctx, &design, &phys, &power, &w, &pm).unwrap();
+        let b = operational_report(&fab_ctx, &design, &phys, &power, &w, &pm).unwrap();
+        assert_eq!(a, b);
+    }
+}

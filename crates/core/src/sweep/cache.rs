@@ -1,65 +1,78 @@
-//! Memoization of design evaluations ([`EvalCache`]).
+//! Per-stage artifact store for pipeline evaluations ([`EvalCache`]).
 //!
-//! The cache pays off across the *lifetime of a
-//! [`SweepExecutor`](crate::sweep::SweepExecutor)*: re-executing a
-//! plan answers every point from the cache (the regime an interactive
-//! tool re-ranking a design space lives in — 2.6× measured in
-//! `BENCH_sweep.json`), and overlapping plans (a broad survey
-//! followed by a refined sweep over the interesting nodes) only pay
-//! for the new points. Within one plan there is no duplication to
-//! exploit — `plan()` already deduplicates the tier-independent 2D
-//! reference — and the convenience `DesignSweep::run`/`best` methods
-//! build a fresh executor per call, so cross-call reuse requires
-//! holding a `SweepExecutor`.
+//! The cache memoizes every artifact of the staged pipeline
+//! ([`crate::pipeline`]) independently — physical geometry, yields,
+//! embodied breakdowns, power characterizations, and operational
+//! reports — each under a key composed of the canonical design form
+//! plus a fingerprint of *only the inputs that stage reads*. Two sweep
+//! points that differ only in downstream axes therefore share every
+//! upstream artifact: a grid-region × lifetime sweep over a fixed
+//! design set computes each design's embodied breakdown **once**, and
+//! re-prices only the operational stage per scenario. The old
+//! whole-design cache could not do this — any (model, workload) change
+//! invalidated everything.
 //!
-//! Keys are the *canonical form of the design* — every die's
-//! [`DieSpec`](crate::DieSpec) (name, [`ProcessNode`], gate count /
-//! area / overrides) plus the [`IntegrationTechnology`], orientation,
-//! and bonding flow — so any two points that would produce the same
-//! [`LifecycleReport`] are computed once.
+//! Stage keys compose upstream slices, so an artifact is always a pure
+//! function of its key:
 //!
-//! Cached results are only valid for a fixed (model, workload) pair;
-//! the cache fingerprints both, namespaces every key by the
-//! fingerprint's hash, and self-invalidates when an executor is
-//! reused against a different configuration.
+//! | artifact | context slice in the key |
+//! |----------|--------------------------|
+//! | [`PhysicalProfile`] | geometry (tech db, BEOL estimator, TSV keep-out, catalog, package model) |
+//! | [`YieldProfile`] | geometry + yield-model choice |
+//! | [`EmbodiedBreakdown`](crate::EmbodiedBreakdown) | geometry + yield + fab (grid, wafer, BEOL knobs, packaging) |
+//! | [`PowerProfile`] | geometry |
+//! | [`OperationalReport`](crate::OperationalReport) | geometry + use grid + bandwidth + power plug-in + workload |
 //!
-//! [`IntegrationTechnology`]: tdc_integration::IntegrationTechnology
-//! [`ProcessNode`]: tdc_technode::ProcessNode
+//! The design half of every key is the *canonical form of the design*
+//! — every die's [`DieSpec`](crate::DieSpec) (name, process node, gate
+//! count / area / overrides) plus the integration technology,
+//! orientation, and bonding flow — so any two points that would
+//! produce the same artifact are computed once.
+//!
+//! Entries persist across configuration changes (that persistence *is*
+//! the reuse); each stage's store is capped at `MAX_STAGE_ENTRIES`
+//! artifacts — reaching the cap drops that stage's entries wholesale
+//! (recomputing is always safe), so a long-lived executor fed an
+//! unbounded scenario stream cannot grow without limit — and
+//! [`EvalCache::clear`] drops everything. Only non-fatal outcomes are
+//! stored: a design
+//! whose dies outgrow the wafer is remembered as `Oversized`, while
+//! genuine model errors always propagate and are re-raised on every
+//! attempt.
 
 use crate::design::ChipDesign;
 use crate::error::ModelError;
 use crate::model::{CarbonModel, LifecycleReport};
-use crate::operational::Workload;
+use crate::operational::{OperationalReport, Workload};
+use crate::pipeline::{self, PhysicalProfile, PowerProfile, YieldProfile};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// What a finished evaluation left behind. Only the two *non-fatal*
-/// outcomes are cached; genuine model errors always propagate and are
-/// re-raised on every attempt.
+/// What a finished embodied evaluation left behind. Only the two
+/// *non-fatal* outcomes are cached.
 #[derive(Debug, Clone)]
-enum CachedOutcome {
+enum EmbodiedOutcome {
     /// The design evaluated cleanly.
-    Report(Box<LifecycleReport>),
+    Report(Arc<crate::embodied::EmbodiedBreakdown>),
     /// The design cannot be built on the configured wafer
     /// ([`ModelError::DieExceedsWafer`]) — a stable property of the
-    /// design under this context, so remembering it is safe.
+    /// design under this configuration, so remembering it is safe.
     Oversized,
 }
 
-/// Cumulative hit/miss counters of an [`EvalCache`].
+/// Hit/miss counters of one pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Evaluations answered from the cache.
+pub struct StageCounters {
+    /// Lookups answered from the store.
     pub hits: u64,
-    /// Evaluations that had to run the model.
+    /// Lookups that had to run the stage.
     pub misses: u64,
-    /// Entries currently stored.
-    pub entries: usize,
 }
 
-impl CacheStats {
-    /// Hit fraction in `[0, 1]` (0 when nothing was looked up yet).
+impl StageCounters {
+    /// Hit fraction in `[0, 1]` (0 when the stage was never consulted).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -74,21 +87,263 @@ impl CacheStats {
     }
 }
 
-/// A thread-safe memoization cache for whole-design life-cycle
-/// evaluations.
+/// Per-stage hit/miss counters of the whole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Physical (geometry) stage.
+    pub physical: StageCounters,
+    /// Yield stage.
+    pub yields: StageCounters,
+    /// Embodied stage.
+    pub embodied: StageCounters,
+    /// Power-characterization stage.
+    pub power: StageCounters,
+    /// Operational stage.
+    pub operational: StageCounters,
+}
+
+impl PipelineStats {
+    fn as_array(&self) -> [StageCounters; 5] {
+        [
+            self.physical,
+            self.yields,
+            self.embodied,
+            self.power,
+            self.operational,
+        ]
+    }
+
+    /// Lookups answered from the store, summed over all stages.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.as_array().iter().map(|s| s.hits).sum()
+    }
+
+    /// Stage executions, summed over all stages.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.as_array().iter().map(|s| s.misses).sum()
+    }
+
+    /// Aggregate hit fraction across every stage lookup in `[0, 1]`.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits() as f64 / total as f64
+            }
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` (a snapshot taken
+    /// from the same cache).
+    #[must_use]
+    pub fn since(&self, earlier: &PipelineStats) -> PipelineStats {
+        let diff = |now: StageCounters, then: StageCounters| StageCounters {
+            hits: now.hits.saturating_sub(then.hits),
+            misses: now.misses.saturating_sub(then.misses),
+        };
+        PipelineStats {
+            physical: diff(self.physical, earlier.physical),
+            yields: diff(self.yields, earlier.yields),
+            embodied: diff(self.embodied, earlier.embodied),
+            power: diff(self.power, earlier.power),
+            operational: diff(self.operational, earlier.operational),
+        }
+    }
+}
+
+/// Cumulative counters and size of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Per-stage hit/miss counters since construction (or the last
+    /// counter-preserving [`EvalCache::clear`]).
+    pub stages: PipelineStats,
+    /// Artifacts currently stored, across all stages.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Aggregate hit fraction across every stage lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.stages.warm_hit_rate()
+    }
+}
+
+/// Upper bound on the artifacts one stage retains. Retention across
+/// configurations is the point of the store, but operational artifacts
+/// in particular accumulate one entry per (configuration, design) pair
+/// forever; when a stage reaches the cap its entries are dropped
+/// wholesale (always safe — misses just recompute) so memory stays
+/// bounded no matter how many scenarios a long-lived executor sees.
+/// The cap is far above any scenario space in this repository (the
+/// grid-region bench peaks at 99 × 8 = 792 operational artifacts).
+const MAX_STAGE_ENTRIES: usize = 1 << 16;
+
+/// Per-execute hit/miss tally, threaded through every lookup so a
+/// `SweepExecutor::execute` call reports exactly its own traffic even
+/// when other calls share the cache concurrently (the cumulative
+/// [`StageCell`] counters cannot be attributed per call).
+#[derive(Debug, Default)]
+pub(crate) struct PipelineTally {
+    physical: TallyPair,
+    yields: TallyPair,
+    embodied: TallyPair,
+    power: TallyPair,
+    operational: TallyPair,
+}
+
+#[derive(Debug, Default)]
+struct TallyPair {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TallyPair {
+    fn snapshot(&self) -> StageCounters {
+        StageCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl PipelineTally {
+    /// The counters accumulated so far, as plain stats.
+    pub(crate) fn snapshot(&self) -> PipelineStats {
+        PipelineStats {
+            physical: self.physical.snapshot(),
+            yields: self.yields.snapshot(),
+            embodied: self.embodied.snapshot(),
+            power: self.power.snapshot(),
+            operational: self.operational.snapshot(),
+        }
+    }
+}
+
+/// One stage's store: artifacts keyed (configuration tag → canonical
+/// design key), plus cumulative counters. The two-level map lets a
+/// warm lookup borrow the design key (`&str`) — no per-lookup
+/// allocation — and groups one configuration's entries together.
+#[derive(Debug)]
+struct StageCell<T> {
+    entries: Mutex<HashMap<u64, HashMap<String, T>>>,
+    count: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// Manual impl: `derive(Default)` would needlessly require `T: Default`.
+impl<T> Default for StageCell<T> {
+    fn default() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            count: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T: Clone> StageCell<T> {
+    /// Looks (`tag`, `key`) up, counting the outcome both cumulatively
+    /// and on the caller's tally.
+    fn lookup(&self, tag: u64, key: &str, tally: &TallyPair) -> Option<T> {
+        let found = self
+            .entries
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&tag)
+            .and_then(|m| m.get(key))
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            tally.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            tally.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn insert(&self, tag: u64, key: &str, value: T) {
+        let mut map = self.entries.lock().expect("cache lock poisoned");
+        if self.count.load(Ordering::Relaxed) as usize >= MAX_STAGE_ENTRIES {
+            map.clear();
+            self.count.store(0, Ordering::Relaxed);
+        }
+        if map
+            .entry(tag)
+            .or_default()
+            .insert(key.to_owned(), value)
+            .is_none()
+        {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn counters(&self) -> StageCounters {
+        StageCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed) as usize
+    }
+
+    fn clear(&self) {
+        // Reset the counter under the same guard that empties the map —
+        // a racing `insert` between the two steps would otherwise leave
+        // `count` permanently understating the map (and the
+        // `MAX_STAGE_ENTRIES` bound firing late).
+        let mut map = self.entries.lock().expect("cache lock poisoned");
+        map.clear();
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The per-stage namespace tags of one (model, workload) configuration:
+/// a hash of each stage's input-slice fingerprint, prefixed onto every
+/// key so entries from one configuration can never answer another's
+/// lookups — even when concurrent `execute` calls race on a shared
+/// executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StageTags {
+    physical: u64,
+    yields: u64,
+    embodied: u64,
+    power: u64,
+    operational: u64,
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A thread-safe, per-stage artifact store for pipeline evaluations.
 ///
 /// The cache is shared by all workers of a
 /// [`SweepExecutor`](crate::sweep::SweepExecutor) and survives across
-/// `execute` calls, so repeated sweeps over overlapping design spaces
-/// (same model, same workload) skip already-computed points entirely.
+/// `execute` calls *and configuration changes*: repeated sweeps over
+/// overlapping design spaces skip already-computed points entirely,
+/// and sweeps that vary only downstream axes (a new use-phase grid, a
+/// new lifetime) skip every upstream stage.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    entries: Mutex<HashMap<String, CachedOutcome>>,
-    /// `format!("{model:?}|{workload:?}")` of the configuration the
-    /// stored entries were computed under.
-    fingerprint: Mutex<Option<String>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    physical: StageCell<Arc<PhysicalProfile>>,
+    yields: StageCell<Arc<YieldProfile>>,
+    embodied: StageCell<EmbodiedOutcome>,
+    power: StageCell<Arc<PowerProfile>>,
+    operational: StageCell<Arc<OperationalReport>>,
 }
 
 impl EvalCache {
@@ -102,7 +357,7 @@ impl EvalCache {
     /// the raw bit pattern of each numeric field, so distinct values
     /// get distinct keys) plus the integration technology, orientation,
     /// and flow. Compact by construction — building a key costs a
-    /// fraction of a model evaluation, so a cache hit is a real win.
+    /// fraction of a stage evaluation, so a cache hit is a real win.
     #[must_use]
     pub fn key_for(design: &ChipDesign) -> String {
         use std::fmt::Write as _;
@@ -154,103 +409,205 @@ impl EvalCache {
         key
     }
 
+    /// Computes the per-stage namespace tags for a (model, workload)
+    /// configuration. Each tag hashes the union of the context slices
+    /// that stage and its upstream stages read — nothing more, which is
+    /// exactly what lets downstream-only changes keep upstream tags
+    /// (and therefore artifacts) stable.
+    pub(crate) fn stage_tags(model: &CarbonModel, workload: &Workload) -> StageTags {
+        let ctx = model.context();
+        let geometry = ctx.fingerprint_geometry();
+        let yields = format!("{geometry}\u{1f}{}", ctx.fingerprint_yield());
+        let embodied = format!("{yields}\u{1f}{}", ctx.fingerprint_fab());
+        let operational = format!(
+            "{geometry}\u{1f}{}\u{1f}{}\u{1f}{workload:?}",
+            ctx.fingerprint_use(),
+            model.power_model().fingerprint(),
+        );
+        StageTags {
+            physical: hash_str(&format!("phys\u{1f}{geometry}")),
+            yields: hash_str(&format!("yield\u{1f}{yields}")),
+            embodied: hash_str(&format!("emb\u{1f}{embodied}")),
+            power: hash_str(&format!("power\u{1f}{geometry}")),
+            operational: hash_str(&format!("op\u{1f}{operational}")),
+        }
+    }
+
     /// Current counters and size.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned by a panicking worker.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache lock poisoned").len(),
+            stages: PipelineStats {
+                physical: self.physical.counters(),
+                yields: self.yields.counters(),
+                embodied: self.embodied.counters(),
+                power: self.power.counters(),
+                operational: self.operational.counters(),
+            },
+            entries: self.physical.len()
+                + self.yields.len()
+                + self.embodied.len()
+                + self.power.len()
+                + self.operational.len(),
         }
     }
 
-    /// Drops all entries (counters are kept).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned by a panicking worker.
+    /// Drops every stored artifact in every stage (counters are kept).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock poisoned").clear();
-        *self.fingerprint.lock().expect("cache lock poisoned") = None;
+        self.physical.clear();
+        self.yields.clear();
+        self.embodied.clear();
+        self.power.clear();
+        self.operational.clear();
     }
 
-    /// Invalidates the cache when `fingerprint` (the model+workload
-    /// configuration) differs from the one the entries were computed
-    /// under, and returns the tag to prefix this configuration's keys
-    /// with.
-    ///
-    /// The tag — not the clearing — is what makes stale reuse
-    /// impossible: every stored key embeds the configuration hash, so
-    /// even when two `execute` calls with different workloads race on
-    /// a shared executor, neither can read the other's entries. The
-    /// clearing just bounds memory to one configuration's worth of
-    /// entries.
-    pub(crate) fn ensure_configuration(&self, fingerprint: &str) -> u64 {
-        let mut stored = self.fingerprint.lock().expect("cache lock poisoned");
-        if stored.as_deref() != Some(fingerprint) {
-            self.entries.lock().expect("cache lock poisoned").clear();
-            *stored = Some(fingerprint.to_owned());
-        }
-        use std::hash::{Hash, Hasher};
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        fingerprint.hash(&mut hasher);
-        hasher.finish()
-    }
-
-    /// Evaluates `design` under (`model`, `workload`), answering from
-    /// the cache when possible. `config_tag` is the value
-    /// [`ensure_configuration`](EvalCache::ensure_configuration)
-    /// returned for this (model, workload) pair; it namespaces the key
-    /// so entries from one configuration can never answer another's
-    /// lookups. Returns `Ok(None)` for designs whose dies outgrow the
-    /// wafer (dropped, and remembered as dropped), and the report plus
-    /// a was-it-a-hit flag otherwise.
-    pub(crate) fn lookup_or_eval(
+    fn physical_or_eval(
         &self,
-        config_tag: u64,
+        tags: &StageTags,
+        model: &CarbonModel,
+        design: &ChipDesign,
+        design_key: &str,
+        tally: &PipelineTally,
+    ) -> Arc<PhysicalProfile> {
+        if let Some(p) = self
+            .physical
+            .lookup(tags.physical, design_key, &tally.physical)
+        {
+            return p;
+        }
+        let p = Arc::new(pipeline::physical_profile(model.context(), design));
+        self.physical
+            .insert(tags.physical, design_key, Arc::clone(&p));
+        p
+    }
+
+    fn yield_or_eval(
+        &self,
+        tags: &StageTags,
+        model: &CarbonModel,
+        design: &ChipDesign,
+        design_key: &str,
+        phys: &PhysicalProfile,
+        tally: &PipelineTally,
+    ) -> Result<Arc<YieldProfile>, ModelError> {
+        if let Some(y) = self.yields.lookup(tags.yields, design_key, &tally.yields) {
+            return Ok(y);
+        }
+        let y = Arc::new(pipeline::yield_profile(model.context(), design, phys)?);
+        self.yields.insert(tags.yields, design_key, Arc::clone(&y));
+        Ok(y)
+    }
+
+    fn power_or_eval(
+        &self,
+        tags: &StageTags,
+        model: &CarbonModel,
+        design: &ChipDesign,
+        design_key: &str,
+        phys: &PhysicalProfile,
+        tally: &PipelineTally,
+    ) -> Result<Arc<PowerProfile>, ModelError> {
+        if let Some(p) = self.power.lookup(tags.power, design_key, &tally.power) {
+            return Ok(p);
+        }
+        let p = Arc::new(pipeline::power_profile(model.context(), design, phys)?);
+        self.power.insert(tags.power, design_key, Arc::clone(&p));
+        Ok(p)
+    }
+
+    /// Evaluates `design` under (`model`, `workload`) through the
+    /// staged pipeline, answering every stage from the store when
+    /// possible. `tags` is the value
+    /// [`stage_tags`](EvalCache::stage_tags) returned for this
+    /// configuration. Returns `Ok(None)` for designs whose dies outgrow
+    /// the wafer (dropped, and remembered as dropped), and the report
+    /// plus a did-every-stage-hit flag otherwise.
+    pub(crate) fn lifecycle_or_eval(
+        &self,
+        tags: &StageTags,
         model: &CarbonModel,
         design: &ChipDesign,
         workload: &Workload,
+        tally: &PipelineTally,
     ) -> Result<(Option<LifecycleReport>, bool), ModelError> {
-        let key = format!("{config_tag:x}#{}", Self::key_for(design));
-        if let Some(outcome) = self
-            .entries
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&key)
-            .cloned()
+        let design_key = Self::key_for(design);
+        let ctx = model.context();
+        // Fetched at most once per point, shared by both halves below.
+        let mut phys_local: Option<Arc<PhysicalProfile>> = None;
+        let mut all_hit = true;
+
+        // ---- Embodied artifact (physical → yield → embodied) ----
+        let embodied = match self
+            .embodied
+            .lookup(tags.embodied, &design_key, &tally.embodied)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((
-                match outcome {
-                    CachedOutcome::Report(r) => Some(*r),
-                    CachedOutcome::Oversized => None,
-                },
-                true,
-            ));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        match model.lifecycle(design, workload) {
-            Ok(report) => {
-                self.entries
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .insert(key, CachedOutcome::Report(Box::new(report.clone())));
-                Ok((Some(report), false))
+            Some(EmbodiedOutcome::Report(r)) => r,
+            Some(EmbodiedOutcome::Oversized) => return Ok((None, true)),
+            None => {
+                all_hit = false;
+                let phys = self.physical_or_eval(tags, model, design, &design_key, tally);
+                phys_local = Some(Arc::clone(&phys));
+                let yld = self.yield_or_eval(tags, model, design, &design_key, &phys, tally)?;
+                match pipeline::embodied_breakdown(ctx, design, &phys, &yld) {
+                    Ok(b) => {
+                        let arc = Arc::new(b);
+                        self.embodied.insert(
+                            tags.embodied,
+                            &design_key,
+                            EmbodiedOutcome::Report(Arc::clone(&arc)),
+                        );
+                        arc
+                    }
+                    Err(ModelError::DieExceedsWafer { .. }) => {
+                        self.embodied.insert(
+                            tags.embodied,
+                            &design_key,
+                            EmbodiedOutcome::Oversized,
+                        );
+                        return Ok((None, false));
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            Err(ModelError::DieExceedsWafer { .. }) => {
-                self.entries
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .insert(key, CachedOutcome::Oversized);
-                Ok((None, false))
-            }
-            Err(e) => Err(e),
-        }
+        };
+
+        // ---- Operational artifact (physical → power → operational) ----
+        let operational =
+            match self
+                .operational
+                .lookup(tags.operational, &design_key, &tally.operational)
+            {
+                Some(r) => r,
+                None => {
+                    all_hit = false;
+                    let phys = match &phys_local {
+                        Some(p) => Arc::clone(p),
+                        None => self.physical_or_eval(tags, model, design, &design_key, tally),
+                    };
+                    let power =
+                        self.power_or_eval(tags, model, design, &design_key, &phys, tally)?;
+                    let r = pipeline::operational_report(
+                        ctx,
+                        design,
+                        &phys,
+                        &power,
+                        workload,
+                        model.power_model(),
+                    )?;
+                    let arc = Arc::new(r);
+                    self.operational
+                        .insert(tags.operational, &design_key, Arc::clone(&arc));
+                    arc
+                }
+            };
+
+        Ok((
+            Some(LifecycleReport {
+                embodied: (*embodied).clone(),
+                operational: (*operational).clone(),
+            }),
+            all_hit,
+        ))
     }
 }
 
@@ -259,7 +616,7 @@ mod tests {
     use super::*;
     use crate::context::ModelContext;
     use crate::design::DieSpec;
-    use tdc_technode::ProcessNode;
+    use tdc_technode::{GridRegion, ProcessNode};
     use tdc_units::{Throughput, TimeSpan};
 
     fn model() -> CarbonModel {
@@ -284,35 +641,113 @@ mod tests {
     }
 
     #[test]
-    fn second_lookup_hits() {
+    fn second_lookup_hits_every_stage() {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
         let d = mono(5.0e9);
-        let tag = cache.ensure_configuration("cfg");
-        let (first, hit1) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
-        let (second, hit2) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
+        let tags = EvalCache::stage_tags(&m, &w);
+        let (first, hit1) = cache
+            .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
+            .unwrap();
+        let (second, hit2) = cache
+            .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
+            .unwrap();
         assert!(!hit1);
         assert!(hit2);
         assert_eq!(first, second);
         let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
-        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Cold pass: one miss per stage. Warm pass: only the two
+        // artifact heads (embodied, operational) are consulted — the
+        // intermediate stages are not even looked up.
+        assert_eq!(stats.stages.embodied, StageCounters { hits: 1, misses: 1 });
+        assert_eq!(
+            stats.stages.operational,
+            StageCounters { hits: 1, misses: 1 }
+        );
+        assert_eq!(stats.stages.physical, StageCounters { hits: 0, misses: 1 });
+        assert_eq!(stats.stages.yields, StageCounters { hits: 0, misses: 1 });
+        assert_eq!(stats.stages.power, StageCounters { hits: 0, misses: 1 });
+        assert_eq!(stats.entries, 5);
+        assert!(stats.hit_rate() > 0.0);
     }
 
     #[test]
-    fn config_tag_namespaces_entries() {
-        // Even without the clearing (e.g. a racing execute on a shared
-        // executor), entries from one configuration can never answer
-        // another's lookups: the tag is part of the key.
+    fn operational_axis_change_keeps_embodied_artifacts() {
+        // The whole point of the per-stage store: a use-grid change
+        // reuses geometry, yield, embodied, and power artifacts, and
+        // recomputes only the operational stage.
         let cache = EvalCache::new();
-        let (m, w) = (model(), workload());
         let d = mono(5.0e9);
-        let tag_a = cache.ensure_configuration("cfg-a");
-        cache.lookup_or_eval(tag_a, &m, &d, &w).unwrap();
-        let tag_b = cache.ensure_configuration("cfg-b");
-        assert_ne!(tag_a, tag_b);
-        let (_, hit) = cache.lookup_or_eval(tag_b, &m, &d, &w).unwrap();
-        assert!(!hit, "a different configuration must miss");
+        let w = workload();
+        let base = model();
+        let tags = EvalCache::stage_tags(&base, &w);
+        cache
+            .lifecycle_or_eval(&tags, &base, &d, &w, &PipelineTally::default())
+            .unwrap();
+
+        let moved = CarbonModel::new(
+            ModelContext::builder()
+                .use_region(GridRegion::France)
+                .build(),
+        );
+        let moved_tags = EvalCache::stage_tags(&moved, &w);
+        assert_eq!(tags.embodied, moved_tags.embodied);
+        assert_ne!(tags.operational, moved_tags.operational);
+        let (report, hit) = cache
+            .lifecycle_or_eval(&moved_tags, &moved, &d, &w, &PipelineTally::default())
+            .unwrap();
+        assert!(!hit, "the operational stage must recompute");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.stages.embodied,
+            StageCounters { hits: 1, misses: 1 },
+            "embodied artifact answered from the store"
+        );
+        assert_eq!(
+            stats.stages.physical,
+            StageCounters { hits: 1, misses: 1 },
+            "geometry reused for the new operational stage"
+        );
+        assert_eq!(stats.stages.power, StageCounters { hits: 1, misses: 1 });
+        assert_eq!(
+            stats.stages.operational,
+            StageCounters { hits: 0, misses: 2 }
+        );
+        // And the re-priced report matches an uncached evaluation.
+        let fresh = moved.lifecycle(&d, &w).unwrap();
+        assert_eq!(report.unwrap(), fresh);
+    }
+
+    #[test]
+    fn fab_axis_change_keeps_operational_artifacts() {
+        let cache = EvalCache::new();
+        let d = mono(5.0e9);
+        let w = workload();
+        let base = model();
+        let tags = EvalCache::stage_tags(&base, &w);
+        cache
+            .lifecycle_or_eval(&tags, &base, &d, &w, &PipelineTally::default())
+            .unwrap();
+
+        let moved = CarbonModel::new(
+            ModelContext::builder()
+                .fab_region(GridRegion::Renewable)
+                .build(),
+        );
+        let moved_tags = EvalCache::stage_tags(&moved, &w);
+        assert_eq!(tags.operational, moved_tags.operational);
+        assert_ne!(tags.embodied, moved_tags.embodied);
+        let (report, _) = cache
+            .lifecycle_or_eval(&moved_tags, &moved, &d, &w, &PipelineTally::default())
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(
+            stats.stages.operational,
+            StageCounters { hits: 1, misses: 1 },
+            "operational artifact answered from the store"
+        );
+        assert_eq!(stats.stages.embodied, StageCounters { hits: 0, misses: 2 });
+        assert_eq!(report.unwrap(), moved.lifecycle(&d, &w).unwrap());
     }
 
     #[test]
@@ -355,37 +790,96 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let tag = cache.ensure_configuration("cfg");
-        let (r1, hit1) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
-        let (r2, hit2) = cache.lookup_or_eval(tag, &m, &d, &w).unwrap();
+        let tags = EvalCache::stage_tags(&m, &w);
+        let (r1, hit1) = cache
+            .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
+            .unwrap();
+        let (r2, hit2) = cache
+            .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
+            .unwrap();
         assert!(r1.is_none() && r2.is_none());
         assert!(!hit1);
         assert!(hit2);
+        // The upstream physical/yield artifacts stay cached — a wafer
+        // change could reuse them even though this wafer can't build
+        // the design.
+        assert_eq!(cache.stats().stages.embodied.misses, 1);
     }
 
     #[test]
-    fn configuration_change_invalidates() {
+    fn workload_change_namespaces_operational_only() {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
-        let tag_a = cache.ensure_configuration("cfg-a");
         let d = mono(5.0e9);
-        cache.lookup_or_eval(tag_a, &m, &d, &w).unwrap();
-        assert_eq!(cache.stats().entries, 1);
-        let tag_b = cache.ensure_configuration("cfg-b");
-        assert_eq!(cache.stats().entries, 0);
-        // Same fingerprint keeps entries.
-        cache.lookup_or_eval(tag_b, &m, &d, &w).unwrap();
-        assert_eq!(cache.ensure_configuration("cfg-b"), tag_b);
-        assert_eq!(cache.stats().entries, 1);
+        let tags = EvalCache::stage_tags(&m, &w);
+        cache
+            .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
+            .unwrap();
+        let longer = Workload::fixed(
+            "app",
+            Throughput::from_tops(50.0),
+            TimeSpan::from_hours(2_000.0),
+        );
+        let longer_tags = EvalCache::stage_tags(&m, &longer);
+        assert_eq!(tags.embodied, longer_tags.embodied);
+        assert_ne!(tags.operational, longer_tags.operational);
+        let (_, hit) = cache
+            .lifecycle_or_eval(&longer_tags, &m, &d, &longer, &PipelineTally::default())
+            .unwrap();
+        assert!(!hit, "a different workload must re-price operations");
+        assert_eq!(cache.stats().stages.embodied.hits, 1);
     }
 
     #[test]
     fn clear_drops_entries() {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
-        let tag = cache.ensure_configuration("cfg");
-        cache.lookup_or_eval(tag, &m, &mono(5.0e9), &w).unwrap();
+        let tags = EvalCache::stage_tags(&m, &w);
+        cache
+            .lifecycle_or_eval(&tags, &m, &mono(5.0e9), &w, &PipelineTally::default())
+            .unwrap();
+        assert_eq!(cache.stats().entries, 5);
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn stage_cell_caps_entries_wholesale() {
+        // Reaching the cap drops the stage's entries and keeps going —
+        // memory stays bounded on unbounded scenario streams, and a
+        // dropped artifact is only a recompute, never a wrong answer.
+        let cell: StageCell<u8> = StageCell::default();
+        for i in 0..MAX_STAGE_ENTRIES {
+            cell.insert(0, &format!("k{i}"), 1);
+        }
+        assert_eq!(cell.len(), MAX_STAGE_ENTRIES);
+        cell.insert(1, "overflow", 2);
+        assert_eq!(cell.len(), 1, "cap reached → wholesale drop + new entry");
+        let tally = TallyPair::default();
+        assert_eq!(cell.lookup(1, "overflow", &tally), Some(2));
+        assert_eq!(cell.lookup(0, "k0", &tally), None);
+    }
+
+    #[test]
+    fn stats_deltas_compose() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let tags = EvalCache::stage_tags(&m, &w);
+        let before = cache.stats().stages;
+        cache
+            .lifecycle_or_eval(&tags, &m, &mono(5.0e9), &w, &PipelineTally::default())
+            .unwrap();
+        let mid = cache.stats().stages;
+        cache
+            .lifecycle_or_eval(&tags, &m, &mono(5.0e9), &w, &PipelineTally::default())
+            .unwrap();
+        let after = cache.stats().stages;
+        let cold = mid.since(&before);
+        let warm = after.since(&mid);
+        assert_eq!(cold.misses(), 5);
+        assert_eq!(cold.hits(), 0);
+        assert_eq!(warm.misses(), 0);
+        assert_eq!(warm.hits(), 2, "both artifact heads answered");
+        assert!((warm.warm_hit_rate() - 1.0).abs() < 1e-12);
     }
 }

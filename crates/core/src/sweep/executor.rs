@@ -4,12 +4,14 @@
 //! workers pulling from a shared atomic cursor — idle workers
 //! immediately steal the next unevaluated index, so uneven point
 //! costs (a 9-die HBM stack next to a single 2D die) cannot leave a
-//! thread starved. Results carry their plan index, and the final
-//! ranking sorts by (life-cycle total, index), so the output is
-//! **byte-identical for any worker count**, including the serial
-//! fast path.
+//! thread starved. Every point is evaluated through the per-stage
+//! [`EvalCache`], so points (and successive `execute` calls) that
+//! share upstream pipeline artifacts never recompute them. Results
+//! carry their plan index, and the final ranking sorts by (life-cycle
+//! total, index), so the output is **byte-identical for any worker
+//! count**, including the serial fast path.
 
-use super::cache::EvalCache;
+use super::cache::{EvalCache, PipelineStats, PipelineTally, StageTags};
 use super::plan::{SweepPlan, SweepPoint};
 use super::SweepEntry;
 use crate::error::ModelError;
@@ -26,12 +28,16 @@ pub struct SweepStats {
     pub evaluated: usize,
     /// Points dropped because their dies outgrow the wafer.
     pub dropped: usize,
-    /// Evaluations answered from the memoization cache.
+    /// Points whose every pipeline stage was answered from the cache.
     pub cache_hits: usize,
-    /// Evaluations that ran the model.
+    /// Points that had to run at least one pipeline stage.
     pub cache_misses: usize,
     /// Worker threads actually used (1 = serial fast path).
     pub workers: usize,
+    /// Per-stage hit/miss counters of exactly this call's lookups
+    /// (tallied per call, so the numbers stay correct even when
+    /// concurrent `execute` calls share one executor).
+    pub stages: PipelineStats,
 }
 
 /// The outcome of executing a plan: ranked entries plus statistics.
@@ -170,21 +176,25 @@ impl SweepExecutor {
         plan: &SweepPlan,
         workload: &Workload,
     ) -> Result<SweepResult, ModelError> {
-        // The fingerprint covers the context, the power plug-in's
-        // parameters (via its `fingerprint()`), and the workload; the
-        // returned tag namespaces every cache key so entries from one
-        // configuration can never answer another's lookups, even when
-        // concurrent `execute` calls race on a shared executor.
-        let config_tag = self
-            .cache
-            .ensure_configuration(&format!("{model:?}|{workload:?}"));
+        // Per-stage namespace tags: each hashes only the input slices
+        // that stage reads, so a configuration change invalidates
+        // exactly the stages it touches. The tags are baked into every
+        // key, so entries from one configuration can never answer
+        // another's lookups, even when concurrent `execute` calls race
+        // on a shared executor.
+        let tags = EvalCache::stage_tags(model, workload);
+        // Per-call tally: every lookup this call makes is counted here
+        // as well as on the cache's cumulative counters, so the
+        // reported per-stage stats are exact even when other `execute`
+        // calls share this executor concurrently.
+        let tally = PipelineTally::default();
         let points = plan.points();
         let workers = self.resolve_workers(points.len());
 
         let mut slots: Vec<Option<(PointOutcome, bool)>> = Vec::new();
         if workers <= 1 {
             for point in points {
-                slots.push(Some(self.eval_point(config_tag, model, point, workload)));
+                slots.push(Some(self.eval_point(&tags, model, point, workload, &tally)));
             }
         } else {
             slots.resize_with(points.len(), || None);
@@ -194,13 +204,17 @@ impl SweepExecutor {
                     let mut handles = Vec::with_capacity(workers);
                     for _ in 0..workers {
                         let cursor = &cursor;
+                        let tags = &tags;
+                        let tally = &tally;
                         handles.push(scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(point) = points.get(i) else { break };
-                                local
-                                    .push((i, self.eval_point(config_tag, model, point, workload)));
+                                local.push((
+                                    i,
+                                    self.eval_point(tags, model, point, workload, tally),
+                                ));
                             }
                             local
                         }));
@@ -218,6 +232,7 @@ impl SweepExecutor {
         let mut stats = SweepStats {
             points: points.len(),
             workers,
+            stages: tally.snapshot(),
             ..SweepStats::default()
         };
         let mut ranked: Vec<(usize, SweepEntry)> = Vec::with_capacity(points.len());
@@ -251,18 +266,19 @@ impl SweepExecutor {
         })
     }
 
-    /// Evaluates one point via the cache; the bool is the was-a-hit
-    /// flag.
+    /// Evaluates one point via the per-stage cache; the bool is the
+    /// every-stage-hit flag.
     fn eval_point(
         &self,
-        config_tag: u64,
+        tags: &StageTags,
         model: &CarbonModel,
         point: &SweepPoint,
         workload: &Workload,
+        tally: &PipelineTally,
     ) -> (PointOutcome, bool) {
         match self
             .cache
-            .lookup_or_eval(config_tag, model, point.design(), workload)
+            .lifecycle_or_eval(tags, model, point.design(), workload, tally)
         {
             Ok((Some(report), hit)) => (
                 PointOutcome::Entry(Box::new(SweepEntry {
@@ -325,6 +341,11 @@ mod tests {
         assert_eq!(s.cache_hits + s.cache_misses, s.points);
         assert_eq!(s.cache_hits, 0, "fresh executor has a cold cache");
         assert!(s.workers >= 1);
+        // A cold run computes every stage once per point and hits
+        // nothing.
+        assert_eq!(s.stages.hits(), 0);
+        assert_eq!(s.stages.embodied.misses as usize, s.points);
+        assert_eq!(s.stages.operational.misses as usize, s.points);
     }
 
     #[test]
@@ -341,7 +362,7 @@ mod tests {
     }
 
     #[test]
-    fn workload_change_invalidates_cache() {
+    fn workload_change_reprices_operations_but_reuses_embodied() {
         let sweep = DesignSweep::new(8.0e9).nodes(vec![ProcessNode::N7]);
         let plan = sweep.plan().unwrap();
         let executor = SweepExecutor::serial();
@@ -353,7 +374,18 @@ mod tests {
             TimeSpan::from_hours(10_000.0),
         );
         let result = executor.execute(&m, &plan, &other).unwrap();
-        assert_eq!(result.stats().cache_hits, 0);
+        // No point is *fully* cached — the workload changed — but every
+        // embodied artifact (and the geometry/power under the new
+        // operational stage) is reused; only operations recompute.
+        let s = result.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.stages.embodied.hits as usize, plan.len());
+        assert_eq!(s.stages.embodied.misses, 0);
+        assert_eq!(s.stages.operational.misses as usize, plan.len());
+        assert_eq!(s.stages.physical.hits as usize, plan.len());
+        // And the results match a fresh, uncached executor exactly.
+        let fresh = SweepExecutor::serial().execute(&m, &plan, &other).unwrap();
+        assert_eq!(result.entries(), fresh.entries());
     }
 
     #[test]
@@ -378,6 +410,49 @@ mod tests {
             .unwrap();
         let best = result.best().expect("a viable point exists");
         assert!(best.is_viable());
+    }
+
+    #[test]
+    fn exact_ties_rank_by_plan_index_in_serial_and_parallel() {
+        use super::super::plan::SweepPoint;
+        use crate::design::DieSpec;
+        // Three points wrapping the *same* design produce bit-identical
+        // life-cycle totals — an exact tie. The ranking must fall back
+        // to the plan index (in the serial path too), never to label
+        // order or worker arrival order.
+        let design = crate::design::ChipDesign::monolithic_2d(
+            DieSpec::builder("d", ProcessNode::N7)
+                .gate_count(8.0e9)
+                .build()
+                .unwrap(),
+        );
+        let mk = |i: usize, label: &str| {
+            SweepPoint::new(
+                i,
+                label.to_owned(),
+                ProcessNode::N7,
+                None,
+                1,
+                design.clone(),
+            )
+        };
+        let plan = super::super::plan::SweepPlan::new(vec![
+            mk(0, "z-first"),
+            mk(1, "a-second"),
+            mk(2, "m-third"),
+        ]);
+        let (m, w) = (model(), workload());
+        let serial = SweepExecutor::serial().execute(&m, &plan, &w).unwrap();
+        let labels: Vec<&str> = serial.entries().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["z-first", "a-second", "m-third"],
+            "tied entries must keep plan order"
+        );
+        for workers in [2, 3, 8] {
+            let parallel = SweepExecutor::new(workers).execute(&m, &plan, &w).unwrap();
+            assert_eq!(serial.entries(), parallel.entries(), "{workers} workers");
+        }
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //! * [`SweepPlan`] — the fully-enumerated, deterministically-indexed
 //!   list of [`SweepPoint`]s the builder expands into;
 //! * [`SweepExecutor`] — evaluates a plan, either serially or on a
-//!   pool of worker threads, with [`EvalCache`] memoization of
-//!   repeated design evaluations;
+//!   pool of worker threads, with [`EvalCache`] memoizing every
+//!   artifact of the staged pipeline (geometry, yield, embodied,
+//!   power, operational) under stage-specific keys, so points — and
+//!   successive `execute` calls — that differ only in downstream axes
+//!   reuse every upstream artifact;
 //! * [`SweepResult`] — the ranked [`SweepEntry`] list plus
-//!   [`SweepStats`] bookkeeping (cache hits, dropped points, workers).
+//!   [`SweepStats`] bookkeeping (per-point and per-stage cache hits,
+//!   dropped points, workers).
 //!
 //! Results are **deterministic regardless of worker count**: entries
 //! are ranked by life-cycle total with the plan index as tie-break, so
@@ -33,7 +37,7 @@ mod cache;
 mod executor;
 mod plan;
 
-pub use cache::{CacheStats, EvalCache};
+pub use cache::{CacheStats, EvalCache, PipelineStats, StageCounters};
 pub use executor::{SweepExecutor, SweepResult, SweepStats};
 pub use plan::{SweepPlan, SweepPoint};
 

@@ -39,6 +39,6 @@ mod placement;
 mod substrate_area;
 
 pub use outline::DieOutline;
-pub use package::{PackageModel, PackagingProfile};
+pub use package::{package_base_area, PackageModel, PackagingProfile};
 pub use placement::{Floorplan, PlacedDie};
 pub use substrate_area::{rdl_emib_area, silicon_interposer_area};

@@ -80,6 +80,32 @@ impl Default for PackageModel {
     }
 }
 
+/// The base silicon area Eq. 12 scales into a package outline.
+///
+/// * `stacked` designs (3D stacks, and trivially a single 2D die)
+///   overlap their dies — the package spans the **largest** die.
+/// * Side-by-side (2.5D) assemblies span the **total** die area, or a
+///   manufactured carrier substrate if that is larger; pass the
+///   carrier's area as `carrier_substrate`. An organic MCM laminate
+///   *is* the package substrate and must not be passed here — it never
+///   inflates the base.
+#[must_use]
+pub fn package_base_area(
+    die_areas: &[Area],
+    stacked: bool,
+    carrier_substrate: Option<Area>,
+) -> Area {
+    if stacked {
+        die_areas.iter().copied().fold(Area::ZERO, Area::max)
+    } else {
+        let total: Area = die_areas.iter().copied().sum();
+        match carrier_substrate {
+            Some(carrier) => total.max(carrier),
+            None => total,
+        }
+    }
+}
+
 /// Packaging carbon characterization: emissions per unit package area
 /// (`CPA_packaging` of Eq. 12) and the assembly yield from the
 /// economic/embodied-energy analysis the paper cites.
@@ -171,6 +197,20 @@ mod tests {
         assert!(PackageModel::new(2.0, Area::from_mm2(-1.0)).is_err());
         assert!(PackagingProfile::new(CarbonPerArea::from_kg_per_cm2(0.0), 0.9).is_err());
         assert!(PackagingProfile::new(CarbonPerArea::from_kg_per_cm2(0.1), 1.5).is_err());
+    }
+
+    #[test]
+    fn base_area_rules_cover_all_families() {
+        let dies = [Area::from_mm2(100.0), Area::from_mm2(250.0)];
+        // Stacked: largest die.
+        assert!((package_base_area(&dies, true, None).mm2() - 250.0).abs() < 1e-12);
+        // Side-by-side without carrier: total silicon.
+        assert!((package_base_area(&dies, false, None).mm2() - 350.0).abs() < 1e-12);
+        // A larger carrier substrate wins; a smaller one does not.
+        let big = Some(Area::from_mm2(500.0));
+        assert!((package_base_area(&dies, false, big).mm2() - 500.0).abs() < 1e-12);
+        let small = Some(Area::from_mm2(10.0));
+        assert!((package_base_area(&dies, false, small).mm2() - 350.0).abs() < 1e-12);
     }
 
     #[test]

@@ -23,8 +23,10 @@ mod constraint;
 mod io;
 mod models;
 mod operational;
+mod profile;
 
 pub use constraint::{BandwidthConstraint, BandwidthVerdict};
 pub use io::{io_power, pitch_count};
 pub use models::{AnalyticalCmos, FixedEfficiency, PowerModel, SurveyedEfficiency};
 pub use operational::{operational_carbon, AppPhase};
+pub use profile::StackPowerProfile;

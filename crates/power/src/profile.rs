@@ -1,0 +1,121 @@
+//! Workload-independent power characterization of a stack
+//! ([`StackPowerProfile`]).
+//!
+//! Eq. 17 factors into two halves: what the *silicon* looks like
+//! (throughput shares, provisioned interface lanes, the
+//! interconnect-shortening uplift) and what the *mission* asks of it
+//! (throughput over time). This profile is the silicon half — it
+//! depends only on the design and its resolved geometry, never on the
+//! workload, so a staged evaluator can compute it once per design and
+//! reuse it across every operational scenario (grid region, lifetime,
+//! utilization) swept over that design.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-die power characterization of a design: Eq. 17's
+/// workload-independent inputs, one entry per die, base die first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackPowerProfile {
+    shares: Vec<f64>,
+    io_lanes: Vec<f64>,
+    uplift: f64,
+}
+
+impl StackPowerProfile {
+    /// Builds a profile.
+    ///
+    /// * `shares` — each die's (normalized) share of the application
+    ///   throughput; must sum to ≈ 1.
+    /// * `io_lanes` — interface I/O lanes provisioned per die (Eq. 17's
+    ///   `N_pitch`); same length as `shares`.
+    /// * `uplift` — interconnect-shortening efficiency uplift factor
+    ///   (≥ 1; 1.0 for 2D designs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, non-finite values, an unnormalized
+    /// share vector, or an uplift below 1.
+    #[must_use]
+    pub fn new(shares: Vec<f64>, io_lanes: Vec<f64>, uplift: f64) -> Self {
+        assert_eq!(shares.len(), io_lanes.len(), "one lane count per die share");
+        assert!(!shares.is_empty(), "a profile needs at least one die");
+        assert!(
+            shares.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "shares must be finite and non-negative"
+        );
+        let sum: f64 = shares.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "shares must be normalized, sum to {sum}"
+        );
+        assert!(
+            io_lanes.iter().all(|l| l.is_finite() && *l >= 0.0),
+            "lane counts must be finite and non-negative"
+        );
+        assert!(
+            uplift.is_finite() && uplift >= 1.0,
+            "uplift must be ≥ 1, got {uplift}"
+        );
+        Self {
+            shares,
+            io_lanes,
+            uplift,
+        }
+    }
+
+    /// Each die's share of the application throughput (sums to 1).
+    #[must_use]
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// Interface I/O lanes provisioned per die (Eq. 17's `N_pitch`).
+    #[must_use]
+    pub fn io_lanes(&self) -> &[f64] {
+        &self.io_lanes
+    }
+
+    /// Interconnect-shortening efficiency uplift (≥ 1; §2.2.2).
+    #[must_use]
+    pub fn uplift(&self) -> f64 {
+        self.uplift
+    }
+
+    /// Number of dies characterized.
+    #[must_use]
+    pub fn die_count(&self) -> usize {
+        self.shares.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_roundtrips_fields() {
+        let p = StackPowerProfile::new(vec![0.5, 0.5], vec![100.0, 0.0], 1.05);
+        assert_eq!(p.shares(), &[0.5, 0.5]);
+        assert_eq!(p.io_lanes(), &[100.0, 0.0]);
+        assert!((p.uplift() - 1.05).abs() < 1e-12);
+        assert_eq!(p.die_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized")]
+    fn unnormalized_shares_are_rejected() {
+        let _ = StackPowerProfile::new(vec![0.5, 0.4], vec![0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn length_mismatch_is_rejected() {
+        let _ = StackPowerProfile::new(vec![1.0], vec![0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uplift")]
+    fn sub_unity_uplift_is_rejected() {
+        let _ = StackPowerProfile::new(vec![1.0], vec![0.0], 0.9);
+    }
+}

@@ -35,6 +35,6 @@ mod stacking;
 
 pub use die::{DieYieldModel, YieldError};
 pub use stacking::{
-    assembly_2_5d_yields, three_d_stack_yields, Assembly25dYields, AssemblyFlow, StackingFlow,
-    ThreeDStackYields,
+    assembly_2_5d_yields, three_d_stack_yields, Assembly25dYields, AssemblyFlow,
+    CompositeYieldProfile, StackingFlow, ThreeDStackYields,
 };

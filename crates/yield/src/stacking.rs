@@ -315,11 +315,99 @@ pub fn assembly_2_5d_yields(
     }
 }
 
+/// Flow-agnostic view of a design's composite-yield divisors — the
+/// Table 3 outputs in exactly the shape Eqs. 4 and 11 consume them.
+///
+/// [`ThreeDStackYields`] and [`Assembly25dYields`] keep the
+/// flow-specific bookkeeping; this profile flattens either (or a bare
+/// unstacked die list) into the three divisor sets a carbon model
+/// iterates over, so a staged evaluator can cache "the yield outcome
+/// of a design" as one artifact without remembering which Table 3 row
+/// produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeYieldProfile {
+    per_die: Vec<f64>,
+    per_bond_step: Vec<f64>,
+    substrate: Option<f64>,
+}
+
+impl CompositeYieldProfile {
+    /// Profile of unstacked dies (a monolithic 2D design): each die's
+    /// composite is its own fab yield, and there are no bonding steps.
+    #[must_use]
+    pub fn bare_dies(fab_yields: &[f64]) -> Self {
+        Self {
+            per_die: fab_yields.to_vec(),
+            per_bond_step: Vec::new(),
+            substrate: None,
+        }
+    }
+
+    /// Composite divisors `Y_die_i` (Eq. 4), base die first.
+    #[must_use]
+    pub fn per_die(&self) -> &[f64] {
+        &self.per_die
+    }
+
+    /// Composite divisors `Y_bonding_i` (Eq. 11), one per bond/attach
+    /// step.
+    #[must_use]
+    pub fn per_bond_step(&self) -> &[f64] {
+        &self.per_bond_step
+    }
+
+    /// Composite divisor `Y_substrate` (2.5D assemblies only).
+    #[must_use]
+    pub fn substrate(&self) -> Option<f64> {
+        self.substrate
+    }
+}
+
+impl From<&ThreeDStackYields> for CompositeYieldProfile {
+    fn from(y: &ThreeDStackYields) -> Self {
+        Self {
+            per_die: y.die_composites().to_vec(),
+            per_bond_step: y.bonding_composites().to_vec(),
+            substrate: None,
+        }
+    }
+}
+
+impl From<&Assembly25dYields> for CompositeYieldProfile {
+    fn from(y: &Assembly25dYields) -> Self {
+        Self {
+            per_die: y.die_composites().to_vec(),
+            per_bond_step: y.bonding_composites().to_vec(),
+            substrate: Some(y.substrate_composite()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const EPS: f64 = 1e-12;
+
+    #[test]
+    fn composite_profile_flattens_all_sources() {
+        let bare = CompositeYieldProfile::bare_dies(&[0.9]);
+        assert_eq!(bare.per_die(), &[0.9]);
+        assert!(bare.per_bond_step().is_empty());
+        assert_eq!(bare.substrate(), None);
+
+        let stack = three_d_stack_yields(&[0.92, 0.90], 0.95, StackingFlow::DieToWafer).unwrap();
+        let p = CompositeYieldProfile::from(&stack);
+        assert_eq!(p.per_die(), stack.die_composites());
+        assert_eq!(p.per_bond_step(), stack.bonding_composites());
+        assert_eq!(p.substrate(), None);
+
+        let asm =
+            assembly_2_5d_yields(&[0.9, 0.9], 0.8, &[0.99, 0.99], AssemblyFlow::ChipLast).unwrap();
+        let p = CompositeYieldProfile::from(&asm);
+        assert_eq!(p.per_die(), asm.die_composites());
+        assert_eq!(p.substrate(), Some(asm.substrate_composite()));
+    }
 
     #[test]
     fn d2w_two_die_stack_matches_table3() {

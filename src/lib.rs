@@ -93,6 +93,12 @@ pub mod model {
     pub use tdc_core::*;
 }
 
+/// The staged evaluation pipeline and its typed artifacts
+/// (`tdc-core::pipeline`).
+pub mod pipeline {
+    pub use tdc_core::pipeline::*;
+}
+
 /// Baseline carbon models (`tdc-baselines`).
 pub mod baselines {
     pub use tdc_baselines::*;
@@ -115,8 +121,8 @@ pub use tdc_yield::StackingFlow;
 pub mod prelude {
     pub use tdc_core::sensitivity::{sensitivity_report, SensitivityEntry};
     pub use tdc_core::sweep::{
-        CacheStats, DesignSweep, EvalCache, SweepEntry, SweepExecutor, SweepPlan, SweepPoint,
-        SweepResult, SweepStats,
+        CacheStats, DesignSweep, EvalCache, PipelineStats, StageCounters, SweepEntry,
+        SweepExecutor, SweepPlan, SweepPoint, SweepResult, SweepStats,
     };
     pub use tdc_core::{
         CarbonModel, ChipDesign, ChoiceOutcome, DecisionMetrics, DieSpec, DieYieldChoice,
