@@ -1,0 +1,99 @@
+//! Criterion bench: batch throughput of the serving layer — the five
+//! checked-in scenario files evaluated as one batch, warm session vs
+//! cold.
+//!
+//! Three regimes, recorded in `BENCH_sweep.json`:
+//!
+//! * `cold-session-per-file` — a fresh [`ScenarioSession`] per file:
+//!   exactly what running `tdc run`/`tdc sweep` as five separate
+//!   processes costs (minus process startup), the pre-serving
+//!   baseline.
+//! * `shared-session-cold` — one fresh session evaluating the whole
+//!   batch: files that share design geometry answer later stages from
+//!   artifacts earlier files computed (the first `tdc batch` pass).
+//! * `shared-session-warm` — a long-lived session re-evaluating the
+//!   batch with every artifact already stored: the steady state of
+//!   `tdc serve` answering recurring scenario traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use tdc_cli::batch::{expand_paths, load_request};
+use tdc_core::service::{EvalRequest, ScenarioSession};
+
+/// The checked-in scenario files, elaborated once into typed requests
+/// (parsing cost is not what this bench measures) through the same
+/// expansion + inference `tdc batch` uses, so the bench always
+/// measures exactly the work the command does.
+fn batch_requests() -> Vec<EvalRequest> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("scenarios");
+    expand_paths(&[dir.to_string_lossy().into_owned()])
+        .expect("scenarios/ expands")
+        .iter()
+        .map(|file| load_request(file).expect("request builds").1)
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let requests = batch_requests();
+    assert!(requests.len() >= 5, "the checked-in scenario set shrank");
+
+    let mut group = c.benchmark_group("batch_scenarios");
+
+    group.bench_function("cold-session-per-file", |b| {
+        b.iter(|| {
+            for request in &requests {
+                let session = ScenarioSession::serial();
+                black_box(session.evaluate(black_box(request)).unwrap());
+            }
+        });
+    });
+
+    group.bench_function("shared-session-cold", |b| {
+        b.iter(|| {
+            let session = ScenarioSession::serial();
+            for request in &requests {
+                black_box(session.evaluate(black_box(request)).unwrap());
+            }
+        });
+    });
+
+    let warm = ScenarioSession::serial();
+    for request in &requests {
+        warm.evaluate(request).expect("warms");
+    }
+    group.bench_function("shared-session-warm", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(warm.evaluate(black_box(request)).unwrap());
+            }
+        });
+    });
+
+    group.finish();
+
+    // Sanity for the recorded numbers: the shared session really does
+    // reuse artifacts across files (the checked-in sweeps overlap in
+    // design geometry), and a fully warm pass recomputes nothing but
+    // sensitivity probes.
+    let probe = ScenarioSession::serial();
+    let mut cross = 0;
+    for request in &requests {
+        cross += probe.evaluate(request).unwrap().stats.stages.cross_hits();
+    }
+    assert!(cross > 0, "no cross-file reuse in the scenario batch");
+    let mut warm_misses = 0;
+    for request in &requests {
+        warm_misses += probe.evaluate(request).unwrap().stats.stages.misses();
+    }
+    assert_eq!(
+        warm_misses, 0,
+        "a warm pass must answer fully from the store"
+    );
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! CI perf guardrail: smoke-mode versions of the staged-sweep and
+//! batch benches, checked against the floors recorded in
+//! `BENCH_sweep.json` (`ci_floors`).
+//!
+//! Two kinds of checks:
+//!
+//! * **deterministic** — cache-behaviour counters that must hold on
+//!   any host: the staged store computes embodied once per distinct
+//!   geometry across the grid-region space, a warm re-sweep answers
+//!   (nearly) everything from the store, and the scenario batch shows
+//!   cross-request reuse;
+//! * **timing** — best-of-N wall-clock speedups (staged-warm vs the
+//!   old whole-design-cache behaviour; warm shared session vs a cold
+//!   session per file). The floors are deliberately far below the
+//!   recorded numbers so scheduler noise cannot flake CI, while a
+//!   real regression (losing cross-configuration reuse) still trips
+//!   them.
+//!
+//! Usage: `perf_guard [path/to/BENCH_sweep.json]` — exits non-zero,
+//! naming the failed check, if any floor is breached.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use tdc_cli::JsonValue;
+use tdc_core::service::{EvalRequest, ScenarioSession};
+use tdc_core::sweep::{DesignSweep, SweepExecutor, SweepPlan};
+use tdc_core::{CarbonModel, ModelContext, Workload};
+use tdc_technode::GridRegion;
+use tdc_units::{Efficiency, Throughput, TimeSpan};
+
+const REGIONS: [GridRegion; 4] = [
+    GridRegion::WorldAverage,
+    GridRegion::France,
+    GridRegion::CoalHeavy,
+    GridRegion::Renewable,
+];
+const LIFETIME_YEARS: [f64; 2] = [5.0, 10.0];
+/// Timing repetitions: the best of N absorbs scheduler noise.
+const TIMING_REPS: usize = 5;
+
+fn table2_plan() -> SweepPlan {
+    DesignSweep::new(17.0e9)
+        .efficiency(Efficiency::from_tops_per_watt(2.74))
+        .plan()
+        .expect("plan builds")
+}
+
+/// The staged-sweep acceptance space: Table 2 × (grid region ×
+/// lifetime), only operational inputs varying.
+fn grid_configs() -> Vec<(CarbonModel, Workload)> {
+    let mut out = Vec::new();
+    for region in REGIONS {
+        for years in LIFETIME_YEARS {
+            let model = CarbonModel::new(ModelContext::builder().use_region(region).build());
+            let workload = Workload::fixed(
+                "inference",
+                Throughput::from_tops(254.0),
+                TimeSpan::from_years(years) * (1.3 / 24.0),
+            )
+            .with_average_utilization(0.15);
+            out.push((model, workload));
+        }
+    }
+    out
+}
+
+/// The checked-in scenario batch as typed requests, through the same
+/// expansion + inference `tdc batch` uses — the guard must measure
+/// exactly the work the command it certifies does.
+fn batch_requests() -> Vec<EvalRequest> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("scenarios");
+    tdc_cli::batch::expand_paths(&[dir.to_string_lossy().into_owned()])
+        .expect("scenarios/ expands")
+        .iter()
+        .map(|file| {
+            tdc_cli::batch::load_request(file)
+                .expect("request builds")
+                .1
+        })
+        .collect()
+}
+
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Reads a required floor from the `ci_floors` object.
+fn floor(floors: &JsonValue, key: &str) -> Result<f64, String> {
+    floors
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("BENCH_sweep.json ci_floors is missing `{key}`"))
+}
+
+struct Guard {
+    failures: u32,
+}
+
+impl Guard {
+    fn check(&mut self, name: &str, measured: f64, min: f64) {
+        if measured >= min {
+            println!("PASS {name}: {measured:.4} >= {min:.4}");
+        } else {
+            println!("FAIL {name}: {measured:.4} < {min:.4}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn run() -> Result<u32, String> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let recorded = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let floors = recorded
+        .get("ci_floors")
+        .ok_or_else(|| format!("`{path}` has no ci_floors object"))?
+        .clone();
+
+    let mut guard = Guard { failures: 0 };
+    let plan = table2_plan();
+    let space = grid_configs();
+
+    // ---- Deterministic: staged-cache behaviour on the grid space ----
+    let staged = SweepExecutor::serial();
+    for (model, workload) in &space {
+        staged.execute(model, &plan, workload).expect("sweeps");
+    }
+    let cold = staged.cache().stats().stages;
+    // Embodied must have run exactly once per distinct geometry; any
+    // more means the staged keying regressed to whole-design behaviour.
+    #[allow(clippy::cast_precision_loss)]
+    let embodied_evals_per_design = cold.embodied.misses as f64 / plan.len() as f64;
+    guard.check(
+        "grid_embodied_single_eval (1/evals-per-design)",
+        1.0 / embodied_evals_per_design,
+        floor(&floors, "grid_embodied_single_eval_min")?,
+    );
+    for (model, workload) in &space {
+        staged.execute(model, &plan, workload).expect("re-sweeps");
+    }
+    let warm = staged.cache().stats().stages.since(&cold);
+    guard.check(
+        "grid_warm_hit_rate",
+        warm.warm_hit_rate(),
+        floor(&floors, "grid_warm_hit_rate_min")?,
+    );
+
+    // ---- Timing: staged-warm vs the whole-design-cache baseline ----
+    let whole_design = best_of(|| {
+        for (model, workload) in &space {
+            // A fresh executor per configuration is exactly the old
+            // cache's invalidate-on-any-change behaviour.
+            let executor = SweepExecutor::serial();
+            std::hint::black_box(executor.execute(model, &plan, workload).expect("sweeps"));
+        }
+    });
+    let staged_warm = best_of(|| {
+        for (model, workload) in &space {
+            std::hint::black_box(staged.execute(model, &plan, workload).expect("sweeps"));
+        }
+    });
+    guard.check(
+        "staged_warm_speedup",
+        whole_design / staged_warm,
+        floor(&floors, "staged_warm_speedup_min")?,
+    );
+
+    // ---- Deterministic: cross-request reuse over the scenario batch ----
+    let requests = batch_requests();
+    let session = ScenarioSession::serial();
+    let mut cold_stats = tdc_core::sweep::PipelineStats::default();
+    for request in &requests {
+        cold_stats = cold_stats.merged(&session.evaluate(request).expect("evaluates").stats.stages);
+    }
+    guard.check(
+        "batch_cross_rate",
+        cold_stats.cross_hit_rate(),
+        floor(&floors, "batch_cross_rate_min")?,
+    );
+
+    // ---- Timing: warm shared session vs a cold session per file ----
+    let per_file = best_of(|| {
+        for request in &requests {
+            let fresh = ScenarioSession::serial();
+            std::hint::black_box(fresh.evaluate(request).expect("evaluates"));
+        }
+    });
+    let warm_session = best_of(|| {
+        for request in &requests {
+            std::hint::black_box(session.evaluate(request).expect("evaluates"));
+        }
+    });
+    guard.check(
+        "batch_warm_speedup",
+        per_file / warm_session,
+        floor(&floors, "batch_warm_speedup_min")?,
+    );
+
+    Ok(guard.failures)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => {
+            println!("perf guardrail: all floors hold");
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            println!("perf guardrail: {n} floor(s) breached");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -151,6 +151,48 @@ impl JsonValue {
         out
     }
 
+    /// Renders the tree as single-line JSON with no insignificant
+    /// whitespace and no trailing newline — the framing the `tdc
+    /// serve` JSONL protocol needs. Deterministic byte-for-byte, like
+    /// [`render`](Self::render).
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -474,6 +516,15 @@ mod tests {
         // Rendering then re-parsing is the identity.
         let rendered = v.render();
         assert_eq!(JsonValue::parse(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let v = JsonValue::parse(r#"{"a": 1, "b": [true, null, "x\ny"], "c": {}}"#).unwrap();
+        let compact = v.render_compact();
+        assert_eq!(compact, r#"{"a":1,"b":[true,null,"x\ny"],"c":{}}"#);
+        assert!(!compact.contains('\n'), "escapes keep the line unbroken");
+        assert_eq!(JsonValue::parse(&compact).unwrap(), v);
     }
 
     #[test]

@@ -39,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod json;
 pub mod report;
 mod scenario;
+pub mod serve;
 mod table;
 
 pub use json::{JsonError, JsonValue};
-pub use scenario::{Scenario, ScenarioError};
+pub use scenario::{RequestKind, Scenario, ScenarioError};

@@ -1,13 +1,15 @@
 //! The `tdc` binary: scenario-file-driven 3D-Carbon evaluations.
 //!
 //! ```text
-//! tdc run         <scenario.json>   single evaluation (lifecycle, or embodied-only without a workload)
-//! tdc sweep       <scenario.json>   design-space sweep, ranked by life-cycle carbon
-//! tdc sensitivity <scenario.json>   one-at-a-time tornado analysis
-//! tdc scenarios                     list preset names scenario files can reference
+//! tdc run         <scenario.json>     single evaluation (lifecycle, or embodied-only without a workload)
+//! tdc sweep       <scenario.json>     design-space sweep, ranked by life-cycle carbon
+//! tdc sensitivity <scenario.json>     one-at-a-time tornado analysis
+//! tdc batch       <dir|files...>      many scenario files on one shared warm session
+//! tdc serve                           JSONL request/response service on stdin/stdout
+//! tdc scenarios                       list preset names scenario files can reference
 //!
 //! options: --format table|json|csv   --out <path>   --workers <n>   --serial
-//!          --repeat <n>
+//!          --repeat <n>   --max-inflight <n>
 //! ```
 
 use std::process::ExitCode;
@@ -16,6 +18,8 @@ use tdc_cli::report::{
 };
 use tdc_cli::Scenario;
 use tdc_core::sensitivity::sensitivity_report;
+use tdc_core::service::summary::stages_kv;
+use tdc_core::service::ScenarioSession;
 use tdc_core::sweep::SweepExecutor;
 use tdc_core::CarbonModel;
 
@@ -23,42 +27,70 @@ const USAGE: &str = "\
 tdc — 3D-Carbon scenario runner
 
 USAGE:
-    tdc <COMMAND> [OPTIONS] <scenario.json>
+    tdc <COMMAND> [OPTIONS] [<scenario.json>...]
 
 COMMANDS:
     run           Evaluate the scenario's design (lifecycle; embodied-only without a workload)
     sweep         Explore the scenario's design space, ranked by life-cycle carbon
     sensitivity   One-at-a-time sensitivity (tornado) analysis of the design
+    batch         Evaluate many scenario files (or a directory of them) on one
+                  shared warm session; stdout is byte-identical to running each
+                  file alone, stderr reports cross-request cache reuse
+    serve         Line-delimited JSON request/response service on stdin/stdout
+                  (protocol in docs/SERVING.md)
     scenarios     List design/workload preset names usable in scenario files
     help          Show this message
 
 OPTIONS:
-    --format <table|json|csv>   Output format (default: table)
+    --format <table|json|csv>   Output format (default: table; not `serve`)
     --out <path>                Write the report to a file instead of stdout
-    --workers <n>               Sweep worker threads (0 = one per core; overrides the
-                                scenario; `sweep` only)
-    --serial                    Shorthand for --workers 1 (`sweep` only)
+                                (`run`/`sweep`/`sensitivity` only)
+    --workers <n>               Sweep worker threads (0 = one per core; overrides
+                                the scenario; `sweep`/`batch`/`serve`)
+    --serial                    Shorthand for --workers 1
     --repeat <n>                Execute the sweep n times on one warm executor,
                                 reporting per-stage cache hit-rates per round
                                 (`sweep` only; the report is from the last round)
+    --max-inflight <n>          Frames evaluating at once (`serve` only;
+                                default 1 = fully sequential)
 
 Scenario files are documented in docs/SCENARIOS.md; runnable examples
-live in scenarios/.
+live in scenarios/. The batch/serve surfaces are documented in
+docs/SERVING.md.
 ";
 
 struct Options {
     command: String,
-    file: Option<String>,
+    files: Vec<String>,
     format: Option<OutputFormat>,
     out: Option<String>,
     workers: Option<usize>,
     repeat: usize,
+    max_inflight: usize,
 }
 
 impl Options {
     fn format(&self) -> OutputFormat {
         self.format.unwrap_or_default()
     }
+
+    /// The single scenario file of `run`/`sweep`/`sensitivity`.
+    fn single_file(&self) -> Result<&str, String> {
+        match self.files.as_slice() {
+            [one] => Ok(one),
+            [] => Err(format!("`tdc {}` needs a scenario file", self.command)),
+            _ => Err(format!(
+                "`tdc {}` takes exactly one scenario file",
+                self.command
+            )),
+        }
+    }
+}
+
+fn parse_count(token: &str, what: &str) -> Result<usize, String> {
+    token
+        .parse()
+        .map_err(|_| format!("invalid {what} `{token}`"))
 }
 
 fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
@@ -68,11 +100,12 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
     let command = args.remove(0);
     let mut options = Options {
         command,
-        file: None,
+        files: Vec::new(),
         format: None,
         out: None,
         workers: None,
         repeat: 1,
+        max_inflight: 1,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -89,67 +122,71 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
             }
             "--workers" => {
                 let token = iter.next().ok_or("--workers needs a count")?;
-                let n: usize = token
-                    .parse()
-                    .map_err(|_| format!("invalid worker count `{token}`"))?;
-                options.workers = Some(n);
+                options.workers = Some(parse_count(&token, "worker count")?);
             }
             "--serial" => options.workers = Some(1),
             "--repeat" => {
                 let token = iter.next().ok_or("--repeat needs a count")?;
-                let n: usize = token
-                    .parse()
-                    .map_err(|_| format!("invalid repeat count `{token}`"))?;
+                let n = parse_count(&token, "repeat count")?;
                 if n == 0 {
                     return Err("--repeat needs a count of at least 1".to_owned());
                 }
                 options.repeat = n;
             }
+            "--max-inflight" => {
+                let token = iter.next().ok_or("--max-inflight needs a count")?;
+                let n = parse_count(&token, "in-flight count")?;
+                if n == 0 {
+                    return Err("--max-inflight needs a count of at least 1".to_owned());
+                }
+                options.max_inflight = n;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
-            file => {
-                if options.file.replace(file.to_owned()).is_some() {
-                    return Err("more than one scenario file given".to_owned());
-                }
-            }
+            file => options.files.push(file.to_owned()),
         }
     }
-    // Options that a command would silently ignore are rejected, the
-    // same way the scenario schema rejects unknown fields.
-    if options.workers.is_some() && options.command != "sweep" {
-        return Err(format!(
-            "--workers/--serial only apply to `tdc sweep`, not `tdc {}`",
-            options.command
-        ));
-    }
-    if options.repeat != 1 && options.command != "sweep" {
-        return Err(format!(
-            "--repeat only applies to `tdc sweep`, not `tdc {}`",
-            options.command
-        ));
-    }
-    if matches!(
-        options.command.as_str(),
-        "scenarios" | "help" | "--help" | "-h"
-    ) {
-        if options.file.is_some() {
-            return Err(format!("`tdc {}` takes no scenario file", options.command));
-        }
-        if options.format.is_some() || options.out.is_some() {
-            return Err(format!(
-                "--format/--out do not apply to `tdc {}`",
-                options.command
-            ));
-        }
-    }
+    validate(&options)?;
     Ok(options)
 }
 
+/// Rejects option/command combinations a command would silently
+/// ignore, the same way the scenario schema rejects unknown fields.
+fn validate(options: &Options) -> Result<(), String> {
+    let command = options.command.as_str();
+    if options.workers.is_some() && !matches!(command, "sweep" | "batch" | "serve") {
+        return Err(format!(
+            "--workers/--serial only apply to `tdc sweep`, `tdc batch`, and `tdc serve`, \
+             not `tdc {command}`"
+        ));
+    }
+    if options.repeat != 1 && command != "sweep" {
+        return Err(format!(
+            "--repeat only applies to `tdc sweep`, not `tdc {command}`"
+        ));
+    }
+    if options.max_inflight != 1 && command != "serve" {
+        return Err(format!(
+            "--max-inflight only applies to `tdc serve`, not `tdc {command}`"
+        ));
+    }
+    if options.out.is_some() && !matches!(command, "run" | "sweep" | "sensitivity") {
+        return Err(format!("--out does not apply to `tdc {command}`"));
+    }
+    if options.format.is_some() && !matches!(command, "run" | "sweep" | "sensitivity" | "batch") {
+        return Err(format!("--format does not apply to `tdc {command}`"));
+    }
+    if matches!(command, "scenarios" | "help" | "--help" | "-h" | "serve")
+        && !options.files.is_empty()
+    {
+        return Err(format!("`tdc {command}` takes no scenario file"));
+    }
+    Ok(())
+}
+
 fn load_scenario(options: &Options) -> Result<Scenario, String> {
-    let Some(path) = &options.file else {
-        return Err(format!("`tdc {}` needs a scenario file", options.command));
-    };
+    let path = options.single_file()?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
@@ -202,16 +239,19 @@ fn cmd_sweep(options: &Options) -> Result<(), String> {
         .or_else(|| scenario.sweep_workers())
         .unwrap_or(0);
     // One executor for every round, so `--repeat` exercises (and
-    // reports) the per-stage artifact cache warming up.
+    // reports) the per-stage artifact cache warming up. Each round is
+    // an epoch, so round ≥ 2 warmth shows up as cross-request hits —
+    // the same accounting `tdc batch`/`tdc serve` report.
     let executor = SweepExecutor::new(workers);
     let mut result = None;
     for round in 1..=options.repeat {
+        executor.cache().advance_epoch();
         let r = executor
             .execute(&model, &plan, &workload)
             .map_err(|e| e.to_string())?;
         // Bookkeeping goes to stderr so stdout is byte-identical for
         // any worker count (and any repeat count).
-        eprintln!("{}", stats_line(&r.stats(), round, options.repeat));
+        eprintln!("{}", sweep_stats_line(&r.stats(), round, options.repeat));
         result = Some(r);
     }
     let result = result.expect("repeat is at least 1");
@@ -221,31 +261,25 @@ fn cmd_sweep(options: &Options) -> Result<(), String> {
     )
 }
 
-/// One sweep round's bookkeeping: point totals, then each pipeline
-/// stage's `hits/lookups`, then the aggregate warm hit-rate.
-fn stats_line(stats: &tdc_core::sweep::SweepStats, round: usize, rounds: usize) -> String {
+/// One sweep round's bookkeeping in the stable machine-parseable
+/// `key=value` format shared with the `batch`/`serve` summaries (see
+/// [`tdc_core::service::summary`]): point totals first, then the
+/// per-stage counters.
+fn sweep_stats_line(stats: &tdc_core::sweep::SweepStats, round: usize, rounds: usize) -> String {
     let head = if rounds > 1 {
         format!("sweep[{round}/{rounds}]")
     } else {
         "sweep".to_owned()
     };
-    let stage = |c: tdc_core::sweep::StageCounters| format!("{}/{}", c.hits, c.hits + c.misses);
-    let s = stats.stages;
     format!(
-        "{head}: {} points, {} ranked, {} dropped; {} workers; cache {}/{} points; \
-stages physical {} yield {} embodied {} power {} operational {}; warm {:.3}",
+        "{head} points={} ranked={} dropped={} workers={} warm_points={}/{} {}",
         stats.points,
         stats.evaluated,
         stats.dropped,
         stats.workers,
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses,
-        stage(s.physical),
-        stage(s.yields),
-        stage(s.embodied),
-        stage(s.power),
-        stage(s.operational),
-        s.warm_hit_rate(),
+        stages_kv(&stats.stages),
     )
 }
 
@@ -262,6 +296,45 @@ fn cmd_sensitivity(options: &Options) -> Result<(), String> {
         options,
         &render_sensitivity(&scenario.name, &entries, options.format()),
     )
+}
+
+fn cmd_batch(options: &Options) -> Result<(), String> {
+    let files = tdc_cli::batch::expand_paths(&options.files)?;
+    let session = ScenarioSession::new(options.workers.unwrap_or(0));
+    let stdout = std::io::stdout();
+    let stderr = std::io::stderr();
+    let summary = tdc_cli::batch::run_batch(
+        &session,
+        &files,
+        options.format(),
+        &mut stdout.lock(),
+        &mut stderr.lock(),
+    )
+    .map_err(|e| format!("batch output failed: {e}"))?;
+    if summary.all_ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} scenario files failed",
+            summary.failed, summary.files
+        ))
+    }
+}
+
+fn cmd_serve(options: &Options) -> Result<(), String> {
+    let session = ScenarioSession::new(options.workers.unwrap_or(0));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let stderr = std::io::stderr();
+    tdc_cli::serve::serve(
+        &session,
+        stdin.lock(),
+        &mut stdout.lock(),
+        &mut stderr.lock(),
+        options.max_inflight,
+    )
+    .map_err(|e| format!("serve I/O failed: {e}"))?;
+    Ok(())
 }
 
 fn cmd_scenarios() {
@@ -290,6 +363,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(&options),
         "sweep" => cmd_sweep(&options),
         "sensitivity" => cmd_sensitivity(&options),
+        "batch" => cmd_batch(&options),
+        "serve" => cmd_serve(&options),
         "scenarios" => {
             cmd_scenarios();
             Ok(())

@@ -10,6 +10,7 @@
 use crate::json::JsonValue;
 use crate::table::TextTable;
 use tdc_core::sensitivity::SensitivityEntry;
+use tdc_core::service::EvalResponse;
 use tdc_core::sweep::SweepEntry;
 use tdc_core::{EmbodiedBreakdown, LifecycleReport};
 use tdc_integration::IntegrationTechnology;
@@ -54,6 +55,146 @@ fn csv_field(s: &str) -> String {
     } else {
         s.to_owned()
     }
+}
+
+/// The full JSON document of an embodied-only `tdc run` — exactly
+/// what `--format json` prints (pretty) and a `tdc serve` response
+/// embeds (compact).
+#[must_use]
+pub fn embodied_document(scenario: &str, breakdown: &EmbodiedBreakdown) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "scenario".to_owned(),
+            JsonValue::String(scenario.to_owned()),
+        ),
+        (
+            "design".to_owned(),
+            JsonValue::String(breakdown.design.clone()),
+        ),
+        ("embodied".to_owned(), embodied_json(breakdown)),
+    ])
+}
+
+/// The full JSON document of a life-cycle `tdc run` — exactly what
+/// `--format json` prints (pretty) and a `tdc serve` response embeds
+/// (compact).
+#[must_use]
+pub fn lifecycle_document(scenario: &str, report: &LifecycleReport) -> JsonValue {
+    let op = &report.operational;
+    let operational = JsonValue::Object(vec![
+        ("power_w".to_owned(), JsonValue::Number(op.power.watts())),
+        ("energy_kwh".to_owned(), JsonValue::Number(op.energy.kwh())),
+        ("carbon_kg".to_owned(), JsonValue::Number(op.carbon.kg())),
+        ("viable".to_owned(), JsonValue::Bool(op.is_viable())),
+        (
+            "runtime_stretch".to_owned(),
+            JsonValue::Number(op.runtime_stretch),
+        ),
+        (
+            "required_bandwidth_tbps".to_owned(),
+            JsonValue::Number(op.required_bandwidth.tbps()),
+        ),
+        (
+            "achieved_bandwidth_tbps".to_owned(),
+            op.achieved_bandwidth
+                .map_or(JsonValue::Null, |b| JsonValue::Number(b.tbps())),
+        ),
+    ]);
+    JsonValue::Object(vec![
+        (
+            "scenario".to_owned(),
+            JsonValue::String(scenario.to_owned()),
+        ),
+        (
+            "design".to_owned(),
+            JsonValue::String(report.embodied.design.clone()),
+        ),
+        ("embodied".to_owned(), embodied_json(&report.embodied)),
+        ("operational".to_owned(), operational),
+        (
+            "total_kg".to_owned(),
+            JsonValue::Number(report.total().kg()),
+        ),
+    ])
+}
+
+/// The full JSON document of a `tdc sweep` — exactly what
+/// `--format json` prints (pretty) and a `tdc serve` response embeds
+/// (compact).
+#[must_use]
+pub fn sweep_document(scenario: &str, entries: &[SweepEntry]) -> JsonValue {
+    let items = entries
+        .iter()
+        .enumerate()
+        .map(|(rank, e)| {
+            JsonValue::Object(vec![
+                ("rank".to_owned(), JsonValue::Number((rank + 1) as f64)),
+                ("label".to_owned(), JsonValue::String(e.label.clone())),
+                (
+                    "node_nm".to_owned(),
+                    JsonValue::Number(f64::from(e.node.nanometers())),
+                ),
+                (
+                    "technology".to_owned(),
+                    JsonValue::String(tech_label(e.technology).to_owned()),
+                ),
+                (
+                    "dies".to_owned(),
+                    JsonValue::Number(e.design.dies().len() as f64),
+                ),
+                ("viable".to_owned(), JsonValue::Bool(e.is_viable())),
+                (
+                    "embodied_kg".to_owned(),
+                    JsonValue::Number(e.report.embodied.total().kg()),
+                ),
+                (
+                    "operational_kg".to_owned(),
+                    JsonValue::Number(e.report.operational.carbon.kg()),
+                ),
+                (
+                    "total_kg".to_owned(),
+                    JsonValue::Number(e.report.total().kg()),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        (
+            "scenario".to_owned(),
+            JsonValue::String(scenario.to_owned()),
+        ),
+        ("entries".to_owned(), JsonValue::Array(items)),
+    ])
+}
+
+/// The full JSON document of a `tdc sensitivity` — exactly what
+/// `--format json` prints (pretty) and a `tdc serve` response embeds
+/// (compact).
+#[must_use]
+pub fn sensitivity_document(scenario: &str, entries: &[SensitivityEntry]) -> JsonValue {
+    let items = entries
+        .iter()
+        .map(|e| {
+            JsonValue::Object(vec![
+                ("knob".to_owned(), JsonValue::String(e.knob.clone())),
+                ("low_kg".to_owned(), JsonValue::Number(e.low.kg())),
+                ("base_kg".to_owned(), JsonValue::Number(e.base.kg())),
+                ("high_kg".to_owned(), JsonValue::Number(e.high.kg())),
+                ("swing_kg".to_owned(), JsonValue::Number(e.swing().kg())),
+                (
+                    "relative_swing".to_owned(),
+                    JsonValue::Number(e.relative_swing()),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        (
+            "scenario".to_owned(),
+            JsonValue::String(scenario.to_owned()),
+        ),
+        ("entries".to_owned(), JsonValue::Array(items)),
+    ])
 }
 
 fn embodied_json(b: &EmbodiedBreakdown) -> JsonValue {
@@ -139,18 +280,7 @@ pub fn render_embodied(
 ) -> String {
     match format {
         OutputFormat::Table => format!("scenario: {scenario}\n\n{breakdown}\n"),
-        OutputFormat::Json => JsonValue::Object(vec![
-            (
-                "scenario".to_owned(),
-                JsonValue::String(scenario.to_owned()),
-            ),
-            (
-                "design".to_owned(),
-                JsonValue::String(breakdown.design.clone()),
-            ),
-            ("embodied".to_owned(), embodied_json(breakdown)),
-        ])
-        .render(),
+        OutputFormat::Json => embodied_document(scenario, breakdown).render(),
         OutputFormat::Csv => {
             let mut out = String::from("section,component,kg_co2e\n");
             embodied_csv_rows(breakdown, &mut out);
@@ -164,45 +294,7 @@ pub fn render_embodied(
 pub fn render_lifecycle(scenario: &str, report: &LifecycleReport, format: OutputFormat) -> String {
     match format {
         OutputFormat::Table => format!("scenario: {scenario}\n\n{report}\n"),
-        OutputFormat::Json => {
-            let op = &report.operational;
-            let operational = JsonValue::Object(vec![
-                ("power_w".to_owned(), JsonValue::Number(op.power.watts())),
-                ("energy_kwh".to_owned(), JsonValue::Number(op.energy.kwh())),
-                ("carbon_kg".to_owned(), JsonValue::Number(op.carbon.kg())),
-                ("viable".to_owned(), JsonValue::Bool(op.is_viable())),
-                (
-                    "runtime_stretch".to_owned(),
-                    JsonValue::Number(op.runtime_stretch),
-                ),
-                (
-                    "required_bandwidth_tbps".to_owned(),
-                    JsonValue::Number(op.required_bandwidth.tbps()),
-                ),
-                (
-                    "achieved_bandwidth_tbps".to_owned(),
-                    op.achieved_bandwidth
-                        .map_or(JsonValue::Null, |b| JsonValue::Number(b.tbps())),
-                ),
-            ]);
-            JsonValue::Object(vec![
-                (
-                    "scenario".to_owned(),
-                    JsonValue::String(scenario.to_owned()),
-                ),
-                (
-                    "design".to_owned(),
-                    JsonValue::String(report.embodied.design.clone()),
-                ),
-                ("embodied".to_owned(), embodied_json(&report.embodied)),
-                ("operational".to_owned(), operational),
-                (
-                    "total_kg".to_owned(),
-                    JsonValue::Number(report.total().kg()),
-                ),
-            ])
-            .render()
-        }
+        OutputFormat::Json => lifecycle_document(scenario, report).render(),
         OutputFormat::Csv => {
             let mut out = String::from("section,component,kg_co2e\n");
             embodied_csv_rows(&report.embodied, &mut out);
@@ -244,51 +336,7 @@ pub fn render_sweep(scenario: &str, entries: &[SweepEntry], format: OutputFormat
             }
             format!("scenario: {scenario}\n\n{}", table.render())
         }
-        OutputFormat::Json => {
-            let items = entries
-                .iter()
-                .enumerate()
-                .map(|(rank, e)| {
-                    JsonValue::Object(vec![
-                        ("rank".to_owned(), JsonValue::Number((rank + 1) as f64)),
-                        ("label".to_owned(), JsonValue::String(e.label.clone())),
-                        (
-                            "node_nm".to_owned(),
-                            JsonValue::Number(f64::from(e.node.nanometers())),
-                        ),
-                        (
-                            "technology".to_owned(),
-                            JsonValue::String(tech_label(e.technology).to_owned()),
-                        ),
-                        (
-                            "dies".to_owned(),
-                            JsonValue::Number(e.design.dies().len() as f64),
-                        ),
-                        ("viable".to_owned(), JsonValue::Bool(e.is_viable())),
-                        (
-                            "embodied_kg".to_owned(),
-                            JsonValue::Number(e.report.embodied.total().kg()),
-                        ),
-                        (
-                            "operational_kg".to_owned(),
-                            JsonValue::Number(e.report.operational.carbon.kg()),
-                        ),
-                        (
-                            "total_kg".to_owned(),
-                            JsonValue::Number(e.report.total().kg()),
-                        ),
-                    ])
-                })
-                .collect();
-            JsonValue::Object(vec![
-                (
-                    "scenario".to_owned(),
-                    JsonValue::String(scenario.to_owned()),
-                ),
-                ("entries".to_owned(), JsonValue::Array(items)),
-            ])
-            .render()
-        }
+        OutputFormat::Json => sweep_document(scenario, entries).render(),
         OutputFormat::Csv => {
             let mut out = String::from(
                 "rank,label,node_nm,technology,dies,viable,embodied_kg,operational_kg,total_kg\n",
@@ -336,32 +384,7 @@ pub fn render_sensitivity(
             }
             format!("scenario: {scenario}\n\n{}", table.render())
         }
-        OutputFormat::Json => {
-            let items = entries
-                .iter()
-                .map(|e| {
-                    JsonValue::Object(vec![
-                        ("knob".to_owned(), JsonValue::String(e.knob.clone())),
-                        ("low_kg".to_owned(), JsonValue::Number(e.low.kg())),
-                        ("base_kg".to_owned(), JsonValue::Number(e.base.kg())),
-                        ("high_kg".to_owned(), JsonValue::Number(e.high.kg())),
-                        ("swing_kg".to_owned(), JsonValue::Number(e.swing().kg())),
-                        (
-                            "relative_swing".to_owned(),
-                            JsonValue::Number(e.relative_swing()),
-                        ),
-                    ])
-                })
-                .collect();
-            JsonValue::Object(vec![
-                (
-                    "scenario".to_owned(),
-                    JsonValue::String(scenario.to_owned()),
-                ),
-                ("entries".to_owned(), JsonValue::Array(items)),
-            ])
-            .render()
-        }
+        OutputFormat::Json => sensitivity_document(scenario, entries).render(),
         OutputFormat::Csv => {
             let mut out = String::from("knob,low_kg,base_kg,high_kg,swing_kg,relative_swing\n");
             for e in entries {
@@ -377,6 +400,33 @@ pub fn render_sensitivity(
             }
             out
         }
+    }
+}
+
+/// Renders a session [`EvalResponse`] exactly as the corresponding
+/// single-shot command would — `tdc batch` concatenates these, and the
+/// byte-identity guarantee against fresh-process `tdc run`/`tdc sweep`
+/// output rests on the renderers being shared, not re-implemented.
+#[must_use]
+pub fn render_response(scenario: &str, response: &EvalResponse, format: OutputFormat) -> String {
+    match response {
+        EvalResponse::Embodied(b) => render_embodied(scenario, b, format),
+        EvalResponse::Lifecycle(r) => render_lifecycle(scenario, r, format),
+        EvalResponse::Sweep(r) => render_sweep(scenario, r.entries(), format),
+        EvalResponse::Sensitivity(entries) => render_sensitivity(scenario, entries, format),
+    }
+}
+
+/// The JSON document of a session [`EvalResponse`] (what a `tdc
+/// serve` response embeds under `"report"`), identical to the
+/// `--format json` document of the corresponding command.
+#[must_use]
+pub fn response_document(scenario: &str, response: &EvalResponse) -> JsonValue {
+    match response {
+        EvalResponse::Embodied(b) => embodied_document(scenario, b),
+        EvalResponse::Lifecycle(r) => lifecycle_document(scenario, r),
+        EvalResponse::Sweep(r) => sweep_document(scenario, r.entries()),
+        EvalResponse::Sensitivity(entries) => sensitivity_document(scenario, entries),
     }
 }
 

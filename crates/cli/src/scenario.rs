@@ -17,6 +17,7 @@
 
 use crate::json::{JsonError, JsonValue};
 use std::fmt;
+use tdc_core::service::EvalRequest;
 use tdc_core::sweep::DesignSweep;
 use tdc_core::{ChipDesign, DieSpec, DieYieldChoice, ModelContext, ModelError, Workload};
 use tdc_floorplan::PackageModel;
@@ -265,6 +266,43 @@ struct SweepSpec {
     workers: Option<usize>,
 }
 
+/// Which evaluating command a scenario elaborates into (the `tdc
+/// serve` protocol's `command` field, and `tdc batch`'s per-file
+/// inference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Single evaluation: lifecycle, or embodied-only without a
+    /// workload.
+    Run,
+    /// Design-space sweep over the scenario's `sweep` block.
+    Sweep,
+    /// One-at-a-time sensitivity (tornado) analysis.
+    Sensitivity,
+}
+
+impl RequestKind {
+    /// Parses a protocol `command` token.
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        Some(match token.trim().to_ascii_lowercase().as_str() {
+            "run" => RequestKind::Run,
+            "sweep" => RequestKind::Sweep,
+            "sensitivity" => RequestKind::Sensitivity,
+            _ => return None,
+        })
+    }
+
+    /// The stable command label (also used in stats lines).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::Run => "run",
+            RequestKind::Sweep => "sweep",
+            RequestKind::Sensitivity => "sensitivity",
+        }
+    }
+}
+
 /// A parsed scenario file, ready to elaborate into model inputs.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -288,7 +326,18 @@ impl Scenario {
     /// wrong types, unknown tokens).
     pub fn parse(text: &str) -> Result<Self, ScenarioError> {
         let root = JsonValue::parse(text).map_err(ScenarioError::Json)?;
-        let fields = Fields::new(&root, "")?;
+        Self::from_value(&root)
+    }
+
+    /// Elaborates an already-parsed JSON tree (the `tdc serve`
+    /// protocol embeds scenario documents inside request frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Schema`] on schema violations, exactly
+    /// as [`parse`](Self::parse) would.
+    pub fn from_value(root: &JsonValue) -> Result<Self, ScenarioError> {
+        let fields = Fields::new(root, "")?;
         fields.deny_unknown(&[
             "name",
             "description",
@@ -666,6 +715,61 @@ impl Scenario {
                 .map(Efficiency::from_tops_per_watt),
             workers,
         })
+    }
+
+    /// The evaluating command `tdc batch` infers for this file: a
+    /// scenario with a `sweep` block sweeps, anything else runs —
+    /// exactly the command a user would invoke on the file alone.
+    #[must_use]
+    pub fn infer_request_kind(&self) -> RequestKind {
+        if self.has_sweep() {
+            RequestKind::Sweep
+        } else {
+            RequestKind::Run
+        }
+    }
+
+    /// Elaborates the scenario into a typed service request for
+    /// `kind`, reusing the same `build_*` paths the single-shot
+    /// commands call — which is what makes a
+    /// [`ScenarioSession`](tdc_core::service::ScenarioSession) answer
+    /// byte-identically to those commands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `build_*` errors; a missing
+    /// `workload` block for `sweep`/`sensitivity` is a schema error
+    /// whose path names the block.
+    pub fn build_request(&self, kind: RequestKind) -> Result<EvalRequest, ScenarioError> {
+        let context = self.build_context()?;
+        let required_workload = |command: &str| -> Result<Workload, ScenarioError> {
+            self.build_workload()?.map_or_else(
+                || {
+                    schema_err(
+                        "workload",
+                        format!("a `{command}` request needs a workload block"),
+                    )
+                },
+                Ok,
+            )
+        };
+        match kind {
+            RequestKind::Run => Ok(EvalRequest::Run {
+                context,
+                design: self.build_design()?,
+                workload: self.build_workload()?,
+            }),
+            RequestKind::Sweep => Ok(EvalRequest::Sweep {
+                context,
+                plan: self.build_sweep()?.plan()?,
+                workload: required_workload("sweep")?,
+            }),
+            RequestKind::Sensitivity => Ok(EvalRequest::Sensitivity {
+                context,
+                design: self.build_design()?,
+                workload: required_workload("sensitivity")?,
+            }),
+        }
     }
 
     /// Whether a `design` block is present.

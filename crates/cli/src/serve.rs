@@ -1,0 +1,350 @@
+//! `tdc serve`: a line-delimited JSON request/response loop over
+//! stdin/stdout, backed by one shared warm [`ScenarioSession`].
+//!
+//! One request frame per input line, one response frame per output
+//! line, **in input order** (the protocol and its golden transcript
+//! are documented in `docs/SERVING.md`):
+//!
+//! ```text
+//! {"id": 1, "command": "run",   "scenario": { ...scenario doc... }}
+//! {"id": 2, "command": "sweep", "scenario": { ... }}
+//! {"id": 3, "command": "stats"}
+//! {"id": 4, "command": "shutdown"}
+//! ```
+//!
+//! Success frames echo the `id` and embed the `--format json`
+//! document of the corresponding command, compact-rendered; failures
+//! — malformed JSON, frame-level schema errors, scenario schema
+//! errors, model errors — answer `{"ok": false, "error": {"path":
+//! ..., "message": ...}}` on the same line position and never kill
+//! the server. The session shuts down gracefully on a `shutdown`
+//! frame or end of input, printing an aggregate stats line (stable
+//! [`summary`](tdc_core::service::summary) format) to stderr.
+//!
+//! Evaluation runs with bounded in-flight concurrency
+//! (`--max-inflight`): up to that many frames evaluate at once on the
+//! shared session, and a reorder buffer keeps responses in input
+//! order. `--max-inflight 1` (the default) is fully sequential —
+//! responses are deterministic down to the `stats` counters, which is
+//! what the golden-transcript CI check relies on.
+
+use crate::json::JsonValue;
+use crate::report::response_document;
+use crate::scenario::{RequestKind, Scenario, ScenarioError};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use tdc_core::service::summary::stages_kv;
+use tdc_core::service::ScenarioSession;
+
+/// What one `tdc serve` session did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Frames answered (success and error alike).
+    pub frames: u64,
+    /// Frames answered with an error response.
+    pub errors: u64,
+}
+
+/// One parsed input line, ready to evaluate.
+enum Frame {
+    /// An evaluating request.
+    Eval {
+        id: JsonValue,
+        kind: RequestKind,
+        scenario: Box<Scenario>,
+    },
+    /// A session-stats probe.
+    Stats { id: JsonValue },
+    /// Graceful shutdown (reading stops; in-flight frames drain).
+    Shutdown { id: JsonValue },
+    /// Anything unanswerable: the error response is already rendered.
+    Bad { response: String },
+}
+
+fn ok_frame(id: &JsonValue, command: &str, extra: Vec<(String, JsonValue)>) -> String {
+    let mut fields = vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), JsonValue::Bool(true)),
+        ("command".to_owned(), JsonValue::String(command.to_owned())),
+    ];
+    fields.extend(extra);
+    JsonValue::Object(fields).render_compact()
+}
+
+fn error_frame(id: &JsonValue, path: Option<&str>, message: &str) -> String {
+    JsonValue::Object(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), JsonValue::Bool(false)),
+        (
+            "error".to_owned(),
+            JsonValue::Object(vec![
+                (
+                    "path".to_owned(),
+                    path.map_or(JsonValue::Null, |p| JsonValue::String(p.to_owned())),
+                ),
+                ("message".to_owned(), JsonValue::String(message.to_owned())),
+            ]),
+        ),
+    ])
+    .render_compact()
+}
+
+fn scenario_error_frame(id: &JsonValue, err: &ScenarioError) -> String {
+    match err {
+        ScenarioError::Schema { path, message } => error_frame(id, Some(path), message),
+        other => error_frame(id, None, &other.to_string()),
+    }
+}
+
+/// Parses one input line into a frame. Protocol-level problems
+/// (malformed JSON, missing/unknown `command`, missing `scenario`)
+/// become [`Frame::Bad`] with a path-named error response — the
+/// server answers them and keeps serving.
+fn parse_frame(line: &str) -> Frame {
+    let root = match JsonValue::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Frame::Bad {
+                response: error_frame(&JsonValue::Null, None, &e.to_string()),
+            }
+        }
+    };
+    let id = root.get("id").cloned().unwrap_or(JsonValue::Null);
+    if root.as_object().is_none() {
+        return Frame::Bad {
+            response: error_frame(&id, None, "a request frame must be a JSON object"),
+        };
+    }
+    let Some(command_value) = root.get("command") else {
+        return Frame::Bad {
+            response: error_frame(&id, Some("command"), "required field is missing"),
+        };
+    };
+    let Some(command) = command_value.as_str() else {
+        return Frame::Bad {
+            response: error_frame(
+                &id,
+                Some("command"),
+                &format!("expected a string, got {}", command_value.type_name()),
+            ),
+        };
+    };
+    match command.trim().to_ascii_lowercase().as_str() {
+        "stats" => Frame::Stats { id },
+        "shutdown" => Frame::Shutdown { id },
+        other => {
+            let Some(kind) = RequestKind::from_token(other) else {
+                return Frame::Bad {
+                    response: error_frame(
+                        &id,
+                        Some("command"),
+                        &format!(
+                            "unknown command `{other}` (run, sweep, sensitivity, stats, shutdown)"
+                        ),
+                    ),
+                };
+            };
+            let Some(scenario_value) = root.get("scenario") else {
+                return Frame::Bad {
+                    response: error_frame(&id, Some("scenario"), "required field is missing"),
+                };
+            };
+            match Scenario::from_value(scenario_value) {
+                Ok(scenario) => Frame::Eval {
+                    id,
+                    kind,
+                    scenario: Box::new(scenario),
+                },
+                Err(e) => Frame::Bad {
+                    response: scenario_error_frame(&id, &e),
+                },
+            }
+        }
+    }
+}
+
+/// Evaluates one frame to its response line, plus an is-error flag.
+fn answer(session: &ScenarioSession, frame: &Frame) -> (String, bool) {
+    match frame {
+        Frame::Bad { response } => (response.clone(), true),
+        Frame::Stats { id } => {
+            let stats = session.stats();
+            #[allow(clippy::cast_precision_loss)]
+            let n = |v: u64| JsonValue::Number(v as f64);
+            let line = ok_frame(
+                id,
+                "stats",
+                vec![(
+                    "stats".to_owned(),
+                    JsonValue::Object(vec![
+                        ("requests".to_owned(), n(stats.requests)),
+                        ("hits".to_owned(), n(stats.stages.hits())),
+                        ("cross".to_owned(), n(stats.stages.cross_hits())),
+                        (
+                            "lookups".to_owned(),
+                            n(stats.stages.hits() + stats.stages.misses()),
+                        ),
+                        ("entries".to_owned(), n(stats.entries as u64)),
+                    ]),
+                )],
+            );
+            (line, false)
+        }
+        Frame::Shutdown { id } => (ok_frame(id, "shutdown", Vec::new()), false),
+        Frame::Eval { id, kind, scenario } => {
+            let request = match scenario.build_request(*kind) {
+                Ok(r) => r,
+                Err(e) => return (scenario_error_frame(id, &e), true),
+            };
+            match session.evaluate(&request) {
+                Ok(evaluated) => (
+                    ok_frame(
+                        id,
+                        kind.label(),
+                        vec![(
+                            "report".to_owned(),
+                            response_document(&scenario.name, &evaluated.response),
+                        )],
+                    ),
+                    false,
+                ),
+                Err(e) => (error_frame(id, None, &e.to_string()), true),
+            }
+        }
+    }
+}
+
+/// Runs the serve loop until a `shutdown` frame or end of input.
+/// Response frames are written to `output` in input order; the
+/// aggregate stats line goes to `stderr` after the last response.
+///
+/// # Errors
+///
+/// Only I/O failures on the streams are hard errors.
+///
+/// # Panics
+///
+/// Panics if an evaluation worker thread panics (request evaluation
+/// itself reports failures as error frames instead of panicking).
+pub fn serve(
+    session: &ScenarioSession,
+    input: impl BufRead,
+    output: &mut dyn Write,
+    stderr: &mut dyn Write,
+    max_inflight: usize,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    if max_inflight <= 1 {
+        // Sequential fast path: fully deterministic, including the
+        // `stats` counters — the golden-transcript mode.
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let frame = parse_frame(&line);
+            let (response, is_error) = answer(session, &frame);
+            summary.frames += 1;
+            summary.errors += u64::from(is_error);
+            writeln!(output, "{response}")?;
+            if matches!(frame, Frame::Shutdown { .. }) {
+                break;
+            }
+        }
+    } else {
+        serve_concurrent(session, input, output, &mut summary, max_inflight)?;
+    }
+    let totals = session.stats();
+    writeln!(
+        stderr,
+        "serve frames={} errors={} requests={} {}",
+        summary.frames,
+        summary.errors,
+        totals.requests,
+        stages_kv(&totals.stages)
+    )?;
+    Ok(summary)
+}
+
+/// The bounded-concurrency loop: a reader (this thread) parses frames
+/// and enqueues at most `max_inflight` of them; workers evaluate on
+/// the shared session; a reorder buffer emits responses in input
+/// order.
+fn serve_concurrent(
+    session: &ScenarioSession,
+    input: impl BufRead,
+    output: &mut dyn Write,
+    summary: &mut ServeSummary,
+    max_inflight: usize,
+) -> std::io::Result<()> {
+    // A bounded job queue is the in-flight limit: the reader blocks
+    // once `max_inflight` frames are queued or evaluating.
+    let (job_tx, job_rx) = mpsc::sync_channel::<(u64, Frame)>(max_inflight);
+    let job_rx = Mutex::new(job_rx);
+    let (done_tx, done_rx) = mpsc::channel::<(u64, String, bool)>();
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for _ in 0..max_inflight {
+            let done_tx = done_tx.clone();
+            let job_rx = &job_rx;
+            scope.spawn(move || loop {
+                let job = job_rx.lock().expect("serve job lock poisoned").recv();
+                let Ok((seq, frame)) = job else { break };
+                let (response, is_error) = answer(session, &frame);
+                if done_tx.send((seq, response, is_error)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(done_tx);
+
+        let mut next_seq = 0u64;
+        let mut enqueued = 0u64;
+        let mut pending: BTreeMap<u64, (String, bool)> = BTreeMap::new();
+        let write_ready = |pending: &mut BTreeMap<u64, (String, bool)>,
+                           next_seq: &mut u64,
+                           output: &mut dyn Write,
+                           summary: &mut ServeSummary|
+         -> std::io::Result<()> {
+            while let Some((response, is_error)) = pending.remove(&*next_seq) {
+                summary.frames += 1;
+                summary.errors += u64::from(is_error);
+                writeln!(output, "{response}")?;
+                *next_seq += 1;
+            }
+            Ok(())
+        };
+
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let frame = parse_frame(&line);
+            let stop = matches!(frame, Frame::Shutdown { .. });
+            // Drain finished work before (possibly) blocking on the
+            // bounded queue, so responses flow while we wait.
+            while let Ok((seq, response, is_error)) = done_rx.try_recv() {
+                pending.insert(seq, (response, is_error));
+            }
+            write_ready(&mut pending, &mut next_seq, output, summary)?;
+            job_tx
+                .send((enqueued, frame))
+                .expect("serve workers outlive the reader");
+            enqueued += 1;
+            if stop {
+                break;
+            }
+        }
+        drop(job_tx);
+        while next_seq < enqueued {
+            let (seq, response, is_error) =
+                done_rx.recv().expect("serve workers answer every frame");
+            pending.insert(seq, (response, is_error));
+            write_ready(&mut pending, &mut next_seq, output, summary)?;
+        }
+        Ok(())
+    })
+}

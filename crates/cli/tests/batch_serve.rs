@@ -1,0 +1,275 @@
+//! Byte-identity of the batch/serve surfaces against fresh-process
+//! evaluations, plus the golden `tdc serve` transcript.
+//!
+//! `tdc batch`'s contract is that warmth never shows in the output:
+//! its stdout must equal the concatenation of running each scenario
+//! file alone (what CI diffs with the real binary, re-checked here
+//! in-process). `tdc serve`'s contract is the JSONL protocol itself,
+//! pinned by a golden transcript that includes schema errors and one
+//! malformed request.
+
+use std::io::BufRead as _;
+use std::path::{Path, PathBuf};
+use tdc_cli::batch::{expand_paths, run_batch};
+use tdc_cli::report::{
+    render_embodied, render_lifecycle, render_response, render_sweep, OutputFormat,
+};
+use tdc_cli::serve::serve;
+use tdc_cli::{JsonValue, RequestKind, Scenario};
+use tdc_core::service::ScenarioSession;
+use tdc_core::sweep::SweepExecutor;
+use tdc_core::CarbonModel;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    expand_paths(&[repo_root().join("scenarios").to_string_lossy().into_owned()])
+        .expect("scenarios/ expands")
+}
+
+/// What `tdc run`/`tdc sweep` print to stdout for one file, evaluated
+/// completely fresh (no shared cache anywhere).
+fn fresh_process_output(file: &Path, format: OutputFormat) -> String {
+    let text = std::fs::read_to_string(file).expect("scenario reads");
+    let scenario = Scenario::parse(&text).expect("scenario parses");
+    let model = CarbonModel::new(scenario.build_context().expect("context builds"));
+    match scenario.infer_request_kind() {
+        RequestKind::Sweep => {
+            let workload = scenario
+                .build_workload()
+                .expect("workload builds")
+                .expect("sweep scenarios carry workloads");
+            let plan = scenario
+                .build_sweep()
+                .expect("sweep builds")
+                .plan()
+                .expect("plan builds");
+            let result = SweepExecutor::serial()
+                .execute(&model, &plan, &workload)
+                .expect("sweep evaluates");
+            render_sweep(&scenario.name, result.entries(), format)
+        }
+        _ => {
+            let design = scenario.build_design().expect("design builds");
+            match scenario.build_workload().expect("workload builds") {
+                Some(workload) => render_lifecycle(
+                    &scenario.name,
+                    &model.lifecycle(&design, &workload).expect("evaluates"),
+                    format,
+                ),
+                None => render_embodied(
+                    &scenario.name,
+                    &model.embodied(&design).expect("evaluates"),
+                    format,
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_stdout_is_byte_identical_to_fresh_process_runs() {
+    let files = scenario_files();
+    assert!(files.len() >= 5, "the checked-in scenario set shrank");
+    for format in [OutputFormat::Table, OutputFormat::Json, OutputFormat::Csv] {
+        let mut expected = String::new();
+        for file in &files {
+            expected.push_str(&fresh_process_output(file, format));
+        }
+        let session = ScenarioSession::serial();
+        let mut stdout = Vec::new();
+        let mut stderr = Vec::new();
+        let summary =
+            run_batch(&session, &files, format, &mut stdout, &mut stderr).expect("batch runs");
+        assert!(summary.all_ok(), "all checked-in scenarios evaluate");
+        assert_eq!(
+            String::from_utf8(stdout).expect("utf8 output"),
+            expected,
+            "warm batch output diverged from fresh runs ({format:?})"
+        );
+    }
+}
+
+#[test]
+fn batch_over_checked_in_scenarios_reports_cross_request_warmth() {
+    let files = scenario_files();
+    let session = ScenarioSession::serial();
+    let mut stdout = Vec::new();
+    let mut stderr = Vec::new();
+    run_batch(
+        &session,
+        &files,
+        OutputFormat::Csv,
+        &mut stdout,
+        &mut stderr,
+    )
+    .expect("batch runs");
+    let log = String::from_utf8(stderr).expect("utf8 stderr");
+    let aggregate = log
+        .lines()
+        .find(|l| l.starts_with("batch files="))
+        .expect("aggregate summary line");
+    // The acceptance criterion: scenarios sharing design geometry
+    // answer from artifacts earlier files computed. `cross` is an
+    // integer token, so no float formatting is involved.
+    let cross: u64 = aggregate
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("cross="))
+        .expect("cross= token")
+        .parse()
+        .expect("integer cross counter");
+    assert!(cross > 0, "no cross-request reuse in: {aggregate}");
+    assert!(aggregate.contains("failed=0"), "{aggregate}");
+    // Per-file lines carry the same stable key=value shape.
+    assert!(log
+        .lines()
+        .any(|l| l.starts_with("batch[1/") && l.contains(" kind=")));
+}
+
+#[test]
+fn batch_failures_are_reported_and_do_not_stop_the_batch() {
+    let dir = std::env::temp_dir().join("tdc-batch-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let good = dir.join("a_good.json");
+    let bad = dir.join("b_bad.json");
+    std::fs::write(&good, r#"{"design": {"preset": "epyc-7452"}}"#).expect("writes");
+    std::fs::write(&bad, r#"{"design": {"preset": "warp-core"}}"#).expect("writes");
+    let session = ScenarioSession::serial();
+    let mut stdout = Vec::new();
+    let mut stderr = Vec::new();
+    let summary = run_batch(
+        &session,
+        &[good, bad],
+        OutputFormat::Csv,
+        &mut stdout,
+        &mut stderr,
+    )
+    .expect("batch runs");
+    assert_eq!(summary.ok, 1);
+    assert_eq!(summary.failed, 1);
+    let log = String::from_utf8(stderr).expect("utf8 stderr");
+    assert!(log.contains("status=error"), "{log}");
+    assert!(log.contains("warp-core"), "{log}");
+    // The good file still produced its full report.
+    assert!(String::from_utf8(stdout)
+        .expect("utf8")
+        .starts_with("section,component,kg_co2e"));
+}
+
+#[test]
+fn expand_paths_sorts_directory_entries() {
+    let files = scenario_files();
+    let names: Vec<String> = files
+        .iter()
+        .map(|f| f.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "batch order must be deterministic");
+}
+
+#[test]
+fn serve_session_matches_the_golden_transcript() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data");
+    let input = std::fs::read_to_string(data.join("serve_session_input.jsonl")).expect("input");
+    let expected =
+        std::fs::read_to_string(data.join("serve_session_expected.jsonl")).expect("golden");
+    let session = ScenarioSession::serial();
+    let mut stdout = Vec::new();
+    let mut stderr = Vec::new();
+    let summary = serve(&session, input.as_bytes(), &mut stdout, &mut stderr, 1).expect("serves");
+    assert_eq!(
+        String::from_utf8(stdout).expect("utf8"),
+        expected,
+        "serve responses diverged from the golden transcript"
+    );
+    // The scripted session includes schema errors and one malformed
+    // line; none of them kill the server.
+    assert_eq!(summary.frames, 10);
+    assert_eq!(summary.errors, 4);
+}
+
+#[test]
+fn serve_warmth_never_changes_response_bytes() {
+    // The golden input evaluates the same stack twice (ids 2 and 7);
+    // the second answer comes from warm artifacts but must embed the
+    // identical report document.
+    let data = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data");
+    let expected =
+        std::fs::read_to_string(data.join("serve_session_expected.jsonl")).expect("golden");
+    let report_of = |id: &str| {
+        let line = expected
+            .lines()
+            .find(|l| l.starts_with(&format!("{{\"id\":{id},")))
+            .expect("frame present");
+        let frame = JsonValue::parse(line).expect("frame parses");
+        frame.get("report").expect("report present").render()
+    };
+    assert_eq!(report_of("2"), report_of("7"));
+}
+
+#[test]
+fn serve_orders_responses_under_concurrency() {
+    let mut input = String::new();
+    for id in 1..=6 {
+        let preset = if id % 2 == 0 { "epyc-7452" } else { "hbm4-d2w" };
+        input.push_str(&format!(
+            "{{\"id\": {id}, \"command\": \"run\", \"scenario\": {{\"design\": {{\"preset\": \"{preset}\"}}}}}}\n"
+        ));
+    }
+    input.push_str("{\"id\": 7, \"command\": \"shutdown\"}\n");
+    let session = ScenarioSession::new(1);
+    let mut stdout = Vec::new();
+    let mut stderr = Vec::new();
+    serve(&session, input.as_bytes(), &mut stdout, &mut stderr, 4).expect("serves");
+    let ids: Vec<f64> = stdout
+        .lines()
+        .map(|l| {
+            JsonValue::parse(&l.expect("line"))
+                .expect("frame parses")
+                .get("id")
+                .expect("id echoed")
+                .as_f64()
+                .expect("numeric id")
+        })
+        .collect();
+    assert_eq!(ids, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+}
+
+#[test]
+fn serve_responses_match_single_shot_json_documents() {
+    // A serve response's `report` is exactly the `--format json`
+    // document of the corresponding command (modulo pretty-printing).
+    let scenario_text = r#"{"name": "parity", "design": {"preset": "epyc-7452"}}"#;
+    let scenario = Scenario::parse(scenario_text).expect("parses");
+    let request = scenario
+        .build_request(RequestKind::Run)
+        .expect("request builds");
+    let session = ScenarioSession::serial();
+    let evaluated = session.evaluate(&request).expect("evaluates");
+    let single_shot = render_response(&scenario.name, &evaluated.response, OutputFormat::Json);
+
+    let input = format!("{{\"id\": 1, \"command\": \"run\", \"scenario\": {scenario_text}}}\n");
+    let mut stdout = Vec::new();
+    let mut stderr = Vec::new();
+    serve(
+        &ScenarioSession::serial(),
+        input.as_bytes(),
+        &mut stdout,
+        &mut stderr,
+        1,
+    )
+    .expect("serves");
+    let frame =
+        JsonValue::parse(std::str::from_utf8(&stdout).expect("utf8").trim()).expect("frame parses");
+    assert_eq!(
+        frame.get("report").expect("report present").render(),
+        single_shot,
+    );
+}

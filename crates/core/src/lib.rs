@@ -55,6 +55,7 @@ mod model;
 mod operational;
 pub mod pipeline;
 pub mod sensitivity;
+pub mod service;
 pub mod sweep;
 
 pub use context::{DieYieldChoice, ModelContext, ModelContextBuilder};

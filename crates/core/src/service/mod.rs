@@ -1,0 +1,37 @@
+//! Request-serving layer ([`ScenarioSession`]): one long-lived
+//! executor + staged artifact store answering a *stream* of scenario
+//! requests.
+//!
+//! The sweep subsystem ([`crate::sweep`]) already warms its per-stage
+//! [`EvalCache`](crate::sweep::EvalCache) *within* one invocation; a
+//! fresh process still starts cold on every scenario. This module is
+//! the hinge from "CLI tool" to "service": a [`ScenarioSession`] owns
+//! one [`SweepExecutor`](crate::sweep::SweepExecutor) for its whole
+//! lifetime and evaluates [`EvalRequest`]s against it, so requests
+//! that share geometry / yield / embodied slices answer from warm
+//! per-stage artifacts **across requests**. Warmth is purely a
+//! performance effect — a session's responses are structurally
+//! identical to evaluating each request in a fresh process (enforced
+//! by `crates/core/tests/service_session.rs`).
+//!
+//! The pieces:
+//!
+//! * [`EvalRequest`] / [`EvalResponse`] — the typed request/response
+//!   currency (elaborated model inputs in, reports out; transport
+//!   encodings such as the `tdc serve` JSONL protocol live in the CLI
+//!   crate);
+//! * [`ScenarioSession`] — the long-lived evaluator, with per-request
+//!   ([`RequestStats`]) and cumulative ([`SessionStats`]) reuse
+//!   accounting, including the *cross-request* hit counters that
+//!   epoch-tagged cache entries make possible;
+//! * [`summary`] — the stable, machine-parseable `key=value` stats
+//!   line shared by `tdc sweep --repeat`, `tdc batch`, and
+//!   `tdc serve` so CI can grep integers instead of float formatting.
+
+pub mod summary;
+
+mod request;
+mod session;
+
+pub use request::{EvalRequest, EvalResponse};
+pub use session::{Evaluated, RequestStats, ScenarioSession, SessionStats};

@@ -1,0 +1,213 @@
+//! The long-lived request evaluator ([`ScenarioSession`]).
+
+use super::request::{EvalRequest, EvalResponse};
+use crate::error::ModelError;
+use crate::model::CarbonModel;
+use crate::sensitivity::sensitivity_report;
+use crate::sweep::cache::{EvalCache, PipelineStats, PipelineTally};
+use crate::sweep::SweepExecutor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Reuse accounting of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// 1-based position of the request in the session's stream.
+    pub index: u64,
+    /// Per-stage lookup counters of exactly this request. The
+    /// `cross_hits` fields count lookups answered by artifacts earlier
+    /// requests computed — the cross-request warmth this layer exists
+    /// for.
+    pub stages: PipelineStats,
+}
+
+/// Cumulative accounting of a whole session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Requests evaluated so far (including failed ones).
+    pub requests: u64,
+    /// Sum of every request's per-stage counters.
+    pub stages: PipelineStats,
+    /// Artifacts currently stored across all cache stages.
+    pub entries: usize,
+}
+
+/// A successful evaluation: the response plus this request's reuse
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The report, structurally equal to a fresh-process evaluation.
+    pub response: EvalResponse,
+    /// What this request looked up, hit, and recomputed.
+    pub stats: RequestStats,
+}
+
+/// A long-lived evaluator: one [`SweepExecutor`] (and therefore one
+/// staged [`EvalCache`]) serving a stream of [`EvalRequest`]s.
+///
+/// Each request starts a new cache *epoch*, so the per-request
+/// counters distinguish warmth inherited from earlier requests
+/// ([`cross_hits`](crate::sweep::StageCounters::cross_hits)) from
+/// sharing within the request itself. Responses never depend on the
+/// cache state: a warm session answers with values structurally equal
+/// to a cold process (property-tested in
+/// `crates/core/tests/service_session.rs`), so warmth is purely a
+/// latency/throughput effect.
+///
+/// Sessions are `Sync` — `evaluate` takes `&self`, and the underlying
+/// cache is thread-safe — so a server can evaluate several requests
+/// concurrently against one shared session.
+///
+/// ```
+/// use tdc_core::service::{EvalRequest, EvalResponse, ScenarioSession};
+/// use tdc_core::{ChipDesign, DieSpec, ModelContext, Workload};
+/// use tdc_technode::{GridRegion, ProcessNode};
+/// use tdc_units::{Throughput, TimeSpan};
+///
+/// # fn main() -> Result<(), tdc_core::ModelError> {
+/// let session = ScenarioSession::serial();
+/// let design = ChipDesign::monolithic_2d(
+///     DieSpec::builder("d", ProcessNode::N7).gate_count(8.0e9).build()?,
+/// );
+/// let workload = Workload::fixed(
+///     "app",
+///     Throughput::from_tops(100.0),
+///     TimeSpan::from_hours(10_000.0),
+/// );
+/// let request = |region| EvalRequest::Run {
+///     context: ModelContext::builder().use_region(region).build(),
+///     design: design.clone(),
+///     workload: Some(workload.clone()),
+/// };
+/// session.evaluate(&request(GridRegion::WorldAverage))?;
+/// // Same geometry, different use grid: the embodied chain is
+/// // answered entirely from the first request's artifacts.
+/// let warm = session.evaluate(&request(GridRegion::France))?;
+/// assert_eq!(warm.stats.stages.embodied.misses, 0);
+/// assert!(warm.stats.stages.cross_hits() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ScenarioSession {
+    executor: SweepExecutor,
+    requests: AtomicU64,
+    totals: Mutex<PipelineStats>,
+}
+
+impl ScenarioSession {
+    /// Creates a session whose sweeps run on `workers` threads (`0` =
+    /// one per available core). `run`/`sensitivity` requests always
+    /// evaluate on the calling thread.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            executor: SweepExecutor::new(workers),
+            requests: AtomicU64::new(0),
+            totals: Mutex::new(PipelineStats::default()),
+        }
+    }
+
+    /// A session whose sweeps run serially.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The session's executor (for cache inspection or an explicit
+    /// [`EvalCache::clear`]).
+    #[must_use]
+    pub fn executor(&self) -> &SweepExecutor {
+        &self.executor
+    }
+
+    /// Evaluates one request against the warm store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ModelError`] a fresh-process evaluation of
+    /// the request would produce (including for designs whose dies
+    /// outgrow the wafer on `run`/`sensitivity` — only sweeps *drop*
+    /// such points). A failed request still counts toward
+    /// [`SessionStats::requests`] and leaves the store intact.
+    pub fn evaluate(&self, request: &EvalRequest) -> Result<Evaluated, ModelError> {
+        let index = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let cache = self.executor.cache();
+        cache.advance_epoch();
+        let (response, stages) = match request {
+            EvalRequest::Run {
+                context,
+                design,
+                workload,
+            } => {
+                let model = CarbonModel::new(context.clone());
+                let tally = PipelineTally::default();
+                let response = match workload {
+                    Some(workload) => {
+                        let tags = EvalCache::stage_tags(&model, Some(workload));
+                        match cache.lifecycle_or_eval(&tags, &model, design, workload, &tally)? {
+                            (Some(report), _) => EvalResponse::Lifecycle(report),
+                            // Oversized: a sweep would drop the point,
+                            // but `run` must surface exactly the error
+                            // a fresh process reports.
+                            (None, _) => {
+                                EvalResponse::Lifecycle(model.lifecycle(design, workload)?)
+                            }
+                        }
+                    }
+                    None => {
+                        let tags = EvalCache::stage_tags(&model, None);
+                        match cache.embodied_or_eval(&tags, &model, design, &tally)? {
+                            Some(breakdown) => EvalResponse::Embodied((*breakdown).clone()),
+                            None => EvalResponse::Embodied(model.embodied(design)?),
+                        }
+                    }
+                };
+                (response, tally.snapshot())
+            }
+            EvalRequest::Sweep {
+                context,
+                plan,
+                workload,
+            } => {
+                let model = CarbonModel::new(context.clone());
+                let result = self.executor.execute(&model, plan, workload)?;
+                let stages = result.stats().stages;
+                (EvalResponse::Sweep(result), stages)
+            }
+            EvalRequest::Sensitivity {
+                context,
+                design,
+                workload,
+            } => {
+                // Sensitivity perturbs the context per knob, so it
+                // deliberately bypasses the store (a perturbed context
+                // would namespace every artifact anyway).
+                let entries = sensitivity_report(context, design, workload)?;
+                (EvalResponse::Sensitivity(entries), PipelineStats::default())
+            }
+        };
+        {
+            let mut totals = self.totals.lock().expect("session stats lock poisoned");
+            *totals = totals.merged(&stages);
+        }
+        Ok(Evaluated {
+            response,
+            stats: RequestStats { index, stages },
+        })
+    }
+
+    /// Cumulative session accounting.
+    ///
+    /// `stages` sums the per-request tallies (so concurrent requests
+    /// are each attributed exactly their own lookups), and `entries`
+    /// is the store's current size.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            stages: *self.totals.lock().expect("session stats lock poisoned"),
+            entries: self.executor.cache().stats().entries,
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Stable, machine-parseable stats lines.
+//!
+//! Every long-running `tdc` surface (`sweep --repeat`, `batch`,
+//! `serve`) reports cache behaviour on stderr. CI asserts on those
+//! lines, so their format is a contract: space-separated `key=value`
+//! tokens, counters as plain integers (`hits=12`), stage counters as
+//! `hits/lookups` fractions of integers (`embodied=9/12`), and the
+//! two rates as fixed six-decimal floats (`warm=0.750000`). Guards
+//! grep the *integer* fields — `hits=0` vs `hits=[1-9]` — so no check
+//! ever depends on float formatting quirks.
+
+use crate::sweep::PipelineStats;
+use std::fmt::Write as _;
+
+/// Renders the canonical `key=value` stats tokens of a
+/// [`PipelineStats`] snapshot:
+///
+/// ```text
+/// physical=H/T yield=H/T embodied=H/T power=H/T operational=H/T \
+/// hits=H cross=X lookups=T warm=0.NNNNNN cross_rate=0.NNNNNN
+/// ```
+///
+/// where each stage field is `hits/lookups`, `cross` counts hits
+/// answered by artifacts an earlier request computed, and both rates
+/// are fractions of `lookups` formatted with exactly six decimals.
+///
+/// ```
+/// use tdc_core::service::summary::stages_kv;
+/// use tdc_core::sweep::PipelineStats;
+///
+/// let line = stages_kv(&PipelineStats::default());
+/// assert_eq!(
+///     line,
+///     "physical=0/0 yield=0/0 embodied=0/0 power=0/0 operational=0/0 \
+///      hits=0 cross=0 lookups=0 warm=0.000000 cross_rate=0.000000",
+/// );
+/// ```
+#[must_use]
+pub fn stages_kv(stats: &PipelineStats) -> String {
+    let mut out = String::with_capacity(128);
+    let stage = |out: &mut String, name: &str, c: crate::sweep::StageCounters| {
+        let _ = write!(out, "{name}={}/{} ", c.hits, c.hits + c.misses);
+    };
+    stage(&mut out, "physical", stats.physical);
+    stage(&mut out, "yield", stats.yields);
+    stage(&mut out, "embodied", stats.embodied);
+    stage(&mut out, "power", stats.power);
+    stage(&mut out, "operational", stats.operational);
+    let _ = write!(
+        out,
+        "hits={} cross={} lookups={} warm={:.6} cross_rate={:.6}",
+        stats.hits(),
+        stats.cross_hits(),
+        stats.hits() + stats.misses(),
+        stats.warm_hit_rate(),
+        stats.cross_hit_rate(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::StageCounters;
+
+    #[test]
+    fn format_is_stable_and_integer_greppable() {
+        let stats = PipelineStats {
+            embodied: StageCounters {
+                hits: 3,
+                cross_hits: 2,
+                misses: 1,
+            },
+            operational: StageCounters {
+                hits: 0,
+                cross_hits: 0,
+                misses: 4,
+            },
+            ..PipelineStats::default()
+        };
+        let line = stages_kv(&stats);
+        assert_eq!(
+            line,
+            "physical=0/0 yield=0/0 embodied=3/4 power=0/0 operational=0/4 \
+             hits=3 cross=2 lookups=8 warm=0.375000 cross_rate=0.250000",
+        );
+        // The contract CI relies on: integer fields are greppable
+        // without touching the float fields.
+        assert!(line.contains(" cross=2 "));
+        assert!(line.split_whitespace().all(|tok| tok.contains('=')));
+    }
+}

@@ -67,6 +67,13 @@ enum EmbodiedOutcome {
 pub struct StageCounters {
     /// Lookups answered from the store.
     pub hits: u64,
+    /// The subset of [`hits`](Self::hits) answered by an artifact
+    /// inserted during an *earlier epoch* — i.e. by a previous request
+    /// of a long-lived session (epochs advance via
+    /// [`EvalCache::advance_epoch`]). When nothing ever advances the
+    /// epoch this stays zero and `hits` counts pure within-request
+    /// reuse.
+    pub cross_hits: u64,
     /// Lookups that had to run the stage.
     pub misses: u64,
 }
@@ -125,6 +132,46 @@ impl PipelineStats {
         self.as_array().iter().map(|s| s.misses).sum()
     }
 
+    /// Cross-epoch hits (artifacts computed by an earlier request of a
+    /// long-lived session), summed over all stages.
+    #[must_use]
+    pub fn cross_hits(&self) -> u64 {
+        self.as_array().iter().map(|s| s.cross_hits).sum()
+    }
+
+    /// The fraction of all stage lookups answered by artifacts from an
+    /// earlier epoch, in `[0, 1]` (0 when nothing was ever looked up).
+    #[must_use]
+    pub fn cross_hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cross_hits() as f64 / total as f64
+            }
+        }
+    }
+
+    /// Element-wise sum of two snapshots (used by sessions to
+    /// accumulate per-request tallies).
+    #[must_use]
+    pub fn merged(&self, other: &PipelineStats) -> PipelineStats {
+        let add = |a: StageCounters, b: StageCounters| StageCounters {
+            hits: a.hits + b.hits,
+            cross_hits: a.cross_hits + b.cross_hits,
+            misses: a.misses + b.misses,
+        };
+        PipelineStats {
+            physical: add(self.physical, other.physical),
+            yields: add(self.yields, other.yields),
+            embodied: add(self.embodied, other.embodied),
+            power: add(self.power, other.power),
+            operational: add(self.operational, other.operational),
+        }
+    }
+
     /// Aggregate hit fraction across every stage lookup in `[0, 1]`.
     #[must_use]
     pub fn warm_hit_rate(&self) -> f64 {
@@ -145,6 +192,7 @@ impl PipelineStats {
     pub fn since(&self, earlier: &PipelineStats) -> PipelineStats {
         let diff = |now: StageCounters, then: StageCounters| StageCounters {
             hits: now.hits.saturating_sub(then.hits),
+            cross_hits: now.cross_hits.saturating_sub(then.cross_hits),
             misses: now.misses.saturating_sub(then.misses),
         };
         PipelineStats {
@@ -201,6 +249,7 @@ pub(crate) struct PipelineTally {
 #[derive(Debug, Default)]
 struct TallyPair {
     hits: AtomicU64,
+    cross_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -208,6 +257,7 @@ impl TallyPair {
     fn snapshot(&self) -> StageCounters {
         StageCounters {
             hits: self.hits.load(Ordering::Relaxed),
+            cross_hits: self.cross_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
@@ -230,11 +280,18 @@ impl PipelineTally {
 /// design key), plus cumulative counters. The two-level map lets a
 /// warm lookup borrow the design key (`&str`) — no per-lookup
 /// allocation — and groups one configuration's entries together.
+/// Every artifact remembers the epoch it was inserted in, so a hit can
+/// tell within-request reuse from cross-request reuse.
+/// (configuration tag → canonical design key) → (artifact, insertion
+/// epoch).
+type StageMap<T> = HashMap<u64, HashMap<String, (T, u64)>>;
+
 #[derive(Debug)]
 struct StageCell<T> {
-    entries: Mutex<HashMap<u64, HashMap<String, T>>>,
+    entries: Mutex<StageMap<T>>,
     count: AtomicU64,
     hits: AtomicU64,
+    cross_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -245,6 +302,7 @@ impl<T> Default for StageCell<T> {
             entries: Mutex::new(HashMap::new()),
             count: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            cross_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
@@ -252,8 +310,9 @@ impl<T> Default for StageCell<T> {
 
 impl<T: Clone> StageCell<T> {
     /// Looks (`tag`, `key`) up, counting the outcome both cumulatively
-    /// and on the caller's tally.
-    fn lookup(&self, tag: u64, key: &str, tally: &TallyPair) -> Option<T> {
+    /// and on the caller's tally. A hit on an artifact inserted before
+    /// `epoch` additionally counts as a cross-epoch hit.
+    fn lookup(&self, tag: u64, key: &str, epoch: u64, tally: &TallyPair) -> Option<T> {
         let found = self
             .entries
             .lock()
@@ -261,17 +320,25 @@ impl<T: Clone> StageCell<T> {
             .get(&tag)
             .and_then(|m| m.get(key))
             .cloned();
-        if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            tally.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            tally.misses.fetch_add(1, Ordering::Relaxed);
+        match found {
+            Some((value, inserted_at)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                tally.hits.fetch_add(1, Ordering::Relaxed);
+                if inserted_at < epoch {
+                    self.cross_hits.fetch_add(1, Ordering::Relaxed);
+                    tally.cross_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                tally.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        found
     }
 
-    fn insert(&self, tag: u64, key: &str, value: T) {
+    fn insert(&self, tag: u64, key: &str, epoch: u64, value: T) {
         let mut map = self.entries.lock().expect("cache lock poisoned");
         if self.count.load(Ordering::Relaxed) as usize >= MAX_STAGE_ENTRIES {
             map.clear();
@@ -280,7 +347,7 @@ impl<T: Clone> StageCell<T> {
         if map
             .entry(tag)
             .or_default()
-            .insert(key.to_owned(), value)
+            .insert(key.to_owned(), (value, epoch))
             .is_none()
         {
             self.count.fetch_add(1, Ordering::Relaxed);
@@ -290,6 +357,7 @@ impl<T: Clone> StageCell<T> {
     fn counters(&self) -> StageCounters {
         StageCounters {
             hits: self.hits.load(Ordering::Relaxed),
+            cross_hits: self.cross_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
@@ -344,6 +412,10 @@ pub struct EvalCache {
     embodied: StageCell<EmbodiedOutcome>,
     power: StageCell<Arc<PowerProfile>>,
     operational: StageCell<Arc<OperationalReport>>,
+    /// The current request epoch. Artifacts remember the epoch they
+    /// were inserted in; a hit on an artifact from an earlier epoch is
+    /// *cross-request* reuse (see [`StageCounters::cross_hits`]).
+    epoch: AtomicU64,
 }
 
 impl EvalCache {
@@ -351,6 +423,20 @@ impl EvalCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Starts a new request epoch and returns it. Long-lived owners
+    /// (a [`ScenarioSession`](crate::service::ScenarioSession), the
+    /// `tdc sweep --repeat` loop) call this at every request boundary
+    /// so hit counters can attribute reuse to *earlier requests*
+    /// rather than to sharing within one evaluation. Evaluations never
+    /// advance the epoch themselves.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The canonical key of a design: every die spec (name, node, and
@@ -413,17 +499,26 @@ impl EvalCache {
     /// configuration. Each tag hashes the union of the context slices
     /// that stage and its upstream stages read — nothing more, which is
     /// exactly what lets downstream-only changes keep upstream tags
-    /// (and therefore artifacts) stable.
-    pub(crate) fn stage_tags(model: &CarbonModel, workload: &Workload) -> StageTags {
+    /// (and therefore artifacts) stable. `workload` is `None` for
+    /// embodied-only evaluations — the operational stage is never
+    /// consulted there, and the embodied chain's tags do not depend on
+    /// the workload, so embodied-only and lifecycle requests share
+    /// every upstream artifact.
+    pub(crate) fn stage_tags(model: &CarbonModel, workload: Option<&Workload>) -> StageTags {
         let ctx = model.context();
         let geometry = ctx.fingerprint_geometry();
         let yields = format!("{geometry}\u{1f}{}", ctx.fingerprint_yield());
         let embodied = format!("{yields}\u{1f}{}", ctx.fingerprint_fab());
-        let operational = format!(
-            "{geometry}\u{1f}{}\u{1f}{}\u{1f}{workload:?}",
-            ctx.fingerprint_use(),
-            model.power_model().fingerprint(),
-        );
+        let operational = match workload {
+            Some(workload) => format!(
+                "{geometry}\u{1f}{}\u{1f}{}\u{1f}{workload:?}",
+                ctx.fingerprint_use(),
+                model.power_model().fingerprint(),
+            ),
+            // Embodied-only: a sentinel no real workload tag can equal
+            // (real tags always embed the use-grid fingerprint).
+            None => "\u{1f}embodied-only".to_owned(),
+        };
         StageTags {
             physical: hash_str(&format!("phys\u{1f}{geometry}")),
             yields: hash_str(&format!("yield\u{1f}{yields}")),
@@ -461,58 +556,157 @@ impl EvalCache {
         self.operational.clear();
     }
 
-    fn physical_or_eval(
-        &self,
-        tags: &StageTags,
-        model: &CarbonModel,
-        design: &ChipDesign,
-        design_key: &str,
-        tally: &PipelineTally,
-    ) -> Arc<PhysicalProfile> {
-        if let Some(p) = self
-            .physical
-            .lookup(tags.physical, design_key, &tally.physical)
-        {
+    fn physical_or_eval(&self, point: &PointLookup<'_>) -> Arc<PhysicalProfile> {
+        if let Some(p) = self.physical.lookup(
+            point.tags.physical,
+            point.design_key,
+            point.epoch,
+            &point.tally.physical,
+        ) {
             return p;
         }
-        let p = Arc::new(pipeline::physical_profile(model.context(), design));
-        self.physical
-            .insert(tags.physical, design_key, Arc::clone(&p));
+        let p = Arc::new(pipeline::physical_profile(
+            point.model.context(),
+            point.design,
+        ));
+        self.physical.insert(
+            point.tags.physical,
+            point.design_key,
+            point.epoch,
+            Arc::clone(&p),
+        );
         p
     }
 
     fn yield_or_eval(
         &self,
-        tags: &StageTags,
-        model: &CarbonModel,
-        design: &ChipDesign,
-        design_key: &str,
+        point: &PointLookup<'_>,
         phys: &PhysicalProfile,
-        tally: &PipelineTally,
     ) -> Result<Arc<YieldProfile>, ModelError> {
-        if let Some(y) = self.yields.lookup(tags.yields, design_key, &tally.yields) {
+        if let Some(y) = self.yields.lookup(
+            point.tags.yields,
+            point.design_key,
+            point.epoch,
+            &point.tally.yields,
+        ) {
             return Ok(y);
         }
-        let y = Arc::new(pipeline::yield_profile(model.context(), design, phys)?);
-        self.yields.insert(tags.yields, design_key, Arc::clone(&y));
+        let y = Arc::new(pipeline::yield_profile(
+            point.model.context(),
+            point.design,
+            phys,
+        )?);
+        self.yields.insert(
+            point.tags.yields,
+            point.design_key,
+            point.epoch,
+            Arc::clone(&y),
+        );
         Ok(y)
     }
 
     fn power_or_eval(
         &self,
+        point: &PointLookup<'_>,
+        phys: &PhysicalProfile,
+    ) -> Result<Arc<PowerProfile>, ModelError> {
+        if let Some(p) = self.power.lookup(
+            point.tags.power,
+            point.design_key,
+            point.epoch,
+            &point.tally.power,
+        ) {
+            return Ok(p);
+        }
+        let p = Arc::new(pipeline::power_profile(
+            point.model.context(),
+            point.design,
+            phys,
+        )?);
+        self.power.insert(
+            point.tags.power,
+            point.design_key,
+            point.epoch,
+            Arc::clone(&p),
+        );
+        Ok(p)
+    }
+
+    /// The embodied half of the pipeline (physical → yield →
+    /// embodied), answered from the store when possible. Returns
+    /// `Ok(None)` for designs whose dies outgrow the wafer; `phys_out`
+    /// receives the physical profile when this call had to fetch it,
+    /// so the operational half can reuse it without a second lookup.
+    fn embodied_half(
+        &self,
+        point: &PointLookup<'_>,
+        phys_out: &mut Option<Arc<PhysicalProfile>>,
+        all_hit: &mut bool,
+    ) -> Result<Option<Arc<crate::embodied::EmbodiedBreakdown>>, ModelError> {
+        match self.embodied.lookup(
+            point.tags.embodied,
+            point.design_key,
+            point.epoch,
+            &point.tally.embodied,
+        ) {
+            Some(EmbodiedOutcome::Report(r)) => Ok(Some(r)),
+            Some(EmbodiedOutcome::Oversized) => Ok(None),
+            None => {
+                *all_hit = false;
+                let phys = self.physical_or_eval(point);
+                *phys_out = Some(Arc::clone(&phys));
+                let yld = self.yield_or_eval(point, &phys)?;
+                match pipeline::embodied_breakdown(point.model.context(), point.design, &phys, &yld)
+                {
+                    Ok(b) => {
+                        let arc = Arc::new(b);
+                        self.embodied.insert(
+                            point.tags.embodied,
+                            point.design_key,
+                            point.epoch,
+                            EmbodiedOutcome::Report(Arc::clone(&arc)),
+                        );
+                        Ok(Some(arc))
+                    }
+                    Err(ModelError::DieExceedsWafer { .. }) => {
+                        self.embodied.insert(
+                            point.tags.embodied,
+                            point.design_key,
+                            point.epoch,
+                            EmbodiedOutcome::Oversized,
+                        );
+                        *all_hit = false;
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    /// Evaluates only the embodied chain of `design` under `model`
+    /// (the `tdc run` without-a-workload path), answering every stage
+    /// from the store when possible. Returns `Ok(None)` for designs
+    /// whose dies outgrow the wafer.
+    pub(crate) fn embodied_or_eval(
+        &self,
         tags: &StageTags,
         model: &CarbonModel,
         design: &ChipDesign,
-        design_key: &str,
-        phys: &PhysicalProfile,
         tally: &PipelineTally,
-    ) -> Result<Arc<PowerProfile>, ModelError> {
-        if let Some(p) = self.power.lookup(tags.power, design_key, &tally.power) {
-            return Ok(p);
-        }
-        let p = Arc::new(pipeline::power_profile(model.context(), design, phys)?);
-        self.power.insert(tags.power, design_key, Arc::clone(&p));
-        Ok(p)
+    ) -> Result<Option<Arc<crate::embodied::EmbodiedBreakdown>>, ModelError> {
+        let design_key = Self::key_for(design);
+        let point = PointLookup {
+            tags,
+            model,
+            design,
+            design_key: &design_key,
+            epoch: self.current_epoch(),
+            tally,
+        };
+        let mut phys_local = None;
+        let mut all_hit = true;
+        self.embodied_half(&point, &mut phys_local, &mut all_hit)
     }
 
     /// Evaluates `design` under (`model`, `workload`) through the
@@ -531,75 +725,56 @@ impl EvalCache {
         tally: &PipelineTally,
     ) -> Result<(Option<LifecycleReport>, bool), ModelError> {
         let design_key = Self::key_for(design);
-        let ctx = model.context();
+        let point = PointLookup {
+            tags,
+            model,
+            design,
+            design_key: &design_key,
+            epoch: self.current_epoch(),
+            tally,
+        };
         // Fetched at most once per point, shared by both halves below.
         let mut phys_local: Option<Arc<PhysicalProfile>> = None;
         let mut all_hit = true;
 
         // ---- Embodied artifact (physical → yield → embodied) ----
-        let embodied = match self
-            .embodied
-            .lookup(tags.embodied, &design_key, &tally.embodied)
-        {
-            Some(EmbodiedOutcome::Report(r)) => r,
-            Some(EmbodiedOutcome::Oversized) => return Ok((None, true)),
-            None => {
-                all_hit = false;
-                let phys = self.physical_or_eval(tags, model, design, &design_key, tally);
-                phys_local = Some(Arc::clone(&phys));
-                let yld = self.yield_or_eval(tags, model, design, &design_key, &phys, tally)?;
-                match pipeline::embodied_breakdown(ctx, design, &phys, &yld) {
-                    Ok(b) => {
-                        let arc = Arc::new(b);
-                        self.embodied.insert(
-                            tags.embodied,
-                            &design_key,
-                            EmbodiedOutcome::Report(Arc::clone(&arc)),
-                        );
-                        arc
-                    }
-                    Err(ModelError::DieExceedsWafer { .. }) => {
-                        self.embodied.insert(
-                            tags.embodied,
-                            &design_key,
-                            EmbodiedOutcome::Oversized,
-                        );
-                        return Ok((None, false));
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
+        let Some(embodied) = self.embodied_half(&point, &mut phys_local, &mut all_hit)? else {
+            return Ok((None, all_hit));
         };
 
         // ---- Operational artifact (physical → power → operational) ----
-        let operational =
-            match self
-                .operational
-                .lookup(tags.operational, &design_key, &tally.operational)
-            {
-                Some(r) => r,
-                None => {
-                    all_hit = false;
-                    let phys = match &phys_local {
-                        Some(p) => Arc::clone(p),
-                        None => self.physical_or_eval(tags, model, design, &design_key, tally),
-                    };
-                    let power =
-                        self.power_or_eval(tags, model, design, &design_key, &phys, tally)?;
-                    let r = pipeline::operational_report(
-                        ctx,
-                        design,
-                        &phys,
-                        &power,
-                        workload,
-                        model.power_model(),
-                    )?;
-                    let arc = Arc::new(r);
-                    self.operational
-                        .insert(tags.operational, &design_key, Arc::clone(&arc));
-                    arc
-                }
-            };
+        let operational = match self.operational.lookup(
+            tags.operational,
+            &design_key,
+            point.epoch,
+            &tally.operational,
+        ) {
+            Some(r) => r,
+            None => {
+                all_hit = false;
+                let phys = match &phys_local {
+                    Some(p) => Arc::clone(p),
+                    None => self.physical_or_eval(&point),
+                };
+                let power = self.power_or_eval(&point, &phys)?;
+                let r = pipeline::operational_report(
+                    model.context(),
+                    design,
+                    &phys,
+                    &power,
+                    workload,
+                    model.power_model(),
+                )?;
+                let arc = Arc::new(r);
+                self.operational.insert(
+                    tags.operational,
+                    &design_key,
+                    point.epoch,
+                    Arc::clone(&arc),
+                );
+                arc
+            }
+        };
 
         Ok((
             Some(LifecycleReport {
@@ -609,6 +784,17 @@ impl EvalCache {
             all_hit,
         ))
     }
+}
+
+/// Everything a single point lookup needs, bundled so the per-stage
+/// helpers stay readable.
+struct PointLookup<'a> {
+    tags: &'a StageTags,
+    model: &'a CarbonModel,
+    design: &'a ChipDesign,
+    design_key: &'a str,
+    epoch: u64,
+    tally: &'a PipelineTally,
 }
 
 #[cfg(test)]
@@ -631,6 +817,14 @@ mod tests {
         )
     }
 
+    fn sc(hits: u64, misses: u64) -> StageCounters {
+        StageCounters {
+            hits,
+            cross_hits: 0,
+            misses,
+        }
+    }
+
     fn mono(gates: f64) -> ChipDesign {
         ChipDesign::monolithic_2d(
             DieSpec::builder("d", ProcessNode::N7)
@@ -645,7 +839,7 @@ mod tests {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
         let d = mono(5.0e9);
-        let tags = EvalCache::stage_tags(&m, &w);
+        let tags = EvalCache::stage_tags(&m, Some(&w));
         let (first, hit1) = cache
             .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
             .unwrap();
@@ -659,14 +853,11 @@ mod tests {
         // Cold pass: one miss per stage. Warm pass: only the two
         // artifact heads (embodied, operational) are consulted — the
         // intermediate stages are not even looked up.
-        assert_eq!(stats.stages.embodied, StageCounters { hits: 1, misses: 1 });
-        assert_eq!(
-            stats.stages.operational,
-            StageCounters { hits: 1, misses: 1 }
-        );
-        assert_eq!(stats.stages.physical, StageCounters { hits: 0, misses: 1 });
-        assert_eq!(stats.stages.yields, StageCounters { hits: 0, misses: 1 });
-        assert_eq!(stats.stages.power, StageCounters { hits: 0, misses: 1 });
+        assert_eq!(stats.stages.embodied, sc(1, 1));
+        assert_eq!(stats.stages.operational, sc(1, 1));
+        assert_eq!(stats.stages.physical, sc(0, 1));
+        assert_eq!(stats.stages.yields, sc(0, 1));
+        assert_eq!(stats.stages.power, sc(0, 1));
         assert_eq!(stats.entries, 5);
         assert!(stats.hit_rate() > 0.0);
     }
@@ -680,7 +871,7 @@ mod tests {
         let d = mono(5.0e9);
         let w = workload();
         let base = model();
-        let tags = EvalCache::stage_tags(&base, &w);
+        let tags = EvalCache::stage_tags(&base, Some(&w));
         cache
             .lifecycle_or_eval(&tags, &base, &d, &w, &PipelineTally::default())
             .unwrap();
@@ -690,7 +881,7 @@ mod tests {
                 .use_region(GridRegion::France)
                 .build(),
         );
-        let moved_tags = EvalCache::stage_tags(&moved, &w);
+        let moved_tags = EvalCache::stage_tags(&moved, Some(&w));
         assert_eq!(tags.embodied, moved_tags.embodied);
         assert_ne!(tags.operational, moved_tags.operational);
         let (report, hit) = cache
@@ -700,19 +891,16 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(
             stats.stages.embodied,
-            StageCounters { hits: 1, misses: 1 },
+            sc(1, 1),
             "embodied artifact answered from the store"
         );
         assert_eq!(
             stats.stages.physical,
-            StageCounters { hits: 1, misses: 1 },
+            sc(1, 1),
             "geometry reused for the new operational stage"
         );
-        assert_eq!(stats.stages.power, StageCounters { hits: 1, misses: 1 });
-        assert_eq!(
-            stats.stages.operational,
-            StageCounters { hits: 0, misses: 2 }
-        );
+        assert_eq!(stats.stages.power, sc(1, 1));
+        assert_eq!(stats.stages.operational, sc(0, 2));
         // And the re-priced report matches an uncached evaluation.
         let fresh = moved.lifecycle(&d, &w).unwrap();
         assert_eq!(report.unwrap(), fresh);
@@ -724,7 +912,7 @@ mod tests {
         let d = mono(5.0e9);
         let w = workload();
         let base = model();
-        let tags = EvalCache::stage_tags(&base, &w);
+        let tags = EvalCache::stage_tags(&base, Some(&w));
         cache
             .lifecycle_or_eval(&tags, &base, &d, &w, &PipelineTally::default())
             .unwrap();
@@ -734,7 +922,7 @@ mod tests {
                 .fab_region(GridRegion::Renewable)
                 .build(),
         );
-        let moved_tags = EvalCache::stage_tags(&moved, &w);
+        let moved_tags = EvalCache::stage_tags(&moved, Some(&w));
         assert_eq!(tags.operational, moved_tags.operational);
         assert_ne!(tags.embodied, moved_tags.embodied);
         let (report, _) = cache
@@ -743,10 +931,10 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(
             stats.stages.operational,
-            StageCounters { hits: 1, misses: 1 },
+            sc(1, 1),
             "operational artifact answered from the store"
         );
-        assert_eq!(stats.stages.embodied, StageCounters { hits: 0, misses: 2 });
+        assert_eq!(stats.stages.embodied, sc(0, 2));
         assert_eq!(report.unwrap(), moved.lifecycle(&d, &w).unwrap());
     }
 
@@ -790,7 +978,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let tags = EvalCache::stage_tags(&m, &w);
+        let tags = EvalCache::stage_tags(&m, Some(&w));
         let (r1, hit1) = cache
             .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
             .unwrap();
@@ -811,7 +999,7 @@ mod tests {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
         let d = mono(5.0e9);
-        let tags = EvalCache::stage_tags(&m, &w);
+        let tags = EvalCache::stage_tags(&m, Some(&w));
         cache
             .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
             .unwrap();
@@ -820,7 +1008,7 @@ mod tests {
             Throughput::from_tops(50.0),
             TimeSpan::from_hours(2_000.0),
         );
-        let longer_tags = EvalCache::stage_tags(&m, &longer);
+        let longer_tags = EvalCache::stage_tags(&m, Some(&longer));
         assert_eq!(tags.embodied, longer_tags.embodied);
         assert_ne!(tags.operational, longer_tags.operational);
         let (_, hit) = cache
@@ -834,7 +1022,7 @@ mod tests {
     fn clear_drops_entries() {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
-        let tags = EvalCache::stage_tags(&m, &w);
+        let tags = EvalCache::stage_tags(&m, Some(&w));
         cache
             .lifecycle_or_eval(&tags, &m, &mono(5.0e9), &w, &PipelineTally::default())
             .unwrap();
@@ -850,21 +1038,100 @@ mod tests {
         // dropped artifact is only a recompute, never a wrong answer.
         let cell: StageCell<u8> = StageCell::default();
         for i in 0..MAX_STAGE_ENTRIES {
-            cell.insert(0, &format!("k{i}"), 1);
+            cell.insert(0, &format!("k{i}"), 0, 1);
         }
         assert_eq!(cell.len(), MAX_STAGE_ENTRIES);
-        cell.insert(1, "overflow", 2);
+        cell.insert(1, "overflow", 0, 2);
         assert_eq!(cell.len(), 1, "cap reached → wholesale drop + new entry");
         let tally = TallyPair::default();
-        assert_eq!(cell.lookup(1, "overflow", &tally), Some(2));
-        assert_eq!(cell.lookup(0, "k0", &tally), None);
+        assert_eq!(cell.lookup(1, "overflow", 0, &tally), Some(2));
+        assert_eq!(cell.lookup(0, "k0", 0, &tally), None);
+    }
+
+    #[test]
+    fn cross_epoch_hits_are_attributed_to_earlier_requests() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let d = mono(5.0e9);
+        let tags = EvalCache::stage_tags(&m, Some(&w));
+        // Request 1: cold.
+        cache.advance_epoch();
+        let t1 = PipelineTally::default();
+        cache.lifecycle_or_eval(&tags, &m, &d, &w, &t1).unwrap();
+        assert_eq!(t1.snapshot().cross_hits(), 0);
+        // Request 2: both artifact heads come from request 1.
+        cache.advance_epoch();
+        let t2 = PipelineTally::default();
+        cache.lifecycle_or_eval(&tags, &m, &d, &w, &t2).unwrap();
+        let s2 = t2.snapshot();
+        assert_eq!(s2.hits(), 2);
+        assert_eq!(s2.cross_hits(), 2, "warmth came from the earlier epoch");
+        assert!((s2.cross_hit_rate() - 1.0).abs() < 1e-12);
+        // A re-evaluation *within* request 2 hits, but not cross-epoch.
+        let t3 = PipelineTally::default();
+        let moved = CarbonModel::new(
+            ModelContext::builder()
+                .use_region(GridRegion::France)
+                .build(),
+        );
+        let moved_tags = EvalCache::stage_tags(&moved, Some(&w));
+        cache
+            .lifecycle_or_eval(&moved_tags, &moved, &d, &w, &t3)
+            .unwrap();
+        let s3 = t3.snapshot();
+        // Embodied head: cross hit (inserted in request 1). The
+        // physical/power artifacts under the recomputed operational
+        // stage are cross hits too.
+        assert_eq!(s3.embodied.cross_hits, 1);
+        assert_eq!(s3.operational.misses, 1);
+        // Cumulative counters carry the same attribution.
+        assert_eq!(
+            cache.stats().stages.cross_hits(),
+            s2.cross_hits() + s3.cross_hits()
+        );
+    }
+
+    #[test]
+    fn embodied_only_requests_share_upstream_artifacts_with_lifecycle() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let d = mono(5.0e9);
+        // Embodied-only request warms the embodied chain...
+        cache.advance_epoch();
+        let only_tags = EvalCache::stage_tags(&m, None);
+        let t1 = PipelineTally::default();
+        let b = cache.embodied_or_eval(&only_tags, &m, &d, &t1).unwrap();
+        assert!(b.is_some());
+        assert_eq!(t1.snapshot().embodied.misses, 1);
+        // ...and a later lifecycle request answers embodied from it.
+        cache.advance_epoch();
+        let life_tags = EvalCache::stage_tags(&m, Some(&w));
+        let t2 = PipelineTally::default();
+        let (report, _) = cache
+            .lifecycle_or_eval(&life_tags, &m, &d, &w, &t2)
+            .unwrap();
+        let fresh = m.lifecycle(&d, &w).unwrap();
+        assert_eq!(report.unwrap(), fresh);
+        let s2 = t2.snapshot();
+        assert_eq!(
+            s2.embodied,
+            StageCounters {
+                hits: 1,
+                cross_hits: 1,
+                misses: 0
+            }
+        );
+        // The physical artifact under the operational stage is shared
+        // too; only power + operational actually ran.
+        assert_eq!(s2.physical.cross_hits, 1);
+        assert_eq!(s2.operational.misses, 1);
     }
 
     #[test]
     fn stats_deltas_compose() {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
-        let tags = EvalCache::stage_tags(&m, &w);
+        let tags = EvalCache::stage_tags(&m, Some(&w));
         let before = cache.stats().stages;
         cache
             .lifecycle_or_eval(&tags, &m, &mono(5.0e9), &w, &PipelineTally::default())

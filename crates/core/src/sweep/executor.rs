@@ -182,7 +182,7 @@ impl SweepExecutor {
         // key, so entries from one configuration can never answer
         // another's lookups, even when concurrent `execute` calls race
         // on a shared executor.
-        let tags = EvalCache::stage_tags(model, workload);
+        let tags = EvalCache::stage_tags(model, Some(workload));
         // Per-call tally: every lookup this call makes is counted here
         // as well as on the cache's cumulative counters, so the
         // reported per-stage stats are exact even when other `execute`

@@ -33,7 +33,7 @@ use tdc_technode::ProcessNode;
 use tdc_units::Efficiency;
 use tdc_yield::StackingFlow;
 
-mod cache;
+pub(crate) mod cache;
 mod executor;
 mod plan;
 

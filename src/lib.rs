@@ -99,6 +99,13 @@ pub mod pipeline {
     pub use tdc_core::pipeline::*;
 }
 
+/// The request-serving layer: long-lived sessions answering scenario
+/// request streams from warm per-stage artifacts
+/// (`tdc-core::service`).
+pub mod service {
+    pub use tdc_core::service::*;
+}
+
 /// Baseline carbon models (`tdc-baselines`).
 pub mod baselines {
     pub use tdc_baselines::*;
@@ -120,6 +127,9 @@ pub use tdc_yield::StackingFlow;
 /// One-stop import for applications.
 pub mod prelude {
     pub use tdc_core::sensitivity::{sensitivity_report, SensitivityEntry};
+    pub use tdc_core::service::{
+        EvalRequest, EvalResponse, Evaluated, RequestStats, ScenarioSession, SessionStats,
+    };
     pub use tdc_core::sweep::{
         CacheStats, DesignSweep, EvalCache, PipelineStats, StageCounters, SweepEntry,
         SweepExecutor, SweepPlan, SweepPoint, SweepResult, SweepStats,
