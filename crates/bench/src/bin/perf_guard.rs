@@ -22,7 +22,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
+use tdc_bench::pareto_space;
 use tdc_cli::JsonValue;
+use tdc_core::explore;
 use tdc_core::service::{EvalRequest, ScenarioSession};
 use tdc_core::sweep::{DesignSweep, SweepExecutor, SweepPlan};
 use tdc_core::{CarbonModel, ModelContext, Workload};
@@ -175,6 +177,42 @@ fn run() -> Result<u32, String> {
         "staged_warm_speedup",
         whole_design / staged_warm,
         floor(&floors, "staged_warm_speedup_min")?,
+    );
+
+    // ---- Deterministic: exploration refinement reuse ----
+    // The shared `pareto_space` fixture (mirroring
+    // scenarios/pareto_3d_vs_2d.json, also measured by
+    // benches/explore.rs): adaptive lifetime refinement on a shared
+    // executor must answer most stage lookups from the store
+    // (lifetime re-prices only the operational stage), and beat a
+    // fresh-executor-per-sample exhaustive sweep of the same
+    // resolution by a wide reuse multiple. Counter-based — no timing
+    // flake.
+    let explore_executor = SweepExecutor::serial();
+    let explored = explore::run(
+        &explore_executor,
+        &ModelContext::default(),
+        &pareto_space::plan(),
+        &pareto_space::workload(),
+        &pareto_space::spec(),
+    )
+    .expect("explores");
+    let refine = explored.report().refine.as_ref().expect("refinement ran");
+    assert!(
+        !refine.crossings.is_empty(),
+        "the lifetime crossing disappeared from the guard space"
+    );
+    let refine_rate = explored.stats().refine_stages.warm_hit_rate();
+    guard.check(
+        "explore_refine_warm_rate",
+        refine_rate,
+        floor(&floors, "explore_refine_warm_rate_min")?,
+    );
+    let cold_exhaustive = pareto_space::cold_exhaustive_stages(refine.evaluations);
+    guard.check(
+        "explore_refine_reuse_multiple",
+        refine_rate / cold_exhaustive.warm_hit_rate().max(1e-9),
+        floor(&floors, "explore_refine_reuse_multiple_min")?,
     );
 
     // ---- Deterministic: cross-request reuse over the scenario batch ----

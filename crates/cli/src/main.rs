@@ -3,20 +3,23 @@
 //! ```text
 //! tdc run         <scenario.json>     single evaluation (lifecycle, or embodied-only without a workload)
 //! tdc sweep       <scenario.json>     design-space sweep, ranked by life-cycle carbon
+//! tdc explore     <scenario.json>     Pareto frontier + Eq. 2 ranking over the sweep plan
 //! tdc sensitivity <scenario.json>     one-at-a-time tornado analysis
 //! tdc batch       <dir|files...>      many scenario files on one shared warm session
 //! tdc serve                           JSONL request/response service on stdin/stdout
 //! tdc scenarios                       list preset names scenario files can reference
 //!
 //! options: --format table|json|csv   --out <path>   --workers <n>   --serial
-//!          --repeat <n>   --max-inflight <n>
+//!          --repeat <n>   --max-inflight <n>   --baseline <scenario.json>
 //! ```
 
 use std::process::ExitCode;
 use tdc_cli::report::{
-    render_embodied, render_lifecycle, render_sensitivity, render_sweep, OutputFormat,
+    render_decision, render_embodied, render_explore, render_lifecycle, render_sensitivity,
+    render_sweep, OutputFormat,
 };
 use tdc_cli::Scenario;
+use tdc_core::explore::{ExploreStats, RefineReport};
 use tdc_core::sensitivity::sensitivity_report;
 use tdc_core::service::summary::stages_kv;
 use tdc_core::service::ScenarioSession;
@@ -30,8 +33,13 @@ USAGE:
     tdc <COMMAND> [OPTIONS] [<scenario.json>...]
 
 COMMANDS:
-    run           Evaluate the scenario's design (lifecycle; embodied-only without a workload)
+    run           Evaluate the scenario's design (lifecycle; embodied-only
+                  without a workload); with --baseline, additionally report
+                  the Eq. 2 decision metrics against the baseline design
     sweep         Explore the scenario's design space, ranked by life-cycle carbon
+    explore       Carbon-aware exploration of the sweep plan: constraints,
+                  Pareto frontier, Eq. 2 baseline ranking, and adaptive axis
+                  refinement (the scenario's `explore` block)
     sensitivity   One-at-a-time sensitivity (tornado) analysis of the design
     batch         Evaluate many scenario files (or a directory of them) on one
                   shared warm session; stdout is byte-identical to running each
@@ -44,21 +52,25 @@ COMMANDS:
 OPTIONS:
     --format <table|json|csv>   Output format (default: table; not `serve`)
     --out <path>                Write the report to a file instead of stdout
-                                (`run`/`sweep`/`sensitivity` only)
+                                (`run`/`sweep`/`explore`/`sensitivity` only)
     --workers <n>               Sweep worker threads (0 = one per core; overrides
-                                the scenario; `sweep`/`batch`/`serve`)
+                                the scenario; `sweep`/`explore`/`batch`/`serve`)
     --serial                    Shorthand for --workers 1
     --repeat <n>                Execute the sweep n times on one warm executor,
                                 reporting per-stage cache hit-rates per round
                                 (`sweep` only; the report is from the last round)
     --max-inflight <n>          Frames evaluating at once (`serve` only;
                                 default 1 = fully sequential)
+    --baseline <scenario.json>  Compare the scenario's design against this
+                                file's design via Eq. 2 (`run` only; the
+                                scenario's workload and context are used)
 
 Scenario files are documented in docs/SCENARIOS.md; runnable examples
 live in scenarios/. The batch/serve surfaces are documented in
-docs/SERVING.md.
+docs/SERVING.md; the exploration engine in docs/EXPLORE.md.
 ";
 
+#[derive(Debug)]
 struct Options {
     command: String,
     files: Vec<String>,
@@ -67,6 +79,7 @@ struct Options {
     workers: Option<usize>,
     repeat: usize,
     max_inflight: usize,
+    baseline: Option<String>,
 }
 
 impl Options {
@@ -106,6 +119,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
         workers: None,
         repeat: 1,
         max_inflight: 1,
+        baseline: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -141,6 +155,9 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
                 }
                 options.max_inflight = n;
             }
+            "--baseline" => {
+                options.baseline = Some(iter.next().ok_or("--baseline needs a scenario file")?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -151,35 +168,73 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
     Ok(options)
 }
 
+/// Every evaluating/serving command the binary dispatches on. The
+/// option gates below are defined as subsets of this list and checked
+/// against it by `gating_table_covers_only_known_commands`, so adding
+/// a command without updating the gates fails the build's tests
+/// instead of drifting silently.
+const EVAL_COMMANDS: &[&str] = &[
+    "run",
+    "sweep",
+    "explore",
+    "sensitivity",
+    "batch",
+    "serve",
+    "scenarios",
+];
+
+/// Commands an option applies to; everything else rejects it (the
+/// same reject-don't-ignore stance as the scenario schema). One row
+/// per option — the single place to touch when a command gains an
+/// option.
+const OPTION_GATES: &[(&str, &[&str])] = &[
+    (
+        "--format",
+        &["run", "sweep", "explore", "sensitivity", "batch"],
+    ),
+    ("--out", &["run", "sweep", "explore", "sensitivity"]),
+    (
+        "--workers/--serial",
+        &["sweep", "explore", "batch", "serve"],
+    ),
+    ("--repeat", &["sweep"]),
+    ("--max-inflight", &["serve"]),
+    ("--baseline", &["run"]),
+];
+
+/// Commands that take no scenario-file arguments at all.
+const NO_FILE_COMMANDS: &[&str] = &["scenarios", "help", "--help", "-h", "serve"];
+
+fn gate(option: &str) -> &'static [&'static str] {
+    OPTION_GATES
+        .iter()
+        .find(|(name, _)| *name == option)
+        .map(|(_, commands)| *commands)
+        .unwrap_or_else(|| panic!("unknown option gate `{option}`"))
+}
+
 /// Rejects option/command combinations a command would silently
-/// ignore, the same way the scenario schema rejects unknown fields.
+/// ignore, driven entirely by the [`OPTION_GATES`] table.
 fn validate(options: &Options) -> Result<(), String> {
     let command = options.command.as_str();
-    if options.workers.is_some() && !matches!(command, "sweep" | "batch" | "serve") {
-        return Err(format!(
-            "--workers/--serial only apply to `tdc sweep`, `tdc batch`, and `tdc serve`, \
-             not `tdc {command}`"
-        ));
-    }
-    if options.repeat != 1 && command != "sweep" {
-        return Err(format!(
-            "--repeat only applies to `tdc sweep`, not `tdc {command}`"
-        ));
-    }
-    if options.max_inflight != 1 && command != "serve" {
-        return Err(format!(
-            "--max-inflight only applies to `tdc serve`, not `tdc {command}`"
-        ));
-    }
-    if options.out.is_some() && !matches!(command, "run" | "sweep" | "sensitivity") {
-        return Err(format!("--out does not apply to `tdc {command}`"));
-    }
-    if options.format.is_some() && !matches!(command, "run" | "sweep" | "sensitivity" | "batch") {
-        return Err(format!("--format does not apply to `tdc {command}`"));
-    }
-    if matches!(command, "scenarios" | "help" | "--help" | "-h" | "serve")
-        && !options.files.is_empty()
-    {
+    let check = |given: bool, option: &str| -> Result<(), String> {
+        let allowed = gate(option);
+        if given && !allowed.contains(&command) {
+            let list: Vec<String> = allowed.iter().map(|c| format!("`tdc {c}`")).collect();
+            return Err(format!(
+                "{option} only applies to {}, not `tdc {command}`",
+                list.join(", ")
+            ));
+        }
+        Ok(())
+    };
+    check(options.format.is_some(), "--format")?;
+    check(options.out.is_some(), "--out")?;
+    check(options.workers.is_some(), "--workers/--serial")?;
+    check(options.repeat != 1, "--repeat")?;
+    check(options.max_inflight != 1, "--max-inflight")?;
+    check(options.baseline.is_some(), "--baseline")?;
+    if NO_FILE_COMMANDS.contains(&command) && !options.files.is_empty() {
         return Err(format!("`tdc {command}` takes no scenario file"));
     }
     Ok(())
@@ -207,6 +262,33 @@ fn cmd_run(options: &Options) -> Result<(), String> {
     let scenario = load_scenario(options)?;
     let model = CarbonModel::new(scenario.build_context().map_err(|e| e.to_string())?);
     let design = scenario.build_design().map_err(|e| e.to_string())?;
+    if let Some(baseline_path) = &options.baseline {
+        // Eq. 2 standalone: the baseline file contributes its design;
+        // workload and context come from the scenario being evaluated,
+        // so both designs are priced under identical conditions.
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
+        let baseline = Scenario::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let base_design = baseline
+            .build_design()
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        let workload = scenario
+            .build_workload()
+            .map_err(|e| e.to_string())?
+            .ok_or("`tdc run --baseline` needs a workload block in the scenario")?;
+        let comparison = model
+            .compare(&base_design, &design, &workload)
+            .map_err(|e| e.to_string())?;
+        return emit(
+            options,
+            &render_decision(
+                &scenario.name,
+                &baseline.name,
+                &comparison,
+                options.format(),
+            ),
+        );
+    }
     let report = match scenario.build_workload().map_err(|e| e.to_string())? {
         Some(workload) => {
             let lifecycle = model
@@ -280,6 +362,80 @@ fn sweep_stats_line(stats: &tdc_core::sweep::SweepStats, round: usize, rounds: u
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses,
         stages_kv(&stats.stages),
+    )
+}
+
+fn cmd_explore(options: &Options) -> Result<(), String> {
+    let scenario = load_scenario(options)?;
+    let context = scenario.build_context().map_err(|e| e.to_string())?;
+    let workload = scenario
+        .build_workload()
+        .map_err(|e| e.to_string())?
+        .ok_or("`tdc explore` needs a workload block")?;
+    let plan = scenario
+        .build_sweep()
+        .map_err(|e| e.to_string())?
+        .plan()
+        .map_err(|e| e.to_string())?;
+    let spec = scenario.build_explore().map_err(|e| e.to_string())?;
+    let workers = options
+        .workers
+        .or_else(|| scenario.sweep_workers())
+        .unwrap_or(0);
+    let executor = SweepExecutor::new(workers);
+    let result = tdc_core::explore::run(&executor, &context, &plan, &workload, &spec)
+        .map_err(|e| e.to_string())?;
+    // Bookkeeping on stderr, stdout worker-count-invariant — the same
+    // split as `tdc sweep` (and what the CI smoke byte-diff relies on).
+    let report = result.report();
+    eprintln!(
+        "{}",
+        explore_stats_line(
+            &result.stats(),
+            report.frontier.len(),
+            report.dominated,
+            report.infeasible
+        )
+    );
+    if let Some(refine) = &report.refine {
+        eprintln!("{}", refine_stats_line(refine, &result.stats()));
+    }
+    emit(
+        options,
+        &render_explore(&scenario.name, report, options.format()),
+    )
+}
+
+/// The `tdc explore` stderr summary, in the stable `key=value` format
+/// shared with `sweep`/`batch`/`serve`.
+fn explore_stats_line(
+    stats: &ExploreStats,
+    frontier: usize,
+    dominated: usize,
+    infeasible: usize,
+) -> String {
+    format!(
+        "explore points={} ranked={} dropped={} frontier={frontier} dominated={dominated} \
+         infeasible={infeasible} workers={} {}",
+        stats.points,
+        stats.evaluated,
+        stats.dropped,
+        stats.workers,
+        stages_kv(&stats.stages),
+    )
+}
+
+/// The refinement-loop stderr summary: how many rounds/evaluations the
+/// bisection spent and the per-stage reuse of exactly those
+/// evaluations (CI asserts the integer `hits=` field is non-zero).
+fn refine_stats_line(refine: &RefineReport, stats: &ExploreStats) -> String {
+    format!(
+        "refine axis={} rounds={} evals={} crossings={} {}",
+        refine.axis.label(),
+        refine.rounds,
+        refine.evaluations,
+        refine.crossings.len(),
+        stages_kv(&stats.refine_stages),
     )
 }
 
@@ -362,6 +518,7 @@ fn main() -> ExitCode {
     let result = match options.command.as_str() {
         "run" => cmd_run(&options),
         "sweep" => cmd_sweep(&options),
+        "explore" => cmd_explore(&options),
         "sensitivity" => cmd_sensitivity(&options),
         "batch" => cmd_batch(&options),
         "serve" => cmd_serve(&options),
@@ -373,13 +530,98 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(format!(
+            "unknown command `{other}` (expected one of: {})",
+            EVAL_COMMANDS.join(", ")
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Options, String> {
+        parse_args(tokens.iter().map(ToString::to_string).collect())
+    }
+
+    /// The anti-drift audit: every command an option gate names must
+    /// be a real dispatched command, so renaming/removing a command
+    /// without touching the gates fails here instead of silently
+    /// accepting (or rejecting) options.
+    #[test]
+    fn gating_table_covers_only_known_commands() {
+        for (option, commands) in OPTION_GATES {
+            for command in *commands {
+                assert!(
+                    EVAL_COMMANDS.contains(command),
+                    "{option} names unknown command `{command}`"
+                );
+            }
+        }
+        for command in NO_FILE_COMMANDS {
+            assert!(
+                EVAL_COMMANDS.contains(command) || command.starts_with('-') || *command == "help",
+                "no-file gate names unknown command `{command}`"
+            );
+        }
+    }
+
+    #[test]
+    fn explore_accepts_the_sweep_style_options() {
+        for tokens in [
+            &["explore", "s.json", "--format", "csv"][..],
+            &["explore", "s.json", "--out", "/tmp/x"][..],
+            &["explore", "s.json", "--workers", "8"][..],
+            &["explore", "s.json", "--serial"][..],
+        ] {
+            assert!(parse(tokens).is_ok(), "{tokens:?}");
+        }
+    }
+
+    #[test]
+    fn options_are_rejected_outside_their_gate() {
+        for (tokens, fragment) in [
+            (&["explore", "s.json", "--repeat", "2"][..], "--repeat"),
+            (
+                &["explore", "s.json", "--baseline", "b.json"][..],
+                "--baseline",
+            ),
+            (&["run", "s.json", "--workers", "2"][..], "--workers"),
+            (
+                &["sweep", "s.json", "--baseline", "b.json"][..],
+                "--baseline",
+            ),
+            (
+                &["sensitivity", "s.json", "--max-inflight", "2"][..],
+                "--max-inflight",
+            ),
+            (&["serve", "--format", "json"][..], "--format"),
+            (&["batch", "d", "--out", "/tmp/x"][..], "--out"),
+        ] {
+            let err = parse(tokens).unwrap_err();
+            assert!(err.contains(fragment), "{tokens:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn baseline_applies_to_run() {
+        let options = parse(&["run", "s.json", "--baseline", "b.json"]).unwrap();
+        assert_eq!(options.baseline.as_deref(), Some("b.json"));
+    }
+
+    #[test]
+    fn no_file_commands_reject_files() {
+        for command in ["scenarios", "serve", "help"] {
+            let err = parse(&[command, "s.json"]).unwrap_err();
+            assert!(err.contains("takes no scenario file"), "{command}: {err}");
         }
     }
 }

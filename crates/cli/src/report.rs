@@ -9,11 +9,13 @@
 
 use crate::json::JsonValue;
 use crate::table::TextTable;
+use tdc_core::explore::{ExploreReport, FrontierEntry};
 use tdc_core::sensitivity::SensitivityEntry;
 use tdc_core::service::EvalResponse;
 use tdc_core::sweep::SweepEntry;
-use tdc_core::{EmbodiedBreakdown, LifecycleReport};
+use tdc_core::{ChoiceOutcome, ComparisonReport, EmbodiedBreakdown, LifecycleReport};
 use tdc_integration::IntegrationTechnology;
+use tdc_units::TimeSpan;
 
 /// The output format of a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -360,6 +362,440 @@ pub fn render_sweep(scenario: &str, entries: &[SweepEntry], format: OutputFormat
     }
 }
 
+/// The stable token of an Eq. 2 choice window.
+fn outcome_token(outcome: ChoiceOutcome) -> &'static str {
+    match outcome {
+        ChoiceOutcome::AlwaysBetter => "always-better",
+        ChoiceOutcome::BetterUntil(_) => "better-until",
+        ChoiceOutcome::BetterAfter(_) => "better-after",
+        ChoiceOutcome::NeverBetter => "never-better",
+    }
+}
+
+/// Years with three decimals; `inf` for unbounded spans (the CSV/table
+/// spelling — JSON renders non-finite numbers as `null`).
+fn years(span: TimeSpan) -> String {
+    if span.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{:.3}", span.years())
+    }
+}
+
+fn objective_value(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// The full JSON document of a `tdc explore` — exactly what
+/// `--format json` prints (pretty) and a `tdc serve` response embeds
+/// (compact). Only the deterministic report half is rendered, so the
+/// document is byte-identical for any worker count.
+#[must_use]
+pub fn explore_document(scenario: &str, report: &ExploreReport) -> JsonValue {
+    let objective_labels: Vec<JsonValue> = report
+        .objectives
+        .iter()
+        .map(|o| JsonValue::String(o.label().to_owned()))
+        .collect();
+    let objectives_object = |values: &[f64]| {
+        JsonValue::Object(
+            report
+                .objectives
+                .iter()
+                .zip(values)
+                .map(|(o, v)| (o.label().to_owned(), JsonValue::Number(*v)))
+                .collect(),
+        )
+    };
+    let frontier = report
+        .frontier
+        .iter()
+        .enumerate()
+        .map(|(rank, f)| {
+            let e = &f.entry;
+            let decision = f.decision.as_ref().map_or(JsonValue::Null, |d| {
+                JsonValue::Object(vec![
+                    ("baseline".to_owned(), JsonValue::String(d.baseline.clone())),
+                    (
+                        "outcome".to_owned(),
+                        JsonValue::String(outcome_token(d.metrics.outcome).to_owned()),
+                    ),
+                    (
+                        "tc_years".to_owned(),
+                        JsonValue::Number(d.metrics.tc.years()),
+                    ),
+                    (
+                        "tr_years".to_owned(),
+                        JsonValue::Number(d.metrics.tr.years()),
+                    ),
+                    (
+                        "embodied_delta_kg".to_owned(),
+                        JsonValue::Number(d.metrics.embodied_delta.kg()),
+                    ),
+                    (
+                        "power_saving_w".to_owned(),
+                        JsonValue::Number(d.metrics.power_saving.watts()),
+                    ),
+                ])
+            });
+            JsonValue::Object(vec![
+                ("rank".to_owned(), JsonValue::Number((rank + 1) as f64)),
+                ("label".to_owned(), JsonValue::String(e.label.clone())),
+                (
+                    "node_nm".to_owned(),
+                    JsonValue::Number(f64::from(e.node.nanometers())),
+                ),
+                (
+                    "technology".to_owned(),
+                    JsonValue::String(tech_label(e.technology).to_owned()),
+                ),
+                (
+                    "dies".to_owned(),
+                    JsonValue::Number(e.design.dies().len() as f64),
+                ),
+                ("viable".to_owned(), JsonValue::Bool(e.is_viable())),
+                ("objectives".to_owned(), objectives_object(&f.objectives)),
+                ("decision".to_owned(), decision),
+            ])
+        })
+        .collect();
+    let baseline = report.baseline.as_ref().map_or(JsonValue::Null, |b| {
+        JsonValue::Object(vec![
+            ("label".to_owned(), JsonValue::String(b.label.clone())),
+            ("on_frontier".to_owned(), JsonValue::Bool(b.on_frontier)),
+            ("objectives".to_owned(), objectives_object(&b.objectives)),
+        ])
+    });
+    let refine = report.refine.as_ref().map_or(JsonValue::Null, |r| {
+        let samples = r
+            .samples
+            .iter()
+            .map(|s| {
+                JsonValue::Object(vec![
+                    ("value".to_owned(), JsonValue::Number(s.value)),
+                    (
+                        "winner".to_owned(),
+                        s.winner
+                            .as_ref()
+                            .map_or(JsonValue::Null, |w| JsonValue::String(w.clone())),
+                    ),
+                ])
+            })
+            .collect();
+        let crossings = r
+            .crossings
+            .iter()
+            .map(|c| {
+                let label = |l: &Option<String>| {
+                    l.as_ref()
+                        .map_or(JsonValue::Null, |w| JsonValue::String(w.clone()))
+                };
+                JsonValue::Object(vec![
+                    ("lower".to_owned(), JsonValue::Number(c.lower)),
+                    ("upper".to_owned(), JsonValue::Number(c.upper)),
+                    ("below".to_owned(), label(&c.below)),
+                    ("above".to_owned(), label(&c.above)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            (
+                "axis".to_owned(),
+                JsonValue::String(r.axis.label().to_owned()),
+            ),
+            ("rounds".to_owned(), JsonValue::Number(r.rounds as f64)),
+            (
+                "evaluations".to_owned(),
+                JsonValue::Number(r.evaluations as f64),
+            ),
+            ("samples".to_owned(), JsonValue::Array(samples)),
+            ("crossings".to_owned(), JsonValue::Array(crossings)),
+        ])
+    });
+    JsonValue::Object(vec![
+        (
+            "scenario".to_owned(),
+            JsonValue::String(scenario.to_owned()),
+        ),
+        ("objectives".to_owned(), JsonValue::Array(objective_labels)),
+        ("baseline".to_owned(), baseline),
+        ("frontier".to_owned(), JsonValue::Array(frontier)),
+        (
+            "dominated".to_owned(),
+            JsonValue::Number(report.dominated as f64),
+        ),
+        (
+            "infeasible".to_owned(),
+            JsonValue::Number(report.infeasible as f64),
+        ),
+        ("refine".to_owned(), refine),
+    ])
+}
+
+fn frontier_decision_cells(f: &FrontierEntry) -> (String, String) {
+    f.decision.as_ref().map_or_else(
+        || ("baseline".to_owned(), String::new()),
+        |d| {
+            (
+                outcome_token(d.metrics.outcome).to_owned(),
+                years(d.metrics.tc),
+            )
+        },
+    )
+}
+
+/// Renders a `tdc explore` frontier report. Identical reports render
+/// identical bytes, whatever executor produced them.
+#[must_use]
+pub fn render_explore(scenario: &str, report: &ExploreReport, format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Table => {
+            let mut header: Vec<String> = vec![
+                "rank".into(),
+                "label".into(),
+                "dies".into(),
+                "viable".into(),
+            ];
+            header.extend(report.objectives.iter().map(|o| o.label().to_owned()));
+            header.push("vs baseline".into());
+            header.push("Tc years".into());
+            let mut table = TextTable::new(header);
+            for (rank, f) in report.frontier.iter().enumerate() {
+                let mut row = vec![
+                    (rank + 1).to_string(),
+                    f.entry.label.clone(),
+                    f.entry.design.dies().len().to_string(),
+                    if f.entry.is_viable() { "yes" } else { "NO" }.to_owned(),
+                ];
+                row.extend(f.objectives.iter().map(|v| objective_value(*v)));
+                let (outcome, tc) = frontier_decision_cells(f);
+                row.push(outcome);
+                row.push(tc);
+                table.push_row(row);
+            }
+            let mut out = format!("scenario: {scenario}\n\n{}", table.render());
+            out.push_str(&format!(
+                "\nfrontier: {} point(s); dominated: {}; infeasible: {}\n",
+                report.frontier.len(),
+                report.dominated,
+                report.infeasible
+            ));
+            if let Some(b) = &report.baseline {
+                let values: Vec<String> = report
+                    .objectives
+                    .iter()
+                    .zip(&b.objectives)
+                    .map(|(o, v)| format!("{} {}", o.label(), objective_value(*v)))
+                    .collect();
+                out.push_str(&format!(
+                    "baseline: {} ({}){}\n",
+                    b.label,
+                    values.join(", "),
+                    if b.on_frontier { " [on frontier]" } else { "" }
+                ));
+            }
+            if let Some(r) = &report.refine {
+                out.push_str(&format!(
+                    "refinement: {} over [{}, {}] — {} round(s), {} evaluation(s)\n",
+                    r.axis.label(),
+                    r.samples.first().map_or(0.0, |s| s.value),
+                    r.samples.last().map_or(0.0, |s| s.value),
+                    r.rounds,
+                    r.evaluations
+                ));
+                let name = |l: &Option<String>| l.clone().unwrap_or_else(|| "(none)".to_owned());
+                for c in &r.crossings {
+                    out.push_str(&format!(
+                        "  crossing in [{:.4}, {:.4}]: {} -> {}\n",
+                        c.lower,
+                        c.upper,
+                        name(&c.below),
+                        name(&c.above)
+                    ));
+                }
+            }
+            out
+        }
+        OutputFormat::Json => explore_document(scenario, report).render(),
+        OutputFormat::Csv => {
+            let mut out = String::from("rank,label,node_nm,technology,dies,viable");
+            for o in &report.objectives {
+                out.push(',');
+                out.push_str(o.label());
+            }
+            out.push_str(",outcome,tc_years,tr_years\n");
+            for (rank, f) in report.frontier.iter().enumerate() {
+                let e = &f.entry;
+                out.push_str(&format!(
+                    "{},{},{},{},{},{}",
+                    rank + 1,
+                    csv_field(&e.label),
+                    e.node.nanometers(),
+                    tech_label(e.technology),
+                    e.design.dies().len(),
+                    e.is_viable(),
+                ));
+                for v in &f.objectives {
+                    out.push(',');
+                    out.push_str(&objective_value(*v));
+                }
+                match &f.decision {
+                    None => out.push_str(",baseline,,"),
+                    Some(d) => {
+                        out.push_str(&format!(
+                            ",{},{},{}",
+                            outcome_token(d.metrics.outcome),
+                            years(d.metrics.tc),
+                            years(d.metrics.tr),
+                        ));
+                    }
+                }
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+/// The full JSON document of a `tdc run --baseline` Eq. 2 comparison.
+#[must_use]
+pub fn decision_document(scenario: &str, baseline: &str, report: &ComparisonReport) -> JsonValue {
+    let side = |r: &LifecycleReport| {
+        JsonValue::Object(vec![
+            (
+                "embodied_kg".to_owned(),
+                JsonValue::Number(r.embodied.total().kg()),
+            ),
+            (
+                "operational_kg".to_owned(),
+                JsonValue::Number(r.operational.carbon.kg()),
+            ),
+            ("total_kg".to_owned(), JsonValue::Number(r.total().kg())),
+            (
+                "viable".to_owned(),
+                JsonValue::Bool(r.operational.is_viable()),
+            ),
+        ])
+    };
+    let m = &report.metrics;
+    JsonValue::Object(vec![
+        (
+            "scenario".to_owned(),
+            JsonValue::String(scenario.to_owned()),
+        ),
+        (
+            "baseline".to_owned(),
+            JsonValue::String(baseline.to_owned()),
+        ),
+        ("baseline_report".to_owned(), side(&report.base)),
+        ("alternative_report".to_owned(), side(&report.alt)),
+        (
+            "decision".to_owned(),
+            JsonValue::Object(vec![
+                (
+                    "outcome".to_owned(),
+                    JsonValue::String(outcome_token(m.outcome).to_owned()),
+                ),
+                ("tc_years".to_owned(), JsonValue::Number(m.tc.years())),
+                ("tr_years".to_owned(), JsonValue::Number(m.tr.years())),
+                (
+                    "embodied_delta_kg".to_owned(),
+                    JsonValue::Number(m.embodied_delta.kg()),
+                ),
+                (
+                    "power_saving_w".to_owned(),
+                    JsonValue::Number(m.power_saving.watts()),
+                ),
+                (
+                    "embodied_save_pct".to_owned(),
+                    JsonValue::Number(report.embodied_save.percent()),
+                ),
+                (
+                    "overall_save_pct".to_owned(),
+                    JsonValue::Number(report.overall_save.percent()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Renders a `tdc run --baseline` Eq. 2 comparison: the scenario's
+/// design (the alternative) against the baseline scenario's design.
+#[must_use]
+pub fn render_decision(
+    scenario: &str,
+    baseline: &str,
+    report: &ComparisonReport,
+    format: OutputFormat,
+) -> String {
+    match format {
+        OutputFormat::Table => {
+            let mut table = TextTable::new(vec![
+                "design",
+                "embodied kg",
+                "operational kg",
+                "total kg",
+                "viable",
+            ]);
+            let mut side = |name: &str, r: &LifecycleReport| {
+                table.push_row(vec![
+                    name.to_owned(),
+                    kg(r.embodied.total()),
+                    kg(r.operational.carbon),
+                    kg(r.total()),
+                    if r.operational.is_viable() {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .to_owned(),
+                ]);
+            };
+            side(&format!("{baseline} (baseline)"), &report.base);
+            side(scenario, &report.alt);
+            let m = &report.metrics;
+            format!(
+                "scenario: {scenario}\n\n{}\ndecision (Eq. 2): {}  Tc={} years  Tr={} years\n\
+                 embodied delta: {} kg  power saving: {:.3} W\n\
+                 savings vs baseline: embodied {:.2} %, overall {:.2} %\n",
+                table.render(),
+                outcome_token(m.outcome),
+                years(m.tc),
+                years(m.tr),
+                kg(m.embodied_delta),
+                m.power_saving.watts(),
+                report.embodied_save.percent(),
+                report.overall_save.percent(),
+            )
+        }
+        OutputFormat::Json => decision_document(scenario, baseline, report).render(),
+        OutputFormat::Csv => {
+            let m = &report.metrics;
+            let mut out = String::from("metric,value\n");
+            out.push_str(&format!("baseline,{}\n", csv_field(baseline)));
+            out.push_str(&format!("baseline_total_kg,{}\n", kg(report.base.total())));
+            out.push_str(&format!(
+                "alternative_total_kg,{}\n",
+                kg(report.alt.total())
+            ));
+            out.push_str(&format!("outcome,{}\n", outcome_token(m.outcome)));
+            out.push_str(&format!("tc_years,{}\n", years(m.tc)));
+            out.push_str(&format!("tr_years,{}\n", years(m.tr)));
+            out.push_str(&format!("embodied_delta_kg,{}\n", kg(m.embodied_delta)));
+            out.push_str(&format!("power_saving_w,{:.3}\n", m.power_saving.watts()));
+            out.push_str(&format!(
+                "embodied_save_pct,{:.2}\n",
+                report.embodied_save.percent()
+            ));
+            out.push_str(&format!(
+                "overall_save_pct,{:.2}\n",
+                report.overall_save.percent()
+            ));
+            out
+        }
+    }
+}
+
 /// Renders a sensitivity (tornado) report.
 #[must_use]
 pub fn render_sensitivity(
@@ -414,6 +850,7 @@ pub fn render_response(scenario: &str, response: &EvalResponse, format: OutputFo
         EvalResponse::Lifecycle(r) => render_lifecycle(scenario, r, format),
         EvalResponse::Sweep(r) => render_sweep(scenario, r.entries(), format),
         EvalResponse::Sensitivity(entries) => render_sensitivity(scenario, entries, format),
+        EvalResponse::Explore(r) => render_explore(scenario, r.report(), format),
     }
 }
 
@@ -427,6 +864,7 @@ pub fn response_document(scenario: &str, response: &EvalResponse) -> JsonValue {
         EvalResponse::Lifecycle(r) => lifecycle_document(scenario, r),
         EvalResponse::Sweep(r) => sweep_document(scenario, r.entries()),
         EvalResponse::Sensitivity(entries) => sensitivity_document(scenario, entries),
+        EvalResponse::Explore(r) => explore_document(scenario, r.report()),
     }
 }
 

@@ -13,10 +13,14 @@
 //! * `context` — overrides of the model configuration (fab/use grid,
 //!   wafer, yield model, ablation knobs). Optional;
 //! * `sweep` — the design-space axes (`tdc sweep`): gate budget,
-//!   nodes, technologies, tier counts, workers. Optional.
+//!   nodes, technologies, tier counts, workers. Optional;
+//! * `explore` — the exploration layer over the sweep plan
+//!   (`tdc explore`): objectives, constraints, Eq. 2 baseline, and
+//!   adaptive refinement. Optional; requires a `sweep` block.
 
 use crate::json::{JsonError, JsonValue};
 use std::fmt;
+use tdc_core::explore::{Constraint, ExploreSpec, Objective, RefineAxis, RefineSpec};
 use tdc_core::service::EvalRequest;
 use tdc_core::sweep::DesignSweep;
 use tdc_core::{ChipDesign, DieSpec, DieYieldChoice, ModelContext, ModelError, Workload};
@@ -278,6 +282,10 @@ pub enum RequestKind {
     Sweep,
     /// One-at-a-time sensitivity (tornado) analysis.
     Sensitivity,
+    /// Carbon-aware exploration (Pareto frontier + Eq. 2 ranking)
+    /// over the scenario's `sweep` plan, driven by the `explore`
+    /// block.
+    Explore,
 }
 
 impl RequestKind {
@@ -288,6 +296,7 @@ impl RequestKind {
             "run" => RequestKind::Run,
             "sweep" => RequestKind::Sweep,
             "sensitivity" => RequestKind::Sensitivity,
+            "explore" => RequestKind::Explore,
             _ => return None,
         })
     }
@@ -299,6 +308,7 @@ impl RequestKind {
             RequestKind::Run => "run",
             RequestKind::Sweep => "sweep",
             RequestKind::Sensitivity => "sensitivity",
+            RequestKind::Explore => "explore",
         }
     }
 }
@@ -314,6 +324,7 @@ pub struct Scenario {
     workload: Option<WorkloadSpec>,
     context: ContextSpec,
     sweep: Option<SweepSpec>,
+    explore: Option<ExploreSpec>,
 }
 
 impl Scenario {
@@ -345,6 +356,7 @@ impl Scenario {
             "workload",
             "context",
             "sweep",
+            "explore",
         ])?;
         let name = fields.string("name")?.unwrap_or("scenario").to_owned();
         let description = fields.string("description")?.map(str::to_owned);
@@ -364,6 +376,10 @@ impl Scenario {
             None => None,
             Some(v) => Some(Self::parse_sweep(v)?),
         };
+        let explore = match fields.get("explore") {
+            None => None,
+            Some(v) => Some(Self::parse_explore(v)?),
+        };
         Ok(Self {
             name,
             description,
@@ -371,6 +387,7 @@ impl Scenario {
             workload,
             context,
             sweep,
+            explore,
         })
     }
 
@@ -717,12 +734,170 @@ impl Scenario {
         })
     }
 
+    fn parse_explore(value: &JsonValue) -> Result<ExploreSpec, ScenarioError> {
+        let f = Fields::new(value, "explore")?;
+        f.deny_unknown(&["objectives", "constraints", "baseline", "refine"])?;
+        let Some(objective_values) = f.array("objectives")? else {
+            return schema_err("explore.objectives", "required field is missing");
+        };
+        let mut objectives = Vec::with_capacity(objective_values.len());
+        for (i, item) in objective_values.iter().enumerate() {
+            let path = format!("explore.objectives[{i}]");
+            let token = item
+                .as_str()
+                .ok_or(())
+                .or_else(|()| schema_err::<&str>(&path, "expected a string"))?;
+            let objective = Objective::from_token(token).map_or_else(
+                || {
+                    let known: Vec<&str> =
+                        Objective::ALL.into_iter().map(Objective::label).collect();
+                    schema_err(
+                        &path,
+                        format!("unknown objective `{token}` (known: {})", known.join(", ")),
+                    )
+                },
+                Ok,
+            )?;
+            objectives.push(objective);
+        }
+        let constraints = match f.get("constraints") {
+            None => Vec::new(),
+            Some(v) => Self::parse_constraints(v)?,
+        };
+        let baseline = f.string("baseline")?.map(str::to_owned);
+        let refine = match f.get("refine") {
+            None => None,
+            Some(v) => Some(Self::parse_refine(v)?),
+        };
+        let spec = ExploreSpec {
+            objectives,
+            constraints,
+            baseline,
+            refine,
+        };
+        // Core validation (objective count, duplicates, refine ranges)
+        // is surfaced as a schema error on the block, so every `tdc`
+        // surface reports the same path-named message.
+        spec.validate()
+            .map_or_else(|m| schema_err("explore", m), |()| Ok(spec))
+    }
+
+    fn parse_constraints(value: &JsonValue) -> Result<Vec<Constraint>, ScenarioError> {
+        let f = Fields::new(value, "explore.constraints")?;
+        f.deny_unknown(&[
+            "max_package_area_mm2",
+            "max_embodied_kg",
+            "require_viable",
+            "nodes_nm",
+            "technologies",
+        ])?;
+        let mut constraints = Vec::new();
+        let positive = |key: &str| -> Result<Option<f64>, ScenarioError> {
+            match f.number(key)? {
+                None => Ok(None),
+                Some(v) if v.is_finite() && v > 0.0 => Ok(Some(v)),
+                Some(v) => schema_err(f.child(key), format!("must be positive, got {v}")),
+            }
+        };
+        if let Some(mm2) = positive("max_package_area_mm2")? {
+            constraints.push(Constraint::MaxPackageArea { mm2 });
+        }
+        if let Some(kg) = positive("max_embodied_kg")? {
+            constraints.push(Constraint::MaxEmbodied { kg });
+        }
+        if f.boolean("require_viable")?.unwrap_or(false) {
+            constraints.push(Constraint::RequireViable);
+        }
+        if let Some(items) = f.array("nodes_nm")? {
+            let mut nodes = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let path = format!("explore.constraints.nodes_nm[{i}]");
+                let nm = item
+                    .as_f64()
+                    .ok_or(())
+                    .or_else(|()| schema_err::<f64>(&path, "expected a number"))?;
+                nodes.push(parse_node(nm, &path)?);
+            }
+            if nodes.is_empty() {
+                return schema_err("explore.constraints.nodes_nm", "the allowlist is empty");
+            }
+            constraints.push(Constraint::Nodes(nodes));
+        }
+        if let Some(items) = f.array("technologies")? {
+            let mut techs = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let path = format!("explore.constraints.technologies[{i}]");
+                let token = item
+                    .as_str()
+                    .ok_or(())
+                    .or_else(|()| schema_err::<&str>(&path, "expected a string"))?;
+                techs.push(parse_tech(token, &path)?);
+            }
+            if techs.is_empty() {
+                return schema_err("explore.constraints.technologies", "the allowlist is empty");
+            }
+            constraints.push(Constraint::Technologies(techs));
+        }
+        Ok(constraints)
+    }
+
+    fn parse_refine(value: &JsonValue) -> Result<RefineSpec, ScenarioError> {
+        let f = Fields::new(value, "explore.refine")?;
+        f.deny_unknown(&["axis", "min", "max", "samples", "budget", "tolerance"])?;
+        let Some(token) = f.string("axis")? else {
+            return schema_err("explore.refine.axis", "required field is missing");
+        };
+        let axis = RefineAxis::from_token(token).map_or_else(
+            || {
+                let known: Vec<&str> = RefineAxis::ALL.into_iter().map(RefineAxis::label).collect();
+                schema_err(
+                    "explore.refine.axis",
+                    format!("unknown axis `{token}` (known: {})", known.join(", ")),
+                )
+            },
+            Ok,
+        )?;
+        let min = f.required_number("min")?;
+        let max = f.required_number("max")?;
+        let mut spec = RefineSpec::new(axis, min, max);
+        let whole = |key: &str, hi: f64| -> Result<Option<usize>, ScenarioError> {
+            match f.number(key)? {
+                None => Ok(None),
+                Some(v) if v.fract() == 0.0 && (0.0..=hi).contains(&v) =>
+                {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    Ok(Some(v as usize))
+                }
+                Some(v) => schema_err(
+                    f.child(key),
+                    format!("expected a whole count in 0..={hi}, got {v}"),
+                ),
+            }
+        };
+        if let Some(samples) = whole("samples", 65.0)? {
+            spec.samples = samples;
+        }
+        if let Some(budget) = whole("budget", 1024.0)? {
+            spec.budget = budget;
+        }
+        if let Some(tolerance) = f.number("tolerance")? {
+            spec.tolerance = tolerance;
+        }
+        // The range/sampling/tolerance validation lives in core; name
+        // the block so the error is path-addressed like the rest.
+        spec.validate()
+            .map_or_else(|m| schema_err("explore.refine", m), |()| Ok(spec))
+    }
+
     /// The evaluating command `tdc batch` infers for this file: a
-    /// scenario with a `sweep` block sweeps, anything else runs —
-    /// exactly the command a user would invoke on the file alone.
+    /// scenario with an `explore` block explores, one with only a
+    /// `sweep` block sweeps, anything else runs — exactly the command
+    /// a user would invoke on the file alone.
     #[must_use]
     pub fn infer_request_kind(&self) -> RequestKind {
-        if self.has_sweep() {
+        if self.has_explore() {
+            RequestKind::Explore
+        } else if self.has_sweep() {
             RequestKind::Sweep
         } else {
             RequestKind::Run
@@ -769,6 +944,12 @@ impl Scenario {
                 design: self.build_design()?,
                 workload: required_workload("sensitivity")?,
             }),
+            RequestKind::Explore => Ok(EvalRequest::Explore {
+                context,
+                plan: self.build_sweep()?.plan()?,
+                workload: required_workload("explore")?,
+                spec: self.build_explore()?,
+            }),
         }
     }
 
@@ -788,6 +969,24 @@ impl Scenario {
     #[must_use]
     pub fn has_sweep(&self) -> bool {
         self.sweep.is_some()
+    }
+
+    /// Whether an `explore` block is present.
+    #[must_use]
+    pub fn has_explore(&self) -> bool {
+        self.explore.is_some()
+    }
+
+    /// Elaborates the `explore` block into an [`ExploreSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the block is missing.
+    pub fn build_explore(&self) -> Result<ExploreSpec, ScenarioError> {
+        self.explore.clone().map_or_else(
+            || schema_err("explore", "this command needs an explore block"),
+            Ok,
+        )
     }
 
     /// Worker-thread request of the `sweep` block, if any.

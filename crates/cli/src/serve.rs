@@ -141,7 +141,8 @@ fn parse_frame(line: &str) -> Frame {
                         &id,
                         Some("command"),
                         &format!(
-                            "unknown command `{other}` (run, sweep, sensitivity, stats, shutdown)"
+                            "unknown command `{other}` (run, sweep, explore, sensitivity, \
+                             stats, shutdown)"
                         ),
                     ),
                 };

@@ -12,7 +12,7 @@ use std::io::BufRead as _;
 use std::path::{Path, PathBuf};
 use tdc_cli::batch::{expand_paths, run_batch};
 use tdc_cli::report::{
-    render_embodied, render_lifecycle, render_response, render_sweep, OutputFormat,
+    render_embodied, render_explore, render_lifecycle, render_response, render_sweep, OutputFormat,
 };
 use tdc_cli::serve::serve;
 use tdc_cli::{JsonValue, RequestKind, Scenario};
@@ -50,6 +50,27 @@ fn fresh_process_output(file: &Path, format: OutputFormat) -> String {
                 .execute(&model, &plan, &workload)
                 .expect("sweep evaluates");
             render_sweep(&scenario.name, result.entries(), format)
+        }
+        RequestKind::Explore => {
+            let workload = scenario
+                .build_workload()
+                .expect("workload builds")
+                .expect("explore scenarios carry workloads");
+            let plan = scenario
+                .build_sweep()
+                .expect("sweep builds")
+                .plan()
+                .expect("plan builds");
+            let context = scenario.build_context().expect("context builds");
+            let result = tdc_core::explore::run(
+                &SweepExecutor::serial(),
+                &context,
+                &plan,
+                &workload,
+                &scenario.build_explore().expect("explore builds"),
+            )
+            .expect("explore evaluates");
+            render_explore(&scenario.name, result.report(), format)
         }
         _ => {
             let design = scenario.build_design().expect("design builds");

@@ -1,0 +1,250 @@
+//! Typed exploration [`Objective`]s and [`Constraint`]s.
+//!
+//! An objective maps one evaluated [`SweepEntry`] to a scalar where
+//! **lower is better** — the Pareto extractor minimizes every
+//! objective simultaneously. A constraint is a hard feasibility
+//! predicate applied *before* dominance is considered; rejected points
+//! are counted (never silently dropped) in the exploration report.
+
+use crate::operational::Workload;
+use crate::sweep::SweepEntry;
+use tdc_integration::IntegrationTechnology;
+use tdc_technode::ProcessNode;
+
+/// A minimized scalar objective of a design-space exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Total life-cycle carbon (Eq. 1), in kg CO₂e.
+    Lifecycle,
+    /// Embodied carbon only (Eq. 3), in kg CO₂e.
+    Embodied,
+    /// Carbon-delay product: life-cycle carbon × effective mission
+    /// time (stretch applied), in kg·h — penalizes designs that trade
+    /// runtime for carbon.
+    CarbonDelay,
+    /// Life-cycle carbon per executed peta-operation of the workload,
+    /// in kg/Pop — the carbon-per-inference figure of merit.
+    CarbonPerOp,
+    /// Package footprint, in mm².
+    PackageArea,
+}
+
+impl Objective {
+    /// Every objective, in the stable presentation order.
+    pub const ALL: [Objective; 5] = [
+        Objective::Lifecycle,
+        Objective::Embodied,
+        Objective::CarbonDelay,
+        Objective::CarbonPerOp,
+        Objective::PackageArea,
+    ];
+
+    /// Parses a scenario-file token (case-insensitive; unit-suffixed
+    /// aliases accepted).
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        Some(match token.trim().to_ascii_lowercase().as_str() {
+            "lifecycle" | "lifecycle_kg" | "total" => Objective::Lifecycle,
+            "embodied" | "embodied_kg" => Objective::Embodied,
+            "carbon_delay" | "carbon-delay" | "carbon_delay_kg_h" => Objective::CarbonDelay,
+            "carbon_per_op" | "carbon-per-op" | "carbon_per_inference" | "carbon_per_pop_kg" => {
+                Objective::CarbonPerOp
+            }
+            "package_area" | "package_area_mm2" => Objective::PackageArea,
+            _ => return None,
+        })
+    }
+
+    /// Stable label, used as the JSON/CSV column name of the
+    /// objective.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Lifecycle => "lifecycle_kg",
+            Objective::Embodied => "embodied_kg",
+            Objective::CarbonDelay => "carbon_delay_kg_h",
+            Objective::CarbonPerOp => "carbon_per_pop_kg",
+            Objective::PackageArea => "package_area_mm2",
+        }
+    }
+
+    /// Evaluates the objective for one entry under `workload` (the
+    /// workload the entry was priced against).
+    #[must_use]
+    pub fn value(self, entry: &SweepEntry, workload: &Workload) -> f64 {
+        let report = &entry.report;
+        match self {
+            Objective::Lifecycle => report.total().kg(),
+            Objective::Embodied => report.embodied.total().kg(),
+            Objective::CarbonDelay => {
+                let op = &report.operational;
+                report.total().kg() * op.mission_time.hours() * op.runtime_stretch
+            }
+            Objective::CarbonPerOp => {
+                // Executed operations: phase throughput × active time,
+                // derated by the average utilization.
+                let ops: f64 = workload
+                    .phases()
+                    .iter()
+                    .map(|p| p.throughput.tops() * 1.0e12 * p.duration.seconds())
+                    .sum::<f64>()
+                    * workload.average_utilization();
+                let peta_ops = ops / 1.0e15;
+                if peta_ops > 0.0 {
+                    report.total().kg() / peta_ops
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Objective::PackageArea => report.embodied.package_area.mm2(),
+        }
+    }
+}
+
+/// A hard feasibility constraint on exploration points. Constraints
+/// are evaluated per [`SweepEntry`] after the sweep; failing points
+/// are excluded from the frontier and counted as infeasible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// Package footprint must not exceed this many mm².
+    MaxPackageArea {
+        /// The ceiling, in mm².
+        mm2: f64,
+    },
+    /// Embodied carbon must not exceed this many kg CO₂e.
+    MaxEmbodied {
+        /// The ceiling, in kg.
+        kg: f64,
+    },
+    /// The bandwidth constraint's verdict must be viable.
+    RequireViable,
+    /// Process-node allowlist: the point's node must be listed.
+    Nodes(Vec<ProcessNode>),
+    /// Integration-technology allowlist (`None` = the 2D reference).
+    Technologies(Vec<Option<IntegrationTechnology>>),
+}
+
+impl Constraint {
+    /// Whether `entry` satisfies the constraint.
+    #[must_use]
+    pub fn admits(&self, entry: &SweepEntry) -> bool {
+        match self {
+            Constraint::MaxPackageArea { mm2 } => entry.report.embodied.package_area.mm2() <= *mm2,
+            Constraint::MaxEmbodied { kg } => entry.report.embodied.total().kg() <= *kg,
+            Constraint::RequireViable => entry.is_viable(),
+            Constraint::Nodes(nodes) => nodes.contains(&entry.node),
+            Constraint::Technologies(techs) => techs.contains(&entry.technology),
+        }
+    }
+
+    /// A short description for error messages and reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Constraint::MaxPackageArea { mm2 } => format!("package area <= {mm2} mm^2"),
+            Constraint::MaxEmbodied { kg } => format!("embodied carbon <= {kg} kg"),
+            Constraint::RequireViable => "bandwidth-viable".to_owned(),
+            Constraint::Nodes(nodes) => {
+                let list: Vec<String> = nodes.iter().map(ToString::to_string).collect();
+                format!("node in [{}]", list.join(", "))
+            }
+            Constraint::Technologies(techs) => {
+                let list: Vec<&str> = techs
+                    .iter()
+                    .map(|t| t.map_or("2D", IntegrationTechnology::label))
+                    .collect();
+                format!("technology in [{}]", list.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ModelContext;
+    use crate::model::CarbonModel;
+    use crate::sweep::DesignSweep;
+    use tdc_units::{Throughput, TimeSpan};
+
+    fn entries() -> (Vec<SweepEntry>, Workload) {
+        let model = CarbonModel::new(ModelContext::default());
+        let workload = Workload::fixed(
+            "app",
+            Throughput::from_tops(100.0),
+            TimeSpan::from_hours(10_000.0),
+        );
+        let entries = DesignSweep::new(8.0e9)
+            .nodes(vec![ProcessNode::N7])
+            .run(&model, &workload)
+            .unwrap();
+        (entries, workload)
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        for objective in Objective::ALL {
+            assert_eq!(Objective::from_token(objective.label()), Some(objective));
+        }
+        assert_eq!(
+            Objective::from_token("Lifecycle"),
+            Some(Objective::Lifecycle)
+        );
+        assert_eq!(Objective::from_token("warp"), None);
+    }
+
+    #[test]
+    fn objective_values_match_reports() {
+        let (entries, workload) = entries();
+        let e = &entries[0];
+        assert!((Objective::Lifecycle.value(e, &workload) - e.report.total().kg()).abs() < 1e-12);
+        assert!(
+            (Objective::Embodied.value(e, &workload) - e.report.embodied.total().kg()).abs()
+                < 1e-12
+        );
+        assert!(
+            (Objective::PackageArea.value(e, &workload) - e.report.embodied.package_area.mm2())
+                .abs()
+                < 1e-12
+        );
+        // 100 Tops × 10 000 h = 100e12 × 3.6e7 s = 3.6e21 ops = 3.6e6 Pop.
+        let per_op = Objective::CarbonPerOp.value(e, &workload);
+        assert!((per_op - e.report.total().kg() / 3.6e6).abs() < 1e-12);
+        // Carbon-delay scales lifecycle by the effective mission hours.
+        let delay = Objective::CarbonDelay.value(e, &workload);
+        assert!(delay >= e.report.total().kg() * 10_000.0 * 0.999);
+    }
+
+    #[test]
+    fn constraints_admit_and_reject() {
+        let (entries, _) = entries();
+        let e = &entries[0];
+        let area = e.report.embodied.package_area.mm2();
+        assert!(Constraint::MaxPackageArea { mm2: area + 1.0 }.admits(e));
+        assert!(!Constraint::MaxPackageArea { mm2: area - 1.0 }.admits(e));
+        let kg = e.report.embodied.total().kg();
+        assert!(Constraint::MaxEmbodied { kg: kg + 1.0 }.admits(e));
+        assert!(!Constraint::MaxEmbodied { kg: kg / 2.0 }.admits(e));
+        assert!(Constraint::Nodes(vec![ProcessNode::N7]).admits(e));
+        assert!(!Constraint::Nodes(vec![ProcessNode::N28]).admits(e));
+        assert!(Constraint::Technologies(vec![e.technology]).admits(e));
+        let other = if e.technology.is_none() {
+            vec![Some(IntegrationTechnology::Emib)]
+        } else {
+            vec![None]
+        };
+        assert!(!Constraint::Technologies(other).admits(e));
+        assert!(Constraint::RequireViable.admits(e) == e.is_viable());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert!(Constraint::MaxEmbodied { kg: 10.0 }
+            .describe()
+            .contains("10"));
+        assert!(Constraint::RequireViable.describe().contains("viable"));
+        assert!(Constraint::Nodes(vec![ProcessNode::N7])
+            .describe()
+            .contains("7"));
+    }
+}

@@ -50,6 +50,7 @@ mod decision;
 mod design;
 mod embodied;
 mod error;
+pub mod explore;
 pub mod logistics;
 mod model;
 mod operational;

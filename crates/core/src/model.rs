@@ -206,9 +206,7 @@ impl CarbonModel {
         // Decision metrics run on *calendar* time when the workload
         // declares a service window (an AV drives a few hours a day but
         // T_c/T_r are quoted in years of ownership).
-        let service = workload
-            .calendar_lifetime()
-            .unwrap_or_else(|| workload.mission_time());
+        let service = workload.service_time();
         let metrics = DecisionMetrics::evaluate(
             base_report.embodied.total(),
             base_report.operational.energy / service,

@@ -195,6 +195,42 @@ impl Workload {
     pub fn mission_time(&self) -> TimeSpan {
         self.phases.iter().map(|p| p.duration).sum()
     }
+
+    /// The Eq. 2 service time: the calendar window when one is
+    /// declared (an AV drives a few hours a day but `T_c`/`T_r` are
+    /// quoted in years of ownership), the active mission time
+    /// otherwise. The single home of the convention shared by
+    /// [`CarbonModel::compare`](crate::CarbonModel::compare) and the
+    /// exploration engine's decision ranking and lifetime axis.
+    #[must_use]
+    pub fn service_time(&self) -> TimeSpan {
+        self.calendar_lifetime
+            .unwrap_or_else(|| self.mission_time())
+    }
+
+    /// The same workload with every phase duration — and the calendar
+    /// window, when set — scaled by `factor`. Throughputs, data
+    /// intensities, and utilization are untouched, so the duty profile
+    /// is preserved; only the service lifetime moves. This is the
+    /// lever behind the exploration engine's lifetime refinement axis
+    /// ([`crate::explore::RefineAxis::LifetimeYears`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "lifetime scale factor must be finite and positive, got {factor}"
+        );
+        let mut scaled = self.clone();
+        for phase in &mut scaled.phases {
+            phase.duration = phase.duration * factor;
+        }
+        scaled.calendar_lifetime = scaled.calendar_lifetime.map(|t| t * factor);
+        scaled
+    }
 }
 
 /// Per-die slice of the operational report.

@@ -19,7 +19,8 @@
 //! * [`EvalRequest`] / [`EvalResponse`] — the typed request/response
 //!   currency (elaborated model inputs in, reports out; transport
 //!   encodings such as the `tdc serve` JSONL protocol live in the CLI
-//!   crate);
+//!   crate), covering run/sweep/sensitivity plus whole
+//!   [`explore`](crate::explore) requests on the warm executor;
 //! * [`ScenarioSession`] — the long-lived evaluator, with per-request
 //!   ([`RequestStats`]) and cumulative ([`SessionStats`]) reuse
 //!   accounting, including the *cross-request* hit counters that

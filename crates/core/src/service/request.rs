@@ -11,6 +11,7 @@
 
 use crate::context::ModelContext;
 use crate::design::ChipDesign;
+use crate::explore::{ExploreResult, ExploreSpec};
 use crate::model::LifecycleReport;
 use crate::operational::Workload;
 use crate::sensitivity::SensitivityEntry;
@@ -56,6 +57,19 @@ pub enum EvalRequest {
         /// The mission profile.
         workload: Workload,
     },
+    /// Carbon-aware exploration of a design-space plan: constraints,
+    /// Pareto frontier, Eq. 2 baseline ranking, and (optionally)
+    /// adaptive axis refinement — all on the session's warm executor.
+    Explore {
+        /// The model configuration of this request.
+        context: ModelContext,
+        /// The enumerated plan to explore.
+        plan: SweepPlan,
+        /// The mission profile the exploration prices against.
+        workload: Workload,
+        /// Objectives, constraints, baseline, and refinement.
+        spec: ExploreSpec,
+    },
 }
 
 /// What a [`ScenarioSession`] answered a request with.
@@ -77,6 +91,11 @@ pub enum EvalResponse {
     Sweep(SweepResult),
     /// Sorted tornado entries of an [`EvalRequest::Sensitivity`].
     Sensitivity(Vec<SensitivityEntry>),
+    /// Frontier report of an [`EvalRequest::Explore`]. Only the
+    /// deterministic [`report`](ExploreResult::report) half is
+    /// rendered by transports; the stats half is stderr material.
+    /// Boxed: an exploration result dwarfs the other variants.
+    Explore(Box<ExploreResult>),
 }
 
 impl EvalResponse {
@@ -89,6 +108,7 @@ impl EvalResponse {
             EvalResponse::Lifecycle(_) => "lifecycle",
             EvalResponse::Sweep(_) => "sweep",
             EvalResponse::Sensitivity(_) => "sensitivity",
+            EvalResponse::Explore(_) => "explore",
         }
     }
 }

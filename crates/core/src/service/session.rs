@@ -186,6 +186,16 @@ impl ScenarioSession {
                 let entries = sensitivity_report(context, design, workload)?;
                 (EvalResponse::Sensitivity(entries), PipelineStats::default())
             }
+            EvalRequest::Explore {
+                context,
+                plan,
+                workload,
+                spec,
+            } => {
+                let result = crate::explore::run(&self.executor, context, plan, workload, spec)?;
+                let stages = result.stats().stages;
+                (EvalResponse::Explore(Box::new(result)), stages)
+            }
         };
         {
             let mut totals = self.totals.lock().expect("session stats lock poisoned");
