@@ -26,7 +26,7 @@ use tdc_bench::pareto_space;
 use tdc_cli::JsonValue;
 use tdc_core::explore;
 use tdc_core::service::{EvalRequest, ScenarioSession};
-use tdc_core::sweep::{DesignSweep, SweepExecutor, SweepPlan};
+use tdc_core::sweep::{BatchRanking, DesignSweep, SweepExecutor, SweepPlan};
 use tdc_core::{CarbonModel, ModelContext, Workload};
 use tdc_technode::GridRegion;
 use tdc_units::{Efficiency, Throughput, TimeSpan};
@@ -177,6 +177,46 @@ fn run() -> Result<u32, String> {
         "staged_warm_speedup",
         whole_design / staged_warm,
         floor(&floors, "staged_warm_speedup_min")?,
+    );
+
+    // ---- Deterministic: batch delta-eval floor ----
+    // Across an operational-only axis sweep (8 configurations of the
+    // same plan), delta-eval must compute the embodied chain once per
+    // design — plan-axis cardinality, not point count. More than ~1
+    // eval per design means the column layer stopped recognizing
+    // structurally-unchanged stages.
+    let batch_exec = SweepExecutor::serial();
+    for (model, workload) in &space {
+        batch_exec
+            .execute_batched(model, &plan, workload)
+            .expect("batch sweeps");
+    }
+    let batch_cold = batch_exec.cache().stats().stages;
+    #[allow(clippy::cast_precision_loss)]
+    let batch_embodied_per_design = batch_cold.embodied.misses as f64 / plan.len() as f64;
+    guard.check(
+        "batch_delta_embodied_single_eval (1/evals-per-design)",
+        1.0 / batch_embodied_per_design,
+        floor(&floors, "batch_delta_embodied_single_eval_min")?,
+    );
+
+    // ---- Timing: warm batch ranking vs the staged-warm per-point path ----
+    // The batch fast path's reason to exist: a warm re-ranking of the
+    // space must beat the warm per-point path by a wide multiple
+    // (recorded ~85x; the floor is far below to absorb noise).
+    let mut ranking = BatchRanking::new();
+    let batch_warm = best_of(|| {
+        for (model, workload) in &space {
+            batch_exec
+                .execute_batched_ranking(model, &plan, workload, &mut ranking)
+                .expect("batch sweeps");
+            std::hint::black_box(ranking.ranked());
+        }
+    });
+    guard.check(
+        "batch_warm_vs_staged",
+        staged_warm / batch_warm,
+        floor(&floors, "batch_warm_vs_staged_min")?,
     );
 
     // ---- Deterministic: exploration refinement reuse ----

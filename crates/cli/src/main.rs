@@ -59,6 +59,9 @@ OPTIONS:
     --repeat <n>                Execute the sweep n times on one warm executor,
                                 reporting per-stage cache hit-rates per round
                                 (`sweep` only; the report is from the last round)
+    --per-point                 Evaluate the sweep through the staged per-point
+                                path instead of the batch fast path (`sweep`
+                                only; output is byte-identical either way)
     --max-inflight <n>          Frames evaluating at once (`serve` only;
                                 default 1 = fully sequential)
     --baseline <scenario.json>  Compare the scenario's design against this
@@ -78,6 +81,7 @@ struct Options {
     out: Option<String>,
     workers: Option<usize>,
     repeat: usize,
+    per_point: bool,
     max_inflight: usize,
     baseline: Option<String>,
 }
@@ -118,6 +122,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
         out: None,
         workers: None,
         repeat: 1,
+        per_point: false,
         max_inflight: 1,
         baseline: None,
     };
@@ -147,6 +152,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
                 }
                 options.repeat = n;
             }
+            "--per-point" => options.per_point = true,
             "--max-inflight" => {
                 let token = iter.next().ok_or("--max-inflight needs a count")?;
                 let n = parse_count(&token, "in-flight count")?;
@@ -198,6 +204,7 @@ const OPTION_GATES: &[(&str, &[&str])] = &[
         &["sweep", "explore", "batch", "serve"],
     ),
     ("--repeat", &["sweep"]),
+    ("--per-point", &["sweep"]),
     ("--max-inflight", &["serve"]),
     ("--baseline", &["run"]),
 ];
@@ -232,6 +239,7 @@ fn validate(options: &Options) -> Result<(), String> {
     check(options.out.is_some(), "--out")?;
     check(options.workers.is_some(), "--workers/--serial")?;
     check(options.repeat != 1, "--repeat")?;
+    check(options.per_point, "--per-point")?;
     check(options.max_inflight != 1, "--max-inflight")?;
     check(options.baseline.is_some(), "--baseline")?;
     if NO_FILE_COMMANDS.contains(&command) && !options.files.is_empty() {
@@ -328,9 +336,15 @@ fn cmd_sweep(options: &Options) -> Result<(), String> {
     let mut result = None;
     for round in 1..=options.repeat {
         executor.cache().advance_epoch();
-        let r = executor
-            .execute(&model, &plan, &workload)
-            .map_err(|e| e.to_string())?;
+        // The batch fast path is the default; `--per-point` keeps the
+        // staged per-point path reachable (outputs are byte-identical
+        // — CI diffs them).
+        let r = if options.per_point {
+            executor.execute(&model, &plan, &workload)
+        } else {
+            executor.execute_batched(&model, &plan, &workload)
+        }
+        .map_err(|e| e.to_string())?;
         // Bookkeeping goes to stderr so stdout is byte-identical for
         // any worker count (and any repeat count).
         eprintln!("{}", sweep_stats_line(&r.stats(), round, options.repeat));
@@ -354,11 +368,13 @@ fn sweep_stats_line(stats: &tdc_core::sweep::SweepStats, round: usize, rounds: u
         "sweep".to_owned()
     };
     format!(
-        "{head} points={} ranked={} dropped={} workers={} warm_points={}/{} {}",
+        "{head} points={} ranked={} dropped={} workers={} batch={} delta_skips={} warm_points={}/{} {}",
         stats.points,
         stats.evaluated,
         stats.dropped,
         stats.workers,
+        u8::from(stats.batch),
+        stats.delta_skips,
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses,
         stages_kv(&stats.stages),

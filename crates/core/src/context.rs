@@ -38,7 +38,7 @@ impl DieYieldChoice {
 /// Everything the model needs besides the design and the workload:
 /// technology databases, locations, wafer, estimators, and the knobs
 /// that the ablation studies turn.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelContext {
     tech_db: TechnologyDb,
     catalog: IntegrationCatalog,

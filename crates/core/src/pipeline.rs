@@ -152,15 +152,15 @@ pub fn physical_profile(ctx: &ModelContext, design: &ChipDesign) -> PhysicalProf
     }
     let mut dies = Vec::with_capacity(specs.len());
     for (i, spec) in specs.iter().enumerate() {
-        let node = ctx.tech_db().node(spec.node()).clone();
+        let node = ctx.tech_db().node(spec.node());
         let (tsv_count, tsv_area, io_area, gate_area, area) =
-            resolve_die_geometry(ctx, design, spec, &gates, i, &node);
+            resolve_die_geometry(ctx, design, spec, &gates, i, node);
         let rent = spec.rent().unwrap_or_else(|| ctx.beol().rent());
         let beol_est = ctx.beol().with_rent(rent);
         let beol_layers = spec
             .beol_override()
             .map(|l| l.min(node.max_beol_layers()))
-            .unwrap_or_else(|| beol_est.layers(gates[i], area, &node));
+            .unwrap_or_else(|| beol_est.layers(gates[i], area, node));
         dies.push(DiePhysical {
             name: spec.name().to_owned(),
             node: spec.node(),
@@ -797,6 +797,16 @@ pub fn operational_report(
         mission_time: workload.mission_time(),
         carbon,
     })
+}
+
+/// Eq. 1 over *borrowed* stage artifacts: the life-cycle total that a
+/// [`LifecycleReport`](crate::LifecycleReport) assembled from these two
+/// artifacts would report — same floating-point expression, so the two
+/// agree bit-for-bit — without cloning either artifact into a report.
+/// This is the batch sweep path's ranking key.
+#[must_use]
+pub fn lifecycle_total(embodied: &EmbodiedBreakdown, operational: &OperationalReport) -> Co2Mass {
+    embodied.total() + operational.carbon
 }
 
 #[cfg(test)]

@@ -114,6 +114,20 @@ impl ScenarioSession {
         Self::new(1)
     }
 
+    /// Creates a session whose cache keeps at most `cap` artifacts per
+    /// pipeline stage (instead of
+    /// [`DEFAULT_ARTIFACT_CAP`](crate::sweep::EvalCache) — the cap
+    /// bounds memory, never results: byte-identity under tiny caps is
+    /// tested in `crates/core/tests/batch_sweep.rs`).
+    #[must_use]
+    pub fn with_artifact_cap(workers: usize, cap: usize) -> Self {
+        Self {
+            executor: SweepExecutor::new(workers).artifact_cap(cap),
+            requests: AtomicU64::new(0),
+            totals: Mutex::new(PipelineStats::default()),
+        }
+    }
+
     /// The session's executor (for cache inspection or an explicit
     /// [`EvalCache::clear`]).
     #[must_use]
@@ -171,7 +185,12 @@ impl ScenarioSession {
                 workload,
             } => {
                 let model = CarbonModel::new(context.clone());
-                let result = self.executor.execute(&model, plan, workload)?;
+                // Sessions take the batch fast path: repeat sweeps of a
+                // resident plan shape delta-eval from stage columns,
+                // while column misses still consult the shared keyed
+                // cache — so responses and per-stage accounting stay
+                // equivalent to the per-point path.
+                let result = self.executor.execute_batched(&model, plan, workload)?;
                 let stages = result.stats().stages;
                 (EvalResponse::Sweep(result), stages)
             }

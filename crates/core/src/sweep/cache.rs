@@ -53,7 +53,7 @@ use std::sync::{Arc, Mutex};
 /// What a finished embodied evaluation left behind. Only the two
 /// *non-fatal* outcomes are cached.
 #[derive(Debug, Clone)]
-enum EmbodiedOutcome {
+pub(crate) enum EmbodiedOutcome {
     /// The design evaluated cleanly.
     Report(Arc<crate::embodied::EmbodiedBreakdown>),
     /// The design cannot be built on the configured wafer
@@ -223,15 +223,16 @@ impl CacheStats {
     }
 }
 
-/// Upper bound on the artifacts one stage retains. Retention across
-/// configurations is the point of the store, but operational artifacts
-/// in particular accumulate one entry per (configuration, design) pair
-/// forever; when a stage reaches the cap its entries are dropped
-/// wholesale (always safe — misses just recompute) so memory stays
-/// bounded no matter how many scenarios a long-lived executor sees.
-/// The cap is far above any scenario space in this repository (the
-/// grid-region bench peaks at 99 × 8 = 792 operational artifacts).
-const MAX_STAGE_ENTRIES: usize = 1 << 16;
+/// Default upper bound on the artifacts one stage retains. Retention
+/// across configurations is the point of the store, but operational
+/// artifacts in particular accumulate one entry per (configuration,
+/// design) pair forever; when a stage reaches the cap its entries are
+/// dropped wholesale (always safe — misses just recompute) so memory
+/// stays bounded no matter how many scenarios a long-lived executor
+/// sees. The default is far above any scenario space in this
+/// repository (the grid-region bench peaks at 99 × 8 = 792 operational
+/// artifacts); [`EvalCache::with_artifact_cap`] overrides it.
+pub(crate) const DEFAULT_ARTIFACT_CAP: usize = 1 << 16;
 
 /// Per-execute hit/miss tally, threaded through every lookup so a
 /// `SweepExecutor::execute` call reports exactly its own traffic even
@@ -239,15 +240,15 @@ const MAX_STAGE_ENTRIES: usize = 1 << 16;
 /// [`StageCell`] counters cannot be attributed per call).
 #[derive(Debug, Default)]
 pub(crate) struct PipelineTally {
-    physical: TallyPair,
-    yields: TallyPair,
-    embodied: TallyPair,
-    power: TallyPair,
-    operational: TallyPair,
+    pub(crate) physical: TallyPair,
+    pub(crate) yields: TallyPair,
+    pub(crate) embodied: TallyPair,
+    pub(crate) power: TallyPair,
+    pub(crate) operational: TallyPair,
 }
 
 #[derive(Debug, Default)]
-struct TallyPair {
+pub(crate) struct TallyPair {
     hits: AtomicU64,
     cross_hits: AtomicU64,
     misses: AtomicU64,
@@ -287,7 +288,7 @@ impl PipelineTally {
 type StageMap<T> = HashMap<u64, HashMap<String, (T, u64)>>;
 
 #[derive(Debug)]
-struct StageCell<T> {
+pub(crate) struct StageCell<T> {
     entries: Mutex<StageMap<T>>,
     count: AtomicU64,
     hits: AtomicU64,
@@ -312,7 +313,7 @@ impl<T: Clone> StageCell<T> {
     /// Looks (`tag`, `key`) up, counting the outcome both cumulatively
     /// and on the caller's tally. A hit on an artifact inserted before
     /// `epoch` additionally counts as a cross-epoch hit.
-    fn lookup(&self, tag: u64, key: &str, epoch: u64, tally: &TallyPair) -> Option<T> {
+    pub(crate) fn lookup(&self, tag: u64, key: &str, epoch: u64, tally: &TallyPair) -> Option<T> {
         let found = self
             .entries
             .lock()
@@ -338,9 +339,9 @@ impl<T: Clone> StageCell<T> {
         }
     }
 
-    fn insert(&self, tag: u64, key: &str, epoch: u64, value: T) {
+    pub(crate) fn insert(&self, tag: u64, key: &str, epoch: u64, value: T, cap: usize) {
         let mut map = self.entries.lock().expect("cache lock poisoned");
-        if self.count.load(Ordering::Relaxed) as usize >= MAX_STAGE_ENTRIES {
+        if self.count.load(Ordering::Relaxed) as usize >= cap {
             map.clear();
             self.count.store(0, Ordering::Relaxed);
         }
@@ -384,11 +385,11 @@ impl<T: Clone> StageCell<T> {
 /// executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct StageTags {
-    physical: u64,
-    yields: u64,
-    embodied: u64,
-    power: u64,
-    operational: u64,
+    pub(crate) physical: u64,
+    pub(crate) yields: u64,
+    pub(crate) embodied: u64,
+    pub(crate) power: u64,
+    pub(crate) operational: u64,
 }
 
 fn hash_str(s: &str) -> u64 {
@@ -405,24 +406,56 @@ fn hash_str(s: &str) -> u64 {
 /// overlapping design spaces skip already-computed points entirely,
 /// and sweeps that vary only downstream axes (a new use-phase grid, a
 /// new lifetime) skip every upstream stage.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EvalCache {
-    physical: StageCell<Arc<PhysicalProfile>>,
-    yields: StageCell<Arc<YieldProfile>>,
-    embodied: StageCell<EmbodiedOutcome>,
-    power: StageCell<Arc<PowerProfile>>,
-    operational: StageCell<Arc<OperationalReport>>,
+    pub(crate) physical: StageCell<Arc<PhysicalProfile>>,
+    pub(crate) yields: StageCell<Arc<YieldProfile>>,
+    pub(crate) embodied: StageCell<EmbodiedOutcome>,
+    pub(crate) power: StageCell<Arc<PowerProfile>>,
+    pub(crate) operational: StageCell<Arc<OperationalReport>>,
     /// The current request epoch. Artifacts remember the epoch they
     /// were inserted in; a hit on an artifact from an earlier epoch is
     /// *cross-request* reuse (see [`StageCounters::cross_hits`]).
     epoch: AtomicU64,
+    /// Per-stage artifact cap (see [`DEFAULT_ARTIFACT_CAP`]).
+    artifact_cap: usize,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::with_artifact_cap(DEFAULT_ARTIFACT_CAP)
+    }
 }
 
 impl EvalCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default per-stage artifact cap.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache whose per-stage stores retain at most
+    /// `cap` artifacts each (a cap of 0 is treated as 1). Reaching the
+    /// cap drops that stage's entries wholesale — recomputing is always
+    /// safe — so a tiny cap trades recomputation for memory without
+    /// ever changing results.
+    #[must_use]
+    pub fn with_artifact_cap(cap: usize) -> Self {
+        Self {
+            physical: StageCell::default(),
+            yields: StageCell::default(),
+            embodied: StageCell::default(),
+            power: StageCell::default(),
+            operational: StageCell::default(),
+            epoch: AtomicU64::new(0),
+            artifact_cap: cap.max(1),
+        }
+    }
+
+    /// The per-stage artifact cap this cache was built with.
+    #[must_use]
+    pub fn artifact_cap(&self) -> usize {
+        self.artifact_cap
     }
 
     /// Starts a new request epoch and returns it. Long-lived owners
@@ -435,7 +468,7 @@ impl EvalCache {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    fn current_epoch(&self) -> u64 {
+    pub(crate) fn current_epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
     }
 
@@ -556,7 +589,7 @@ impl EvalCache {
         self.operational.clear();
     }
 
-    fn physical_or_eval(&self, point: &PointLookup<'_>) -> Arc<PhysicalProfile> {
+    pub(crate) fn physical_or_eval(&self, point: &PointLookup<'_>) -> Arc<PhysicalProfile> {
         if let Some(p) = self.physical.lookup(
             point.tags.physical,
             point.design_key,
@@ -574,11 +607,12 @@ impl EvalCache {
             point.design_key,
             point.epoch,
             Arc::clone(&p),
+            self.artifact_cap,
         );
         p
     }
 
-    fn yield_or_eval(
+    pub(crate) fn yield_or_eval(
         &self,
         point: &PointLookup<'_>,
         phys: &PhysicalProfile,
@@ -601,11 +635,12 @@ impl EvalCache {
             point.design_key,
             point.epoch,
             Arc::clone(&y),
+            self.artifact_cap,
         );
         Ok(y)
     }
 
-    fn power_or_eval(
+    pub(crate) fn power_or_eval(
         &self,
         point: &PointLookup<'_>,
         phys: &PhysicalProfile,
@@ -628,6 +663,7 @@ impl EvalCache {
             point.design_key,
             point.epoch,
             Arc::clone(&p),
+            self.artifact_cap,
         );
         Ok(p)
     }
@@ -665,6 +701,7 @@ impl EvalCache {
                             point.design_key,
                             point.epoch,
                             EmbodiedOutcome::Report(Arc::clone(&arc)),
+                            self.artifact_cap,
                         );
                         Ok(Some(arc))
                     }
@@ -674,6 +711,7 @@ impl EvalCache {
                             point.design_key,
                             point.epoch,
                             EmbodiedOutcome::Oversized,
+                            self.artifact_cap,
                         );
                         *all_hit = false;
                         Ok(None)
@@ -771,6 +809,7 @@ impl EvalCache {
                     &design_key,
                     point.epoch,
                     Arc::clone(&arc),
+                    self.artifact_cap,
                 );
                 arc
             }
@@ -788,13 +827,13 @@ impl EvalCache {
 
 /// Everything a single point lookup needs, bundled so the per-stage
 /// helpers stay readable.
-struct PointLookup<'a> {
-    tags: &'a StageTags,
-    model: &'a CarbonModel,
-    design: &'a ChipDesign,
-    design_key: &'a str,
-    epoch: u64,
-    tally: &'a PipelineTally,
+pub(crate) struct PointLookup<'a> {
+    pub(crate) tags: &'a StageTags,
+    pub(crate) model: &'a CarbonModel,
+    pub(crate) design: &'a ChipDesign,
+    pub(crate) design_key: &'a str,
+    pub(crate) epoch: u64,
+    pub(crate) tally: &'a PipelineTally,
 }
 
 #[cfg(test)]
@@ -1037,11 +1076,12 @@ mod tests {
         // memory stays bounded on unbounded scenario streams, and a
         // dropped artifact is only a recompute, never a wrong answer.
         let cell: StageCell<u8> = StageCell::default();
-        for i in 0..MAX_STAGE_ENTRIES {
-            cell.insert(0, &format!("k{i}"), 0, 1);
+        const CAP: usize = 64;
+        for i in 0..CAP {
+            cell.insert(0, &format!("k{i}"), 0, 1, CAP);
         }
-        assert_eq!(cell.len(), MAX_STAGE_ENTRIES);
-        cell.insert(1, "overflow", 0, 2);
+        assert_eq!(cell.len(), CAP);
+        cell.insert(1, "overflow", 0, 2, CAP);
         assert_eq!(cell.len(), 1, "cap reached → wholesale drop + new entry");
         let tally = TallyPair::default();
         assert_eq!(cell.lookup(1, "overflow", 0, &tally), Some(2));

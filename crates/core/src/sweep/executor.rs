@@ -11,6 +11,7 @@
 //! total, index), so the output is **byte-identical for any worker
 //! count**, including the serial fast path.
 
+use super::batch::{self, BatchEngine, BatchRanking};
 use super::cache::{EvalCache, PipelineStats, PipelineTally, StageTags};
 use super::plan::{SweepPlan, SweepPoint};
 use super::SweepEntry;
@@ -18,6 +19,14 @@ use crate::error::ModelError;
 use crate::model::CarbonModel;
 use crate::operational::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Plans smaller than this default take the serial fast path no matter
+/// how many workers are configured: below a few hundred points the
+/// per-point cost is small enough that thread spawn + steal
+/// synchronization dominates (the recorded Table 2 numbers show a warm
+/// 99-point sweep at 8 workers losing ~2x to serial).
+/// [`SweepExecutor::parallel_threshold`] overrides it.
+const SMALL_PLAN_THRESHOLD: usize = 256;
 
 /// Bookkeeping of one [`SweepExecutor::execute`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,12 +37,20 @@ pub struct SweepStats {
     pub evaluated: usize,
     /// Points dropped because their dies outgrow the wafer.
     pub dropped: usize,
-    /// Points whose every pipeline stage was answered from the cache.
+    /// Points whose every pipeline stage was answered from the cache
+    /// (or, on the batch path, from the plan's warm stage columns).
     pub cache_hits: usize,
     /// Points that had to run at least one pipeline stage.
     pub cache_misses: usize,
     /// Worker threads actually used (1 = serial fast path).
     pub workers: usize,
+    /// Whether the batch fast path
+    /// ([`SweepExecutor::execute_batched`]) produced this result.
+    pub batch: bool,
+    /// Stage recomputations *and* keyed cache lookups skipped because
+    /// the batch path answered the stage structurally from its
+    /// plan-aligned columns (0 on the per-point path).
+    pub delta_skips: u64,
     /// Per-stage hit/miss counters of exactly this call's lookups
     /// (tallied per call, so the numbers stay correct even when
     /// concurrent `execute` calls share one executor).
@@ -109,20 +126,32 @@ enum PointOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SweepExecutor {
     workers: usize,
+    small_plan_threshold: usize,
     cache: EvalCache,
+    engine: BatchEngine,
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl SweepExecutor {
     /// Creates an executor with `workers` threads (`0` = one per
-    /// available core).
+    /// available core). Plans smaller than the small-plan threshold
+    /// (default 256 points) run serially regardless — see
+    /// [`parallel_threshold`](Self::parallel_threshold).
     #[must_use]
     pub fn new(workers: usize) -> Self {
         Self {
             workers,
+            small_plan_threshold: SMALL_PLAN_THRESHOLD,
             cache: EvalCache::new(),
+            engine: BatchEngine::default(),
         }
     }
 
@@ -130,6 +159,28 @@ impl SweepExecutor {
     #[must_use]
     pub fn serial() -> Self {
         Self::new(1)
+    }
+
+    /// Overrides the minimum plan size (in points) at which the
+    /// configured worker count engages; smaller plans take the serial
+    /// fast path because thread-pool overhead exceeds the work. `0`
+    /// disables the clamp entirely (every multi-point plan may go
+    /// parallel), which is mainly useful for tests and benchmarks.
+    #[must_use]
+    pub fn parallel_threshold(mut self, points: usize) -> Self {
+        self.small_plan_threshold = points;
+        self
+    }
+
+    /// Replaces the executor's cache with one capped at `cap` artifacts
+    /// per stage (see [`EvalCache::with_artifact_cap`]); the batch
+    /// path's per-plan stage columns obey the same cap. Intended at
+    /// construction time — any already-cached artifacts are dropped.
+    #[must_use]
+    pub fn artifact_cap(mut self, cap: usize) -> Self {
+        self.cache = EvalCache::with_artifact_cap(cap);
+        self.engine = BatchEngine::default();
+        self
     }
 
     /// The configured worker count (`0` = auto).
@@ -145,8 +196,18 @@ impl SweepExecutor {
         &self.cache
     }
 
-    /// Resolves the thread count for a plan of `points` points.
-    fn resolve_workers(&self, points: usize) -> usize {
+    /// The batch engine holding the current plan's stage columns.
+    pub(crate) fn engine(&self) -> &BatchEngine {
+        &self.engine
+    }
+
+    /// Resolves the thread count for a plan of `points` points. Plans
+    /// below the small-plan threshold always run serially — per-point
+    /// costs there are too small to amortize thread spawn + stealing.
+    pub(crate) fn resolve_workers(&self, points: usize) -> usize {
+        if points < self.small_plan_threshold {
+            return 1;
+        }
         let configured = if self.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -198,6 +259,12 @@ impl SweepExecutor {
             }
         } else {
             slots.resize_with(points.len(), || None);
+            // Chunked work-stealing: each steal claims a contiguous
+            // index range, so workers synchronize once per chunk
+            // instead of once per point. Idle workers still rebalance
+            // — a worker stuck on an expensive chunk simply steals
+            // fewer of the remaining ones.
+            let chunk = chunk_size(points.len(), workers);
             let cursor = AtomicUsize::new(0);
             let mut collected: Vec<Vec<(usize, (PointOutcome, bool))>> =
                 std::thread::scope(|scope| {
@@ -209,12 +276,21 @@ impl SweepExecutor {
                         handles.push(scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(point) = points.get(i) else { break };
-                                local.push((
-                                    i,
-                                    self.eval_point(tags, model, point, workload, tally),
-                                ));
+                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= points.len() {
+                                    break;
+                                }
+                                let end = (start + chunk).min(points.len());
+                                for (i, point) in points[start..end]
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(o, p)| (start + o, p))
+                                {
+                                    local.push((
+                                        i,
+                                        self.eval_point(tags, model, point, workload, tally),
+                                    ));
+                                }
                             }
                             local
                         }));
@@ -266,6 +342,66 @@ impl SweepExecutor {
         })
     }
 
+    /// Evaluates every point of `plan` through the batch fast path:
+    /// the plan is lowered into structure-of-arrays stage columns that
+    /// persist on this executor, so a re-execution (or an execution
+    /// that changes only downstream axes) recomputes exactly the
+    /// stages whose context slice changed — no per-point keyed cache
+    /// lookups on the warm path. Output is byte-identical to
+    /// [`execute`](Self::execute) for any worker count.
+    ///
+    /// Stage columns belong to one plan at a time (the most recent);
+    /// switching plans falls back to the shared [`EvalCache`], so
+    /// alternating plans is never worse than the per-point path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ModelError`] of the lowest-indexed failing point,
+    /// exactly like [`execute`](Self::execute).
+    pub fn execute_batched(
+        &self,
+        model: &CarbonModel,
+        plan: &SweepPlan,
+        workload: &Workload,
+    ) -> Result<SweepResult, ModelError> {
+        let mut ranking = BatchRanking::default();
+        let mut entries = Vec::with_capacity(plan.len());
+        batch::run(
+            self,
+            model,
+            plan,
+            workload,
+            &mut ranking,
+            Some(&mut entries),
+        )?;
+        Ok(SweepResult {
+            entries,
+            stats: ranking.stats(),
+        })
+    }
+
+    /// The non-materializing batch path: ranks `plan`'s points by
+    /// life-cycle total into the caller-owned `out` buffer without
+    /// building [`SweepEntry`] values at all. On a warm plan (stage
+    /// columns already filled) this performs **zero heap allocations
+    /// per point** — reuse one [`BatchRanking`] across calls to keep
+    /// its buffers warm. The ranking order (total, then plan index) is
+    /// identical to [`execute`](Self::execute)'s entry order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ModelError`] of the lowest-indexed failing point,
+    /// exactly like [`execute`](Self::execute).
+    pub fn execute_batched_ranking(
+        &self,
+        model: &CarbonModel,
+        plan: &SweepPlan,
+        workload: &Workload,
+        out: &mut BatchRanking,
+    ) -> Result<(), ModelError> {
+        batch::run(self, model, plan, workload, out, None)
+    }
+
     /// Evaluates one point via the per-stage cache; the bool is the
     /// every-stage-hit flag.
     fn eval_point(
@@ -296,6 +432,14 @@ impl SweepExecutor {
     }
 }
 
+/// The contiguous index range one steal claims: small enough that 8
+/// workers rebalance a skewed plan (~8 steals each), large enough that
+/// synchronization is paid once per dozens of points, capped so huge
+/// plans still rebalance.
+pub(crate) fn chunk_size(points: usize, workers: usize) -> usize {
+    (points / (workers * 8).max(1)).clamp(16, 4096)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,9 +467,41 @@ mod tests {
         let (m, w) = (model(), workload());
         let serial = SweepExecutor::serial().execute(&m, &plan, &w).unwrap();
         for workers in [2, 3, 8] {
-            let parallel = SweepExecutor::new(workers).execute(&m, &plan, &w).unwrap();
+            let parallel = SweepExecutor::new(workers)
+                .parallel_threshold(0)
+                .execute(&m, &plan, &w)
+                .unwrap();
             assert_eq!(serial.entries(), parallel.entries(), "{workers} workers");
         }
+    }
+
+    #[test]
+    fn small_plans_take_the_serial_fast_path() {
+        // The warm-parallel regression fix: a plan below the threshold
+        // never spawns workers (the recorded 99-point Table 2 sweep
+        // ran 304 µs at 8 workers vs 167 µs serial), and the output is
+        // unchanged by the clamp.
+        let sweep = DesignSweep::new(8.0e9).nodes(vec![ProcessNode::N7, ProcessNode::N5]);
+        let plan = sweep.plan().unwrap();
+        let (m, w) = (model(), workload());
+        let clamped = SweepExecutor::new(8).execute(&m, &plan, &w).unwrap();
+        assert_eq!(
+            clamped.stats().workers,
+            1,
+            "below-threshold plan runs serial"
+        );
+        let forced = SweepExecutor::new(8)
+            .parallel_threshold(0)
+            .execute(&m, &plan, &w)
+            .unwrap();
+        assert_eq!(forced.stats().workers, 8, "threshold 0 disables the clamp");
+        assert_eq!(clamped.entries(), forced.entries());
+        // The batch path obeys the same clamp.
+        let batched = SweepExecutor::new(8)
+            .execute_batched(&m, &plan, &w)
+            .unwrap();
+        assert_eq!(batched.stats().workers, 1);
+        assert_eq!(batched.entries(), clamped.entries());
     }
 
     #[test]
@@ -396,6 +572,7 @@ mod tests {
         let plan = sweep.plan().unwrap();
         assert_eq!(plan.len(), 1);
         let result = SweepExecutor::new(64)
+            .parallel_threshold(0)
             .execute(&model(), &plan, &workload())
             .unwrap();
         assert_eq!(result.stats().workers, 1);
@@ -450,7 +627,10 @@ mod tests {
             "tied entries must keep plan order"
         );
         for workers in [2, 3, 8] {
-            let parallel = SweepExecutor::new(workers).execute(&m, &plan, &w).unwrap();
+            let parallel = SweepExecutor::new(workers)
+                .parallel_threshold(0)
+                .execute(&m, &plan, &w)
+                .unwrap();
             assert_eq!(serial.entries(), parallel.entries(), "{workers} workers");
         }
     }

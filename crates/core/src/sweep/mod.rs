@@ -33,10 +33,12 @@ use tdc_technode::ProcessNode;
 use tdc_units::Efficiency;
 use tdc_yield::StackingFlow;
 
+mod batch;
 pub(crate) mod cache;
 mod executor;
 mod plan;
 
+pub use batch::{BatchRanking, RankedPoint};
 pub use cache::{CacheStats, EvalCache, PipelineStats, StageCounters};
 pub use executor::{SweepExecutor, SweepResult, SweepStats};
 pub use plan::{SweepPlan, SweepPoint};

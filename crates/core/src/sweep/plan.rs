@@ -9,6 +9,7 @@
 
 use crate::design::ChipDesign;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use tdc_integration::IntegrationTechnology;
 use tdc_technode::ProcessNode;
 
@@ -85,9 +86,24 @@ impl SweepPoint {
 
 /// A fully-enumerated sweep: every point that will be evaluated, in a
 /// fixed, deterministic order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepPlan {
     points: Vec<SweepPoint>,
+    /// Design-sequence fingerprint, computed lazily on the first batch
+    /// execution and carried with the plan from then on — the batch
+    /// fast path identifies its resident plan on *every* call, so
+    /// re-hashing per call would tax the warm loop. Clones share the
+    /// computed value; deserialized plans recompute on first use.
+    #[serde(skip)]
+    fingerprint: OnceLock<(usize, u64, u64)>,
+}
+
+// Manual impl (can't be derived next to `OnceLock`): plans are equal
+// iff their point lists are — the cached fingerprint is pure memo.
+impl PartialEq for SweepPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.points == other.points
+    }
 }
 
 impl SweepPlan {
@@ -102,13 +118,32 @@ impl SweepPlan {
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.index, i, "sweep point index out of order");
         }
-        Self { points }
+        Self {
+            points,
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// The plan's design-sequence fingerprint (memoized; see the field
+    /// doc).
+    pub(crate) fn fingerprint(&self) -> (usize, u64, u64) {
+        *self
+            .fingerprint
+            .get_or_init(|| super::batch::compute_plan_fingerprint(self))
     }
 
     /// The enumerated points, in evaluation-index order.
     #[must_use]
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
+    }
+
+    /// The designs of every point, in index order. This sequence is
+    /// exactly what the batch executor fingerprints a plan by: labels
+    /// and axis metadata are presentation, the designs are what the
+    /// pipeline evaluates.
+    pub fn designs(&self) -> impl Iterator<Item = &ChipDesign> + '_ {
+        self.points.iter().map(SweepPoint::design)
     }
 
     /// Number of points in the plan.

@@ -1,0 +1,97 @@
+//! The zero-allocation guarantee of the warm batch inner loop,
+//! enforced with a counting global allocator.
+//!
+//! A warm `execute_batched_ranking` call — plan columns resident,
+//! output buffer reused — must perform **zero heap allocations per
+//! point**: the measured allocation count is identical for a 9-point
+//! and a 99-point plan (any per-point `String`/`Vec`/`Arc` churn would
+//! scale the counts apart) and small in absolute terms (a constant
+//! handful of per-*call* allocations, from the stage-tag fingerprint
+//! strings, is permitted).
+//!
+//! This file deliberately contains a single `#[test]`: the counter is
+//! process-global, so a sibling test running on another thread would
+//! pollute the measurement. Keeping the binary single-test makes the
+//! count exact without locks around the workload.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tdc_core::sweep::{BatchRanking, DesignSweep, SweepExecutor};
+use tdc_core::{CarbonModel, ModelContext, Workload};
+use tdc_technode::ProcessNode;
+use tdc_units::{Throughput, TimeSpan};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations of one warm ranking call on a fresh plan of `nodes`.
+fn warm_call_allocations(nodes: Vec<ProcessNode>) -> u64 {
+    let plan = DesignSweep::new(17.0e9).nodes(nodes).plan().unwrap();
+    let model = CarbonModel::new(ModelContext::default());
+    let workload = Workload::fixed(
+        "app",
+        Throughput::from_tops(254.0),
+        TimeSpan::from_hours(10_000.0),
+    );
+    // Serial executor: the warm path must not even spawn threads.
+    let executor = SweepExecutor::serial();
+    let mut ranking = BatchRanking::new();
+    // Two warm-up calls: the first fills the columns, the second
+    // right-sizes the reused output buffer.
+    for _ in 0..2 {
+        executor
+            .execute_batched_ranking(&model, &plan, &workload, &mut ranking)
+            .unwrap();
+    }
+    assert_eq!(ranking.stats().cache_hits, plan.len(), "warm-up failed");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    executor
+        .execute_batched_ranking(&model, &plan, &workload, &mut ranking)
+        .unwrap();
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(ranking.ranked().len(), plan.len());
+    after - before
+}
+
+#[test]
+fn warm_batch_ranking_performs_zero_allocations_per_point() {
+    let small = warm_call_allocations(vec![ProcessNode::N7]);
+    let large = warm_call_allocations(ProcessNode::ALL.to_vec());
+    // Zero per-point: the count must not grow with the plan (9 points
+    // vs 99 points), and the constant per-call overhead (stage-tag
+    // strings) stays small.
+    assert_eq!(
+        small, large,
+        "warm-loop allocations scale with plan size: {small} vs {large}"
+    );
+    assert!(
+        large <= 64,
+        "warm batch call allocated {large} times; expected a small constant"
+    );
+}

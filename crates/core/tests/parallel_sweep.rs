@@ -30,7 +30,12 @@ fn determinism_under_1_2_8_workers() {
     let reference = SweepExecutor::new(1).execute(&m, &plan, &w).unwrap();
     assert!(!reference.entries().is_empty());
     for workers in [2, 8] {
-        let result = SweepExecutor::new(workers).execute(&m, &plan, &w).unwrap();
+        // parallel_threshold(0) disables the small-plan serial clamp so
+        // the requested pool size is exercised even on this tiny plan.
+        let result = SweepExecutor::new(workers)
+            .parallel_threshold(0)
+            .execute(&m, &plan, &w)
+            .unwrap();
         // Full structural equality — labels, designs, and every f64 of
         // every report — not just the ranking order.
         assert_eq!(reference.entries(), result.entries(), "{workers} workers");
