@@ -16,13 +16,19 @@
 //!   real regression (losing cross-configuration reuse) still trips
 //!   them.
 //!
-//! Usage: `perf_guard [path/to/BENCH_sweep.json]` — exits non-zero,
-//! naming the failed check, if any floor is breached.
+//! Usage: `perf_guard [path/to/BENCH_sweep.json
+//! [path/to/BENCH_serve.json]]` — exits non-zero, naming the failed
+//! check, if any floor is breached. When the second path is given,
+//! the multi-client `tdc serve --listen` smoke also runs: 8 TCP
+//! clients replaying shared-geometry streams against one shared
+//! session, checked for response byte-identity, the cross-client
+//! warm-hit floor, and the concurrent-vs-serial throughput floor
+//! (see `crates/bench/src/serve_load.rs`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
-use tdc_bench::pareto_space;
+use tdc_bench::{pareto_space, serve_load};
 use tdc_cli::JsonValue;
 use tdc_core::explore;
 use tdc_core::service::{EvalRequest, ScenarioSession};
@@ -285,6 +291,58 @@ fn run() -> Result<u32, String> {
         per_file / warm_session,
         floor(&floors, "batch_warm_speedup_min")?,
     );
+
+    // ---- Multi-client serve smoke (only with a BENCH_serve.json) ----
+    if let Some(serve_path) = std::env::args().nth(2) {
+        let text = std::fs::read_to_string(&serve_path)
+            .map_err(|e| format!("cannot read `{serve_path}`: {e}"))?;
+        let recorded = JsonValue::parse(&text).map_err(|e| format!("{serve_path}: {e}"))?;
+        let serve_floors = recorded
+            .get("ci_floors")
+            .ok_or_else(|| format!("`{serve_path}` has no ci_floors object"))?
+            .clone();
+        let serve_floor = |key: &str| -> Result<f64, String> {
+            serve_floors
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("BENCH_serve.json ci_floors is missing `{key}`"))
+        };
+        // Identity and the cross-client rate are deterministic-ish
+        // counters; throughput is best-of-N timing like the others.
+        let mut best_ratio = 0.0f64;
+        let mut report = None;
+        for _ in 0..TIMING_REPS {
+            let run = serve_load::run(&serve_load::LoadConfig::smoke())
+                .map_err(|e| format!("serve load smoke failed: {e}"))?;
+            best_ratio = best_ratio.max(run.throughput_ratio());
+            report = Some(run);
+        }
+        let report = report.expect("TIMING_REPS >= 1");
+        guard.check(
+            "serve_identity (1 = byte-identical to serial replay)",
+            if report.identity_ok() { 1.0 } else { 0.0 },
+            1.0,
+        );
+        guard.check(
+            "serve_no_frame_errors (1 = none)",
+            if report.server_frame_errors == 0 {
+                1.0
+            } else {
+                0.0
+            },
+            1.0,
+        );
+        guard.check(
+            "serve_cross_client_rate",
+            report.cross_client_rate,
+            serve_floor("serve_cross_client_rate_min")?,
+        );
+        guard.check(
+            "serve_concurrent_vs_serial",
+            best_ratio,
+            serve_floor("serve_concurrent_vs_serial_min")?,
+        );
+    }
 
     Ok(guard.failures)
 }

@@ -1,0 +1,115 @@
+//! Records the multi-client `tdc serve --listen` load measurement
+//! behind `BENCH_serve.json`: 8 closed-loop TCP clients replaying
+//! seeded-random shared-geometry streams against one shared session,
+//! checked byte-for-byte against fresh single-process replays, with a
+//! transport-fair single-client serial baseline.
+//!
+//! Usage: `serve_load [--json]` — the default output is a human
+//! summary; `--json` prints the measurement object that gets embedded
+//! into `BENCH_serve.json` (the recorded file adds the host note and
+//! `ci_floors` around it).
+
+use std::process::ExitCode;
+use tdc_bench::serve_load::{run, LoadConfig, LoadReport};
+use tdc_cli::JsonValue;
+
+fn measurement_json(config: &LoadConfig, report: &LoadReport) -> JsonValue {
+    #[allow(clippy::cast_precision_loss)]
+    let n = |v: u64| JsonValue::Number(v as f64);
+    let f = JsonValue::Number;
+    #[allow(clippy::cast_precision_loss)]
+    let config_obj = JsonValue::Object(vec![
+        ("clients".to_owned(), f(config.clients as f64)),
+        (
+            "frames_per_client".to_owned(),
+            f(config.frames_per_client as f64),
+        ),
+        ("max_inflight".to_owned(), f(config.max_inflight as f64)),
+        ("seed".to_owned(), f(config.seed as f64)),
+    ]);
+    JsonValue::Object(vec![
+        ("config".to_owned(), config_obj),
+        (
+            "results".to_owned(),
+            JsonValue::Object(vec![
+                ("frames".to_owned(), n(report.frames)),
+                ("connections".to_owned(), n(report.connections)),
+                (
+                    "identity_ok".to_owned(),
+                    JsonValue::Bool(report.identity_ok()),
+                ),
+                ("mismatched_lines".to_owned(), n(report.mismatched_lines)),
+                (
+                    "server_frame_errors".to_owned(),
+                    n(report.server_frame_errors),
+                ),
+                ("concurrent_secs".to_owned(), f(report.concurrent_secs)),
+                ("serial_secs".to_owned(), f(report.serial_secs)),
+                (
+                    "concurrent_frames_per_sec".to_owned(),
+                    f(report.concurrent_fps()),
+                ),
+                ("serial_frames_per_sec".to_owned(), f(report.serial_fps())),
+                ("throughput_ratio".to_owned(), f(report.throughput_ratio())),
+                ("cross_client_rate".to_owned(), f(report.cross_client_rate)),
+                (
+                    "cross_request_rate".to_owned(),
+                    f(report.cross_request_rate),
+                ),
+                (
+                    "rtt_us".to_owned(),
+                    JsonValue::Object(vec![
+                        ("p50".to_owned(), f(report.rtt_us.p50)),
+                        ("p90".to_owned(), f(report.rtt_us.p90)),
+                        ("p99".to_owned(), f(report.rtt_us.p99)),
+                    ]),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
+    let config = LoadConfig::default();
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: serve load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", measurement_json(&config, &report).render_compact());
+    } else {
+        println!(
+            "serve_load clients={} frames={} identity={} mismatches={} server_errors={}",
+            report.clients,
+            report.frames,
+            if report.identity_ok() { "ok" } else { "BROKEN" },
+            report.mismatched_lines,
+            report.server_frame_errors,
+        );
+        println!(
+            "  concurrent {:.3} s ({:.0} frames/s) vs serial {:.3} s ({:.0} frames/s) — ratio {:.2}",
+            report.concurrent_secs,
+            report.concurrent_fps(),
+            report.serial_secs,
+            report.serial_fps(),
+            report.throughput_ratio(),
+        );
+        println!(
+            "  warmth cross_client_rate={:.4} cross_request_rate={:.4}",
+            report.cross_client_rate, report.cross_request_rate,
+        );
+        println!(
+            "  rtt_us p50={:.0} p90={:.0} p99={:.0}",
+            report.rtt_us.p50, report.rtt_us.p90, report.rtt_us.p99,
+        );
+    }
+    if report.identity_ok() && report.server_frame_errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -12,6 +12,8 @@
 use tdc_core::{CarbonModel, ModelContext};
 use tdc_floorplan::PackageModel;
 
+pub mod serve_load;
+
 /// A minimal fixed-width text table renderer (no external deps).
 #[derive(Debug, Clone, Default)]
 pub struct TextTable {

@@ -1,0 +1,456 @@
+//! A closed-loop, multi-client TCP load generator for `tdc serve
+//! --listen`, shared by the `serve_load` binary (which records
+//! `BENCH_serve.json`) and the `perf_guard` CI smoke.
+//!
+//! The measurement: N clients connect to one listener and replay
+//! seeded-random streams of `run` frames drawn from a shared-geometry
+//! scenario pool (the same die stacks under different operational
+//! inputs), so clients warm each other's embodied-chain artifacts.
+//! Three properties are measured per run:
+//!
+//! * **identity** — each client's response bytes must equal a fresh
+//!   single-process [`serve`] replay of exactly its stream:
+//!   concurrency and shared warmth must never show in the wire bytes;
+//! * **cross-client warmth** — the fraction of stage lookups answered
+//!   by artifacts *another* client inserted
+//!   ([`client_hit_rate`](tdc_core::sweep::PipelineStats::client_hit_rate));
+//! * **throughput** — frames/s of the concurrent run against a
+//!   transport-fair serial baseline: the same streams replayed by one
+//!   client, connection by connection, on a fresh server.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+use tdc_cli::serve::{serve, serve_listener};
+use tdc_core::service::ScenarioSession;
+
+/// The shared-geometry scenario pool's gate-count axis: three
+/// distinct die stacks every client keeps coming back to.
+const GATE_COUNTS: [f64; 3] = [8.0e9, 12.0e9, 17.0e9];
+/// The operational axes: use-phase grid region × device lifetime.
+/// They re-price only the operational stage, so streams mixing them
+/// still share every embodied-chain artifact.
+const REGIONS: [&str; 4] = ["world", "france", "coal", "renewable"];
+const ACTIVE_HOURS: [f64; 2] = [4745.0, 9490.0];
+
+/// A tiny xorshift64 PRNG, so library code stays free of the `rand`
+/// dependency (it is dev-only in this crate) while streams remain
+/// deterministic per seed.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        // xorshift has a single absorbing zero state.
+        Self(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn pick<'a>(&mut self, items: &'a [String]) -> &'a str {
+        let len = items.len() as u64;
+        &items[usize::try_from(self.next() % len).expect("index fits")]
+    }
+}
+
+/// One load-generation setup.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent TCP clients.
+    pub clients: usize,
+    /// Evaluating frames per client (each stream additionally ends
+    /// with one connection-scope `shutdown` frame).
+    pub frames_per_client: usize,
+    /// The server's `--max-inflight` admission gate.
+    pub max_inflight: usize,
+    /// Stream-randomization seed; each client derives its own
+    /// sub-seed, so the whole run is reproducible.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    /// The recorded `BENCH_serve.json` configuration: 8 clients × 40
+    /// frames, sequential per-connection evaluation.
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            frames_per_client: 40,
+            max_inflight: 1,
+            seed: 0x3dc0_ffee,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The cheap CI variant `perf_guard` runs: same client count (the
+    /// cross-client floor needs real sharing), shorter streams.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            frames_per_client: 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// Round-trip-time percentiles, in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RttPercentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Clients that ran concurrently.
+    pub clients: usize,
+    /// Frames the concurrent server answered (including each stream's
+    /// closing `shutdown`).
+    pub frames: u64,
+    /// Connections the concurrent server accepted (the client count
+    /// plus the final control connection).
+    pub connections: u64,
+    /// Frames the server answered with an error response — zero on a
+    /// healthy run; the generated streams are all well-formed.
+    pub server_frame_errors: u64,
+    /// Response lines that differed from the fresh single-process
+    /// replay of the same stream. Zero is the acceptance criterion.
+    pub mismatched_lines: u64,
+    /// Wall-clock of the concurrent phase (connect → last response).
+    pub concurrent_secs: f64,
+    /// Wall-clock of the serial baseline: one client replaying every
+    /// stream back-to-back against a fresh server.
+    pub serial_secs: f64,
+    /// Fraction of concurrent-run stage lookups answered by artifacts
+    /// a *different* client inserted.
+    pub cross_client_rate: f64,
+    /// Fraction answered by artifacts an earlier *request* computed
+    /// (same or different client).
+    pub cross_request_rate: f64,
+    /// Per-frame round-trip percentiles over all concurrent clients.
+    pub rtt_us: RttPercentiles,
+}
+
+impl LoadReport {
+    /// Whether every client's responses were byte-identical to its
+    /// fresh single-process replay.
+    #[must_use]
+    pub fn identity_ok(&self) -> bool {
+        self.mismatched_lines == 0
+    }
+
+    /// Concurrent throughput, frames per second.
+    #[must_use]
+    pub fn concurrent_fps(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let frames = self.frames as f64;
+        frames / self.concurrent_secs.max(1e-9)
+    }
+
+    /// Serial-baseline throughput, frames per second (same frame
+    /// count, so the ratio below is pure wall-clock).
+    #[must_use]
+    pub fn serial_fps(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let frames = self.frames as f64;
+        frames / self.serial_secs.max(1e-9)
+    }
+
+    /// Concurrent ÷ serial throughput. On a single-CPU host this
+    /// hovers around 1 (the work is CPU-bound either way); well below
+    /// 1 means connection handling is serializing or blocking.
+    #[must_use]
+    pub fn throughput_ratio(&self) -> f64 {
+        self.concurrent_fps() / self.serial_fps().max(1e-9)
+    }
+}
+
+/// The shared scenario pool: every (geometry × region × lifetime)
+/// combination, as compact scenario documents.
+fn scenario_pool() -> Vec<String> {
+    let mut pool = Vec::with_capacity(GATE_COUNTS.len() * REGIONS.len() * ACTIVE_HOURS.len());
+    for gates in GATE_COUNTS {
+        for region in REGIONS {
+            for hours in ACTIVE_HOURS {
+                pool.push(format!(
+                    "{{\"name\": \"pool-{giga:.0}g-{region}-{hours:.0}h\", \
+                     \"design\": {{\"dies\": [{{\"name\": \"soc\", \"node_nm\": 7, \
+                     \"gate_count\": {gates:.1}, \"efficiency_tops_per_watt\": 2.74, \
+                     \"compute_share\": 1}}]}}, \
+                     \"workload\": {{\"name\": \"inference\", \"throughput_tops\": 254, \
+                     \"active_hours\": {hours:.1}, \"average_utilization\": 0.15}}, \
+                     \"context\": {{\"use_region\": \"{region}\"}}}}",
+                    giga = gates / 1.0e9,
+                ));
+            }
+        }
+    }
+    pool
+}
+
+/// One client's frame stream: `frames` seeded-random draws from the
+/// shared pool, then a connection-scope `shutdown`. Ids are per-stream
+/// positions, so the stream replays identically through any transport.
+#[must_use]
+pub fn client_stream(seed: u64, frames: usize) -> Vec<String> {
+    let mut rng = XorShift64::new(seed);
+    let pool = scenario_pool();
+    let mut out = Vec::with_capacity(frames + 1);
+    for i in 0..frames {
+        let scenario = rng.pick(&pool);
+        out.push(format!(
+            "{{\"id\": {}, \"command\": \"run\", \"scenario\": {scenario}}}",
+            i + 1
+        ));
+    }
+    out.push(format!(
+        "{{\"id\": {}, \"command\": \"shutdown\"}}",
+        frames + 1
+    ));
+    out
+}
+
+/// What a fresh single-process `tdc serve` answers for this stream —
+/// the identity oracle (responses never depend on cache state, so a
+/// cold in-process session is the reference).
+fn replay_expected(stream_lines: &[String]) -> Vec<String> {
+    let mut input = stream_lines.join("\n");
+    input.push('\n');
+    let session = ScenarioSession::serial();
+    let mut stdout = Vec::new();
+    let mut sink = Vec::new();
+    serve(&session, input.as_bytes(), &mut stdout, &mut sink, 1)
+        .expect("in-memory serve cannot hit I/O errors");
+    String::from_utf8(stdout)
+        .expect("responses are utf8")
+        .lines()
+        .map(ToOwned::to_owned)
+        .collect()
+}
+
+/// One client's concurrent-phase outcome: its response lines and
+/// per-frame round-trip times.
+type ClientRun = (Vec<String>, Vec<Duration>);
+
+/// Runs one closed-loop client: write a frame, block on its response,
+/// repeat. Returns the response lines and per-frame round-trip times.
+fn run_client(addr: SocketAddr, stream_lines: &[String]) -> std::io::Result<ClientRun> {
+    let stream = TcpStream::connect(addr)?;
+    // Closed-loop 1-frame RTTs would otherwise eat Nagle delays.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut responses = Vec::with_capacity(stream_lines.len());
+    let mut rtts = Vec::with_capacity(stream_lines.len());
+    for line in stream_lines {
+        let start = Instant::now();
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-stream",
+            ));
+        }
+        rtts.push(start.elapsed());
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        responses.push(response);
+    }
+    Ok((responses, rtts))
+}
+
+/// Stops a listening server via a control connection's
+/// `{"scope": "server"}` shutdown frame, waiting for the acknowledgement.
+fn shutdown_server(addr: SocketAddr) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writeln!(
+        writer,
+        "{{\"id\": 0, \"command\": \"shutdown\", \"scope\": \"server\"}}"
+    )?;
+    writer.flush()?;
+    let mut ack = String::new();
+    reader.read_line(&mut ack)?;
+    Ok(())
+}
+
+/// One stream replay per connection against `addr`, sequentially —
+/// the transport-fair serial baseline.
+fn run_serial(addr: SocketAddr, streams: &[Vec<String>]) -> std::io::Result<Duration> {
+    let start = Instant::now();
+    for stream_lines in streams {
+        run_client(addr, stream_lines)?;
+    }
+    Ok(start.elapsed())
+}
+
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1.0e6
+}
+
+/// Per-client sub-seed: decorrelates the streams while keeping the
+/// whole run a function of one seed.
+fn client_seed(seed: u64, client: usize) -> u64 {
+    seed ^ (client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs the whole measurement: expected-replay oracle, concurrent
+/// phase, serial baseline.
+///
+/// # Errors
+///
+/// Only socket-level failures (bind/connect/read/write) are hard
+/// errors; frame-level problems show up as `server_frame_errors` and
+/// `mismatched_lines` in the report instead.
+///
+/// # Panics
+///
+/// Panics if a client or server thread panics, or if the generated
+/// streams stop evaluating (the pool is fixed and always valid).
+pub fn run(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let streams: Vec<Vec<String>> = (0..config.clients)
+        .map(|c| client_stream(client_seed(config.seed, c), config.frames_per_client))
+        .collect();
+    let expected: Vec<Vec<String>> = streams.iter().map(|s| replay_expected(s)).collect();
+
+    // ---- Concurrent phase: N clients, one shared session ----
+    let session = ScenarioSession::serial();
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let max_inflight = config.max_inflight;
+    let (results, summary, concurrent) =
+        std::thread::scope(|scope| -> std::io::Result<(Vec<ClientRun>, _, Duration)> {
+            let session = &session;
+            let server = scope.spawn(move || {
+                let mut sink = Vec::new();
+                serve_listener(session, listener, max_inflight, &mut sink)
+            });
+            let start = Instant::now();
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|s| scope.spawn(move || run_client(addr, s)))
+                .collect();
+            let mut results = Vec::with_capacity(handles.len());
+            for handle in handles {
+                results.push(handle.join().expect("client thread panicked")?);
+            }
+            let concurrent = start.elapsed();
+            shutdown_server(addr)?;
+            let summary = server.join().expect("server thread panicked")?;
+            Ok((results, summary, concurrent))
+        })?;
+
+    let mut mismatched_lines = 0u64;
+    for ((got, _), want) in results.iter().zip(&expected) {
+        mismatched_lines += got.iter().zip(want).filter(|(g, w)| g != w).count() as u64;
+        mismatched_lines += got.len().abs_diff(want.len()) as u64;
+    }
+    let stages = session.stats().stages;
+
+    let mut rtts: Vec<Duration> = results
+        .iter()
+        .flat_map(|(_, r)| r.iter().copied())
+        .collect();
+    rtts.sort_unstable();
+
+    // ---- Serial baseline: same streams, one client, fresh server ----
+    let serial_session = ScenarioSession::serial();
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let serial_addr = listener.local_addr()?;
+    let serial = std::thread::scope(|scope| -> std::io::Result<Duration> {
+        let serial_session = &serial_session;
+        let server = scope.spawn(move || {
+            let mut sink = Vec::new();
+            serve_listener(serial_session, listener, max_inflight, &mut sink)
+        });
+        let elapsed = run_serial(serial_addr, &streams)?;
+        shutdown_server(serial_addr)?;
+        server.join().expect("server thread panicked")?;
+        Ok(elapsed)
+    })?;
+
+    Ok(LoadReport {
+        clients: config.clients,
+        frames: summary.frames,
+        connections: summary.connections,
+        server_frame_errors: summary.errors,
+        mismatched_lines,
+        concurrent_secs: concurrent.as_secs_f64(),
+        serial_secs: serial.as_secs_f64(),
+        cross_client_rate: stages.client_hit_rate(),
+        cross_request_rate: stages.cross_hit_rate(),
+        rtt_us: RttPercentiles {
+            p50: percentile_us(&rtts, 0.50),
+            p90: percentile_us(&rtts, 0.90),
+            p99: percentile_us(&rtts, 0.99),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed_and_distinct_per_client() {
+        let a = client_stream(client_seed(7, 0), 12);
+        let b = client_stream(client_seed(7, 0), 12);
+        let c = client_stream(client_seed(7, 1), 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 13, "12 evals + 1 shutdown");
+        assert!(a.last().expect("nonempty").contains("\"shutdown\""));
+    }
+
+    #[test]
+    fn pool_covers_every_axis_combination() {
+        let pool = scenario_pool();
+        assert_eq!(
+            pool.len(),
+            GATE_COUNTS.len() * REGIONS.len() * ACTIVE_HOURS.len()
+        );
+        let mut unique = pool.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), pool.len(), "pool entries must be distinct");
+    }
+
+    #[test]
+    fn tiny_load_run_is_identical_and_cross_client_warm() {
+        let report = run(&LoadConfig {
+            clients: 3,
+            frames_per_client: 6,
+            max_inflight: 1,
+            seed: 0x10ad,
+        })
+        .expect("load run succeeds");
+        assert!(report.identity_ok(), "{report:?}");
+        assert_eq!(report.server_frame_errors, 0, "{report:?}");
+        assert_eq!(report.connections, 4, "3 clients + control connection");
+        assert!(report.cross_client_rate > 0.0, "{report:?}");
+    }
+}

@@ -7,12 +7,15 @@
 //! tdc sensitivity <scenario.json>     one-at-a-time tornado analysis
 //! tdc batch       <dir|files...>      many scenario files on one shared warm session
 //! tdc serve                           JSONL request/response service on stdin/stdout
+//!                                     (or a multi-client TCP frontend with --listen)
 //! tdc scenarios                       list preset names scenario files can reference
 //!
 //! options: --format table|json|csv   --out <path>   --workers <n>   --serial
-//!          --repeat <n>   --max-inflight <n>   --baseline <scenario.json>
+//!          --repeat <n>   --max-inflight <n>   --listen <addr>
+//!          --baseline <scenario.json>
 //! ```
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use tdc_cli::report::{
     render_decision, render_embodied, render_explore, render_lifecycle, render_sensitivity,
@@ -44,8 +47,10 @@ COMMANDS:
     batch         Evaluate many scenario files (or a directory of them) on one
                   shared warm session; stdout is byte-identical to running each
                   file alone, stderr reports cross-request cache reuse
-    serve         Line-delimited JSON request/response service on stdin/stdout
-                  (protocol in docs/SERVING.md)
+    serve         Line-delimited JSON request/response service on stdin/stdout,
+                  or a multi-client TCP frontend with --listen: every
+                  connection shares one warm session (protocol in
+                  docs/SERVING.md)
     scenarios     List design/workload preset names usable in scenario files
     help          Show this message
 
@@ -62,8 +67,12 @@ OPTIONS:
     --per-point                 Evaluate the sweep through the staged per-point
                                 path instead of the batch fast path (`sweep`
                                 only; output is byte-identical either way)
-    --max-inflight <n>          Frames evaluating at once (`serve` only;
-                                default 1 = fully sequential)
+    --max-inflight <n>          Frames evaluating at once, per connection
+                                (`serve` only; default 1 = fully sequential)
+    --listen <addr>             Serve N TCP clients on one shared warm session
+                                instead of stdin/stdout (`serve` only; e.g.
+                                127.0.0.1:7373, port 0 = ephemeral; the bound
+                                address is announced on stderr)
     --baseline <scenario.json>  Compare the scenario's design against this
                                 file's design via Eq. 2 (`run` only; the
                                 scenario's workload and context are used)
@@ -83,6 +92,7 @@ struct Options {
     repeat: usize,
     per_point: bool,
     max_inflight: usize,
+    listen: Option<String>,
     baseline: Option<String>,
 }
 
@@ -124,6 +134,7 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
         repeat: 1,
         per_point: false,
         max_inflight: 1,
+        listen: None,
         baseline: None,
     };
     let mut iter = args.into_iter();
@@ -160,6 +171,9 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
                     return Err("--max-inflight needs a count of at least 1".to_owned());
                 }
                 options.max_inflight = n;
+            }
+            "--listen" => {
+                options.listen = Some(iter.next().ok_or("--listen needs an address")?);
             }
             "--baseline" => {
                 options.baseline = Some(iter.next().ok_or("--baseline needs a scenario file")?);
@@ -206,6 +220,7 @@ const OPTION_GATES: &[(&str, &[&str])] = &[
     ("--repeat", &["sweep"]),
     ("--per-point", &["sweep"]),
     ("--max-inflight", &["serve"]),
+    ("--listen", &["serve"]),
     ("--baseline", &["run"]),
 ];
 
@@ -241,6 +256,7 @@ fn validate(options: &Options) -> Result<(), String> {
     check(options.repeat != 1, "--repeat")?;
     check(options.per_point, "--per-point")?;
     check(options.max_inflight != 1, "--max-inflight")?;
+    check(options.listen.is_some(), "--listen")?;
     check(options.baseline.is_some(), "--baseline")?;
     if NO_FILE_COMMANDS.contains(&command) && !options.files.is_empty() {
         return Err(format!("`tdc {command}` takes no scenario file"));
@@ -495,9 +511,23 @@ fn cmd_batch(options: &Options) -> Result<(), String> {
 
 fn cmd_serve(options: &Options) -> Result<(), String> {
     let session = ScenarioSession::new(options.workers.unwrap_or(0));
+    let stderr = std::io::stderr();
+    if let Some(addr) = &options.listen {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+        let mut err = stderr.lock();
+        // Announced on stderr so harnesses binding port 0 can find it.
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+        writeln!(err, "serve listening on {local}")
+            .map_err(|e| format!("serve I/O failed: {e}"))?;
+        tdc_cli::serve::serve_listener(&session, listener, options.max_inflight, &mut err)
+            .map_err(|e| format!("serve I/O failed: {e}"))?;
+        return Ok(());
+    }
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    let stderr = std::io::stderr();
     tdc_cli::serve::serve(
         &session,
         stdin.lock(),

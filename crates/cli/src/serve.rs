@@ -1,5 +1,5 @@
-//! `tdc serve`: a line-delimited JSON request/response loop over
-//! stdin/stdout, backed by one shared warm [`ScenarioSession`].
+//! `tdc serve`: a line-delimited JSON request/response loop, backed by
+//! one shared warm [`ScenarioSession`].
 //!
 //! One request frame per input line, one response frame per output
 //! line, **in input order** (the protocol and its golden transcript
@@ -21,7 +21,20 @@
 //! frame or end of input, printing an aggregate stats line (stable
 //! [`summary`](tdc_core::service::summary) format) to stderr.
 //!
-//! Evaluation runs with bounded in-flight concurrency
+//! The loop runs over two transports with the **same wire format**:
+//!
+//! * **stdin/stdout** ([`serve`]) — one client, byte-identical to
+//!   every release since the protocol landed (the golden transcript
+//!   in `crates/cli/tests/data/` pins it);
+//! * **TCP** ([`serve_listener`], `tdc serve --listen <addr>`) — one
+//!   thread per connection, every connection speaking the same frame
+//!   protocol against one shared session, so clients warm each
+//!   other's artifacts. A `{"command": "shutdown"}` frame closes just
+//!   its own connection; `{"command": "shutdown", "scope": "server"}`
+//!   additionally stops the listener and gracefully drains the other
+//!   connections (each finishes the frame it is evaluating).
+//!
+//! Per connection, evaluation runs with bounded in-flight concurrency
 //! (`--max-inflight`): up to that many frames evaluate at once on the
 //! shared session, and a reorder buffer keeps responses in input
 //! order. `--max-inflight 1` (the default) is fully sequential —
@@ -32,18 +45,32 @@ use crate::json::JsonValue;
 use crate::report::response_document;
 use crate::scenario::{RequestKind, Scenario, ScenarioError};
 use std::collections::BTreeMap;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Duration;
 use tdc_core::service::summary::stages_kv;
 use tdc_core::service::ScenarioSession;
 
-/// What one `tdc serve` session did.
+/// What one `tdc serve` session (or one TCP connection) did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeSummary {
     /// Frames answered (success and error alike).
     pub frames: u64,
     /// Frames answered with an error response.
+    pub errors: u64,
+}
+
+/// What one `tdc serve --listen` run did, summed over connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ListenSummary {
+    /// Connections accepted and served to completion.
+    pub connections: u64,
+    /// Frames answered across all connections.
+    pub frames: u64,
+    /// Frames answered with an error response, across all connections.
     pub errors: u64,
 }
 
@@ -58,7 +85,9 @@ enum Frame {
     /// A session-stats probe.
     Stats { id: JsonValue },
     /// Graceful shutdown (reading stops; in-flight frames drain).
-    Shutdown { id: JsonValue },
+    /// `server` is the `"scope": "server"` variant: on a TCP listener
+    /// it also stops accepting and drains every other connection.
+    Shutdown { id: JsonValue, server: bool },
     /// Anything unanswerable: the error response is already rendered.
     Bad { response: String },
 }
@@ -99,9 +128,9 @@ fn scenario_error_frame(id: &JsonValue, err: &ScenarioError) -> String {
 }
 
 /// Parses one input line into a frame. Protocol-level problems
-/// (malformed JSON, missing/unknown `command`, missing `scenario`)
-/// become [`Frame::Bad`] with a path-named error response — the
-/// server answers them and keeps serving.
+/// (malformed JSON, missing/unknown `command`, missing `scenario`, a
+/// bad shutdown `scope`) become [`Frame::Bad`] with a path-named error
+/// response — the server answers them and keeps serving.
 fn parse_frame(line: &str) -> Frame {
     let root = match JsonValue::parse(line) {
         Ok(v) => v,
@@ -133,7 +162,14 @@ fn parse_frame(line: &str) -> Frame {
     };
     match command.trim().to_ascii_lowercase().as_str() {
         "stats" => Frame::Stats { id },
-        "shutdown" => Frame::Shutdown { id },
+        "shutdown" => match root.get("scope").map(JsonValue::as_str) {
+            None => Frame::Shutdown { id, server: false },
+            Some(Some("session")) => Frame::Shutdown { id, server: false },
+            Some(Some("server")) => Frame::Shutdown { id, server: true },
+            Some(_) => Frame::Bad {
+                response: error_frame(&id, Some("scope"), "expected \"session\" or \"server\""),
+            },
+        },
         other => {
             let Some(kind) = RequestKind::from_token(other) else {
                 return Frame::Bad {
@@ -167,7 +203,9 @@ fn parse_frame(line: &str) -> Frame {
 }
 
 /// Evaluates one frame to its response line, plus an is-error flag.
-fn answer(session: &ScenarioSession, frame: &Frame) -> (String, bool) {
+/// `client` is the session client id evaluations run as (0 for the
+/// single-client stdin transport; a registered id per TCP connection).
+fn answer(session: &ScenarioSession, client: u64, frame: &Frame) -> (String, bool) {
     match frame {
         Frame::Bad { response } => (response.clone(), true),
         Frame::Stats { id } => {
@@ -193,13 +231,13 @@ fn answer(session: &ScenarioSession, frame: &Frame) -> (String, bool) {
             );
             (line, false)
         }
-        Frame::Shutdown { id } => (ok_frame(id, "shutdown", Vec::new()), false),
+        Frame::Shutdown { id, .. } => (ok_frame(id, "shutdown", Vec::new()), false),
         Frame::Eval { id, kind, scenario } => {
             let request = match scenario.build_request(*kind) {
                 Ok(r) => r,
                 Err(e) => return (scenario_error_frame(id, &e), true),
             };
-            match session.evaluate(&request) {
+            match session.evaluate_as(client, &request) {
                 Ok(evaluated) => (
                     ok_frame(
                         id,
@@ -217,9 +255,49 @@ fn answer(session: &ScenarioSession, frame: &Frame) -> (String, bool) {
     }
 }
 
-/// Runs the serve loop until a `shutdown` frame or end of input.
-/// Response frames are written to `output` in input order; the
-/// aggregate stats line goes to `stderr` after the last response.
+/// A pull-based line source: `Ok(Some(line))` per input line (without
+/// the terminator), `Ok(None)` at end of input — which for a TCP
+/// connection under a server-scope drain may be *logical* end of
+/// input, not socket EOF.
+type LineSource<'a> = dyn FnMut() -> std::io::Result<Option<String>> + 'a;
+
+/// Runs the frame loop over one line source until a `shutdown` frame
+/// or end of input, answering as `client`. Returns whether a
+/// server-scope shutdown frame ended the loop.
+fn serve_lines(
+    session: &ScenarioSession,
+    client: u64,
+    next_line: &mut LineSource<'_>,
+    output: &mut dyn Write,
+    summary: &mut ServeSummary,
+    max_inflight: usize,
+) -> std::io::Result<bool> {
+    if max_inflight > 1 {
+        return serve_concurrent(session, client, next_line, output, summary, max_inflight);
+    }
+    // Sequential fast path: fully deterministic, including the
+    // `stats` counters — the golden-transcript mode.
+    while let Some(line) = next_line()? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = parse_frame(&line);
+        let (response, is_error) = answer(session, client, &frame);
+        summary.frames += 1;
+        summary.errors += u64::from(is_error);
+        writeln!(output, "{response}")?;
+        output.flush()?;
+        if let Frame::Shutdown { server, .. } = frame {
+            return Ok(server);
+        }
+    }
+    Ok(false)
+}
+
+/// Runs the serve loop over stdin/stdout-style streams until a
+/// `shutdown` frame or end of input. Response frames are written to
+/// `output` in input order; the aggregate stats line goes to `stderr`
+/// after the last response.
 ///
 /// # Errors
 ///
@@ -237,26 +315,16 @@ pub fn serve(
     max_inflight: usize,
 ) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
-    if max_inflight <= 1 {
-        // Sequential fast path: fully deterministic, including the
-        // `stats` counters — the golden-transcript mode.
-        for line in input.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let frame = parse_frame(&line);
-            let (response, is_error) = answer(session, &frame);
-            summary.frames += 1;
-            summary.errors += u64::from(is_error);
-            writeln!(output, "{response}")?;
-            if matches!(frame, Frame::Shutdown { .. }) {
-                break;
-            }
-        }
-    } else {
-        serve_concurrent(session, input, output, &mut summary, max_inflight)?;
-    }
+    let mut lines = input.lines();
+    let mut next_line = move || lines.next().transpose();
+    serve_lines(
+        session,
+        0,
+        &mut next_line,
+        output,
+        &mut summary,
+        max_inflight,
+    )?;
     let totals = session.stats();
     writeln!(
         stderr,
@@ -272,28 +340,29 @@ pub fn serve(
 /// The bounded-concurrency loop: a reader (this thread) parses frames
 /// and enqueues at most `max_inflight` of them; workers evaluate on
 /// the shared session; a reorder buffer emits responses in input
-/// order.
+/// order. Returns whether a server-scope shutdown ended the loop.
 fn serve_concurrent(
     session: &ScenarioSession,
-    input: impl BufRead,
+    client: u64,
+    next_line: &mut LineSource<'_>,
     output: &mut dyn Write,
     summary: &mut ServeSummary,
     max_inflight: usize,
-) -> std::io::Result<()> {
+) -> std::io::Result<bool> {
     // A bounded job queue is the in-flight limit: the reader blocks
     // once `max_inflight` frames are queued or evaluating.
     let (job_tx, job_rx) = mpsc::sync_channel::<(u64, Frame)>(max_inflight);
     let job_rx = Mutex::new(job_rx);
     let (done_tx, done_rx) = mpsc::channel::<(u64, String, bool)>();
 
-    std::thread::scope(|scope| -> std::io::Result<()> {
+    std::thread::scope(|scope| -> std::io::Result<bool> {
         for _ in 0..max_inflight {
             let done_tx = done_tx.clone();
             let job_rx = &job_rx;
             scope.spawn(move || loop {
                 let job = job_rx.lock().expect("serve job lock poisoned").recv();
                 let Ok((seq, frame)) = job else { break };
-                let (response, is_error) = answer(session, &frame);
+                let (response, is_error) = answer(session, client, &frame);
                 if done_tx.send((seq, response, is_error)).is_err() {
                     break;
                 }
@@ -303,6 +372,7 @@ fn serve_concurrent(
 
         let mut next_seq = 0u64;
         let mut enqueued = 0u64;
+        let mut server_shutdown = false;
         let mut pending: BTreeMap<u64, (String, bool)> = BTreeMap::new();
         let write_ready = |pending: &mut BTreeMap<u64, (String, bool)>,
                            next_seq: &mut u64,
@@ -313,18 +383,24 @@ fn serve_concurrent(
                 summary.frames += 1;
                 summary.errors += u64::from(is_error);
                 writeln!(output, "{response}")?;
+                output.flush()?;
                 *next_seq += 1;
             }
             Ok(())
         };
 
-        for line in input.lines() {
-            let line = line?;
+        while let Some(line) = next_line()? {
             if line.trim().is_empty() {
                 continue;
             }
             let frame = parse_frame(&line);
-            let stop = matches!(frame, Frame::Shutdown { .. });
+            let stop = match &frame {
+                Frame::Shutdown { server, .. } => {
+                    server_shutdown = *server;
+                    true
+                }
+                _ => false,
+            };
             // Drain finished work before (possibly) blocking on the
             // bounded queue, so responses flow while we wait.
             while let Ok((seq, response, is_error)) = done_rx.try_recv() {
@@ -346,6 +422,237 @@ fn serve_concurrent(
             pending.insert(seq, (response, is_error));
             write_ready(&mut pending, &mut next_seq, output, summary)?;
         }
-        Ok(())
+        Ok(server_shutdown)
     })
+}
+
+/// How often a blocked connection read wakes up to check the
+/// server-stop flag. Pure poll granularity for graceful drain — warm
+/// responses are orders of magnitude faster than this, so the knob
+/// never sits on the request path.
+const STOP_POLL: Duration = Duration::from_millis(50);
+
+/// An incremental line reader over a read timeout. `BufRead::read_line`
+/// cannot be used on a socket with a read timeout — a timeout mid-line
+/// discards the bytes read so far — so this keeps its own carry buffer
+/// across timeouts.
+struct TimeoutLines {
+    stream: TcpStream,
+    carry: Vec<u8>,
+}
+
+enum LineEvent {
+    Line(String),
+    Eof,
+    /// The read timed out with no complete line; the caller decides
+    /// whether to keep waiting (and can check a stop flag in between).
+    Tick,
+}
+
+impl TimeoutLines {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            carry: Vec::new(),
+        }
+    }
+
+    fn take_line(&mut self) -> Option<String> {
+        let nl = self.carry.iter().position(|b| *b == b'\n')?;
+        let mut line: Vec<u8> = self.carry.drain(..=nl).collect();
+        line.pop(); // the newline
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    fn next_event(&mut self) -> std::io::Result<LineEvent> {
+        if let Some(line) = self.take_line() {
+            return Ok(LineEvent::Line(line));
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Socket EOF: a final unterminated line still counts.
+                    if self.carry.is_empty() {
+                        return Ok(LineEvent::Eof);
+                    }
+                    let rest = std::mem::take(&mut self.carry);
+                    return Ok(LineEvent::Line(String::from_utf8_lossy(&rest).into_owned()));
+                }
+                Ok(n) => {
+                    self.carry.extend_from_slice(&chunk[..n]);
+                    if let Some(line) = self.take_line() {
+                        return Ok(LineEvent::Line(line));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(LineEvent::Tick);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Serves one accepted connection: registers a session client id,
+/// runs the frame loop with stop-flag polling, and reports whether
+/// this connection requested a server-scope shutdown.
+fn handle_connection(
+    session: &ScenarioSession,
+    stream: TcpStream,
+    max_inflight: usize,
+    stop: &AtomicBool,
+) -> (ServeSummary, bool, std::io::Result<()>) {
+    let client = session.register_client();
+    let mut summary = ServeSummary::default();
+    // One response frame per request frame is the pathological case
+    // for Nagle + delayed ACK (~40 ms per closed-loop round trip on
+    // loopback), so responses must go out immediately.
+    let setup = stream
+        .set_read_timeout(Some(STOP_POLL))
+        .and_then(|()| stream.set_nodelay(true))
+        .and_then(|()| stream.try_clone());
+    let reader = match setup {
+        Ok(reader) => reader,
+        Err(e) => return (summary, false, Err(e)),
+    };
+    let mut lines = TimeoutLines::new(reader);
+    let mut output = stream;
+    let mut next_line = move || loop {
+        match lines.next_event()? {
+            LineEvent::Line(line) => return Ok(Some(line)),
+            LineEvent::Eof => return Ok(None),
+            // Logical end of input on a server-scope drain: the
+            // connection finishes its in-flight frames and closes.
+            LineEvent::Tick => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+        }
+    };
+    match serve_lines(
+        session,
+        client,
+        &mut next_line,
+        &mut output,
+        &mut summary,
+        max_inflight,
+    ) {
+        Ok(server_shutdown) => (summary, server_shutdown, Ok(())),
+        Err(e) => (summary, false, Err(e)),
+    }
+}
+
+/// Runs the multi-client TCP frontend: accepts connections on
+/// `listener` until a `{"command": "shutdown", "scope": "server"}`
+/// frame arrives on any of them, serving each connection the same
+/// frame protocol as [`serve`] on its own thread, all against one
+/// shared `session`. A connection-scope `shutdown` (or client EOF,
+/// or a client I/O failure) ends only that connection; the listener
+/// and every other connection keep serving. On server shutdown every
+/// live connection drains gracefully — it finishes the frames it is
+/// evaluating — before the call returns and writes the aggregate
+/// stats line to `stderr`.
+///
+/// # Errors
+///
+/// Binding problems surface from the caller's `TcpListener::bind`;
+/// here only persistent accept failures and the final stderr writes
+/// are hard errors. Per-connection I/O failures are logged to
+/// `stderr` (after the connections drain — `stderr` need not be
+/// shareable across threads) and absorbed.
+///
+/// # Panics
+///
+/// Panics if a connection thread panics (frame evaluation reports
+/// failures as error frames instead of panicking).
+pub fn serve_listener(
+    session: &ScenarioSession,
+    listener: TcpListener,
+    max_inflight: usize,
+    stderr: &mut dyn Write,
+) -> std::io::Result<ListenSummary> {
+    let local = listener.local_addr()?;
+    let stop = AtomicBool::new(false);
+    let totals = Mutex::new(ListenSummary::default());
+    let log = Mutex::new(Vec::<String>::new());
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut accept_errors = 0u32;
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _peer)) => {
+                    accept_errors = 0;
+                    stream
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient accept failures (EMFILE, aborted
+                    // handshakes) must not kill a server with live
+                    // clients; persistent ones are a real error.
+                    accept_errors += 1;
+                    if accept_errors > 16 {
+                        stop.store(true, Ordering::SeqCst);
+                        return Err(e);
+                    }
+                    continue;
+                }
+            };
+            if stop.load(Ordering::SeqCst) {
+                // The shutdown wake-up connection, or a client that
+                // raced the shutdown: either way, no longer serving.
+                break;
+            }
+            let (stop, totals, log) = (&stop, &totals, &log);
+            scope.spawn(move || {
+                let (summary, server_shutdown, result) =
+                    handle_connection(session, stream, max_inflight, stop);
+                {
+                    let mut t = totals.lock().expect("listen totals lock poisoned");
+                    t.connections += 1;
+                    t.frames += summary.frames;
+                    t.errors += summary.errors;
+                }
+                if let Err(e) = result {
+                    // A vanished or broken client is that client's
+                    // problem; note it and keep serving the rest.
+                    log.lock()
+                        .expect("listen log lock poisoned")
+                        .push(format!("serve connection error: {e}"));
+                }
+                if server_shutdown && !stop.swap(true, Ordering::SeqCst) {
+                    // Wake the accept loop so it observes the flag.
+                    drop(TcpStream::connect(local));
+                }
+            });
+        }
+        Ok(())
+        // The scope joins every connection thread here: graceful
+        // drain is structural, not best-effort.
+    })?;
+
+    let totals = *totals.lock().expect("listen totals lock poisoned");
+    let stats = session.stats();
+    for note in log.into_inner().expect("listen log lock poisoned") {
+        writeln!(stderr, "{note}")?;
+    }
+    writeln!(
+        stderr,
+        "listen connections={} frames={} errors={} requests={} clients={} {}",
+        totals.connections,
+        totals.frames,
+        totals.errors,
+        stats.requests,
+        stats.clients,
+        stages_kv(&stats.stages)
+    )?;
+    Ok(totals)
 }

@@ -26,6 +26,10 @@ pub struct RequestStats {
 pub struct SessionStats {
     /// Requests evaluated so far (including failed ones).
     pub requests: u64,
+    /// Clients registered so far (see
+    /// [`ScenarioSession::register_client`]). Zero for single-client
+    /// owners that only ever call [`ScenarioSession::evaluate`].
+    pub clients: u64,
     /// Sum of every request's per-stage counters.
     pub stages: PipelineStats,
     /// Artifacts currently stored across all cache stages.
@@ -92,6 +96,7 @@ pub struct Evaluated {
 pub struct ScenarioSession {
     executor: SweepExecutor,
     requests: AtomicU64,
+    clients: AtomicU64,
     totals: Mutex<PipelineStats>,
 }
 
@@ -104,6 +109,7 @@ impl ScenarioSession {
         Self {
             executor: SweepExecutor::new(workers),
             requests: AtomicU64::new(0),
+            clients: AtomicU64::new(0),
             totals: Mutex::new(PipelineStats::default()),
         }
     }
@@ -124,8 +130,21 @@ impl ScenarioSession {
         Self {
             executor: SweepExecutor::new(workers).artifact_cap(cap),
             requests: AtomicU64::new(0),
+            clients: AtomicU64::new(0),
             totals: Mutex::new(PipelineStats::default()),
         }
+    }
+
+    /// Allocates the next client id of a multi-client owner (ids start
+    /// at 1; id 0 is the anonymous client [`evaluate`](Self::evaluate)
+    /// runs as). The TCP frontend registers one id per accepted
+    /// connection and evaluates its frames via
+    /// [`evaluate_as`](Self::evaluate_as), which is what lets the
+    /// per-stage counters attribute warmth *between* clients
+    /// ([`client_hits`](crate::sweep::StageCounters::client_hits)).
+    #[must_use = "the id must be passed to evaluate_as"]
+    pub fn register_client(&self) -> u64 {
+        self.clients.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The session's executor (for cache inspection or an explicit
@@ -145,9 +164,24 @@ impl ScenarioSession {
     /// such points). A failed request still counts toward
     /// [`SessionStats::requests`] and leaves the store intact.
     pub fn evaluate(&self, request: &EvalRequest) -> Result<Evaluated, ModelError> {
+        self.evaluate_as(0, request)
+    }
+
+    /// Evaluates one request *on behalf of a registered client* (see
+    /// [`register_client`](Self::register_client)). Identical to
+    /// [`evaluate`](Self::evaluate) except that hits on artifacts other
+    /// clients computed are additionally attributed as cross-client
+    /// reuse. Client identity is ambient per-request state on the
+    /// shared cache: overlapping requests from different clients can
+    /// skew the *attribution* slightly, never the responses.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`evaluate`](Self::evaluate).
+    pub fn evaluate_as(&self, client: u64, request: &EvalRequest) -> Result<Evaluated, ModelError> {
         let index = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
         let cache = self.executor.cache();
-        cache.advance_epoch();
+        cache.begin_request(client);
         let (response, stages) = match request {
             EvalRequest::Run {
                 context,
@@ -235,6 +269,7 @@ impl ScenarioSession {
     pub fn stats(&self) -> SessionStats {
         SessionStats {
             requests: self.requests.load(Ordering::Relaxed),
+            clients: self.clients.load(Ordering::Relaxed),
             stages: *self.totals.lock().expect("session stats lock poisoned"),
             entries: self.executor.cache().stats().entries,
         }

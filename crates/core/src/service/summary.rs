@@ -5,9 +5,11 @@
 //! lines, so their format is a contract: space-separated `key=value`
 //! tokens, counters as plain integers (`hits=12`), stage counters as
 //! `hits/lookups` fractions of integers (`embodied=9/12`), and the
-//! two rates as fixed six-decimal floats (`warm=0.750000`). Guards
-//! grep the *integer* fields — `hits=0` vs `hits=[1-9]` — so no check
-//! ever depends on float formatting quirks.
+//! rates as fixed six-decimal floats (`warm=0.750000`). Guards grep
+//! the *integer* fields — `hits=0` vs `hits=[1-9]` — so no check ever
+//! depends on float formatting quirks. New tokens are only ever
+//! appended at the end of the line, never inserted, so existing greps
+//! keep matching.
 
 use crate::sweep::PipelineStats;
 use std::fmt::Write as _;
@@ -17,12 +19,15 @@ use std::fmt::Write as _;
 ///
 /// ```text
 /// physical=H/T yield=H/T embodied=H/T power=H/T operational=H/T \
-/// hits=H cross=X lookups=T warm=0.NNNNNN cross_rate=0.NNNNNN
+/// hits=H cross=X lookups=T warm=0.NNNNNN cross_rate=0.NNNNNN \
+/// client_cross=C client_rate=0.NNNNNN
 /// ```
 ///
 /// where each stage field is `hits/lookups`, `cross` counts hits
-/// answered by artifacts an earlier request computed, and both rates
-/// are fractions of `lookups` formatted with exactly six decimals.
+/// answered by artifacts an earlier request computed, `client_cross`
+/// counts hits answered by artifacts a *different client* of a shared
+/// session computed, and every rate is a fraction of `lookups`
+/// formatted with exactly six decimals.
 ///
 /// ```
 /// use tdc_core::service::summary::stages_kv;
@@ -32,12 +37,13 @@ use std::fmt::Write as _;
 /// assert_eq!(
 ///     line,
 ///     "physical=0/0 yield=0/0 embodied=0/0 power=0/0 operational=0/0 \
-///      hits=0 cross=0 lookups=0 warm=0.000000 cross_rate=0.000000",
+///      hits=0 cross=0 lookups=0 warm=0.000000 cross_rate=0.000000 \
+///      client_cross=0 client_rate=0.000000",
 /// );
 /// ```
 #[must_use]
 pub fn stages_kv(stats: &PipelineStats) -> String {
-    let mut out = String::with_capacity(128);
+    let mut out = String::with_capacity(160);
     let stage = |out: &mut String, name: &str, c: crate::sweep::StageCounters| {
         let _ = write!(out, "{name}={}/{} ", c.hits, c.hits + c.misses);
     };
@@ -48,12 +54,15 @@ pub fn stages_kv(stats: &PipelineStats) -> String {
     stage(&mut out, "operational", stats.operational);
     let _ = write!(
         out,
-        "hits={} cross={} lookups={} warm={:.6} cross_rate={:.6}",
+        "hits={} cross={} lookups={} warm={:.6} cross_rate={:.6} \
+         client_cross={} client_rate={:.6}",
         stats.hits(),
         stats.cross_hits(),
         stats.hits() + stats.misses(),
         stats.warm_hit_rate(),
         stats.cross_hit_rate(),
+        stats.client_hits(),
+        stats.client_hit_rate(),
     );
     out
 }
@@ -69,11 +78,13 @@ mod tests {
             embodied: StageCounters {
                 hits: 3,
                 cross_hits: 2,
+                client_hits: 1,
                 misses: 1,
             },
             operational: StageCounters {
                 hits: 0,
                 cross_hits: 0,
+                client_hits: 0,
                 misses: 4,
             },
             ..PipelineStats::default()
@@ -82,11 +93,13 @@ mod tests {
         assert_eq!(
             line,
             "physical=0/0 yield=0/0 embodied=3/4 power=0/0 operational=0/4 \
-             hits=3 cross=2 lookups=8 warm=0.375000 cross_rate=0.250000",
+             hits=3 cross=2 lookups=8 warm=0.375000 cross_rate=0.250000 \
+             client_cross=1 client_rate=0.125000",
         );
         // The contract CI relies on: integer fields are greppable
         // without touching the float fields.
         assert!(line.contains(" cross=2 "));
+        assert!(line.contains(" client_cross=1 "));
         assert!(line.split_whitespace().all(|tok| tok.contains('=')));
     }
 }

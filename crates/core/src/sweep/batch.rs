@@ -40,7 +40,8 @@
 //! index) order.
 
 use super::cache::{
-    EmbodiedOutcome, EvalCache, PipelineStats, PipelineTally, PointLookup, StageTags,
+    EmbodiedOutcome, EvalCache, PipelineStats, PipelineTally, PointLookup, StageCounters,
+    StageTags, Stamp,
 };
 use super::executor::{chunk_size, SweepExecutor, SweepStats};
 use super::plan::{SweepPlan, SweepPoint};
@@ -215,13 +216,14 @@ impl<T> Default for StageColumns<T> {
 
 /// One configuration's slot vector for one stage: `slots[i]` is the
 /// stage artifact of plan point `i`, `tag` is the stage's input-slice
-/// fingerprint, `epoch` the request epoch its values were written in
-/// (for cross-request attribution), and `complete` whether every point
-/// was resolved — the warm fast path requires it.
+/// fingerprint, `stamp` the (request epoch, client) its values were
+/// last written under (for cross-request and cross-client
+/// attribution), and `complete` whether every point was resolved —
+/// the warm fast path requires it.
 #[derive(Debug)]
 struct Column<T> {
     tag: u64,
-    epoch: u64,
+    stamp: Stamp,
     complete: bool,
     slots: Vec<Option<T>>,
 }
@@ -242,7 +244,7 @@ impl<T> StageColumns<T> {
             slots.resize_with(len, || None);
             Column {
                 tag,
-                epoch: 0,
+                stamp: Stamp::default(),
                 complete: false,
                 slots,
             }
@@ -378,13 +380,29 @@ struct FillCtx<'a> {
     tags: &'a StageTags,
     model: &'a CarbonModel,
     workload: &'a Workload,
-    epoch: u64,
+    /// The (epoch, client) this fill runs under.
+    stamp: Stamp,
     cap: usize,
-    phys_epoch: u64,
-    emb_epoch: u64,
-    power_epoch: u64,
-    op_epoch: u64,
+    /// Each stage column's last-written stamp, for attributing column
+    /// hits exactly like keyed-cache hits.
+    phys_col: Stamp,
+    emb_col: Stamp,
+    power_col: Stamp,
+    op_col: Stamp,
     tally: &'a PipelineTally,
+}
+
+/// Counts one column hit, attributing cross-request and cross-client
+/// reuse exactly like the keyed store's `StageCell::lookup` does: the
+/// column was last written under `col`, the reader runs under `now`.
+fn count_col_hit(counters: &mut StageCounters, col: Stamp, now: Stamp) {
+    counters.hits += 1;
+    if col.epoch < now.epoch {
+        counters.cross_hits += 1;
+    }
+    if col.client != now.client {
+        counters.client_hits += 1;
+    }
 }
 
 /// Per-worker fill bookkeeping, merged after the scope joins.
@@ -454,10 +472,7 @@ fn resolve_phys(
     }
     let p = match phys_slot.as_ref() {
         Some(p) => {
-            out.col.physical.hits += 1;
-            if ctx.phys_epoch < ctx.epoch {
-                out.col.physical.cross_hits += 1;
-            }
+            count_col_hit(&mut out.col.physical, ctx.phys_col, ctx.stamp);
             Arc::clone(p)
         }
         None => {
@@ -486,7 +501,7 @@ fn eval_slots(
     total_slot: &mut Option<f64>,
     out: &mut FillOut,
 ) -> Result<(bool, bool), ModelError> {
-    let (cache, tags, epoch) = (ctx.cache, ctx.tags, ctx.epoch);
+    let (cache, tags, stamp) = (ctx.cache, ctx.tags, ctx.stamp);
     let mut all_hit = true;
     // The canonical key is built lazily: a point whose head slots are
     // all warm never allocates it.
@@ -495,10 +510,7 @@ fn eval_slots(
 
     // ---- Embodied head (physical → yield → embodied) ----
     if emb_slot.is_some() {
-        out.col.embodied.hits += 1;
-        if ctx.emb_epoch < epoch {
-            out.col.embodied.cross_hits += 1;
-        }
+        count_col_hit(&mut out.col.embodied, ctx.emb_col, stamp);
     } else {
         if key.is_none() {
             key = Some(EvalCache::key_for(design));
@@ -506,7 +518,7 @@ fn eval_slots(
         let k = key.as_deref().expect("key computed above");
         let outcome = match cache
             .embodied
-            .lookup(tags.embodied, k, epoch, &ctx.tally.embodied)
+            .lookup(tags.embodied, k, stamp, &ctx.tally.embodied)
         {
             Some(o) => o,
             None => {
@@ -516,7 +528,7 @@ fn eval_slots(
                     model: ctx.model,
                     design,
                     design_key: k,
-                    epoch,
+                    stamp,
                     tally: ctx.tally,
                 };
                 let phys = resolve_phys(ctx, &point, &mut phys_local, phys_slot, out);
@@ -526,14 +538,14 @@ fn eval_slots(
                         let o = EmbodiedOutcome::Report(Arc::new(b));
                         cache
                             .embodied
-                            .insert(tags.embodied, k, epoch, o.clone(), ctx.cap);
+                            .insert(tags.embodied, k, stamp, o.clone(), ctx.cap);
                         o
                     }
                     Err(ModelError::DieExceedsWafer { .. }) => {
                         cache.embodied.insert(
                             tags.embodied,
                             k,
-                            epoch,
+                            stamp,
                             EmbodiedOutcome::Oversized,
                             ctx.cap,
                         );
@@ -556,10 +568,7 @@ fn eval_slots(
 
     // ---- Operational head (physical → power → operational) ----
     if op_slot.is_some() {
-        out.col.operational.hits += 1;
-        if ctx.op_epoch < epoch {
-            out.col.operational.cross_hits += 1;
-        }
+        count_col_hit(&mut out.col.operational, ctx.op_col, stamp);
     } else {
         if key.is_none() {
             key = Some(EvalCache::key_for(design));
@@ -568,7 +577,7 @@ fn eval_slots(
         let report =
             match cache
                 .operational
-                .lookup(tags.operational, k, epoch, &ctx.tally.operational)
+                .lookup(tags.operational, k, stamp, &ctx.tally.operational)
             {
                 Some(r) => r,
                 None => {
@@ -578,16 +587,13 @@ fn eval_slots(
                         model: ctx.model,
                         design,
                         design_key: k,
-                        epoch,
+                        stamp,
                         tally: ctx.tally,
                     };
                     let phys = resolve_phys(ctx, &point, &mut phys_local, phys_slot, out);
                     let power = match power_slot.as_ref() {
                         Some(p) => {
-                            out.col.power.hits += 1;
-                            if ctx.power_epoch < epoch {
-                                out.col.power.cross_hits += 1;
-                            }
+                            count_col_hit(&mut out.col.power, ctx.power_col, stamp);
                             Arc::clone(p)
                         }
                         None => {
@@ -607,7 +613,7 @@ fn eval_slots(
                     )?);
                     cache
                         .operational
-                        .insert(tags.operational, k, epoch, Arc::clone(&r), ctx.cap);
+                        .insert(tags.operational, k, stamp, Arc::clone(&r), ctx.cap);
                     r
                 }
             };
@@ -763,7 +769,7 @@ pub(crate) fn run(
     entries: Option<&mut Vec<SweepEntry>>,
 ) -> Result<(), ModelError> {
     let cache = exec.cache();
-    let epoch = cache.current_epoch();
+    let stamp = cache.current_stamp();
     let cap = cache.artifact_cap();
     let n = plan.len();
     let fingerprint = plan.fingerprint();
@@ -805,12 +811,18 @@ pub(crate) fn run(
         stats.cache_hits = n;
         let mut col = PipelineStats::default();
         col.embodied.hits = n as u64;
-        if emb_col.epoch < epoch {
+        if emb_col.stamp.epoch < stamp.epoch {
             col.embodied.cross_hits = n as u64;
         }
+        if emb_col.stamp.client != stamp.client {
+            col.embodied.client_hits = n as u64;
+        }
         col.operational.hits = evaluated as u64;
-        if op_col.epoch < epoch {
+        if op_col.stamp.epoch < stamp.epoch {
             col.operational.cross_hits = evaluated as u64;
+        }
+        if op_col.stamp.client != stamp.client {
+            col.operational.client_hits = evaluated as u64;
         }
         stats.stages = col;
         stats.delta_skips = (n + evaluated) as u64;
@@ -828,12 +840,12 @@ pub(crate) fn run(
             tags: &tags,
             model,
             workload,
-            epoch,
+            stamp,
             cap,
-            phys_epoch: phys_col.epoch,
-            emb_epoch: emb_col.epoch,
-            power_epoch: power_col.epoch,
-            op_epoch: op_col.epoch,
+            phys_col: phys_col.stamp,
+            emb_col: emb_col.stamp,
+            power_col: power_col.stamp,
+            op_col: op_col.stamp,
             tally: &tally,
         };
         let merged = fill(
@@ -847,16 +859,16 @@ pub(crate) fn run(
             &mut totals_col.slots,
         );
         if merged.wrote_phys {
-            phys_col.epoch = epoch;
+            phys_col.stamp = stamp;
         }
         if merged.wrote_emb {
-            emb_col.epoch = epoch;
+            emb_col.stamp = stamp;
         }
         if merged.wrote_power {
-            power_col.epoch = epoch;
+            power_col.stamp = stamp;
         }
         if merged.wrote_op {
-            op_col.epoch = epoch;
+            op_col.stamp = stamp;
         }
         phys_col.complete = phys_col.slots.iter().all(Option::is_some);
         power_col.complete = power_col.slots.iter().all(Option::is_some);

@@ -29,16 +29,38 @@
 //! orientation, and bonding flow — so any two points that would
 //! produce the same artifact are computed once.
 //!
+//! # Shards and eviction
+//!
+//! Each stage's store is split into [`SHARD_COUNT`] shards, routed by
+//! a mix of the configuration tag, each behind its own `RwLock` — warm
+//! lookups take a shared read lock (readers never contend with each
+//! other), and only genuine inserts take a shard's write lock. A
+//! multi-client server hammering the warm path therefore scales reads,
+//! and writers for different configurations rarely touch the same
+//! shard.
+//!
 //! Entries persist across configuration changes (that persistence *is*
-//! the reuse); each stage's store is capped at `MAX_STAGE_ENTRIES`
-//! artifacts — reaching the cap drops that stage's entries wholesale
-//! (recomputing is always safe), so a long-lived executor fed an
-//! unbounded scenario stream cannot grow without limit — and
-//! [`EvalCache::clear`] drops everything. Only non-fatal outcomes are
-//! stored: a design
-//! whose dies outgrow the wafer is remembered as `Oversized`, while
-//! genuine model errors always propagate and are re-raised on every
-//! attempt.
+//! the reuse); memory stays bounded by per-shard LRU eviction: every
+//! entry carries a last-used stamp from a store-wide access clock, and
+//! when a shard reaches its share of the per-stage artifact cap, the
+//! least-recently-used quarter of that shard is evicted (recomputing
+//! is always safe, so eviction can never change results — only
+//! recompute costs). The cumulative hit/miss counters live outside the
+//! shards and **survive eviction** (and [`EvalCache::clear`]), so a
+//! long-running session's stats line never goes backwards mid-stream.
+//! Only non-fatal outcomes are stored: a design whose dies outgrow the
+//! wafer is remembered as `Oversized`, while genuine model errors
+//! always propagate and are re-raised on every attempt.
+//!
+//! # Requests and clients
+//!
+//! Long-lived owners bracket each request with
+//! [`EvalCache::begin_request`], which advances the *epoch* and
+//! records the requesting *client*. Every artifact remembers the
+//! (epoch, client) it was inserted under, so a hit can tell
+//! within-request reuse from cross-request reuse
+//! ([`StageCounters::cross_hits`]) and sharing *between clients* of a
+//! multi-client server ([`StageCounters::client_hits`]).
 
 use crate::design::ChipDesign;
 use crate::error::ModelError;
@@ -48,7 +70,7 @@ use crate::pipeline::{self, PhysicalProfile, PowerProfile, YieldProfile};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 /// What a finished embodied evaluation left behind. Only the two
 /// *non-fatal* outcomes are cached.
@@ -70,10 +92,16 @@ pub struct StageCounters {
     /// The subset of [`hits`](Self::hits) answered by an artifact
     /// inserted during an *earlier epoch* — i.e. by a previous request
     /// of a long-lived session (epochs advance via
+    /// [`EvalCache::begin_request`] /
     /// [`EvalCache::advance_epoch`]). When nothing ever advances the
     /// epoch this stays zero and `hits` counts pure within-request
     /// reuse.
     pub cross_hits: u64,
+    /// The subset of [`hits`](Self::hits) answered by an artifact a
+    /// *different client* inserted — the cross-client warmth a shared
+    /// multi-connection server exists for. Single-client owners (the
+    /// CLI one-shot commands, stdin `tdc serve`) never see this move.
+    pub client_hits: u64,
     /// Lookups that had to run the stage.
     pub misses: u64,
 }
@@ -139,6 +167,13 @@ impl PipelineStats {
         self.as_array().iter().map(|s| s.cross_hits).sum()
     }
 
+    /// Cross-client hits (artifacts another client of a shared session
+    /// computed), summed over all stages.
+    #[must_use]
+    pub fn client_hits(&self) -> u64 {
+        self.as_array().iter().map(|s| s.client_hits).sum()
+    }
+
     /// The fraction of all stage lookups answered by artifacts from an
     /// earlier epoch, in `[0, 1]` (0 when nothing was ever looked up).
     #[must_use]
@@ -154,6 +189,21 @@ impl PipelineStats {
         }
     }
 
+    /// The fraction of all stage lookups answered by artifacts a
+    /// *different client* inserted, in `[0, 1]`.
+    #[must_use]
+    pub fn client_hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.client_hits() as f64 / total as f64
+            }
+        }
+    }
+
     /// Element-wise sum of two snapshots (used by sessions to
     /// accumulate per-request tallies).
     #[must_use]
@@ -161,6 +211,7 @@ impl PipelineStats {
         let add = |a: StageCounters, b: StageCounters| StageCounters {
             hits: a.hits + b.hits,
             cross_hits: a.cross_hits + b.cross_hits,
+            client_hits: a.client_hits + b.client_hits,
             misses: a.misses + b.misses,
         };
         PipelineStats {
@@ -193,6 +244,7 @@ impl PipelineStats {
         let diff = |now: StageCounters, then: StageCounters| StageCounters {
             hits: now.hits.saturating_sub(then.hits),
             cross_hits: now.cross_hits.saturating_sub(then.cross_hits),
+            client_hits: now.client_hits.saturating_sub(then.client_hits),
             misses: now.misses.saturating_sub(then.misses),
         };
         PipelineStats {
@@ -208,11 +260,15 @@ impl PipelineStats {
 /// Cumulative counters and size of an [`EvalCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Per-stage hit/miss counters since construction (or the last
-    /// counter-preserving [`EvalCache::clear`]).
+    /// Per-stage hit/miss counters since construction. Counters
+    /// survive eviction and [`EvalCache::clear`] — a long-running
+    /// session's stats never go backwards mid-stream.
     pub stages: PipelineStats,
     /// Artifacts currently stored, across all stages.
     pub entries: usize,
+    /// Artifacts evicted by the per-shard LRU policy since
+    /// construction, across all stages.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -226,13 +282,32 @@ impl CacheStats {
 /// Default upper bound on the artifacts one stage retains. Retention
 /// across configurations is the point of the store, but operational
 /// artifacts in particular accumulate one entry per (configuration,
-/// design) pair forever; when a stage reaches the cap its entries are
-/// dropped wholesale (always safe — misses just recompute) so memory
-/// stays bounded no matter how many scenarios a long-lived executor
-/// sees. The default is far above any scenario space in this
-/// repository (the grid-region bench peaks at 99 × 8 = 792 operational
-/// artifacts); [`EvalCache::with_artifact_cap`] overrides it.
+/// design) pair forever; the cap is divided across the stage's shards,
+/// and a shard reaching its share evicts its least-recently-used
+/// quarter (always safe — misses just recompute) so memory stays
+/// bounded no matter how many scenarios a long-lived executor sees.
+/// The default is far above any scenario space in this repository (the
+/// grid-region bench peaks at 99 × 8 = 792 operational artifacts);
+/// [`EvalCache::with_artifact_cap`] overrides it.
 pub(crate) const DEFAULT_ARTIFACT_CAP: usize = 1 << 16;
+
+/// How many shards each stage's store splits into. Shard routing
+/// mixes the configuration tag, so different configurations spread
+/// across shards while one configuration's entries stay together
+/// (per-shard LRU then evicts whole-configuration working sets in
+/// recency order rather than scattering holes everywhere).
+pub(crate) const SHARD_COUNT: usize = 8;
+
+/// The (epoch, client) identity a lookup or insert runs under —
+/// captured once per evaluation from [`EvalCache::current_stamp`].
+/// Entries remember the stamp they were inserted with; comparing it
+/// against the reader's stamp is what attributes cross-request and
+/// cross-client reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Stamp {
+    pub(crate) epoch: u64,
+    pub(crate) client: u64,
+}
 
 /// Per-execute hit/miss tally, threaded through every lookup so a
 /// `SweepExecutor::execute` call reports exactly its own traffic even
@@ -251,6 +326,7 @@ pub(crate) struct PipelineTally {
 pub(crate) struct TallyPair {
     hits: AtomicU64,
     cross_hits: AtomicU64,
+    client_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -259,6 +335,7 @@ impl TallyPair {
         StageCounters {
             hits: self.hits.load(Ordering::Relaxed),
             cross_hits: self.cross_hits.load(Ordering::Relaxed),
+            client_hits: self.client_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
@@ -277,59 +354,143 @@ impl PipelineTally {
     }
 }
 
-/// One stage's store: artifacts keyed (configuration tag → canonical
-/// design key), plus cumulative counters. The two-level map lets a
-/// warm lookup borrow the design key (`&str`) — no per-lookup
-/// allocation — and groups one configuration's entries together.
-/// Every artifact remembers the epoch it was inserted in, so a hit can
-/// tell within-request reuse from cross-request reuse.
-/// (configuration tag → canonical design key) → (artifact, insertion
-/// epoch).
-type StageMap<T> = HashMap<u64, HashMap<String, (T, u64)>>;
+/// One stored artifact plus its bookkeeping: the (epoch, client) it
+/// was inserted under and its last-used stamp from the store-wide
+/// access clock (atomic, so warm lookups bump recency under the
+/// shard's *read* lock).
+#[derive(Debug)]
+struct Entry<T> {
+    value: T,
+    epoch: u64,
+    client: u64,
+    last_used: AtomicU64,
+}
 
+/// One shard of a stage's store: artifacts keyed (configuration tag →
+/// canonical design key) plus an entry count maintained under the
+/// write lock. The two-level map lets a warm lookup borrow the design
+/// key (`&str`) — no per-lookup allocation — and groups one
+/// configuration's entries together.
+#[derive(Debug)]
+struct Shard<T> {
+    entries: HashMap<u64, HashMap<String, Entry<T>>>,
+    count: usize,
+}
+
+// Manual impl: `derive(Default)` would needlessly require `T: Default`.
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Self {
+            entries: HashMap::new(),
+            count: 0,
+        }
+    }
+}
+
+/// Routes a configuration tag to its shard: a multiply-mix so
+/// sequential or low-entropy tags still spread, taking the top bits
+/// (the best-mixed ones) as the index.
+fn shard_of(tag: u64) -> usize {
+    debug_assert!(SHARD_COUNT.is_power_of_two());
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - SHARD_COUNT.trailing_zeros())) as usize
+    }
+}
+
+/// One shard's share of the per-stage artifact cap (at least 1, so a
+/// pathologically tiny cap still caches the hot artifact).
+fn per_shard_cap(cap: usize) -> usize {
+    cap.div_ceil(SHARD_COUNT).max(1)
+}
+
+/// Evicts the least-recently-used quarter (at least one entry) of a
+/// full shard, returning how many entries were dropped. Access-clock
+/// stamps are unique, so the quantile threshold evicts an exact count.
+fn evict_lru<T>(shard: &mut Shard<T>) -> usize {
+    let mut stamps: Vec<u64> = shard
+        .entries
+        .values()
+        .flat_map(|m| m.values().map(|e| e.last_used.load(Ordering::Relaxed)))
+        .collect();
+    if stamps.is_empty() {
+        return 0;
+    }
+    stamps.sort_unstable();
+    let drop_n = (stamps.len() / 4).max(1);
+    let threshold = stamps[drop_n - 1];
+    let mut evicted = 0usize;
+    shard.entries.retain(|_, m| {
+        m.retain(|_, e| {
+            let keep = e.last_used.load(Ordering::Relaxed) > threshold;
+            evicted += usize::from(!keep);
+            keep
+        });
+        !m.is_empty()
+    });
+    shard.count -= evicted;
+    evicted
+}
+
+/// One stage's sharded store plus its cumulative counters. The
+/// counters are atomics *outside* the shards, so they are exact under
+/// concurrent readers and they survive eviction and `clear` — the
+/// old single-map store reset its entry accounting wholesale on
+/// overflow, which made a long stream's stats lie mid-flight.
 #[derive(Debug)]
 pub(crate) struct StageCell<T> {
-    entries: Mutex<StageMap<T>>,
-    count: AtomicU64,
+    shards: [RwLock<Shard<T>>; SHARD_COUNT],
+    /// The store-wide access clock LRU stamps come from.
+    clock: AtomicU64,
     hits: AtomicU64,
     cross_hits: AtomicU64,
+    client_hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 // Manual impl: `derive(Default)` would needlessly require `T: Default`.
 impl<T> Default for StageCell<T> {
     fn default() -> Self {
         Self {
-            entries: Mutex::new(HashMap::new()),
-            count: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| RwLock::new(Shard::default())),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             cross_hits: AtomicU64::new(0),
+            client_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 }
 
 impl<T: Clone> StageCell<T> {
-    /// Looks (`tag`, `key`) up, counting the outcome both cumulatively
-    /// and on the caller's tally. A hit on an artifact inserted before
-    /// `epoch` additionally counts as a cross-epoch hit.
-    pub(crate) fn lookup(&self, tag: u64, key: &str, epoch: u64, tally: &TallyPair) -> Option<T> {
-        let found = self
-            .entries
-            .lock()
-            .expect("cache lock poisoned")
-            .get(&tag)
-            .and_then(|m| m.get(key))
-            .cloned();
-        match found {
-            Some((value, inserted_at)) => {
+    /// Looks (`tag`, `key`) up under the shard's *read* lock, counting
+    /// the outcome both cumulatively and on the caller's tally. A hit
+    /// on an artifact inserted before `stamp.epoch` additionally
+    /// counts as a cross-epoch hit; one inserted by a different client
+    /// as a cross-client hit. Hits bump the entry's LRU stamp.
+    pub(crate) fn lookup(&self, tag: u64, key: &str, stamp: Stamp, tally: &TallyPair) -> Option<T> {
+        let shard = self.shards[shard_of(tag)]
+            .read()
+            .expect("cache shard poisoned");
+        match shard.entries.get(&tag).and_then(|m| m.get(key)) {
+            Some(entry) => {
+                entry.last_used.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 tally.hits.fetch_add(1, Ordering::Relaxed);
-                if inserted_at < epoch {
+                if entry.epoch < stamp.epoch {
                     self.cross_hits.fetch_add(1, Ordering::Relaxed);
                     tally.cross_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                Some(value)
+                if entry.client != stamp.client {
+                    self.client_hits.fetch_add(1, Ordering::Relaxed);
+                    tally.client_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(entry.value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -339,19 +500,32 @@ impl<T: Clone> StageCell<T> {
         }
     }
 
-    pub(crate) fn insert(&self, tag: u64, key: &str, epoch: u64, value: T, cap: usize) {
-        let mut map = self.entries.lock().expect("cache lock poisoned");
-        if self.count.load(Ordering::Relaxed) as usize >= cap {
-            map.clear();
-            self.count.store(0, Ordering::Relaxed);
+    /// Inserts under the shard's write lock, evicting the shard's LRU
+    /// quarter first when it is at its share of `cap`.
+    pub(crate) fn insert(&self, tag: u64, key: &str, stamp: Stamp, value: T, cap: usize) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shards[shard_of(tag)]
+            .write()
+            .expect("cache shard poisoned");
+        let exists = shard.entries.get(&tag).is_some_and(|m| m.contains_key(key));
+        if !exists && shard.count >= per_shard_cap(cap) {
+            let evicted = evict_lru(&mut shard);
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
         }
-        if map
+        let entry = Entry {
+            value,
+            epoch: stamp.epoch,
+            client: stamp.client,
+            last_used: AtomicU64::new(now),
+        };
+        if shard
+            .entries
             .entry(tag)
             .or_default()
-            .insert(key.to_owned(), (value, epoch))
+            .insert(key.to_owned(), entry)
             .is_none()
         {
-            self.count.fetch_add(1, Ordering::Relaxed);
+            shard.count += 1;
         }
     }
 
@@ -359,22 +533,28 @@ impl<T: Clone> StageCell<T> {
         StageCounters {
             hits: self.hits.load(Ordering::Relaxed),
             cross_hits: self.cross_hits.load(Ordering::Relaxed),
+            client_hits: self.client_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
 
+    fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     fn len(&self) -> usize {
-        self.count.load(Ordering::Relaxed) as usize
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").count)
+            .sum()
     }
 
     fn clear(&self) {
-        // Reset the counter under the same guard that empties the map —
-        // a racing `insert` between the two steps would otherwise leave
-        // `count` permanently understating the map (and the
-        // `MAX_STAGE_ENTRIES` bound firing late).
-        let mut map = self.entries.lock().expect("cache lock poisoned");
-        map.clear();
-        self.count.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("cache shard poisoned");
+            shard.entries.clear();
+            shard.count = 0;
+        }
     }
 }
 
@@ -398,10 +578,13 @@ fn hash_str(s: &str) -> u64 {
     hasher.finish()
 }
 
-/// A thread-safe, per-stage artifact store for pipeline evaluations.
+/// A thread-safe, sharded, per-stage artifact store for pipeline
+/// evaluations.
 ///
 /// The cache is shared by all workers of a
-/// [`SweepExecutor`](crate::sweep::SweepExecutor) and survives across
+/// [`SweepExecutor`](crate::sweep::SweepExecutor) — and, through a
+/// [`ScenarioSession`](crate::service::ScenarioSession), by every
+/// client of a multi-connection server — and survives across
 /// `execute` calls *and configuration changes*: repeated sweeps over
 /// overlapping design spaces skip already-computed points entirely,
 /// and sweeps that vary only downstream axes (a new use-phase grid, a
@@ -417,6 +600,13 @@ pub struct EvalCache {
     /// were inserted in; a hit on an artifact from an earlier epoch is
     /// *cross-request* reuse (see [`StageCounters::cross_hits`]).
     epoch: AtomicU64,
+    /// The client of the most recent [`begin_request`]
+    /// (see [`StageCounters::client_hits`]). Like the epoch, this is
+    /// ambient per-request state: concurrent requests from different
+    /// clients can skew attribution slightly, never correctness.
+    ///
+    /// [`begin_request`]: EvalCache::begin_request
+    client: AtomicU64,
     /// Per-stage artifact cap (see [`DEFAULT_ARTIFACT_CAP`]).
     artifact_cap: usize,
 }
@@ -435,10 +625,11 @@ impl EvalCache {
     }
 
     /// Creates an empty cache whose per-stage stores retain at most
-    /// `cap` artifacts each (a cap of 0 is treated as 1). Reaching the
-    /// cap drops that stage's entries wholesale — recomputing is always
-    /// safe — so a tiny cap trades recomputation for memory without
-    /// ever changing results.
+    /// about `cap` artifacts each (a cap of 0 is treated as 1). The
+    /// cap is divided across the 8 lock shards; a shard reaching
+    /// its share evicts its least-recently-used quarter — recomputing
+    /// is always safe — so a tiny cap trades recomputation for memory
+    /// without ever changing results.
     #[must_use]
     pub fn with_artifact_cap(cap: usize) -> Self {
         Self {
@@ -448,6 +639,7 @@ impl EvalCache {
             power: StageCell::default(),
             operational: StageCell::default(),
             epoch: AtomicU64::new(0),
+            client: AtomicU64::new(0),
             artifact_cap: cap.max(1),
         }
     }
@@ -468,8 +660,25 @@ impl EvalCache {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    pub(crate) fn current_epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+    /// Starts a new request epoch *on behalf of `client`* and returns
+    /// the epoch. Multi-client owners (the `tdc serve --listen`
+    /// frontend) pass each connection's id so hits on another
+    /// connection's artifacts are attributed as cross-client reuse;
+    /// single-client owners are simply always client 0 (equivalent to
+    /// [`advance_epoch`](Self::advance_epoch)).
+    pub fn begin_request(&self, client: u64) -> u64 {
+        self.client.store(client, Ordering::Relaxed);
+        self.advance_epoch()
+    }
+
+    /// The ambient (epoch, client) stamp evaluations run under,
+    /// captured once per evaluation at the same point the epoch used
+    /// to be read.
+    pub(crate) fn current_stamp(&self) -> Stamp {
+        Stamp {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            client: self.client.load(Ordering::Relaxed),
+        }
     }
 
     /// The canonical key of a design: every die spec (name, node, and
@@ -577,6 +786,11 @@ impl EvalCache {
                 + self.embodied.len()
                 + self.power.len()
                 + self.operational.len(),
+            evictions: self.physical.evictions()
+                + self.yields.evictions()
+                + self.embodied.evictions()
+                + self.power.evictions()
+                + self.operational.evictions(),
         }
     }
 
@@ -593,7 +807,7 @@ impl EvalCache {
         if let Some(p) = self.physical.lookup(
             point.tags.physical,
             point.design_key,
-            point.epoch,
+            point.stamp,
             &point.tally.physical,
         ) {
             return p;
@@ -605,7 +819,7 @@ impl EvalCache {
         self.physical.insert(
             point.tags.physical,
             point.design_key,
-            point.epoch,
+            point.stamp,
             Arc::clone(&p),
             self.artifact_cap,
         );
@@ -620,7 +834,7 @@ impl EvalCache {
         if let Some(y) = self.yields.lookup(
             point.tags.yields,
             point.design_key,
-            point.epoch,
+            point.stamp,
             &point.tally.yields,
         ) {
             return Ok(y);
@@ -633,7 +847,7 @@ impl EvalCache {
         self.yields.insert(
             point.tags.yields,
             point.design_key,
-            point.epoch,
+            point.stamp,
             Arc::clone(&y),
             self.artifact_cap,
         );
@@ -648,7 +862,7 @@ impl EvalCache {
         if let Some(p) = self.power.lookup(
             point.tags.power,
             point.design_key,
-            point.epoch,
+            point.stamp,
             &point.tally.power,
         ) {
             return Ok(p);
@@ -661,7 +875,7 @@ impl EvalCache {
         self.power.insert(
             point.tags.power,
             point.design_key,
-            point.epoch,
+            point.stamp,
             Arc::clone(&p),
             self.artifact_cap,
         );
@@ -682,7 +896,7 @@ impl EvalCache {
         match self.embodied.lookup(
             point.tags.embodied,
             point.design_key,
-            point.epoch,
+            point.stamp,
             &point.tally.embodied,
         ) {
             Some(EmbodiedOutcome::Report(r)) => Ok(Some(r)),
@@ -699,7 +913,7 @@ impl EvalCache {
                         self.embodied.insert(
                             point.tags.embodied,
                             point.design_key,
-                            point.epoch,
+                            point.stamp,
                             EmbodiedOutcome::Report(Arc::clone(&arc)),
                             self.artifact_cap,
                         );
@@ -709,7 +923,7 @@ impl EvalCache {
                         self.embodied.insert(
                             point.tags.embodied,
                             point.design_key,
-                            point.epoch,
+                            point.stamp,
                             EmbodiedOutcome::Oversized,
                             self.artifact_cap,
                         );
@@ -739,7 +953,7 @@ impl EvalCache {
             model,
             design,
             design_key: &design_key,
-            epoch: self.current_epoch(),
+            stamp: self.current_stamp(),
             tally,
         };
         let mut phys_local = None;
@@ -768,7 +982,7 @@ impl EvalCache {
             model,
             design,
             design_key: &design_key,
-            epoch: self.current_epoch(),
+            stamp: self.current_stamp(),
             tally,
         };
         // Fetched at most once per point, shared by both halves below.
@@ -784,7 +998,7 @@ impl EvalCache {
         let operational = match self.operational.lookup(
             tags.operational,
             &design_key,
-            point.epoch,
+            point.stamp,
             &tally.operational,
         ) {
             Some(r) => r,
@@ -807,7 +1021,7 @@ impl EvalCache {
                 self.operational.insert(
                     tags.operational,
                     &design_key,
-                    point.epoch,
+                    point.stamp,
                     Arc::clone(&arc),
                     self.artifact_cap,
                 );
@@ -832,7 +1046,7 @@ pub(crate) struct PointLookup<'a> {
     pub(crate) model: &'a CarbonModel,
     pub(crate) design: &'a ChipDesign,
     pub(crate) design_key: &'a str,
-    pub(crate) epoch: u64,
+    pub(crate) stamp: Stamp,
     pub(crate) tally: &'a PipelineTally,
 }
 
@@ -860,6 +1074,7 @@ mod tests {
         StageCounters {
             hits,
             cross_hits: 0,
+            client_hits: 0,
             misses,
         }
     }
@@ -872,6 +1087,12 @@ mod tests {
                 .unwrap(),
         )
     }
+
+    /// The zero stamp every single-request test runs under.
+    const S0: Stamp = Stamp {
+        epoch: 0,
+        client: 0,
+    };
 
     #[test]
     fn second_lookup_hits_every_stage() {
@@ -1071,21 +1292,173 @@ mod tests {
     }
 
     #[test]
-    fn stage_cell_caps_entries_wholesale() {
-        // Reaching the cap drops the stage's entries and keeps going —
-        // memory stays bounded on unbounded scenario streams, and a
-        // dropped artifact is only a recompute, never a wrong answer.
+    fn eviction_is_lru_within_a_shard() {
+        // One tag → one shard. With a cap of 32 the shard's share is
+        // 32 / SHARD_COUNT = 4: filling it and inserting a fifth entry
+        // must evict exactly the least-recently-used quarter (one
+        // entry) — and a lookup decides recency, so touching the
+        // oldest entry redirects eviction to the next-oldest.
         let cell: StageCell<u8> = StageCell::default();
-        const CAP: usize = 64;
-        for i in 0..CAP {
-            cell.insert(0, &format!("k{i}"), 0, 1, CAP);
-        }
-        assert_eq!(cell.len(), CAP);
-        cell.insert(1, "overflow", 0, 2, CAP);
-        assert_eq!(cell.len(), 1, "cap reached → wholesale drop + new entry");
+        const CAP: usize = 4 * SHARD_COUNT;
         let tally = TallyPair::default();
-        assert_eq!(cell.lookup(1, "overflow", 0, &tally), Some(2));
-        assert_eq!(cell.lookup(0, "k0", 0, &tally), None);
+        for i in 0..4u8 {
+            cell.insert(7, &format!("k{i}"), S0, i, CAP);
+        }
+        assert_eq!(cell.len(), 4);
+        // Touch k0: k1 becomes the LRU entry.
+        assert_eq!(cell.lookup(7, "k0", S0, &tally), Some(0));
+        cell.insert(7, "k4", S0, 4, CAP);
+        assert_eq!(cell.len(), 4, "one in, one out");
+        assert_eq!(cell.lookup(7, "k1", S0, &tally), None, "LRU entry evicted");
+        assert_eq!(
+            cell.lookup(7, "k0", S0, &tally),
+            Some(0),
+            "touched entry kept"
+        );
+        assert_eq!(
+            cell.lookup(7, "k4", S0, &tally),
+            Some(4),
+            "new entry stored"
+        );
+        assert_eq!(cell.evictions(), 1);
+    }
+
+    #[test]
+    fn counters_survive_eviction() {
+        // The cap-and-drop regression: overflowing a stage store must
+        // never reset its cumulative hit/miss accounting mid-stream.
+        let cell: StageCell<u8> = StageCell::default();
+        const CAP: usize = SHARD_COUNT; // one entry per shard
+        let tally = TallyPair::default();
+        cell.insert(3, "a", S0, 1, CAP);
+        assert_eq!(cell.lookup(3, "a", S0, &tally), Some(1));
+        assert_eq!(cell.lookup(3, "missing", S0, &tally), None);
+        let before = cell.counters();
+        assert_eq!(before, sc(1, 1));
+        // Same tag → same shard → every insert beyond the first evicts.
+        for i in 0..8u8 {
+            cell.insert(3, &format!("spill{i}"), S0, i, CAP);
+        }
+        assert!(cell.evictions() > 0, "the shard must have overflowed");
+        assert_eq!(
+            cell.counters(),
+            before,
+            "inserts and evictions never touch the hit/miss counters"
+        );
+        // And the store keeps answering: the most recent entry is warm.
+        assert_eq!(cell.lookup(3, "spill7", S0, &tally), Some(7));
+        assert_eq!(cell.counters().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn cache_stats_survive_eviction_end_to_end() {
+        // The same regression at the EvalCache level: a cap-1 cache
+        // evicts on nearly every evaluation, yet stats().stages only
+        // ever grows and entries reflects what actually survived.
+        let cache = EvalCache::with_artifact_cap(1);
+        let (m, w) = (model(), workload());
+        let tags = EvalCache::stage_tags(&m, Some(&w));
+        cache
+            .lifecycle_or_eval(&tags, &m, &mono(5.0e9), &w, &PipelineTally::default())
+            .unwrap();
+        let before = cache.stats();
+        assert_eq!(before.stages.misses(), 5);
+        cache
+            .lifecycle_or_eval(&tags, &m, &mono(6.0e9), &w, &PipelineTally::default())
+            .unwrap();
+        let after = cache.stats();
+        assert_eq!(
+            after.stages.misses(),
+            10,
+            "counters accumulate across evictions"
+        );
+        assert!(after.stages.hits() >= before.stages.hits());
+        assert!(after.entries <= 5 * SHARD_COUNT);
+    }
+
+    #[test]
+    fn tiny_caps_never_change_results() {
+        // Eviction costs recomputation, never correctness: a cap-1
+        // cache answers byte-identically to an uncapped one.
+        let roomy = EvalCache::new();
+        let tight = EvalCache::with_artifact_cap(1);
+        let (m, w) = (model(), workload());
+        let tags = EvalCache::stage_tags(&m, Some(&w));
+        for gates in [5.0e9, 6.0e9, 5.0e9, 7.0e9, 6.0e9] {
+            let d = mono(gates);
+            let (a, _) = roomy
+                .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
+                .unwrap();
+            let (b, _) = tight
+                .lifecycle_or_eval(&tags, &m, &d, &w, &PipelineTally::default())
+                .unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sharded_reads_and_writes_interleave_safely() {
+        // A seeded thread-stress loop over the sharded read/write
+        // path: every stored value is a pure function of its (tag,
+        // key), so any lookup that returns a value for the wrong key —
+        // under any interleaving of reads, writes, and LRU evictions —
+        // fails the assertion. Counters must account for every lookup.
+        let cell: StageCell<u64> = StageCell::default();
+        const CAP: usize = 8 * SHARD_COUNT;
+        let total_lookups = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let (cell, total_lookups) = (&cell, &total_lookups);
+                scope.spawn(move || {
+                    let mut seed = 0x9E37_79B9_7F4A_7C15u64 ^ (t + 1);
+                    let tally = TallyPair::default();
+                    let mut lookups = 0u64;
+                    for i in 0..2_000u64 {
+                        seed = seed
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                        let tag = seed >> 60; // 16 tags spread over shards
+                        let k = (seed >> 32) & 31; // 32 keys per tag
+                        let key = format!("k{k}");
+                        let stamp = Stamp {
+                            epoch: i / 500,
+                            client: t,
+                        };
+                        lookups += 1;
+                        match cell.lookup(tag, &key, stamp, &tally) {
+                            Some(v) => assert_eq!(v, tag ^ k, "value belongs to another key"),
+                            None => cell.insert(tag, &key, stamp, tag ^ k, CAP),
+                        }
+                    }
+                    let snap = tally.snapshot();
+                    assert_eq!(snap.hits + snap.misses, lookups);
+                    total_lookups.fetch_add(lookups, Ordering::Relaxed);
+                });
+            }
+        });
+        let c = cell.counters();
+        assert_eq!(
+            c.hits + c.misses,
+            total_lookups.load(Ordering::Relaxed),
+            "cumulative counters account for every lookup"
+        );
+        assert!(c.hits > 0 && c.misses > 0);
+        assert!(
+            cell.len() <= per_shard_cap(CAP) * SHARD_COUNT,
+            "shards stay within their cap share"
+        );
+    }
+
+    #[test]
+    fn shard_routing_spreads_tags() {
+        // Even low-entropy sequential tags must not pile onto one
+        // shard (the routing mixes before taking the top bits).
+        let mut seen = [false; SHARD_COUNT];
+        for tag in 0..64u64 {
+            seen[shard_of(tag)] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() >= SHARD_COUNT / 2);
+        assert!((0..1024u64).all(|t| shard_of(t) < SHARD_COUNT));
     }
 
     #[test]
@@ -1132,6 +1505,37 @@ mod tests {
     }
 
     #[test]
+    fn cross_client_hits_are_attributed_to_other_clients() {
+        let cache = EvalCache::new();
+        let (m, w) = (model(), workload());
+        let d = mono(5.0e9);
+        let tags = EvalCache::stage_tags(&m, Some(&w));
+        // Client 1 computes everything.
+        cache.begin_request(1);
+        let t1 = PipelineTally::default();
+        cache.lifecycle_or_eval(&tags, &m, &d, &w, &t1).unwrap();
+        assert_eq!(t1.snapshot().client_hits(), 0);
+        // Client 2 answers both heads from client 1's artifacts.
+        cache.begin_request(2);
+        let t2 = PipelineTally::default();
+        cache.lifecycle_or_eval(&tags, &m, &d, &w, &t2).unwrap();
+        let s2 = t2.snapshot();
+        assert_eq!(s2.hits(), 2);
+        assert_eq!(s2.client_hits(), 2, "warmth came from another client");
+        assert_eq!(s2.cross_hits(), 2, "and from an earlier request");
+        assert!((s2.client_hit_rate() - 1.0).abs() < 1e-12);
+        // Client 1 returning sees plain cross-request hits, not
+        // cross-client ones — it computed these artifacts itself.
+        cache.begin_request(1);
+        let t3 = PipelineTally::default();
+        cache.lifecycle_or_eval(&tags, &m, &d, &w, &t3).unwrap();
+        let s3 = t3.snapshot();
+        assert_eq!(s3.client_hits(), 0);
+        assert_eq!(s3.cross_hits(), 2);
+        assert_eq!(cache.stats().stages.client_hits(), 2);
+    }
+
+    #[test]
     fn embodied_only_requests_share_upstream_artifacts_with_lifecycle() {
         let cache = EvalCache::new();
         let (m, w) = (model(), workload());
@@ -1158,6 +1562,7 @@ mod tests {
             StageCounters {
                 hits: 1,
                 cross_hits: 1,
+                client_hits: 0,
                 misses: 0
             }
         );
