@@ -1,0 +1,134 @@
+//! Criterion bench: trace ingest throughput and trace-backed sweep
+//! re-pricing — the two numbers `BENCH_traces.json` records and the
+//! perf guard floors.
+//!
+//! * `trace-ingest-1m` — chunked streaming ingest of a 1M-sample
+//!   synthetic diurnal trace (utilization + intensity columns) from
+//!   in-memory bytes: parse, validate, merge into constant segments,
+//!   and build the prefix-sum integrals. The floor is ≥ 2M samples/s.
+//! * `trace-sweep-warm` — the Table 2 × grid-region batch space with a
+//!   trace-backed workload, warm columns: after the one O(samples)
+//!   ingest, every sweep point re-prices from the memoized O(1)
+//!   prefix-sum pricing, so this must stay within 2× of the
+//!   scalar-workload warm path (`scalar-sweep-warm`, measured
+//!   alongside for the ratio).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tdc_core::sweep::{BatchRanking, DesignSweep, SweepExecutor, SweepPlan};
+use tdc_core::{CarbonModel, ModelContext, Workload};
+use tdc_technode::GridRegion;
+use tdc_traces::synth::{self, SynthKind};
+use tdc_traces::{TraceProfile, TraceReader};
+use tdc_units::{Efficiency, Throughput, TimeSpan};
+
+const INGEST_SAMPLES: usize = 1_000_000;
+
+/// The Table 2 design space (99 points), as every sweep bench uses.
+fn table2_plan() -> SweepPlan {
+    DesignSweep::new(17.0e9)
+        .efficiency(Efficiency::from_tops_per_watt(2.74))
+        .plan()
+        .expect("plan builds")
+}
+
+const REGIONS: [GridRegion; 4] = [
+    GridRegion::WorldAverage,
+    GridRegion::France,
+    GridRegion::CoalHeavy,
+    GridRegion::Renewable,
+];
+
+fn region_models() -> Vec<CarbonModel> {
+    REGIONS
+        .into_iter()
+        .map(|r| CarbonModel::new(ModelContext::builder().use_region(r).build()))
+        .collect()
+}
+
+fn mission(trace: Option<Arc<TraceProfile>>) -> Workload {
+    let base = Workload::fixed(
+        "inference",
+        Throughput::from_tops(254.0),
+        TimeSpan::from_years(5.0) * (1.3 / 24.0),
+    );
+    match trace {
+        Some(t) => base.with_trace(t),
+        None => base.with_average_utilization(0.15),
+    }
+}
+
+/// Warm re-ranking pass over the 4-region space; both the trace and
+/// scalar variants run exactly this loop.
+fn warm_pass(
+    executor: &SweepExecutor,
+    models: &[CarbonModel],
+    plan: &SweepPlan,
+    workload: &Workload,
+    out: &mut BatchRanking,
+) {
+    for model in models {
+        executor
+            .execute_batched_ranking(black_box(model), black_box(plan), black_box(workload), out)
+            .expect("sweep evaluates");
+        black_box(out.ranked().len());
+    }
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let csv = synth::csv_string(SynthKind::Diurnal, INGEST_SAMPLES, 42, true);
+    let bytes = csv.into_bytes();
+    let mut group = c.benchmark_group("traces");
+
+    group.bench_function("trace-ingest-1m", |b| {
+        let reader = TraceReader::new();
+        b.iter(|| {
+            let profile = reader.ingest(black_box(bytes.as_slice())).expect("ingests");
+            black_box(profile.segments());
+        });
+    });
+
+    // One profile shared by the whole sweep — the ingest above is the
+    // only O(samples) cost; everything after reads the prefix sums.
+    let trace = Arc::new(
+        TraceReader::new()
+            .ingest(bytes.as_slice())
+            .expect("ingests"),
+    );
+    let plan = table2_plan();
+    let models = region_models();
+
+    for (name, workload) in [
+        ("trace-sweep-warm", mission(Some(Arc::clone(&trace)))),
+        ("scalar-sweep-warm", mission(None)),
+    ] {
+        group.bench_function(name, |b| {
+            let executor = SweepExecutor::serial();
+            let mut ranking = BatchRanking::new();
+            // Warm the stage columns before timing.
+            warm_pass(&executor, &models, &plan, &workload, &mut ranking);
+            b.iter(|| warm_pass(&executor, &models, &plan, &workload, &mut ranking));
+        });
+    }
+    group.finish();
+
+    // One-shot wall-clock numbers in the units BENCH_traces.json and
+    // the perf guard use, printed like the million-point sweep stat.
+    let reader = TraceReader::new();
+    let start = Instant::now();
+    let profile = reader.ingest(bytes.as_slice()).expect("ingests");
+    let ingest_secs = start.elapsed().as_secs_f64();
+    #[allow(clippy::cast_precision_loss)]
+    let msamples_per_sec = INGEST_SAMPLES as f64 / ingest_secs / 1.0e6;
+    println!(
+        "trace-ingest one-shot: {INGEST_SAMPLES} samples -> {} segments in {ingest_secs:.3}s \
+         ({msamples_per_sec:.1}M samples/s, peak buffer {} bytes)",
+        profile.segments(),
+        profile.peak_buffer_bytes(),
+    );
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

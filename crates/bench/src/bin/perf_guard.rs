@@ -17,13 +17,18 @@
 //!   them.
 //!
 //! Usage: `perf_guard [path/to/BENCH_sweep.json
-//! [path/to/BENCH_serve.json]]` — exits non-zero, naming the failed
-//! check, if any floor is breached. When the second path is given,
-//! the multi-client `tdc serve --listen` smoke also runs: 8 TCP
-//! clients replaying shared-geometry streams against one shared
-//! session, checked for response byte-identity, the cross-client
-//! warm-hit floor, and the concurrent-vs-serial throughput floor
-//! (see `crates/bench/src/serve_load.rs`).
+//! [path/to/BENCH_serve.json [path/to/BENCH_traces.json]]]` — exits
+//! non-zero, naming the failed check, if any floor is breached. When
+//! the second path is given, the multi-client `tdc serve --listen`
+//! smoke also runs: 8 TCP clients replaying shared-geometry streams
+//! against one shared session, checked for response byte-identity,
+//! the cross-client warm-hit floor, and the concurrent-vs-serial
+//! throughput floor (see `crates/bench/src/serve_load.rs`). When the
+//! third path is given, the trace smoke also runs: chunked streaming
+//! ingest throughput of a 1M-sample synthetic trace (bounded peak
+//! buffer asserted), the uniform-trace byte-identity check, and the
+//! warm trace-sweep vs scalar-sweep ratio (O(1) prefix-sum re-pricing
+//! means a trace costs about the same as a scalar per point).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -341,6 +346,118 @@ fn run() -> Result<u32, String> {
             "serve_concurrent_vs_serial",
             best_ratio,
             serve_floor("serve_concurrent_vs_serial_min")?,
+        );
+    }
+
+    // ---- Trace smoke (only with a BENCH_traces.json) ----
+    if let Some(traces_path) = std::env::args().nth(3) {
+        let text = std::fs::read_to_string(&traces_path)
+            .map_err(|e| format!("cannot read `{traces_path}`: {e}"))?;
+        let recorded = JsonValue::parse(&text).map_err(|e| format!("{traces_path}: {e}"))?;
+        let trace_floors = recorded
+            .get("ci_floors")
+            .ok_or_else(|| format!("`{traces_path}` has no ci_floors object"))?
+            .clone();
+        let trace_floor = |key: &str| -> Result<f64, String> {
+            trace_floors
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("BENCH_traces.json ci_floors is missing `{key}`"))
+        };
+
+        // Timing: chunked streaming ingest of 1M synthetic samples.
+        const INGEST_SAMPLES: usize = 1_000_000;
+        let csv = tdc_traces::synth::csv_string(
+            tdc_traces::synth::SynthKind::Diurnal,
+            INGEST_SAMPLES,
+            42,
+            true,
+        )
+        .into_bytes();
+        let reader = tdc_traces::TraceReader::new();
+        let ingest_secs = best_of(|| {
+            std::hint::black_box(reader.ingest(csv.as_slice()).expect("ingests"));
+        });
+        #[allow(clippy::cast_precision_loss)]
+        guard.check(
+            "trace_ingest_msamples_per_sec",
+            INGEST_SAMPLES as f64 / ingest_secs / 1.0e6,
+            trace_floor("trace_ingest_msamples_per_sec_min")?,
+        );
+
+        // Deterministic: the streaming reader's resident buffer stays
+        // bounded by its chunk size — never the whole file.
+        let profile = reader.ingest(csv.as_slice()).expect("ingests");
+        guard.check(
+            "trace_ingest_bounded_buffer (1 = peak <= 3 chunks)",
+            if profile.peak_buffer_bytes() <= 3 * reader.chunk_bytes() {
+                1.0
+            } else {
+                0.0
+            },
+            1.0,
+        );
+
+        // Deterministic: a constant trace re-prices byte-identically
+        // to the scalar utilization path over the whole grid space.
+        let mut builder = tdc_traces::TraceBuilder::new(false);
+        builder.push(0.0, 0.15, None);
+        builder.push(24.0, 0.15, None);
+        let uniform = std::sync::Arc::new(builder.build());
+        let identical = space.iter().all(|(model, workload)| {
+            let traced = workload.clone().with_trace(std::sync::Arc::clone(&uniform));
+            let executor = SweepExecutor::serial();
+            let scalar_run = executor.execute(model, &plan, workload).expect("sweeps");
+            let traced_run = executor.execute(model, &plan, &traced).expect("sweeps");
+            format!("{:?}", scalar_run.entries()) == format!("{:?}", traced_run.entries())
+        });
+        guard.check(
+            "trace_uniform_identity (1 = byte-identical to scalar)",
+            if identical { 1.0 } else { 0.0 },
+            1.0,
+        );
+
+        // Timing: warm trace-backed re-ranking vs the warm scalar path
+        // on the grid-region space. After the one O(samples) ingest,
+        // every point reads the memoized O(1) pricing, so the ratio
+        // must stay near 1 (the floor allows 2x).
+        let trace = std::sync::Arc::new(reader.ingest(csv.as_slice()).expect("ingests"));
+        let traced_space: Vec<(&CarbonModel, Workload)> = space
+            .iter()
+            .map(|(model, workload)| {
+                (
+                    model,
+                    workload.clone().with_trace(std::sync::Arc::clone(&trace)),
+                )
+            })
+            .collect();
+        let scalar_space: Vec<(&CarbonModel, Workload)> = space
+            .iter()
+            .map(|(model, workload)| (model, workload.clone()))
+            .collect();
+        let mut warm_ranking = BatchRanking::new();
+        let mut time_space = |configs: &[(&CarbonModel, Workload)]| {
+            let executor = SweepExecutor::serial();
+            for (model, workload) in configs {
+                executor
+                    .execute_batched_ranking(model, &plan, workload, &mut warm_ranking)
+                    .expect("batch sweeps");
+            }
+            best_of(|| {
+                for (model, workload) in configs {
+                    executor
+                        .execute_batched_ranking(model, &plan, workload, &mut warm_ranking)
+                        .expect("batch sweeps");
+                    std::hint::black_box(warm_ranking.ranked());
+                }
+            })
+        };
+        let scalar_warm = time_space(&scalar_space);
+        let trace_warm = time_space(&traced_space);
+        guard.check(
+            "trace_warm_vs_scalar",
+            scalar_warm / trace_warm,
+            trace_floor("trace_warm_vs_scalar_min")?,
         );
     }
 

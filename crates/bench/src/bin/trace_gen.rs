@@ -1,0 +1,123 @@
+//! Deterministic synthetic workload-trace generator (the CLI face of
+//! [`tdc_traces::synth`]): same kind + samples + seed → byte-identical
+//! CSV, on every platform — the tables are piecewise-linear, no libm.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_gen --kind diurnal --samples 1000000 --seed 42 \
+//!           --intensity --out /tmp/trace.csv
+//! ```
+//!
+//! `--kind` is `diurnal` (data-center daily rhythm) or `drive-cycle`
+//! (AV drive/idle/charge phases); `--intensity` adds the
+//! grid-intensity column; without `--out` the CSV goes to stdout. CI's
+//! trace smoke job generates its 1M-sample input with this binary.
+
+use std::io::Write;
+use std::process::ExitCode;
+use tdc_traces::synth::{self, SynthKind};
+
+struct Args {
+    kind: SynthKind,
+    samples: usize,
+    seed: u64,
+    with_intensity: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        kind: SynthKind::Diurnal,
+        samples: 10_000,
+        seed: 42,
+        with_intensity: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("`{name}` needs a value"));
+        match flag.as_str() {
+            "--kind" => {
+                let token = value("--kind")?;
+                args.kind = SynthKind::from_token(&token).ok_or_else(|| {
+                    let known: Vec<&str> =
+                        SynthKind::ALL.into_iter().map(SynthKind::label).collect();
+                    format!("unknown kind `{token}` (known: {})", known.join(", "))
+                })?;
+            }
+            "--samples" => {
+                let token = value("--samples")?;
+                args.samples = token
+                    .parse()
+                    .map_err(|e| format!("bad --samples `{token}`: {e}"))?;
+                if args.samples < 2 {
+                    return Err("--samples must be at least 2".to_owned());
+                }
+            }
+            "--seed" => {
+                let token = value("--seed")?;
+                args.seed = token
+                    .parse()
+                    .map_err(|e| format!("bad --seed `{token}`: {e}"))?;
+            }
+            "--intensity" => args.with_intensity = true,
+            "--out" => args.out = Some(value("--out")?),
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (flags: --kind, --samples, --seed, --intensity, --out)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match &args.out {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            let mut out = std::io::BufWriter::new(file);
+            synth::write_csv(
+                &mut out,
+                args.kind,
+                args.samples,
+                args.seed,
+                args.with_intensity,
+            )
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!(
+                "wrote {} {} samples (seed {}) to {path}",
+                args.samples,
+                args.kind.label(),
+                args.seed
+            );
+            Ok(())
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            synth::write_csv(
+                &mut out,
+                args.kind,
+                args.samples,
+                args.seed,
+                args.with_intensity,
+            )
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write to stdout: {e}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("trace_gen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -53,7 +53,9 @@ impl BatchSummary {
 pub fn load_request(file: &Path) -> Result<(Scenario, EvalRequest), String> {
     let path = file.display();
     let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let scenario = Scenario::parse(&text).map_err(|e| e.to_string())?;
+    let scenario = Scenario::parse(&text)
+        .map(|s| s.with_base_dir(file.parent()))
+        .map_err(|e| e.to_string())?;
     let request = scenario
         .build_request(scenario.infer_request_kind())
         .map_err(|e| e.to_string())?;

@@ -267,7 +267,9 @@ fn validate(options: &Options) -> Result<(), String> {
 fn load_scenario(options: &Options) -> Result<Scenario, String> {
     let path = options.single_file()?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))
+    Scenario::parse(&text)
+        .map(|s| s.with_base_dir(std::path::Path::new(path).parent()))
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 fn emit(options: &Options, report: &str) -> Result<(), String> {
@@ -292,7 +294,9 @@ fn cmd_run(options: &Options) -> Result<(), String> {
         // so both designs are priced under identical conditions.
         let text = std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
-        let baseline = Scenario::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline = Scenario::parse(&text)
+            .map(|s| s.with_base_dir(std::path::Path::new(baseline_path).parent()))
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
         let base_design = baseline
             .build_design()
             .map_err(|e| format!("{baseline_path}: {e}"))?;
@@ -362,8 +366,20 @@ fn cmd_sweep(options: &Options) -> Result<(), String> {
         }
         .map_err(|e| e.to_string())?;
         // Bookkeeping goes to stderr so stdout is byte-identical for
-        // any worker count (and any repeat count).
-        eprintln!("{}", sweep_stats_line(&r.stats(), round, options.repeat));
+        // any worker count (and any repeat count). Trace counters are
+        // appended after the stable tokens — the line only ever grows
+        // at its end.
+        let trace_kv = workload.trace().map_or_else(String::new, |t| {
+            format!(
+                " trace_segments={} trace_hits={}",
+                t.segments(),
+                t.pricing_hits()
+            )
+        });
+        eprintln!(
+            "{}{trace_kv}",
+            sweep_stats_line(&r.stats(), round, options.repeat)
+        );
         result = Some(r);
     }
     let result = result.expect("repeat is at least 1");

@@ -20,6 +20,8 @@
 
 use crate::json::{JsonError, JsonValue};
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tdc_core::explore::{Constraint, ExploreSpec, Objective, RefineAxis, RefineSpec};
 use tdc_core::service::EvalRequest;
 use tdc_core::sweep::DesignSweep;
@@ -27,6 +29,7 @@ use tdc_core::{ChipDesign, DieSpec, DieYieldChoice, ModelContext, ModelError, Wo
 use tdc_floorplan::PackageModel;
 use tdc_integration::{IntegrationFamily, IntegrationTechnology, StackOrientation};
 use tdc_technode::{GridRegion, ProcessNode, Wafer};
+use tdc_traces::TraceReader;
 use tdc_units::{Area, Efficiency, Length, Throughput, TimeSpan};
 use tdc_workloads::{design_preset, preset_context, workload_preset};
 use tdc_yield::StackingFlow;
@@ -242,6 +245,16 @@ struct WorkloadSpec {
     average_bytes_per_op: Option<f64>,
     average_utilization: Option<f64>,
     calendar_years: Option<f64>,
+    trace: Option<TraceSpec>,
+}
+
+/// The `workload.trace` sub-block: a utilization (and optionally
+/// grid-intensity) time series replacing the scalar duty cycle.
+#[derive(Debug, Clone)]
+struct TraceSpec {
+    /// CSV path, resolved against the scenario file's directory when
+    /// relative (see [`Scenario::with_base_dir`]).
+    path: String,
 }
 
 /// The `context` block (all fields optional overrides).
@@ -325,6 +338,7 @@ pub struct Scenario {
     context: ContextSpec,
     sweep: Option<SweepSpec>,
     explore: Option<ExploreSpec>,
+    base_dir: Option<PathBuf>,
 }
 
 impl Scenario {
@@ -388,7 +402,18 @@ impl Scenario {
             context,
             sweep,
             explore,
+            base_dir: None,
         })
+    }
+
+    /// Anchors relative `workload.trace.path` references to `dir` —
+    /// the scenario *file*'s directory, so a scenario next to its
+    /// trace loads from anywhere. Embedded documents (`tdc serve`
+    /// frames) have no file and stay cwd-relative.
+    #[must_use]
+    pub fn with_base_dir(mut self, dir: Option<&Path>) -> Self {
+        self.base_dir = dir.map(Path::to_path_buf);
+        self
     }
 
     fn parse_design(value: &JsonValue) -> Result<DesignSpec, ScenarioError> {
@@ -501,6 +526,7 @@ impl Scenario {
             "average_bytes_per_op",
             "average_utilization",
             "calendar_years",
+            "trace",
         ])?;
         let preset = f.string("preset")?.map(str::to_owned);
         let tops = f.required_number("throughput_tops")?;
@@ -532,6 +558,30 @@ impl Scenario {
                 }
             }
         }
+        let trace = match f.get("trace") {
+            None => None,
+            Some(v) => {
+                let t = Fields::new(v, f.child("trace"))?;
+                t.deny_unknown(&["path"])?;
+                let Some(path) = t.string("path")? else {
+                    return schema_err("workload.trace.path", "required field is missing");
+                };
+                if path.trim().is_empty() {
+                    return schema_err("workload.trace.path", "the path is empty");
+                }
+                Some(TraceSpec {
+                    path: path.to_owned(),
+                })
+            }
+        };
+        // A trace *is* the utilization profile; also writing the
+        // scalar would leave one of them silently ignored.
+        if trace.is_some() && f.get("average_utilization").is_some() {
+            return schema_err(
+                "workload.average_utilization",
+                "a trace defines the utilization profile; drop `trace` to set it as a scalar",
+            );
+        }
         Ok(WorkloadSpec {
             preset,
             name: f.string("name")?.unwrap_or("mission").to_owned(),
@@ -541,6 +591,7 @@ impl Scenario {
             average_bytes_per_op: f.number("average_bytes_per_op")?,
             average_utilization: f.number("average_utilization")?,
             calendar_years: f.number("calendar_years")?,
+            trace,
         })
     }
 
@@ -1161,7 +1212,28 @@ impl Scenario {
             }
             w = w.with_calendar_lifetime(TimeSpan::from_years(y));
         }
+        if let Some(trace) = &spec.trace {
+            let resolved = self.resolve_path(&trace.path);
+            let profile =
+                TraceReader::new()
+                    .ingest_path(&resolved)
+                    .map_err(|e| ScenarioError::Schema {
+                        path: "workload.trace.path".to_owned(),
+                        message: format!("{}: {e}", resolved.display()),
+                    })?;
+            w = w.with_trace(Arc::new(profile));
+        }
         Ok(Some(w))
+    }
+
+    /// Resolves a scenario-written path against the scenario file's
+    /// directory (when known and the path is relative).
+    fn resolve_path(&self, path: &str) -> PathBuf {
+        let p = Path::new(path);
+        match &self.base_dir {
+            Some(dir) if p.is_relative() => dir.join(p),
+            _ => p.to_path_buf(),
+        }
     }
 
     /// Elaborates the model context: the design preset's default

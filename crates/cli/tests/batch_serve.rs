@@ -33,7 +33,9 @@ fn scenario_files() -> Vec<PathBuf> {
 /// completely fresh (no shared cache anywhere).
 fn fresh_process_output(file: &Path, format: OutputFormat) -> String {
     let text = std::fs::read_to_string(file).expect("scenario reads");
-    let scenario = Scenario::parse(&text).expect("scenario parses");
+    let scenario = Scenario::parse(&text)
+        .expect("scenario parses")
+        .with_base_dir(file.parent());
     let model = CarbonModel::new(scenario.build_context().expect("context builds"));
     match scenario.infer_request_kind() {
         RequestKind::Sweep => {

@@ -7,7 +7,9 @@
 //! workload over it.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tdc_power::BandwidthVerdict;
+use tdc_traces::TraceProfile;
 use tdc_units::{Bandwidth, Co2Mass, Efficiency, Energy, Power, Throughput, TimeSpan};
 
 /// One phase of the application mix (Eq. 16's index `k`).
@@ -32,6 +34,14 @@ pub struct Workload {
     average_bytes_per_op: Option<f64>,
     average_utilization: f64,
     calendar_lifetime: Option<TimeSpan>,
+    /// Measured duty/grid trace standing in for the scalar
+    /// utilization (and, when it has an intensity column, for the use
+    /// region's constant grid). `Arc`: the profile can hold millions
+    /// of compacted samples and every sweep point shares it. Its
+    /// compact `Debug`/`PartialEq` (content fingerprint) keep the
+    /// derived impls here cheap — stage tags and batch tag memos key
+    /// on them.
+    trace: Option<Arc<TraceProfile>>,
 }
 
 /// Default interface-traffic intensity for DNN inference: bytes moved
@@ -64,6 +74,7 @@ impl Workload {
             average_bytes_per_op: None,
             average_utilization: 1.0,
             calendar_lifetime: None,
+            trace: None,
         }
     }
 
@@ -165,6 +176,28 @@ impl Workload {
     #[must_use]
     pub fn average_utilization(&self) -> f64 {
         self.average_utilization
+    }
+
+    /// Attaches a measured trace: operational pricing then uses the
+    /// trace's time-weighted mean utilization instead of
+    /// [`average_utilization`](Workload::average_utilization), and —
+    /// when the trace carries a grid-intensity column — its
+    /// energy-weighted intensity instead of the context's constant
+    /// use-region grid. The trace is a *representative duty cycle*:
+    /// its statistics price the whole mission; phase durations and
+    /// the calendar window are unchanged. A trace whose samples are
+    /// all bitwise-identical prices byte-identically to the scalar
+    /// path.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<TraceProfile>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Arc<TraceProfile>> {
+        self.trace.as_ref()
     }
 
     /// The calendar window, if set.

@@ -53,7 +53,7 @@ use tdc_integration::{
 };
 use tdc_power::{pitch_count, AppPhase, PowerModel};
 use tdc_technode::{surveyed_efficiency, NodeParameters, ProcessNode};
-use tdc_units::{Area, Bandwidth, Co2Mass, Energy, Length, Power, Throughput};
+use tdc_units::{Area, Bandwidth, CarbonIntensity, Co2Mass, Energy, Length, Power, Throughput};
 use tdc_yield::{
     assembly_2_5d_yields, three_d_stack_yields, CompositeYieldProfile, DieYieldModel, StackingFlow,
 };
@@ -752,7 +752,13 @@ pub fn operational_report(
     }
 
     // ---- Eq. 16 over phases, with utilization and runtime stretch ----
-    let util = workload.average_utilization();
+    // With a trace attached, the duty statistics come from its
+    // memoized prefix-sum summary — O(1) per evaluation, so
+    // trace-driven sweep points re-price as fast as scalar ones. A
+    // bitwise-constant trace returns the sample value itself (not
+    // `(u·T)/T`), keeping this path byte-identical to the scalar one.
+    let trace_pricing = workload.trace().map(|t| t.pricing());
+    let util = trace_pricing.map_or_else(|| workload.average_utilization(), |p| p.mean_utilization);
     // Every die drives its own interface; the bisection traffic crosses
     // each of them.
     #[allow(clippy::cast_precision_loss)]
@@ -779,7 +785,14 @@ pub fn operational_report(
             phase.duration * stretch,
         ));
     }
-    let carbon = tdc_power::operational_carbon(ctx.ci_use(), &phases);
+    // Utilization-only traces keep the context's use-region grid;
+    // an intensity column replaces it with the trace's
+    // energy-weighted intensity (each kWh priced at the grid it was
+    // actually drawn on).
+    let ci_use = trace_pricing
+        .and_then(|p| p.intensity_kg_per_kwh)
+        .map_or_else(|| ctx.ci_use(), CarbonIntensity::from_kg_per_kwh);
+    let carbon = tdc_power::operational_carbon(ci_use, &phases);
     let energy: Energy = phases.iter().map(AppPhase::energy).sum();
     let power = die_reports
         .iter()

@@ -127,7 +127,11 @@ const TAG_MEMO_LIMIT: usize = 16;
 /// the tags when nothing changed. Equality of (context, power-model
 /// fingerprint, workload) implies equality of every string
 /// `stage_tags` would build, so the memo can never desynchronize the
-/// tags from the keyed cache.
+/// tags from the keyed cache. Trace-backed workloads keep this cheap:
+/// a `TraceProfile` compares by content fingerprint (O(1)), never by
+/// walking its segment columns — and the same fingerprint is what the
+/// operational tag renders, so a changed trace re-tags exactly like a
+/// changed utilization scalar while an unchanged trace stays warm.
 #[derive(Debug)]
 struct TagEntry {
     context: crate::ModelContext,

@@ -1,0 +1,41 @@
+//! Streaming workload/grid traces ([`TraceProfile`]).
+//!
+//! Real fleets do not run at a constant utilization on a constant
+//! grid: an AV platform alternates drive, idle, and charge phases
+//! while the grid's carbon intensity follows its own diurnal curve.
+//! This crate turns large time-series logs of that behaviour into a
+//! compact, query-in-O(1) form the carbon model can price against:
+//!
+//! * [`TraceReader`] — a **chunked streaming** parser: the log is read
+//!   through a fixed-size chunk buffer (plus a carry buffer for the
+//!   line split across two chunks), so peak resident input memory is
+//!   bounded by the chunk size no matter how many samples the file
+//!   holds. The bound is recorded per ingest
+//!   ([`TraceProfile::peak_buffer_bytes`]) and asserted in tests.
+//! * [`TraceProfile`] — the columnar result: consecutive samples with
+//!   bitwise-identical values are **merged into constant segments**,
+//!   and four prefix-sum integrals are precomputed over the segments
+//!   (Σ dt, Σ util·dt, Σ util·intensity·dt, Σ intensity·dt). Any
+//!   windowed time integral is then two binary searches plus a
+//!   handful of subtractions ([`TraceProfile::window`]), and the
+//!   full-span operational pricing summary ([`TraceProfile::pricing`])
+//!   is a memoized O(1) lookup — which is what keeps a trace-driven
+//!   sweep at the scalar path's warm throughput: O(samples) once at
+//!   ingest, O(1) per sweep point after.
+//! * [`synth`] — seeded, deterministic synthetic diurnal and
+//!   drive-cycle traces for benches, tests, and the `trace_gen` bin.
+//!
+//! The text format (see `docs/TRACES.md`): one sample per line,
+//! `timestamp_hours,utilization[,intensity_g_per_kwh]`, `#` comments
+//! and blank lines ignored, timestamps strictly increasing. Sample
+//! `i`'s values hold over `[t_i, t_{i+1})`, so the final line only
+//! terminates the trace.
+
+#![forbid(unsafe_code)]
+
+mod profile;
+mod reader;
+pub mod synth;
+
+pub use profile::{TraceBuilder, TraceIntegrals, TracePricing, TraceProfile};
+pub use reader::{TraceError, TraceReader, DEFAULT_CHUNK_BYTES};

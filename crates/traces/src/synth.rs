@@ -1,0 +1,257 @@
+//! Seeded synthetic traces (diurnal and AV drive-cycle) for benches,
+//! tests, and the `tdc-bench` `trace_gen` bin.
+//!
+//! Generation is fully deterministic for a given `(kind, samples,
+//! seed, intensity)` tuple: the value curves are piecewise-linear
+//! daily tables (no libm calls whose last bit could vary), the
+//! randomness is a SplitMix64 stream, and values are quantized onto
+//! coarse grids — which also gives the segment-merging ingest
+//! realistic constant runs to compact.
+
+use crate::profile::TraceProfile;
+use crate::reader::TraceReader;
+use std::io::{self, Write};
+
+/// Minutely sampling: the step between consecutive timestamps.
+pub const STEP_HOURS: f64 = 1.0 / 60.0;
+
+/// Which synthetic pattern to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthKind {
+    /// A datacenter-style day: utilization and grid intensity both
+    /// follow (noisy, quantized) diurnal curves.
+    Diurnal,
+    /// An AV platform: drive / idle / charge phases of random length,
+    /// on the same diurnal grid.
+    DriveCycle,
+}
+
+impl SynthKind {
+    /// Every kind, for CLIs listing the options.
+    pub const ALL: [SynthKind; 2] = [SynthKind::Diurnal, SynthKind::DriveCycle];
+
+    /// Parses a kind token (`diurnal`, `drive-cycle`).
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "diurnal" => Some(SynthKind::Diurnal),
+            "drive-cycle" | "drive_cycle" | "drive" => Some(SynthKind::DriveCycle),
+            _ => None,
+        }
+    }
+
+    /// The stable token.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SynthKind::Diurnal => "diurnal",
+            SynthKind::DriveCycle => "drive-cycle",
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and deterministic everywhere.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        ((self.next() >> 11) as f64) * SCALE
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Hour-of-day utilization shape (datacenter-ish double hump).
+const UTIL_TABLE: [f64; 24] = [
+    0.12, 0.10, 0.08, 0.08, 0.10, 0.18, 0.35, 0.55, 0.62, 0.55, 0.48, 0.50, 0.55, 0.52, 0.48, 0.50,
+    0.58, 0.70, 0.75, 0.65, 0.48, 0.32, 0.22, 0.15,
+];
+
+/// Hour-of-day grid intensity shape (g CO₂/kWh, evening-peaking).
+const G_TABLE: [f64; 24] = [
+    320.0, 300.0, 290.0, 285.0, 290.0, 320.0, 380.0, 450.0, 520.0, 560.0, 540.0, 500.0, 460.0,
+    430.0, 420.0, 440.0, 480.0, 540.0, 590.0, 610.0, 570.0, 490.0, 420.0, 360.0,
+];
+
+/// Piecewise-linear daily interpolation of a 24-entry table.
+fn daily(table: &[f64; 24], t_hours: f64) -> f64 {
+    let h = t_hours.rem_euclid(24.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let i = (h.floor() as usize) % 24;
+    let frac = h - h.floor();
+    table[i] * (1.0 - frac) + table[(i + 1) % 24] * frac
+}
+
+/// Utilization quantized to 1/64 steps, clamped to `[0, 1]`.
+fn quantize_util(u: f64) -> f64 {
+    (u.clamp(0.0, 1.0) * 64.0).round() / 64.0
+}
+
+/// Intensity quantized to 10 g/kWh steps, clamped to `[20, 900]`.
+fn quantize_g(g: f64) -> f64 {
+    (g.clamp(20.0, 900.0) / 10.0).round() * 10.0
+}
+
+/// Writes a synthetic trace log (`samples` lines plus a header
+/// comment) to `out`.
+///
+/// # Errors
+///
+/// Propagates writer failures.
+///
+/// # Panics
+///
+/// Panics on fewer than two samples.
+pub fn write_csv<W: Write>(
+    out: &mut W,
+    kind: SynthKind,
+    samples: usize,
+    seed: u64,
+    with_intensity: bool,
+) -> io::Result<()> {
+    assert!(samples >= 2, "a trace needs at least two samples");
+    writeln!(
+        out,
+        "# synthetic {} trace: samples={samples} seed={seed} intensity={with_intensity}",
+        kind.label()
+    )?;
+    writeln!(
+        out,
+        "# timestamp_hours,utilization{}",
+        if with_intensity {
+            ",intensity_g_per_kwh"
+        } else {
+            ""
+        }
+    )?;
+    let mut util_rng = SplitMix(seed ^ 0x7574_696c); // "util"
+    let mut grid_rng = SplitMix(seed ^ 0x6772_6964); // "grid"
+    let mut util = 0.0;
+    let mut util_left = 0u64; // minutes the current block still holds
+    let mut g = 0.0;
+    let mut g_left = 0u64;
+    // Drive-cycle state: 0 = drive, 1 = idle, 2 = charge.
+    let mut phase = 1u8;
+    for i in 0..samples {
+        #[allow(clippy::cast_precision_loss)]
+        let t = i as f64 * STEP_HOURS;
+        if util_left == 0 {
+            match kind {
+                SynthKind::Diurnal => {
+                    util_left = util_rng.range(5, 45);
+                    let noise = (util_rng.uniform() - 0.5) * 0.1;
+                    util = quantize_util(daily(&UTIL_TABLE, t) + noise);
+                }
+                SynthKind::DriveCycle => {
+                    phase = (phase + 1) % 3;
+                    let (minutes, level) = match phase {
+                        0 => (util_rng.range(20, 90), 0.6 + 0.35 * util_rng.uniform()),
+                        1 => (util_rng.range(10, 120), 0.02),
+                        _ => (util_rng.range(30, 60), 0.10),
+                    };
+                    util_left = minutes;
+                    util = quantize_util(level);
+                }
+            }
+        }
+        util_left -= 1;
+        if with_intensity {
+            if g_left == 0 {
+                g_left = grid_rng.range(15, 120);
+                let noise = (grid_rng.uniform() - 0.5) * 60.0;
+                g = quantize_g(daily(&G_TABLE, t) + noise);
+            }
+            g_left -= 1;
+            writeln!(out, "{t:.6},{util:.4},{g:.1}")?;
+        } else {
+            writeln!(out, "{t:.6},{util:.4}")?;
+        }
+    }
+    Ok(())
+}
+
+/// [`write_csv`] into a `String`.
+#[must_use]
+pub fn csv_string(kind: SynthKind, samples: usize, seed: u64, with_intensity: bool) -> String {
+    let mut out = Vec::new();
+    write_csv(&mut out, kind, samples, seed, with_intensity).expect("Vec writes are infallible");
+    String::from_utf8(out).expect("generator emits ASCII")
+}
+
+/// Generates and ingests in one step — the profile is exactly what a
+/// round trip through the text format produces.
+///
+/// # Panics
+///
+/// Panics if the generated text fails to ingest (a generator bug).
+#[must_use]
+pub fn profile(kind: SynthKind, samples: usize, seed: u64, with_intensity: bool) -> TraceProfile {
+    TraceReader::new()
+        .ingest(csv_string(kind, samples, seed, with_intensity).as_bytes())
+        .expect("synthetic traces are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = csv_string(SynthKind::Diurnal, 2000, 7, true);
+        let b = csv_string(SynthKind::Diurnal, 2000, 7, true);
+        assert_eq!(a, b);
+        let c = csv_string(SynthKind::Diurnal, 2000, 8, true);
+        assert_ne!(a, c, "different seeds must differ");
+        assert_ne!(
+            a,
+            csv_string(SynthKind::DriveCycle, 2000, 7, true),
+            "kinds must differ"
+        );
+    }
+
+    #[test]
+    fn quantized_blocks_compact_well_under_ingest() {
+        for kind in SynthKind::ALL {
+            let p = profile(kind, 10_000, 42, true);
+            assert_eq!(p.samples(), 10_000);
+            assert!(
+                p.segments() * 4 < p.samples(),
+                "{kind:?}: {} segments for {} samples",
+                p.segments(),
+                p.samples()
+            );
+            assert!(p.has_intensity());
+            let u = p.pricing().mean_utilization;
+            assert!(u > 0.0 && u < 1.0, "{kind:?}: {u}");
+        }
+    }
+
+    #[test]
+    fn utilization_only_traces_generate_two_columns() {
+        let p = profile(SynthKind::DriveCycle, 500, 3, false);
+        assert!(!p.has_intensity());
+        assert_eq!(p.pricing().intensity_kg_per_kwh, None);
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        for kind in SynthKind::ALL {
+            assert_eq!(SynthKind::from_token(kind.label()), Some(kind));
+        }
+        assert_eq!(SynthKind::from_token("drive"), Some(SynthKind::DriveCycle));
+        assert_eq!(SynthKind::from_token("warp"), None);
+    }
+}

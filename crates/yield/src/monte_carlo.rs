@@ -103,6 +103,24 @@ pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
     }
 }
 
+/// Sample mean and *unbiased* sample variance (the `n − 1` Bessel
+/// denominator) of `samples` — the estimator the sampler-validation
+/// tests compare against analytical moments. The biased `n`
+/// denominator would systematically understate the variance.
+///
+/// # Panics
+///
+/// Panics if `samples` has fewer than two elements.
+#[must_use]
+pub fn sample_mean_variance(samples: &[f64]) -> (f64, f64) {
+    assert!(samples.len() >= 2, "variance needs at least two samples");
+    #[allow(clippy::cast_precision_loss)]
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
 /// Simulates the fabrication of `trials` dies of `area` under defect
 /// density `d0_per_cm2` and clustering `alpha`, returning the fraction
 /// that came out defect-free.
@@ -172,6 +190,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    const PIN_GAMMA: f64 = 0.143_587_973_066_538_06;
+    const PIN_POISSON: u64 = 3;
+    const PIN_DIE: f64 = 0.891;
+    const PIN_STACK: f64 = 0.7844;
+
     #[test]
     fn gamma_sampler_matches_mean_and_variance() {
         let mut rng = StdRng::seed_from_u64(42);
@@ -180,12 +203,35 @@ mod tests {
         let samples: Vec<f64> = (0..n)
             .map(|_| sample_gamma(shape, scale, &mut rng))
             .collect();
-        #[allow(clippy::cast_precision_loss)]
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        #[allow(clippy::cast_precision_loss)]
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let (mean, var) = sample_mean_variance(&samples);
         assert!((mean - shape * scale).abs() < 0.01, "mean {mean}");
         assert!((var - shape * scale * scale).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn unbiased_variance_uses_the_bessel_denominator() {
+        // Hand-checked: mean 2, squared deviations 1+0+1 = 2, so the
+        // unbiased estimate is 2/(n−1) = 1 — not the biased 2/3.
+        let (mean, var) = sample_mean_variance(&[1.0, 2.0, 3.0]);
+        assert_eq!(mean, 2.0);
+        assert_eq!(var, 1.0);
+    }
+
+    #[test]
+    fn seeded_outputs_are_pinned() {
+        // Regression pins for the workspace's deterministic StdRng
+        // (xoshiro256++ seeded via SplitMix64): if any of these exact
+        // values drifts, every seeded simulation in the repo has, and
+        // recorded validation numbers silently stop meaning anything.
+        let mut rng = StdRng::seed_from_u64(42);
+        let gamma = sample_gamma(2.5, 0.08, &mut rng);
+        let poisson = sample_poisson(3.0, &mut rng);
+        let die = simulate_die_yield(Area::from_mm2(120.0), 0.1, 2.0, 5_000, &mut rng);
+        let stack = simulate_stack_survival(&[0.92, 0.88], 0.96, 5_000, &mut rng);
+        assert_eq!(gamma.to_bits(), PIN_GAMMA.to_bits(), "gamma {gamma:?}");
+        assert_eq!(poisson, PIN_POISSON, "poisson {poisson}");
+        assert_eq!(die.to_bits(), PIN_DIE.to_bits(), "die yield {die:?}");
+        assert_eq!(stack.to_bits(), PIN_STACK.to_bits(), "stack {stack:?}");
     }
 
     #[test]
