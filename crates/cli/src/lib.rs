@@ -41,6 +41,7 @@
 
 pub mod batch;
 mod json;
+pub mod packs;
 pub mod report;
 mod scenario;
 pub mod serve;

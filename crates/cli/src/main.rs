@@ -9,6 +9,8 @@
 //! tdc serve                           JSONL request/response service on stdin/stdout
 //!                                     (or a multi-client TCP frontend with --listen)
 //! tdc scenarios                       list preset names scenario files can reference
+//! tdc packs       [pack.json...]      list registered models (with any packs loaded)
+//! tdc packs check <pack.json...>      validate technology-pack files without evaluating
 //!
 //! options: --format table|json|csv   --out <path>   --workers <n>   --serial
 //!          --repeat <n>   --max-inflight <n>   --listen <addr>
@@ -52,6 +54,10 @@ COMMANDS:
                   connection shares one warm session (protocol in
                   docs/SERVING.md)
     scenarios     List design/workload preset names usable in scenario files
+    packs         List every registered model (grid regions, nodes,
+                  technologies, yield/power models, presets) with provenance;
+                  pack files given as arguments are loaded first. With a
+                  leading `check`, validate pack files without evaluating
     help          Show this message
 
 OPTIONS:
@@ -201,6 +207,7 @@ const EVAL_COMMANDS: &[&str] = &[
     "batch",
     "serve",
     "scenarios",
+    "packs",
 ];
 
 /// Commands an option applies to; everything else rejects it (the
@@ -210,7 +217,7 @@ const EVAL_COMMANDS: &[&str] = &[
 const OPTION_GATES: &[(&str, &[&str])] = &[
     (
         "--format",
-        &["run", "sweep", "explore", "sensitivity", "batch"],
+        &["run", "sweep", "explore", "sensitivity", "batch", "packs"],
     ),
     ("--out", &["run", "sweep", "explore", "sensitivity"]),
     (
@@ -568,6 +575,23 @@ fn cmd_scenarios() {
     println!("\nSee docs/SCENARIOS.md for the file schema and scenarios/ for examples.");
 }
 
+fn cmd_packs(options: &Options) -> Result<(), String> {
+    // `tdc packs check <files...>` validates; anything else lists.
+    let (check, files) = match options.files.split_first() {
+        Some((first, rest)) if first == "check" => (true, rest),
+        _ => (false, &options.files[..]),
+    };
+    if check {
+        if options.format.is_some() {
+            return Err("--format does not apply to `tdc packs check`".to_owned());
+        }
+        print!("{}", tdc_cli::packs::check_packs(files)?);
+        return Ok(());
+    }
+    print!("{}", tdc_cli::packs::list_models(files, options.format())?);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(args) {
@@ -588,6 +612,7 @@ fn main() -> ExitCode {
             cmd_scenarios();
             Ok(())
         }
+        "packs" => cmd_packs(&options),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -1,37 +1,48 @@
 //! Scenario files ([`Scenario`]): the declarative input of the `tdc`
 //! CLI.
 //!
-//! A scenario is a JSON document with up to four blocks, all of which
+//! A scenario is a JSON document with up to six blocks, all of which
 //! are documented with runnable examples in `docs/SCENARIOS.md`:
 //!
+//! * `packs` — technology-pack files ([`tdc_registry::pack`]) loaded
+//!   into the model registry before any name below resolves, so a
+//!   scenario can redefine or extend the shipped catalogs as data.
+//!   Relative paths are scenario-file-relative. Optional;
 //! * `design` — what chip to evaluate: either `{"preset": "..."}`
-//!   (resolved through [`tdc_workloads::design_preset`]) or an explicit
-//!   die list plus integration technology;
+//!   (resolved through the registry's design-preset grammar) or an
+//!   explicit die list plus integration technology;
 //! * `workload` — the mission profile: an AV preset or an explicit
 //!   fixed-throughput profile. Optional: without it, `tdc run` reports
 //!   embodied carbon only;
 //! * `context` — overrides of the model configuration (fab/use grid,
-//!   wafer, yield model, ablation knobs). Optional;
+//!   wafer, yield model, power model, ablation knobs). Optional;
 //! * `sweep` — the design-space axes (`tdc sweep`): gate budget,
 //!   nodes, technologies, tier counts, workers. Optional;
 //! * `explore` — the exploration layer over the sweep plan
 //!   (`tdc explore`): objectives, constraints, Eq. 2 baseline, and
 //!   adaptive refinement. Optional; requires a `sweep` block.
+//!
+//! Structural checks (types, unknown fields, numeric domains) happen
+//! at parse time; *names* — presets, technologies, grid regions, yield
+//! and power models — resolve at build time through one
+//! [`Registry`], after the scenario's packs have loaded. That is what
+//! lets a pack-defined technology appear anywhere a built-in one can.
 
 use crate::json::{JsonError, JsonValue};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tdc_core::explore::{Constraint, ExploreSpec, Objective, RefineAxis, RefineSpec};
 use tdc_core::service::EvalRequest;
 use tdc_core::sweep::DesignSweep;
-use tdc_core::{ChipDesign, DieSpec, DieYieldChoice, ModelContext, ModelError, Workload};
+use tdc_core::{ChipDesign, DieSpec, ModelContext, ModelError, Workload};
 use tdc_floorplan::PackageModel;
 use tdc_integration::{IntegrationFamily, IntegrationTechnology, StackOrientation};
-use tdc_technode::{GridRegion, ProcessNode, Wafer};
+use tdc_registry::{Params, Registry, RegistryError};
+use tdc_technode::{ProcessNode, Wafer};
 use tdc_traces::TraceReader;
 use tdc_units::{Area, Efficiency, Length, Throughput, TimeSpan};
-use tdc_workloads::{design_preset, preset_context, workload_preset};
+use tdc_workloads::design_preset_context;
 use tdc_yield::StackingFlow;
 
 /// Why a scenario could not be loaded or elaborated.
@@ -76,6 +87,19 @@ fn schema_err<T>(path: impl Into<String>, message: impl Into<String>) -> Result<
         path: path.into(),
         message: message.into(),
     })
+}
+
+/// Maps a registry failure onto the scenario error taxonomy: model
+/// rejections stay [`ScenarioError::Model`] (the design was
+/// well-formed), everything else is a schema error at `path`.
+fn registry_err(path: impl Into<String>, err: RegistryError) -> ScenarioError {
+    match err {
+        RegistryError::Model(e) => ScenarioError::Model(e),
+        other => ScenarioError::Schema {
+            path: path.into(),
+            message: other.to_string(),
+        },
+    }
 }
 
 /// Typed field extraction helpers over a JSON object.
@@ -198,36 +222,14 @@ fn parse_node(nm: f64, path: &str) -> Result<ProcessNode, ScenarioError> {
     )
 }
 
-/// `"2d"` → `None`, anything else through
-/// [`IntegrationTechnology::from_token`].
-fn parse_tech(token: &str, path: &str) -> Result<Option<IntegrationTechnology>, ScenarioError> {
-    if token.trim().eq_ignore_ascii_case("2d") {
-        return Ok(None);
-    }
-    IntegrationTechnology::from_token(token).map_or_else(
-        || {
-            let known: Vec<&str> = IntegrationTechnology::ALL
-                .into_iter()
-                .map(IntegrationTechnology::label)
-                .collect();
-            schema_err(
-                path,
-                format!(
-                    "unknown technology `{token}` (known: 2D, {})",
-                    known.join(", ")
-                ),
-            )
-        },
-        |t| Ok(Some(t)),
-    )
-}
-
-/// The `design` block.
+/// The `design` block. The `technology` token stays raw until build
+/// time — it resolves through the scenario's [`Registry`], so a
+/// pack-defined technology name works here.
 #[derive(Debug, Clone)]
 enum DesignSpec {
     Preset(String),
     Explicit {
-        technology: Option<IntegrationTechnology>,
+        technology: Option<String>,
         orientation: Option<StackOrientation>,
         flow: Option<StackingFlow>,
         dies: Vec<DieSpec>,
@@ -257,13 +259,24 @@ struct TraceSpec {
     path: String,
 }
 
-/// The `context` block (all fields optional overrides).
+/// The `context.power_model` sub-block: a registry power-model name
+/// plus its numeric parameters.
+#[derive(Debug, Clone)]
+struct PowerSpec {
+    name: String,
+    params: Params,
+}
+
+/// The `context` block (all fields optional overrides). Region, yield,
+/// and power tokens stay raw strings until build time, when they
+/// resolve through the scenario's [`Registry`].
 #[derive(Debug, Clone, Default)]
 struct ContextSpec {
-    fab_region: Option<GridRegion>,
-    use_region: Option<GridRegion>,
+    fab_region: Option<String>,
+    use_region: Option<String>,
     wafer_mm: Option<f64>,
-    die_yield: Option<DieYieldChoice>,
+    die_yield: Option<String>,
+    power_model: Option<PowerSpec>,
     package: Option<PackageModel>,
     beol_adjustment: Option<bool>,
     bandwidth_constraint: Option<bool>,
@@ -272,15 +285,30 @@ struct ContextSpec {
     m3d_sequential_fraction: Option<f64>,
 }
 
-/// The `sweep` block.
+/// The `sweep` block. `nodes_nm` entries are validated numerically at
+/// parse time (node identities are a closed set); the `nodes` name
+/// axis and the technology tokens resolve through the registry at
+/// build time.
 #[derive(Debug, Clone)]
 struct SweepSpec {
     gate_count: f64,
     nodes: Option<Vec<ProcessNode>>,
-    technologies: Option<Vec<Option<IntegrationTechnology>>>,
+    node_names: Option<Vec<String>>,
+    technologies: Option<Vec<String>>,
     tiers: Option<Vec<u32>>,
     efficiency: Option<Efficiency>,
     workers: Option<usize>,
+}
+
+/// The `explore` block with its technology allowlist still raw: every
+/// other field is validated at parse time, but allowlisted technology
+/// names can come from packs, so they resolve at build time.
+#[derive(Debug, Clone)]
+struct ExploreRaw {
+    /// The spec minus any `Constraint::Technologies` entry.
+    spec: ExploreSpec,
+    /// Raw `constraints.technologies` tokens, if given.
+    technologies: Option<Vec<String>>,
 }
 
 /// Which evaluating command a scenario elaborates into (the `tdc
@@ -333,12 +361,16 @@ pub struct Scenario {
     pub name: String,
     /// Free-text description, if given.
     pub description: Option<String>,
+    packs: Vec<String>,
     design: Option<DesignSpec>,
     workload: Option<WorkloadSpec>,
     context: ContextSpec,
     sweep: Option<SweepSpec>,
-    explore: Option<ExploreSpec>,
+    explore: Option<ExploreRaw>,
     base_dir: Option<PathBuf>,
+    /// The registry every build-time name resolves through, built
+    /// lazily (pack files load on first use, after `with_base_dir`).
+    registry: OnceLock<Result<Arc<Registry>, ScenarioError>>,
 }
 
 impl Scenario {
@@ -366,6 +398,7 @@ impl Scenario {
         fields.deny_unknown(&[
             "name",
             "description",
+            "packs",
             "design",
             "workload",
             "context",
@@ -374,6 +407,24 @@ impl Scenario {
         ])?;
         let name = fields.string("name")?.unwrap_or("scenario").to_owned();
         let description = fields.string("description")?.map(str::to_owned);
+        let packs = match fields.array("packs")? {
+            None => Vec::new(),
+            Some(items) => {
+                let mut packs = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let path = format!("packs[{i}]");
+                    let file = item
+                        .as_str()
+                        .ok_or(())
+                        .or_else(|()| schema_err::<&str>(&path, "expected a pack file path"))?;
+                    if file.trim().is_empty() {
+                        return schema_err(&path, "the path is empty");
+                    }
+                    packs.push(file.to_owned());
+                }
+                packs
+            }
+        };
         let design = match fields.get("design") {
             None => None,
             Some(v) => Some(Self::parse_design(v)?),
@@ -397,23 +448,58 @@ impl Scenario {
         Ok(Self {
             name,
             description,
+            packs,
             design,
             workload,
             context,
             sweep,
             explore,
             base_dir: None,
+            registry: OnceLock::new(),
         })
     }
 
-    /// Anchors relative `workload.trace.path` references to `dir` —
-    /// the scenario *file*'s directory, so a scenario next to its
-    /// trace loads from anywhere. Embedded documents (`tdc serve`
-    /// frames) have no file and stay cwd-relative.
+    /// Anchors relative `workload.trace.path` and `packs` references
+    /// to `dir` — the scenario *file*'s directory, so a scenario next
+    /// to its data loads from anywhere. Embedded documents (`tdc
+    /// serve` frames) have no file and stay cwd-relative.
+    ///
+    /// Call this before any `build_*` method: the first build loads
+    /// the scenario's packs relative to the base directory and caches
+    /// the resulting registry.
     #[must_use]
     pub fn with_base_dir(mut self, dir: Option<&Path>) -> Self {
         self.base_dir = dir.map(Path::to_path_buf);
         self
+    }
+
+    /// The model registry this scenario resolves names through: the
+    /// built-in catalogs plus every file in the `packs` block (loaded
+    /// on first use, scenario-file-relative).
+    ///
+    /// # Errors
+    ///
+    /// A pack that fails to load is a schema error whose path names
+    /// the `packs[i]` entry; the underlying message carries the pack
+    /// file path and, for parse failures, the line/column.
+    pub fn registry(&self) -> Result<&Registry, ScenarioError> {
+        self.registry
+            .get_or_init(|| {
+                let mut registry = Registry::with_builtins();
+                for (i, file) in self.packs.iter().enumerate() {
+                    let resolved = self.resolve_path(file);
+                    registry
+                        .load_pack(&resolved)
+                        .map_err(|e| ScenarioError::Schema {
+                            path: format!("packs[{i}]"),
+                            message: e.to_string(),
+                        })?;
+                }
+                Ok(Arc::new(registry))
+            })
+            .as_ref()
+            .map(|arc| arc.as_ref())
+            .map_err(Clone::clone)
     }
 
     fn parse_design(value: &JsonValue) -> Result<DesignSpec, ScenarioError> {
@@ -423,10 +509,7 @@ impl Scenario {
             return Ok(DesignSpec::Preset(preset.to_owned()));
         }
         f.deny_unknown(&["integration", "orientation", "flow", "dies"])?;
-        let technology = match f.string("integration")? {
-            None => None,
-            Some(token) => parse_tech(token, &f.child("integration"))?,
-        };
+        let technology = f.string("integration")?.map(str::to_owned);
         let orientation = match f.string("orientation")? {
             None => None,
             Some(token) => Some(match token.trim().to_ascii_lowercase().as_str() {
@@ -602,6 +685,7 @@ impl Scenario {
             "use_region",
             "wafer_mm",
             "die_yield",
+            "power_model",
             "package",
             "beol_adjustment",
             "bandwidth_constraint",
@@ -609,33 +693,9 @@ impl Scenario {
             "tsv_keepout",
             "m3d_sequential_fraction",
         ])?;
-        let region = |key: &str| -> Result<Option<GridRegion>, ScenarioError> {
-            match f.string(key)? {
-                None => Ok(None),
-                Some(token) => GridRegion::from_token(token).map_or_else(
-                    || {
-                        schema_err(
-                            f.child(key),
-                            format!("unknown grid region `{token}` (e.g. taiwan, us, france, world, coal, renewable)"),
-                        )
-                    },
-                    |r| Ok(Some(r)),
-                ),
-            }
-        };
-        let die_yield = match f.string("die_yield")? {
+        let power_model = match f.get("power_model") {
             None => None,
-            Some(token) => Some(match token.trim().to_ascii_lowercase().as_str() {
-                "paper" | "negative-binomial" | "neg-bin" => DieYieldChoice::PaperNegativeBinomial,
-                "poisson" => DieYieldChoice::Poisson,
-                "murphy" => DieYieldChoice::Murphy,
-                other => {
-                    return schema_err(
-                        f.child("die_yield"),
-                        format!("expected `paper`, `poisson`, or `murphy`, got `{other}`"),
-                    )
-                }
-            }),
+            Some(v) => Some(Self::parse_power(v, &f.child("power_model"))?),
         };
         let package = match f.string("package")? {
             None => None,
@@ -660,10 +720,11 @@ impl Scenario {
             }
         };
         Ok(ContextSpec {
-            fab_region: region("fab_region")?,
-            use_region: region("use_region")?,
+            fab_region: f.string("fab_region")?.map(str::to_owned),
+            use_region: f.string("use_region")?.map(str::to_owned),
             wafer_mm: f.number("wafer_mm")?,
-            die_yield,
+            die_yield: f.string("die_yield")?.map(str::to_owned),
+            power_model,
             package,
             beol_adjustment: f.boolean("beol_adjustment")?,
             bandwidth_constraint: f.boolean("bandwidth_constraint")?,
@@ -673,10 +734,58 @@ impl Scenario {
         })
     }
 
+    /// `context.power_model`: either a bare model name or an object
+    /// `{"model": name, ...}` whose remaining fields are the model's
+    /// numeric parameters (booleans travel as `0`/`1`).
+    fn parse_power(value: &JsonValue, path: &str) -> Result<PowerSpec, ScenarioError> {
+        if let Some(name) = value.as_str() {
+            return Ok(PowerSpec {
+                name: name.to_owned(),
+                params: Params::new(),
+            });
+        }
+        let Some(entries) = value.as_object() else {
+            return schema_err(
+                path,
+                format!(
+                    "expected a model name or an object with a `model` field, got {}",
+                    value.type_name()
+                ),
+            );
+        };
+        let mut name = None;
+        let mut params = Params::new();
+        for (key, v) in entries {
+            if key == "model" {
+                let Some(n) = v.as_str() else {
+                    return schema_err(
+                        format!("{path}.model"),
+                        format!("expected a string, got {}", v.type_name()),
+                    );
+                };
+                name = Some(n.to_owned());
+            } else if let Some(n) = v.as_f64() {
+                params.set(key, n);
+            } else if let Some(b) = v.as_bool() {
+                params.set(key, if b { 1.0 } else { 0.0 });
+            } else {
+                return schema_err(
+                    format!("{path}.{key}"),
+                    format!("expected a number or boolean, got {}", v.type_name()),
+                );
+            }
+        }
+        name.map_or_else(
+            || schema_err(format!("{path}.model"), "required field is missing"),
+            |name| Ok(PowerSpec { name, params }),
+        )
+    }
+
     fn parse_sweep(value: &JsonValue) -> Result<SweepSpec, ScenarioError> {
         let f = Fields::new(value, "sweep")?;
         f.deny_unknown(&[
             "gate_count",
+            "nodes",
             "nodes_nm",
             "technologies",
             "tiers",
@@ -706,6 +815,31 @@ impl Scenario {
                 Some(nodes)
             }
         };
+        // The node axis answers to a numeric form (`nodes_nm`) and a
+        // registry-name form (`nodes`, e.g. `["n7", "n5"]`); writing
+        // both would be ambiguous, so it is rejected rather than
+        // ignored.
+        if f.get("nodes").is_some() && f.get("nodes_nm").is_some() {
+            return schema_err(
+                "sweep.nodes",
+                "duplicates `sweep.nodes_nm`; write the node axis once",
+            );
+        }
+        let node_names = match f.array("nodes")? {
+            None => None,
+            Some(items) => {
+                let mut names = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let path = format!("sweep.nodes[{i}]");
+                    let token = item
+                        .as_str()
+                        .ok_or(())
+                        .or_else(|()| schema_err::<&str>(&path, "expected a node name"))?;
+                    names.push(token.to_owned());
+                }
+                Some(names)
+            }
+        };
         let technologies = match f.array("technologies")? {
             None => None,
             Some(items) => {
@@ -716,7 +850,7 @@ impl Scenario {
                         .as_str()
                         .ok_or(())
                         .or_else(|()| schema_err::<&str>(&path, "expected a string"))?;
-                    techs.push(parse_tech(token, &path)?);
+                    techs.push(token.to_owned());
                 }
                 Some(techs)
             }
@@ -776,6 +910,7 @@ impl Scenario {
         Ok(SweepSpec {
             gate_count,
             nodes,
+            node_names,
             technologies,
             tiers,
             efficiency: f
@@ -785,7 +920,7 @@ impl Scenario {
         })
     }
 
-    fn parse_explore(value: &JsonValue) -> Result<ExploreSpec, ScenarioError> {
+    fn parse_explore(value: &JsonValue) -> Result<ExploreRaw, ScenarioError> {
         let f = Fields::new(value, "explore")?;
         f.deny_unknown(&["objectives", "constraints", "baseline", "refine"])?;
         let Some(objective_values) = f.array("objectives")? else {
@@ -811,8 +946,8 @@ impl Scenario {
             )?;
             objectives.push(objective);
         }
-        let constraints = match f.get("constraints") {
-            None => Vec::new(),
+        let (constraints, technologies) = match f.get("constraints") {
+            None => (Vec::new(), None),
             Some(v) => Self::parse_constraints(v)?,
         };
         let baseline = f.string("baseline")?.map(str::to_owned);
@@ -828,12 +963,21 @@ impl Scenario {
         };
         // Core validation (objective count, duplicates, refine ranges)
         // is surfaced as a schema error on the block, so every `tdc`
-        // surface reports the same path-named message.
-        spec.validate()
-            .map_or_else(|m| schema_err("explore", m), |()| Ok(spec))
+        // surface reports the same path-named message. It does not
+        // depend on the technology allowlist, which resolves later.
+        spec.validate().map_or_else(
+            |m| schema_err("explore", m),
+            |()| Ok(ExploreRaw { spec, technologies }),
+        )
     }
 
-    fn parse_constraints(value: &JsonValue) -> Result<Vec<Constraint>, ScenarioError> {
+    /// Parses `explore.constraints`, returning the resolved
+    /// constraints plus the raw technology-allowlist tokens (those
+    /// need the registry, which is only available at build time).
+    #[allow(clippy::type_complexity)]
+    fn parse_constraints(
+        value: &JsonValue,
+    ) -> Result<(Vec<Constraint>, Option<Vec<String>>), ScenarioError> {
         let f = Fields::new(value, "explore.constraints")?;
         f.deny_unknown(&[
             "max_package_area_mm2",
@@ -874,22 +1018,28 @@ impl Scenario {
             }
             constraints.push(Constraint::Nodes(nodes));
         }
-        if let Some(items) = f.array("technologies")? {
-            let mut techs = Vec::with_capacity(items.len());
-            for (i, item) in items.iter().enumerate() {
-                let path = format!("explore.constraints.technologies[{i}]");
-                let token = item
-                    .as_str()
-                    .ok_or(())
-                    .or_else(|()| schema_err::<&str>(&path, "expected a string"))?;
-                techs.push(parse_tech(token, &path)?);
+        let technologies = match f.array("technologies")? {
+            None => None,
+            Some(items) => {
+                let mut techs = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let path = format!("explore.constraints.technologies[{i}]");
+                    let token = item
+                        .as_str()
+                        .ok_or(())
+                        .or_else(|()| schema_err::<&str>(&path, "expected a string"))?;
+                    techs.push(token.to_owned());
+                }
+                if techs.is_empty() {
+                    return schema_err(
+                        "explore.constraints.technologies",
+                        "the allowlist is empty",
+                    );
+                }
+                Some(techs)
             }
-            if techs.is_empty() {
-                return schema_err("explore.constraints.technologies", "the allowlist is empty");
-            }
-            constraints.push(Constraint::Technologies(techs));
-        }
-        Ok(constraints)
+        };
+        Ok((constraints, technologies))
     }
 
     fn parse_refine(value: &JsonValue) -> Result<RefineSpec, ScenarioError> {
@@ -1028,16 +1178,31 @@ impl Scenario {
         self.explore.is_some()
     }
 
-    /// Elaborates the `explore` block into an [`ExploreSpec`].
+    /// Elaborates the `explore` block into an [`ExploreSpec`],
+    /// resolving any technology allowlist through the registry.
     ///
     /// # Errors
     ///
-    /// Fails when the block is missing.
+    /// Fails when the block is missing or an allowlisted technology
+    /// name does not resolve.
     pub fn build_explore(&self) -> Result<ExploreSpec, ScenarioError> {
-        self.explore.clone().map_or_else(
-            || schema_err("explore", "this command needs an explore block"),
-            Ok,
-        )
+        let Some(raw) = &self.explore else {
+            return schema_err("explore", "this command needs an explore block");
+        };
+        let mut spec = raw.spec.clone();
+        if let Some(tokens) = &raw.technologies {
+            let registry = self.registry()?;
+            let mut techs = Vec::with_capacity(tokens.len());
+            for (i, token) in tokens.iter().enumerate() {
+                let path = format!("explore.constraints.technologies[{i}]");
+                let model = registry
+                    .resolve_technology(token)
+                    .map_err(|e| registry_err(path, e))?;
+                techs.push(model.technology);
+            }
+            spec.constraints.push(Constraint::Technologies(techs));
+        }
+        Ok(spec)
     }
 
     /// Worker-thread request of the `sweep` block, if any.
@@ -1046,32 +1211,40 @@ impl Scenario {
         self.sweep.as_ref().and_then(|s| s.workers)
     }
 
-    /// Elaborates the `design` block into a [`ChipDesign`].
+    /// Elaborates the `design` block into a [`ChipDesign`]. Preset
+    /// names and integration-technology tokens resolve through the
+    /// scenario's registry.
     ///
     /// # Errors
     ///
-    /// Fails when the block is missing, names an unknown preset, or
-    /// describes a design the model rejects.
+    /// Fails when the block is missing, names an unknown preset or
+    /// technology, or describes a design the model rejects.
     pub fn build_design(&self) -> Result<ChipDesign, ScenarioError> {
         let Some(spec) = &self.design else {
             return schema_err("design", "this command needs a design block");
         };
         match spec {
-            DesignSpec::Preset(name) => design_preset(name).map_or_else(
-                || {
-                    schema_err(
-                        "design.preset",
-                        format!("unknown preset `{name}` (try `tdc scenarios` for the list)"),
-                    )
-                },
-                |d| Ok(d?),
-            ),
+            DesignSpec::Preset(name) => self
+                .registry()?
+                .create_design(name)
+                .map_err(|e| registry_err("design.preset", e)),
             DesignSpec::Explicit {
                 technology,
                 orientation,
                 flow,
                 dies,
-            } => Self::build_explicit(*technology, *orientation, *flow, dies),
+            } => {
+                let technology = match technology {
+                    None => None,
+                    Some(token) => {
+                        self.registry()?
+                            .resolve_technology(token)
+                            .map_err(|e| registry_err("design.integration", e))?
+                            .technology
+                    }
+                };
+                Self::build_explicit(technology, *orientation, *flow, dies)
+            }
         }
     }
 
@@ -1150,18 +1323,10 @@ impl Scenario {
         // fixed-throughput mission. The optional fields below override
         // the base in both cases.
         let mut w = if let Some(preset) = &spec.preset {
-            match workload_preset(preset, spec.throughput) {
-                Some(w) => w,
-                None => {
-                    return schema_err(
-                        "workload.preset",
-                        format!(
-                            "unknown preset `{preset}` (known: {})",
-                            tdc_workloads::WORKLOAD_PRESETS.join(", ")
-                        ),
-                    )
-                }
-            }
+            let params = Params::new().with("throughput_tops", spec.throughput.tops());
+            self.registry()?
+                .create_workload(preset, &params)
+                .map_err(|e| registry_err("workload.preset", e))?
         } else {
             let hours = spec.active_hours.expect("checked at parse time");
             if !(hours.is_finite() && hours > 0.0) {
@@ -1238,23 +1403,32 @@ impl Scenario {
 
     /// Elaborates the model context: the design preset's default
     /// context (e.g. Lakefield's mobile package), with the `context`
-    /// block's overrides applied on top.
+    /// block's overrides applied on top — grid regions, the yield
+    /// model, and the power model resolved through the registry — and
+    /// finally any loaded pack's catalog rewrites.
     ///
     /// # Errors
     ///
     /// Fails on out-of-domain values (e.g. a non-positive wafer
-    /// diameter).
+    /// diameter) and on names the registry does not know.
     pub fn build_context(&self) -> Result<ModelContext, ScenarioError> {
+        let registry = self.registry()?;
         let base = match &self.design {
-            Some(DesignSpec::Preset(name)) => preset_context(name),
+            Some(DesignSpec::Preset(name)) => design_preset_context(name),
             _ => ModelContext::default(),
         };
         let c = &self.context;
         let mut b = base.to_builder();
-        if let Some(r) = c.fab_region {
+        if let Some(token) = &c.fab_region {
+            let r = registry
+                .resolve_grid(token)
+                .map_err(|e| registry_err("context.fab_region", e))?;
             b = b.fab_region(r);
         }
-        if let Some(r) = c.use_region {
+        if let Some(token) = &c.use_region {
+            let r = registry
+                .resolve_grid(token)
+                .map_err(|e| registry_err("context.use_region", e))?;
             b = b.use_region(r);
         }
         if let Some(mm) = c.wafer_mm {
@@ -1263,8 +1437,17 @@ impl Scenario {
             }
             b = b.wafer(Wafer::with_diameter(Length::from_mm(mm)));
         }
-        if let Some(y) = c.die_yield {
+        if let Some(token) = &c.die_yield {
+            let y = registry
+                .resolve_yield(token)
+                .map_err(|e| registry_err("context.die_yield", e))?;
             b = b.die_yield(y);
+        }
+        if let Some(power) = &c.power_model {
+            let choice = registry
+                .create_power(&power.name, &power.params)
+                .map_err(|e| registry_err("context.power_model", e))?;
+            b = b.power_model(choice);
         }
         if let Some(p) = c.package {
             b = b.package(p);
@@ -1284,14 +1467,17 @@ impl Scenario {
         if let Some(v) = c.m3d_sequential_fraction {
             b = b.m3d_sequential_fraction(v);
         }
-        Ok(b.build())
+        Ok(registry.apply_packs(&b.build()))
     }
 
-    /// Elaborates the `sweep` block into a [`DesignSweep`].
+    /// Elaborates the `sweep` block into a [`DesignSweep`], resolving
+    /// the `nodes` name axis and technology tokens through the
+    /// registry.
     ///
     /// # Errors
     ///
-    /// Fails when the block is missing.
+    /// Fails when the block is missing or an axis entry does not
+    /// resolve.
     pub fn build_sweep(&self) -> Result<DesignSweep, ScenarioError> {
         let Some(spec) = &self.sweep else {
             return schema_err("sweep", "this command needs a sweep block");
@@ -1300,8 +1486,27 @@ impl Scenario {
         if let Some(nodes) = &spec.nodes {
             sweep = sweep.nodes(nodes.clone());
         }
-        if let Some(techs) = &spec.technologies {
-            sweep = sweep.technologies(techs.clone());
+        if let Some(names) = &spec.node_names {
+            let registry = self.registry()?;
+            let mut nodes = Vec::with_capacity(names.len());
+            for (i, name) in names.iter().enumerate() {
+                let params = registry
+                    .resolve_node(name)
+                    .map_err(|e| registry_err(format!("sweep.nodes[{i}]"), e))?;
+                nodes.push(params.node());
+            }
+            sweep = sweep.nodes(nodes);
+        }
+        if let Some(tokens) = &spec.technologies {
+            let registry = self.registry()?;
+            let mut techs = Vec::with_capacity(tokens.len());
+            for (i, token) in tokens.iter().enumerate() {
+                let model = registry
+                    .resolve_technology(token)
+                    .map_err(|e| registry_err(format!("sweep.technologies[{i}]"), e))?;
+                techs.push(model.technology);
+            }
+            sweep = sweep.technologies(techs);
         }
         if let Some(tiers) = &spec.tiers {
             sweep = sweep.tier_counts(tiers.clone());
@@ -1316,6 +1521,8 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tdc_core::DieYieldChoice;
+    use tdc_technode::GridRegion;
 
     #[test]
     fn minimal_preset_scenario_parses() {
@@ -1531,16 +1738,113 @@ mod tests {
 
     #[test]
     fn bad_tokens_name_the_field() {
-        let err = Scenario::parse(
+        // Registry-resolved names fail at build time (packs could
+        // define them), numeric node identities still at parse time.
+        let s = Scenario::parse(
             r#"{"design": {"integration": "warp", "dies": [{"node_nm": 7, "gate_count": 1e9}]}}"#,
         )
-        .unwrap_err();
+        .unwrap();
+        let err = s.build_design().unwrap_err();
         assert!(err.to_string().contains("design.integration"), "{err}");
-        let err = Scenario::parse(r#"{"context": {"fab_region": "atlantis"}}"#).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown technology `warp`"),
+            "{err}"
+        );
+        let s = Scenario::parse(r#"{"context": {"fab_region": "atlantis"}}"#).unwrap();
+        let err = s.build_context().unwrap_err();
         assert!(err.to_string().contains("context.fab_region"), "{err}");
+        assert!(
+            err.to_string().contains("unknown grid region `atlantis`"),
+            "{err}"
+        );
         let err =
             Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "nodes_nm": [6]}}"#).unwrap_err();
         assert!(err.to_string().contains("nodes_nm[0]"), "{err}");
+    }
+
+    #[test]
+    fn unknown_yield_and_power_models_error_at_build_time() {
+        let s = Scenario::parse(r#"{"context": {"die_yield": "wishful"}}"#).unwrap();
+        let err = s.build_context().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "scenario field `context.die_yield`: \
+             unknown yield model `wishful` (known: paper, poisson, murphy)"
+        );
+        let s = Scenario::parse(r#"{"context": {"power_model": "perpetuum"}}"#).unwrap();
+        let err = s.build_context().unwrap_err();
+        assert!(err.to_string().contains("context.power_model"), "{err}");
+        assert!(
+            err.to_string().contains("unknown power model `perpetuum`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn power_model_accepts_string_and_object_forms() {
+        let s = Scenario::parse(r#"{"context": {"power_model": "analytical-cmos"}}"#).unwrap();
+        assert!(s.build_context().is_ok());
+        let s = Scenario::parse(
+            r#"{"context": {"power_model": {"model": "fixed-efficiency", "tops_per_watt": 5}}}"#,
+        )
+        .unwrap();
+        assert!(s.build_context().is_ok());
+        // Parameter validation happens in the factory, path-named.
+        let s = Scenario::parse(
+            r#"{"context": {"power_model": {"model": "fixed-efficiency", "bogus": 1}}}"#,
+        )
+        .unwrap();
+        let err = s.build_context().unwrap_err();
+        assert!(err.to_string().contains("context.power_model"), "{err}");
+        assert!(err.to_string().contains("bogus"), "{err}");
+        // The object form needs a `model` field.
+        let err =
+            Scenario::parse(r#"{"context": {"power_model": {"tops_per_watt": 5}}}"#).unwrap_err();
+        assert!(
+            err.to_string().contains("context.power_model.model"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sweep_node_name_axis_matches_nodes_nm() {
+        let by_name =
+            Scenario::parse(r#"{"sweep": {"gate_count": 17e9, "nodes": ["n7", "5nm"]}}"#).unwrap();
+        let by_nm =
+            Scenario::parse(r#"{"sweep": {"gate_count": 17e9, "nodes_nm": [7, 5]}}"#).unwrap();
+        let a = by_name.build_sweep().unwrap().plan().unwrap();
+        let b = by_nm.build_sweep().unwrap().plan().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .points()
+            .iter()
+            .zip(b.points())
+            .all(|(x, y)| x.label() == y.label()));
+        // Writing the axis in both forms is ambiguous — rejected.
+        let err =
+            Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "nodes": ["n7"], "nodes_nm": [7]}}"#)
+                .unwrap_err();
+        assert!(err.to_string().contains("sweep.nodes"), "{err}");
+        // Unknown names carry their element path.
+        let s = Scenario::parse(r#"{"sweep": {"gate_count": 1e9, "nodes": ["n6"]}}"#).unwrap();
+        let err = s.build_sweep().unwrap_err();
+        assert!(err.to_string().contains("sweep.nodes[0]"), "{err}");
+        assert!(err.to_string().contains("unknown process node"), "{err}");
+    }
+
+    #[test]
+    fn packs_block_is_structurally_validated_at_parse_time() {
+        let err = Scenario::parse(r#"{"packs": "not-a-list"}"#).unwrap_err();
+        assert!(err.to_string().contains("packs"), "{err}");
+        let err = Scenario::parse(r#"{"packs": [7]}"#).unwrap_err();
+        assert!(err.to_string().contains("packs[0]"), "{err}");
+        let err = Scenario::parse(r#"{"packs": ["  "]}"#).unwrap_err();
+        assert!(err.to_string().contains("packs[0]"), "{err}");
+        // A missing pack file fails at build time, path-named.
+        let s = Scenario::parse(r#"{"packs": ["no/such/pack.json"]}"#).unwrap();
+        let err = s.build_context().unwrap_err();
+        assert!(err.to_string().contains("packs[0]"), "{err}");
+        assert!(err.to_string().contains("no/such/pack.json"), "{err}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use tdc_floorplan::{PackageModel, PackagingProfile};
 use tdc_integration::IntegrationCatalog;
-use tdc_power::BandwidthConstraint;
+use tdc_power::{BandwidthConstraint, PowerModelChoice};
 use tdc_technode::{GridRegion, NodeParameters, TechnologyDb, Wafer};
 use tdc_units::CarbonIntensity;
 use tdc_wirelength::BeolEstimator;
@@ -55,6 +55,7 @@ pub struct ModelContext {
     m3d_sequential_fraction: f64,
     beol_adjustment_enabled: bool,
     bandwidth_constraint_enabled: bool,
+    power_model: PowerModelChoice,
 }
 
 impl Default for ModelContext {
@@ -84,6 +85,7 @@ impl ModelContext {
                 m3d_sequential_fraction: 0.35,
                 beol_adjustment_enabled: true,
                 bandwidth_constraint_enabled: true,
+                power_model: PowerModelChoice::default(),
             },
         }
     }
@@ -197,6 +199,13 @@ impl ModelContext {
     #[must_use]
     pub fn bandwidth_constraint_enabled(&self) -> bool {
         self.bandwidth_constraint_enabled
+    }
+
+    /// Which operational power plug-in [`crate::CarbonModel::new`]
+    /// instantiates for this context.
+    #[must_use]
+    pub fn power_model(&self) -> PowerModelChoice {
+        self.power_model
     }
 
     /// Re-opens this context as a builder (for perturbation studies).
@@ -375,6 +384,13 @@ impl ModelContextBuilder {
         self
     }
 
+    /// Selects the operational power plug-in.
+    #[must_use]
+    pub fn power_model(mut self, choice: PowerModelChoice) -> Self {
+        self.ctx.power_model = choice;
+        self
+    }
+
     /// Finalizes the context.
     #[must_use]
     pub fn build(self) -> ModelContext {
@@ -396,6 +412,7 @@ mod tests {
         assert!(ctx.beol_adjustment_enabled());
         assert!(ctx.bandwidth_constraint_enabled());
         assert!((ctx.beol_carbon_fraction() - 0.45).abs() < 1e-12);
+        assert_eq!(ctx.power_model(), PowerModelChoice::Surveyed { year: None });
         assert!((ctx.ci_fab().g_per_kwh() - 509.0).abs() < 1e-9);
         assert!((ctx.ci_use().g_per_kwh() - 475.0).abs() < 1e-9);
     }

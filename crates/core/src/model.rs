@@ -8,7 +8,7 @@ use crate::error::ModelError;
 use crate::operational::{OperationalReport, Workload};
 use crate::pipeline;
 use serde::{Deserialize, Serialize};
-use tdc_power::{PowerModel, SurveyedEfficiency};
+use tdc_power::PowerModel;
 use tdc_units::{Co2Mass, Ratio, TimeSpan};
 
 /// The full life-cycle result for one design (Eq. 1).
@@ -89,13 +89,13 @@ impl Default for CarbonModel {
 }
 
 impl CarbonModel {
-    /// Creates a model with the surveyed-efficiency power plug-in.
+    /// Creates a model running the power plug-in the context selects
+    /// ([`ModelContext::power_model`]; the default is the surveyed
+    /// efficiency trendline).
     #[must_use]
     pub fn new(ctx: ModelContext) -> Self {
-        Self {
-            ctx,
-            power_model: Box::new(SurveyedEfficiency::new()),
-        }
+        let power_model = ctx.power_model().instantiate();
+        Self { ctx, power_model }
     }
 
     /// Swaps in a different operational power plug-in.

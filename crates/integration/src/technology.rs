@@ -110,45 +110,92 @@ impl IntegrationTechnology {
         }
     }
 
+    /// The scenario-file/CLI token table: `(aliases, technology)`.
+    /// Every alias resolves via [`Self::resolve_token`]; the Fig. 5
+    /// label ([`Self::label`]) resolves too (it normalizes to one of
+    /// these aliases) and is the canonical listing name used by the
+    /// model registry.
+    pub const TOKENS: &'static [(&'static [&'static str], IntegrationTechnology)] = &[
+        (
+            &[
+                "micro",
+                "micro-3d",
+                "micro-bump",
+                "micro-bump-3d",
+                "microbump3d",
+            ],
+            IntegrationTechnology::MicroBump3d,
+        ),
+        (
+            &[
+                "hybrid",
+                "hybrid-3d",
+                "hybrid-bonding",
+                "hybrid-bonding-3d",
+                "hybridbonding3d",
+            ],
+            IntegrationTechnology::HybridBonding3d,
+        ),
+        (
+            &["m3d", "monolithic-3d", "monolithic3d"],
+            IntegrationTechnology::Monolithic3d,
+        ),
+        (&["mcm"], IntegrationTechnology::Mcm),
+        (
+            &["info-1", "info1", "info-chip-first", "infochipfirst"],
+            IntegrationTechnology::InfoChipFirst,
+        ),
+        (
+            &["info-2", "info2", "info-chip-last", "infochiplast"],
+            IntegrationTechnology::InfoChipLast,
+        ),
+        (&["emib"], IntegrationTechnology::Emib),
+        (
+            &[
+                "si-int",
+                "si-interposer",
+                "interposer",
+                "silicon-interposer",
+                "siliconinterposer",
+            ],
+            IntegrationTechnology::SiliconInterposer,
+        ),
+    ];
+
     /// Parses a scenario-file/CLI token into a technology, accepting
-    /// the Fig. 5 label (case-insensitive), the enum name, and common
-    /// aliases.
+    /// the Fig. 5 label (case-insensitive), the enum name, and the
+    /// aliases in [`Self::TOKENS`].
     ///
     /// ```
     /// use tdc_integration::IntegrationTechnology;
     /// assert_eq!(
-    ///     IntegrationTechnology::from_token("hybrid-3d"),
+    ///     IntegrationTechnology::resolve_token("hybrid-3d"),
     ///     Some(IntegrationTechnology::HybridBonding3d)
     /// );
     /// assert_eq!(
-    ///     IntegrationTechnology::from_token("Si_int"),
+    ///     IntegrationTechnology::resolve_token("Si_int"),
     ///     Some(IntegrationTechnology::SiliconInterposer)
     /// );
-    /// assert_eq!(IntegrationTechnology::from_token("2d"), None);
+    /// assert_eq!(IntegrationTechnology::resolve_token("2d"), None);
     /// ```
     #[must_use]
-    pub fn from_token(token: &str) -> Option<Self> {
+    pub fn resolve_token(token: &str) -> Option<Self> {
         let t = token.trim().to_ascii_lowercase().replace(['_', ' '], "-");
-        Some(match t.as_str() {
-            "micro" | "micro-3d" | "micro-bump" | "micro-bump-3d" | "microbump3d" => {
-                IntegrationTechnology::MicroBump3d
-            }
-            "hybrid" | "hybrid-3d" | "hybrid-bonding" | "hybrid-bonding-3d" | "hybridbonding3d" => {
-                IntegrationTechnology::HybridBonding3d
-            }
-            "m3d" | "monolithic-3d" | "monolithic3d" => IntegrationTechnology::Monolithic3d,
-            "mcm" => IntegrationTechnology::Mcm,
-            "info-1" | "info1" | "info-chip-first" | "infochipfirst" => {
-                IntegrationTechnology::InfoChipFirst
-            }
-            "info-2" | "info2" | "info-chip-last" | "infochiplast" => {
-                IntegrationTechnology::InfoChipLast
-            }
-            "emib" => IntegrationTechnology::Emib,
-            "si-int" | "si-interposer" | "interposer" | "silicon-interposer"
-            | "siliconinterposer" => IntegrationTechnology::SiliconInterposer,
-            _ => return None,
-        })
+        Self::TOKENS
+            .iter()
+            .find(|(aliases, _)| aliases.contains(&t.as_str()))
+            .map(|(_, tech)| *tech)
+    }
+
+    /// Parses a scenario-file/CLI token into a technology.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `IntegrationTechnology::resolve_token` (or the \
+                                          model registry's `resolve`) instead"
+    )]
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        Self::resolve_token(token)
     }
 
     /// Representative manufacturers/technologies and shipped products,
@@ -244,6 +291,30 @@ mod tests {
         assert!(IntegrationTechnology::Emib.has_dedicated_substrate());
         assert!(IntegrationTechnology::SiliconInterposer.has_dedicated_substrate());
         assert!(IntegrationTechnology::InfoChipFirst.has_dedicated_substrate());
+    }
+
+    #[test]
+    fn token_table_covers_every_technology_and_shims_agree() {
+        let mut seen = std::collections::HashSet::new();
+        for (aliases, tech) in IntegrationTechnology::TOKENS {
+            assert!(seen.insert(*tech), "duplicate token row for {tech:?}");
+            for alias in *aliases {
+                assert_eq!(
+                    IntegrationTechnology::resolve_token(alias),
+                    Some(*tech),
+                    "{alias}"
+                );
+                #[allow(deprecated)]
+                let via_shim = IntegrationTechnology::from_token(alias);
+                assert_eq!(via_shim, Some(*tech));
+            }
+            // The Fig. 5 label always resolves back to its technology.
+            assert_eq!(
+                IntegrationTechnology::resolve_token(tech.label()),
+                Some(*tech)
+            );
+        }
+        assert_eq!(seen.len(), IntegrationTechnology::ALL.len());
     }
 
     #[test]

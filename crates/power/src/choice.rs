@@ -1,0 +1,117 @@
+//! A declarative, comparable description of which [`PowerModel`] to
+//! run ([`PowerModelChoice`]).
+//!
+//! The trait objects in [`crate::models`] are what the evaluator
+//! calls; this enum is what configuration layers (scenario files, the
+//! model registry) *store*. It is `Copy + PartialEq + Debug`, so it
+//! can live inside a `ModelContext` without dragging trait objects
+//! into every clone, and it instantiates the real model on demand.
+
+use crate::models::{AnalyticalCmos, FixedEfficiency, PowerModel, SurveyedEfficiency};
+use tdc_units::Efficiency;
+
+/// Which operational power plug-in a model context should run.
+///
+/// The default — [`PowerModelChoice::Surveyed`] with no year pin —
+/// reproduces the paper's fallback ([`SurveyedEfficiency::new`])
+/// byte-for-byte, so contexts that never mention a power model price
+/// exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerModelChoice {
+    /// The surveyed efficiency trendline, optionally pinned to a
+    /// device year ([`SurveyedEfficiency`]).
+    Surveyed {
+        /// Device year to pin the survey to; `None` uses the survey's
+        /// contemporary default.
+        year: Option<i32>,
+    },
+    /// A fixed, measured device efficiency ([`FixedEfficiency`]).
+    FixedEfficiency {
+        /// Device efficiency in TOPS per watt; must be finite and
+        /// positive.
+        tops_per_watt: f64,
+    },
+    /// The first-principles CMOS estimate ([`AnalyticalCmos`]).
+    AnalyticalCmos,
+}
+
+impl Default for PowerModelChoice {
+    fn default() -> Self {
+        Self::Surveyed { year: None }
+    }
+}
+
+impl PowerModelChoice {
+    /// Builds the runtime [`PowerModel`] this choice describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`PowerModelChoice::FixedEfficiency`] carries a
+    /// non-positive or non-finite `tops_per_watt` (construction-time
+    /// validation belongs to whatever parsed the choice).
+    #[must_use]
+    pub fn instantiate(&self) -> Box<dyn PowerModel + Send + Sync> {
+        match *self {
+            Self::Surveyed { year: None } => Box::new(SurveyedEfficiency::new()),
+            Self::Surveyed { year: Some(y) } => Box::new(SurveyedEfficiency::for_year(y)),
+            Self::FixedEfficiency { tops_per_watt } => Box::new(FixedEfficiency::new(
+                Efficiency::from_tops_per_watt(tops_per_watt),
+            )),
+            Self::AnalyticalCmos => Box::new(AnalyticalCmos::new()),
+        }
+    }
+
+    /// The registry-facing model name this choice resolves under.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Surveyed { .. } => "surveyed",
+            Self::FixedEfficiency { .. } => "fixed-efficiency",
+            Self::AnalyticalCmos => "analytical-cmos",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdc_technode::ProcessNode;
+    use tdc_units::Throughput;
+
+    #[test]
+    fn default_matches_surveyed_new() {
+        let node = ProcessNode::ALL[2];
+        let tput = Throughput::from_tops(100.0);
+        let a = PowerModelChoice::default().instantiate();
+        let b = SurveyedEfficiency::new();
+        assert_eq!(
+            a.compute_power(tput, node).watts().to_bits(),
+            b.compute_power(tput, node).watts().to_bits()
+        );
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn choices_instantiate_their_models() {
+        let node = ProcessNode::ALL[0];
+        let tput = Throughput::from_tops(10.0);
+
+        let pinned = PowerModelChoice::Surveyed { year: Some(2021) }.instantiate();
+        assert_eq!(
+            pinned.fingerprint(),
+            SurveyedEfficiency::for_year(2021).fingerprint()
+        );
+
+        let fixed = PowerModelChoice::FixedEfficiency { tops_per_watt: 2.5 }.instantiate();
+        assert_eq!(fixed.compute_power(tput, node).watts(), 4.0);
+
+        let cmos = PowerModelChoice::AnalyticalCmos.instantiate();
+        assert_eq!(cmos.fingerprint(), AnalyticalCmos::new().fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_fixed_efficiency_panics_at_instantiation() {
+        let _ = PowerModelChoice::FixedEfficiency { tops_per_watt: 0.0 }.instantiate();
+    }
+}

@@ -19,12 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod choice;
 mod constraint;
 mod io;
 mod models;
 mod operational;
 mod profile;
 
+pub use choice::PowerModelChoice;
 pub use constraint::{BandwidthConstraint, BandwidthVerdict};
 pub use io::{io_power, pitch_count};
 pub use models::{AnalyticalCmos, FixedEfficiency, PowerModel, SurveyedEfficiency};

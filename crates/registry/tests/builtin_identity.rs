@@ -1,0 +1,192 @@
+//! The registry's built-in catalog is a *view*, not a fork: every
+//! name it resolves must produce the same value as the pre-registry
+//! enum path (token tables, shipped parameter catalogs, preset
+//! functions). These tests pin that identity exhaustively for the
+//! closed catalogs and property-test it for the parameterized models,
+//! so routing scenario files through `Registry` cannot change a
+//! single priced byte.
+
+use proptest::prelude::*;
+use tdc_integration::IntegrationTechnology;
+use tdc_power::PowerModelChoice;
+use tdc_registry::{Params, Registry};
+use tdc_technode::{GridRegion, ProcessNode, TechnologyDb};
+use tdc_units::Throughput;
+use tdc_workloads::{
+    resolve_design_preset, resolve_workload_preset, DESIGN_PRESET_EXAMPLES, WORKLOAD_PRESETS,
+};
+
+#[test]
+fn every_grid_token_and_alias_matches_the_token_table() {
+    let registry = Registry::with_builtins();
+    for (canonical, aliases, region) in GridRegion::TOKENS {
+        assert_eq!(registry.resolve_grid(canonical).unwrap(), *region);
+        for alias in *aliases {
+            assert_eq!(registry.resolve_grid(alias).unwrap(), *region);
+            assert_eq!(GridRegion::resolve_token(alias), Some(*region));
+        }
+        // Normalization: case and -/_ variants resolve like the
+        // legacy lowercase-only parser fed a cleaned token.
+        assert_eq!(
+            registry.resolve_grid(&canonical.to_uppercase()).unwrap(),
+            *region
+        );
+    }
+}
+
+#[test]
+fn every_node_token_yields_the_shipped_parameter_set() {
+    let registry = Registry::with_builtins();
+    for node in ProcessNode::ALL {
+        let nm = node.nanometers();
+        let shipped = TechnologyDb::shipped_defaults(node);
+        for token in [format!("n{nm}"), format!("{nm}"), format!("{nm}nm")] {
+            let resolved = registry.resolve_node(&token).unwrap();
+            assert_eq!(resolved, shipped, "token `{token}`");
+            assert_eq!(resolved.node(), node);
+        }
+    }
+}
+
+#[test]
+fn every_technology_token_matches_the_token_table() {
+    let registry = Registry::with_builtins();
+    // Monolithic 2D is the one name with no IntegrationTechnology.
+    for token in ["2D", "2d"] {
+        let model = registry.resolve_technology(token).unwrap();
+        assert_eq!(model.technology, None, "token `{token}`");
+    }
+    for (aliases, tech) in IntegrationTechnology::TOKENS {
+        for alias in *aliases {
+            let model = registry.resolve_technology(alias).unwrap();
+            assert_eq!(model.technology, Some(*tech), "token `{alias}`");
+            assert_eq!(IntegrationTechnology::resolve_token(alias), Some(*tech));
+            assert_eq!(model.interface, None, "built-ins carry no override");
+        }
+    }
+}
+
+#[test]
+fn yield_names_map_to_the_same_choices_as_the_old_match() {
+    let registry = Registry::with_builtins();
+    for (token, expected) in [
+        ("paper", tdc_core::DieYieldChoice::PaperNegativeBinomial),
+        (
+            "negative-binomial",
+            tdc_core::DieYieldChoice::PaperNegativeBinomial,
+        ),
+        ("neg-bin", tdc_core::DieYieldChoice::PaperNegativeBinomial),
+        ("poisson", tdc_core::DieYieldChoice::Poisson),
+        ("murphy", tdc_core::DieYieldChoice::Murphy),
+    ] {
+        assert_eq!(registry.resolve_yield(token).unwrap(), expected);
+    }
+}
+
+#[test]
+fn every_design_preset_example_matches_the_legacy_resolver() {
+    let registry = Registry::with_builtins();
+    for name in DESIGN_PRESET_EXAMPLES {
+        let via_registry = registry.create_design(name).unwrap();
+        let direct = resolve_design_preset(name)
+            .expect("example names are in the grammar")
+            .expect("example presets build");
+        assert_eq!(
+            format!("{via_registry:?}"),
+            format!("{direct:?}"),
+            "preset `{name}`"
+        );
+    }
+}
+
+#[test]
+fn grammar_designs_beyond_the_examples_route_through_the_rule() {
+    // Names the grammar accepts but the example list doesn't spell
+    // out; the registry's fallback rule must hand them to the same
+    // parser instead of reporting them unknown.
+    let registry = Registry::with_builtins();
+    for name in ["hbm6-w2w", "orin-homo-m3d", "thor-het-hybrid"] {
+        let via_registry = registry.create_design(name).unwrap();
+        let direct = resolve_design_preset(name).unwrap().unwrap();
+        assert_eq!(format!("{via_registry:?}"), format!("{direct:?}"));
+    }
+}
+
+#[test]
+fn workload_presets_match_the_legacy_resolver() {
+    let registry = Registry::with_builtins();
+    for name in WORKLOAD_PRESETS {
+        let params = Params::new().with("throughput_tops", 254.0);
+        let via_registry = registry.create_workload(name, &params).unwrap();
+        let direct = resolve_workload_preset(name, Throughput::from_tops(254.0)).unwrap();
+        assert_eq!(format!("{via_registry:?}"), format!("{direct:?}"));
+    }
+}
+
+#[test]
+fn power_names_map_to_the_same_choices_as_direct_construction() {
+    let registry = Registry::with_builtins();
+    assert_eq!(
+        registry.create_power("surveyed", &Params::new()).unwrap(),
+        PowerModelChoice::Surveyed { year: None }
+    );
+    assert_eq!(
+        registry
+            .create_power("analytical-cmos", &Params::new())
+            .unwrap(),
+        PowerModelChoice::AnalyticalCmos
+    );
+    assert_eq!(
+        registry.create_power("cmos", &Params::new()).unwrap(),
+        PowerModelChoice::AnalyticalCmos
+    );
+}
+
+proptest! {
+    /// For every pinned survey year, the registry's `surveyed` entry
+    /// builds the same choice — and the instantiated model computes
+    /// bit-identical power — as constructing the enum by hand.
+    #[test]
+    fn surveyed_year_pins_are_bit_identical(year in 1990u32..=2100, tops in 1.0f64..2000.0) {
+        let year = i32::try_from(year).unwrap();
+        let registry = Registry::with_builtins();
+        let params = Params::new().with("year", f64::from(year));
+        let via_registry = registry.create_power("surveyed", &params).unwrap();
+        let direct = PowerModelChoice::Surveyed { year: Some(year) };
+        prop_assert_eq!(via_registry, direct);
+        let throughput = Throughput::from_tops(tops);
+        let a = via_registry.instantiate().compute_power(throughput, ProcessNode::N7);
+        let b = direct.instantiate().compute_power(throughput, ProcessNode::N7);
+        prop_assert_eq!(a.watts().to_bits(), b.watts().to_bits());
+    }
+
+    /// Same bit-identity for `fixed-efficiency` across the positive
+    /// float range scenario files can express.
+    #[test]
+    fn fixed_efficiency_is_bit_identical(tpw in 1e-3f64..1e4, tops in 1.0f64..2000.0) {
+        let registry = Registry::with_builtins();
+        let params = Params::new().with("tops_per_watt", tpw);
+        let via_registry = registry.create_power("fixed-efficiency", &params).unwrap();
+        let direct = PowerModelChoice::FixedEfficiency { tops_per_watt: tpw };
+        prop_assert_eq!(via_registry, direct);
+        let throughput = Throughput::from_tops(tops);
+        for node in ProcessNode::ALL {
+            let a = via_registry.instantiate().compute_power(throughput, node);
+            let b = direct.instantiate().compute_power(throughput, node);
+            prop_assert_eq!(a.watts().to_bits(), b.watts().to_bits());
+        }
+    }
+
+    /// Workload presets carry the requested throughput through the
+    /// registry unchanged.
+    #[test]
+    fn workload_presets_preserve_throughput(tops in 1.0f64..2000.0) {
+        let registry = Registry::with_builtins();
+        for name in WORKLOAD_PRESETS {
+            let params = Params::new().with("throughput_tops", tops);
+            let via_registry = registry.create_workload(name, &params).unwrap();
+            let direct = resolve_workload_preset(name, Throughput::from_tops(tops)).unwrap();
+            prop_assert_eq!(format!("{via_registry:?}"), format!("{direct:?}"));
+        }
+    }
+}

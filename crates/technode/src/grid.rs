@@ -93,37 +93,62 @@ impl GridRegion {
         CarbonIntensity::from_g_per_kwh(g_per_kwh)
     }
 
+    /// The scenario-file/CLI token table: `(canonical, aliases,
+    /// region)`. The canonical token is what listings print; the
+    /// aliases are accepted interchangeably by [`Self::resolve_token`]
+    /// (and registered alongside the canonical name by the model
+    /// registry).
+    pub const TOKENS: &'static [(&'static str, &'static [&'static str], GridRegion)] = &[
+        ("taiwan", &["tw"], GridRegion::Taiwan),
+        ("south-korea", &["korea", "kr"], GridRegion::SouthKorea),
+        ("japan", &["jp"], GridRegion::Japan),
+        ("china", &["cn"], GridRegion::China),
+        ("singapore", &["sg"], GridRegion::Singapore),
+        ("united-states", &["us", "usa"], GridRegion::UnitedStates),
+        ("arizona", &[], GridRegion::Arizona),
+        ("texas", &[], GridRegion::Texas),
+        ("germany", &["de"], GridRegion::Germany),
+        ("ireland", &["ie"], GridRegion::Ireland),
+        ("france", &["fr"], GridRegion::France),
+        ("sweden", &["se"], GridRegion::Sweden),
+        (
+            "world",
+            &["world-average", "global"],
+            GridRegion::WorldAverage,
+        ),
+        ("coal", &["coal-heavy"], GridRegion::CoalHeavy),
+        ("renewable", &["green"], GridRegion::Renewable),
+    ];
+
     /// Parses a scenario-file/CLI token into a region
     /// (case-insensitive; hyphens, underscores, and spaces are
-    /// interchangeable).
+    /// interchangeable). Accepts every canonical token and alias in
+    /// [`Self::TOKENS`].
     ///
     /// ```
     /// use tdc_technode::GridRegion;
-    /// assert_eq!(GridRegion::from_token("taiwan"), Some(GridRegion::Taiwan));
-    /// assert_eq!(GridRegion::from_token("world"), Some(GridRegion::WorldAverage));
-    /// assert_eq!(GridRegion::from_token("mars"), None);
+    /// assert_eq!(GridRegion::resolve_token("taiwan"), Some(GridRegion::Taiwan));
+    /// assert_eq!(GridRegion::resolve_token("world"), Some(GridRegion::WorldAverage));
+    /// assert_eq!(GridRegion::resolve_token("mars"), None);
     /// ```
     #[must_use]
-    pub fn from_token(token: &str) -> Option<Self> {
+    pub fn resolve_token(token: &str) -> Option<Self> {
         let t = token.trim().to_ascii_lowercase().replace(['_', ' '], "-");
-        Some(match t.as_str() {
-            "taiwan" | "tw" => GridRegion::Taiwan,
-            "south-korea" | "korea" | "kr" => GridRegion::SouthKorea,
-            "japan" | "jp" => GridRegion::Japan,
-            "china" | "cn" => GridRegion::China,
-            "singapore" | "sg" => GridRegion::Singapore,
-            "united-states" | "us" | "usa" => GridRegion::UnitedStates,
-            "arizona" => GridRegion::Arizona,
-            "texas" => GridRegion::Texas,
-            "germany" | "de" => GridRegion::Germany,
-            "ireland" | "ie" => GridRegion::Ireland,
-            "france" | "fr" => GridRegion::France,
-            "sweden" | "se" => GridRegion::Sweden,
-            "world" | "world-average" | "global" => GridRegion::WorldAverage,
-            "coal" | "coal-heavy" => GridRegion::CoalHeavy,
-            "renewable" | "green" => GridRegion::Renewable,
-            _ => return None,
-        })
+        Self::TOKENS
+            .iter()
+            .find(|(canonical, aliases, _)| *canonical == t || aliases.contains(&t.as_str()))
+            .map(|(_, _, region)| *region)
+    }
+
+    /// Parses a scenario-file/CLI token into a region.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GridRegion::resolve_token` (or the model \
+                                          registry's `resolve`) instead"
+    )]
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        Self::resolve_token(token)
     }
 
     /// A short human-readable name.
@@ -197,6 +222,26 @@ mod tests {
         let s = GridRegion::Taiwan.to_string();
         assert!(s.contains("Taiwan") && s.contains("509"));
         assert_eq!(GridRegion::WorldAverage.name(), "world average");
+    }
+
+    #[test]
+    fn token_table_covers_every_region_and_shims_agree() {
+        let mut seen = std::collections::HashSet::new();
+        for (canonical, aliases, region) in GridRegion::TOKENS {
+            assert!(seen.insert(*region), "duplicate token row for {region:?}");
+            assert_eq!(GridRegion::resolve_token(canonical), Some(*region));
+            for alias in *aliases {
+                assert_eq!(GridRegion::resolve_token(alias), Some(*region), "{alias}");
+                #[allow(deprecated)]
+                let via_shim = GridRegion::from_token(alias);
+                assert_eq!(via_shim, Some(*region));
+            }
+        }
+        assert_eq!(seen.len(), GridRegion::ALL.len());
+        assert_eq!(
+            GridRegion::resolve_token(" World_Average "),
+            Some(GridRegion::WorldAverage)
+        );
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! * [`epyc_7452`] / [`lakefield`] — the §4 validation targets,
 //! * [`hbm_stack`] — Table 1's HBM cube (micro-bump F2B, the deep-stack
 //!   reference),
-//! * [`design_preset`] / [`workload_preset`] — the named-preset grammar
-//!   that scenario files (the `tdc` CLI) resolve designs and missions
-//!   through.
+//! * [`resolve_design_preset`] / [`resolve_workload_preset`] — the
+//!   named-preset grammar that scenario files (the `tdc` CLI) and the
+//!   model registry resolve designs and missions through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +29,11 @@ mod validation;
 pub use av::{av_workload, AvMissionProfile};
 pub use drive::{DriveSeries, DriveSpec};
 pub use hbm::{hbm_base_die_area, hbm_core_die_area, hbm_stack};
+#[allow(deprecated)]
+pub use presets::{design_preset, preset_context, workload_preset};
 pub use presets::{
-    design_preset, preset_context, workload_preset, DESIGN_PRESET_EXAMPLES, WORKLOAD_PRESETS,
+    design_preset_context, resolve_design_preset, resolve_workload_preset, DESIGN_PRESET_EXAMPLES,
+    WORKLOAD_PRESETS,
 };
 pub use split::{candidate_designs, heterogeneous_split, homogeneous_split, SplitStrategy};
 pub use validation::{

@@ -14,10 +14,10 @@
 //! * DRIVE splits: `<platform>-<strategy>-<tech>` with strategy
 //!   `homo` (homogeneous halves) or `het` (memory/IO at 28 nm) and a
 //!   technology token accepted by
-//!   [`IntegrationTechnology::from_token`] — e.g. `orin-het-hybrid`,
+//!   [`IntegrationTechnology::resolve_token`] — e.g. `orin-het-hybrid`,
 //!   `thor-homo-emib`.
 //!
-//! Workload presets ([`workload_preset`]) cover the AV mission
+//! Workload presets ([`resolve_workload_preset`]) cover the AV mission
 //! profiles: `av-private-car` and `av-robotaxi`, parameterized by the
 //! platform's required throughput.
 
@@ -52,7 +52,7 @@ pub const DESIGN_PRESET_EXAMPLES: &[&str] = &[
     "thor-homo-si-int",
 ];
 
-/// Workload preset names accepted by [`workload_preset`].
+/// Workload preset names accepted by [`resolve_workload_preset`].
 pub const WORKLOAD_PRESETS: &[&str] = &["av-private-car", "av-robotaxi"];
 
 /// Resolves a DRIVE platform token.
@@ -78,13 +78,13 @@ fn hbm_tiers(token: &str) -> Option<u32> {
 /// split technology outside its envelope).
 ///
 /// ```
-/// use tdc_workloads::design_preset;
-/// assert!(design_preset("epyc-7452").is_some());
-/// assert!(design_preset("orin-het-hybrid").is_some());
-/// assert!(design_preset("warp-core").is_none());
+/// use tdc_workloads::resolve_design_preset;
+/// assert!(resolve_design_preset("epyc-7452").is_some());
+/// assert!(resolve_design_preset("orin-het-hybrid").is_some());
+/// assert!(resolve_design_preset("warp-core").is_none());
 /// ```
 #[must_use]
-pub fn design_preset(name: &str) -> Option<Result<ChipDesign, ModelError>> {
+pub fn resolve_design_preset(name: &str) -> Option<Result<ChipDesign, ModelError>> {
     let n = name.trim().to_ascii_lowercase();
     match n.as_str() {
         "epyc-7452" => return Some(epyc_7452()),
@@ -108,7 +108,7 @@ pub fn design_preset(name: &str) -> Option<Result<ChipDesign, ModelError>> {
         return Some(Ok(spec.as_2d_design()));
     }
     let (strategy, tech_token) = rest.split_once('-')?;
-    let tech = IntegrationTechnology::from_token(tech_token)?;
+    let tech = IntegrationTechnology::resolve_token(tech_token)?;
     match strategy {
         "homo" => Some(homogeneous_split(&spec, tech)),
         "het" => Some(heterogeneous_split(&spec, tech)),
@@ -120,7 +120,7 @@ pub fn design_preset(name: &str) -> Option<Result<ChipDesign, ModelError>> {
 /// (`ModelContext::default()` for everything except the mobile-package
 /// Lakefield references).
 #[must_use]
-pub fn preset_context(name: &str) -> ModelContext {
+pub fn design_preset_context(name: &str) -> ModelContext {
     if name.trim().to_ascii_lowercase().starts_with("lakefield") {
         LakefieldReference::context()
     } else {
@@ -133,19 +133,49 @@ pub fn preset_context(name: &str) -> ModelContext {
 ///
 /// ```
 /// use tdc_units::Throughput;
-/// use tdc_workloads::workload_preset;
-/// let w = workload_preset("av-robotaxi", Throughput::from_tops(254.0)).unwrap();
+/// use tdc_workloads::resolve_workload_preset;
+/// let w = resolve_workload_preset("av-robotaxi", Throughput::from_tops(254.0)).unwrap();
 /// assert!((w.peak_throughput().tops() - 254.0).abs() < 1e-12);
-/// assert!(workload_preset("gaming", Throughput::from_tops(1.0)).is_none());
+/// assert!(resolve_workload_preset("gaming", Throughput::from_tops(1.0)).is_none());
 /// ```
 #[must_use]
-pub fn workload_preset(name: &str, required: Throughput) -> Option<Workload> {
+pub fn resolve_workload_preset(name: &str, required: Throughput) -> Option<Workload> {
     let profile = match name.trim().to_ascii_lowercase().as_str() {
         "av-private-car" => AvMissionProfile::private_car(),
         "av-robotaxi" => AvMissionProfile::robotaxi(),
         _ => return None,
     };
     Some(profile.workload(required))
+}
+
+/// Resolves a design preset name into a buildable design.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `resolve_design_preset` (or the model registry's \
+                                      `create`) instead"
+)]
+#[must_use]
+pub fn design_preset(name: &str) -> Option<Result<ChipDesign, ModelError>> {
+    resolve_design_preset(name)
+}
+
+/// The [`ModelContext`] a design preset should be evaluated under.
+#[deprecated(since = "0.1.0", note = "use `design_preset_context` instead")]
+#[must_use]
+pub fn preset_context(name: &str) -> ModelContext {
+    design_preset_context(name)
+}
+
+/// Resolves a workload preset for a platform that must sustain
+/// `required` throughput.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `resolve_workload_preset` (or the model registry's \
+                                      `create`) instead"
+)]
+#[must_use]
+pub fn workload_preset(name: &str, required: Throughput) -> Option<Workload> {
+    resolve_workload_preset(name, required)
 }
 
 #[cfg(test)]
@@ -157,10 +187,10 @@ mod tests {
     #[test]
     fn every_example_preset_builds_and_evaluates() {
         for name in DESIGN_PRESET_EXAMPLES {
-            let design = design_preset(name)
+            let design = resolve_design_preset(name)
                 .unwrap_or_else(|| panic!("{name} must resolve"))
                 .unwrap_or_else(|e| panic!("{name} must build: {e}"));
-            let model = CarbonModel::new(preset_context(name));
+            let model = CarbonModel::new(design_preset_context(name));
             let breakdown = model.embodied(&design).unwrap();
             assert!(breakdown.total().kg() > 0.0, "{name}");
         }
@@ -168,12 +198,12 @@ mod tests {
 
     #[test]
     fn grammar_resolves_structured_names() {
-        let hbm = design_preset("hbm12-w2w").unwrap().unwrap();
+        let hbm = resolve_design_preset("hbm12-w2w").unwrap().unwrap();
         assert_eq!(hbm.dies().len(), 13);
-        let het = design_preset("orin-het-m3d").unwrap().unwrap();
+        let het = resolve_design_preset("orin-het-m3d").unwrap().unwrap();
         assert_eq!(het.technology(), Some(IntegrationTechnology::Monolithic3d));
         assert_eq!(het.dies()[0].node(), ProcessNode::N28);
-        let homo = design_preset("thor-homo-si-int").unwrap().unwrap();
+        let homo = resolve_design_preset("thor-homo-si-int").unwrap().unwrap();
         assert_eq!(
             homo.technology(),
             Some(IntegrationTechnology::SiliconInterposer)
@@ -183,14 +213,14 @@ mod tests {
     #[test]
     fn unknown_names_are_none_not_errors() {
         for bad in ["", "hbm0-d2w", "orin", "orin-het", "orin-het-warp", "epyc"] {
-            assert!(design_preset(bad).is_none(), "{bad:?}");
+            assert!(resolve_design_preset(bad).is_none(), "{bad:?}");
         }
     }
 
     #[test]
     fn lakefield_gets_the_mobile_context() {
-        let mobile = preset_context("lakefield-d2w");
-        let default = preset_context("orin-2d");
+        let mobile = design_preset_context("lakefield-d2w");
+        let default = design_preset_context("orin-2d");
         // Mobile package areas are smaller than server ones.
         let probe = tdc_units::Area::from_mm2(100.0);
         assert!(mobile.package().package_area(probe) < default.package().package_area(probe));
@@ -199,8 +229,26 @@ mod tests {
     #[test]
     fn workload_presets_differ_in_duty() {
         let tops = Throughput::from_tops(254.0);
-        let car = workload_preset("av-private-car", tops).unwrap();
-        let taxi = workload_preset("AV-Robotaxi", tops).unwrap();
+        let car = resolve_workload_preset("av-private-car", tops).unwrap();
+        let taxi = resolve_workload_preset("AV-Robotaxi", tops).unwrap();
         assert!(car.mission_time() < taxi.mission_time());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate() {
+        assert_eq!(
+            design_preset("epyc-7452").map(|r| r.map(|d| format!("{d:?}"))),
+            resolve_design_preset("epyc-7452").map(|r| r.map(|d| format!("{d:?}")))
+        );
+        assert_eq!(
+            preset_context("lakefield-d2w"),
+            design_preset_context("lakefield-d2w")
+        );
+        let tops = Throughput::from_tops(10.0);
+        assert_eq!(
+            workload_preset("av-robotaxi", tops).map(|w| format!("{w:?}")),
+            resolve_workload_preset("av-robotaxi", tops).map(|w| format!("{w:?}"))
+        );
     }
 }

@@ -18,6 +18,7 @@
 //! | [`floorplan`] | `tdc-floorplan` | 2.5D placement, package & interposer areas |
 //! | [`power`] | `tdc-power` | operational power plug-ins & bandwidth constraint |
 //! | [`model`] | `tdc-core` | the 3D-Carbon model itself |
+//! | [`registry`] | `tdc-registry` | model factory registry & loadable technology packs |
 //! | [`baselines`] | `tdc-baselines` | ACT, ACT+, first-order, LCA references |
 //! | [`workloads`] | `tdc-workloads` | DRIVE specs, AV workloads, reference designs |
 //!
@@ -106,6 +107,13 @@ pub mod service {
     pub use tdc_core::service::*;
 }
 
+/// The model factory registry — named grids, nodes, technologies,
+/// yield/power models, and presets — plus the loadable technology-pack
+/// format (`tdc-registry`).
+pub mod registry {
+    pub use tdc_registry::*;
+}
+
 /// Baseline carbon models (`tdc-baselines`).
 pub mod baselines {
     pub use tdc_baselines::*;
@@ -121,6 +129,7 @@ pub use tdc_core::{
     LifecycleReport, ModelContext, ModelError, OperationalReport, Workload,
 };
 pub use tdc_integration::{IntegrationTechnology, StackOrientation};
+pub use tdc_registry::{ModelKind, Params, Registry};
 pub use tdc_technode::{GridRegion, ProcessNode};
 pub use tdc_yield::StackingFlow;
 
@@ -139,14 +148,20 @@ pub mod prelude {
         EmbodiedBreakdown, LifecycleReport, ModelContext, ModelError, OperationalReport, Workload,
     };
     pub use tdc_integration::{IntegrationFamily, IntegrationTechnology, StackOrientation};
+    pub use tdc_registry::{
+        EntryMeta, ModelInstance, ModelKind, PackError, PackSummary, Params, Provenance, Registry,
+        RegistryError,
+    };
     pub use tdc_technode::{GridRegion, ProcessNode, TechnologyDb, Wafer};
     pub use tdc_units::{
         Area, Bandwidth, CarbonIntensity, Co2Mass, Efficiency, Energy, Length, Power, Ratio,
         Throughput, TimeSpan,
     };
     pub use tdc_workloads::{
-        av_workload, candidate_designs, design_preset, hbm_stack, preset_context, workload_preset,
-        AvMissionProfile, DriveSeries, SplitStrategy,
+        av_workload, candidate_designs, design_preset_context, hbm_stack, resolve_design_preset,
+        resolve_workload_preset, AvMissionProfile, DriveSeries, SplitStrategy,
     };
+    #[allow(deprecated)]
+    pub use tdc_workloads::{design_preset, preset_context, workload_preset};
     pub use tdc_yield::{AssemblyFlow, StackingFlow};
 }
