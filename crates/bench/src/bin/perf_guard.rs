@@ -230,6 +230,31 @@ fn run() -> Result<u32, String> {
         floor(&floors, "batch_warm_vs_staged_min")?,
     );
 
+    // ---- Timing: the disabled-observability tax on the hottest loop ----
+    // The batch-warm ranking above ran with recording off (the
+    // default; perf_guard never installs a sink), so every
+    // instrumented call site paid exactly one relaxed atomic load.
+    // The measured cost must stay within a small factor of the
+    // recorded warm-ranking number — if instrumentation ever puts
+    // real work on the disabled path, this ratio collapses.
+    assert!(
+        !tdc_obs::enabled(),
+        "perf_guard must measure the disabled-observability path"
+    );
+    let recorded_warm_us = recorded
+        .get("batch_sweep")
+        .and_then(|b| b.get("results_us_per_iter"))
+        .and_then(|r| r.get("batch_warm_ranking"))
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| {
+            format!("`{path}` has no batch_sweep.results_us_per_iter.batch_warm_ranking")
+        })?;
+    guard.check(
+        "obs_disabled_overhead (recorded/measured warm-ranking)",
+        recorded_warm_us / (batch_warm * 1.0e6),
+        floor(&floors, "obs_disabled_overhead_min")?,
+    );
+
     // ---- Deterministic: exploration refinement reuse ----
     // The shared `pareto_space` fixture (mirroring
     // scenarios/pareto_3d_vs_2d.json, also measured by

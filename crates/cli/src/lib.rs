@@ -42,6 +42,7 @@
 pub mod batch;
 mod json;
 pub mod packs;
+pub mod profile;
 pub mod report;
 mod scenario;
 pub mod serve;

@@ -14,7 +14,8 @@
 //!
 //! options: --format table|json|csv   --out <path>   --workers <n>   --serial
 //!          --repeat <n>   --max-inflight <n>   --listen <addr>
-//!          --baseline <scenario.json>
+//!          --baseline <scenario.json>   --profile <file>
+//!          --metrics-addr <addr>
 //! ```
 
 use std::io::Write as _;
@@ -82,10 +83,19 @@ OPTIONS:
     --baseline <scenario.json>  Compare the scenario's design against this
                                 file's design via Eq. 2 (`run` only; the
                                 scenario's workload and context are used)
+    --profile <file>            Record spans + metrics while the command runs
+                                and write the JSON profile document to <file>
+                                (`run`/`sweep`/`explore`/`batch`; schema in
+                                docs/OBSERVABILITY.md)
+    --metrics-addr <addr>       Expose `tdc_*` metrics as plain text over
+                                trivial HTTP on <addr> while serving
+                                (`serve` only; port 0 = ephemeral; the bound
+                                address is announced on stderr)
 
 Scenario files are documented in docs/SCENARIOS.md; runnable examples
 live in scenarios/. The batch/serve surfaces are documented in
-docs/SERVING.md; the exploration engine in docs/EXPLORE.md.
+docs/SERVING.md; the exploration engine in docs/EXPLORE.md; spans,
+metrics, and profiling in docs/OBSERVABILITY.md.
 ";
 
 #[derive(Debug)]
@@ -100,6 +110,8 @@ struct Options {
     max_inflight: usize,
     listen: Option<String>,
     baseline: Option<String>,
+    profile: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 impl Options {
@@ -142,6 +154,8 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
         max_inflight: 1,
         listen: None,
         baseline: None,
+        profile: None,
+        metrics_addr: None,
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -183,6 +197,12 @@ fn parse_args(mut args: Vec<String>) -> Result<Options, String> {
             }
             "--baseline" => {
                 options.baseline = Some(iter.next().ok_or("--baseline needs a scenario file")?);
+            }
+            "--profile" => {
+                options.profile = Some(iter.next().ok_or("--profile needs a file path")?);
+            }
+            "--metrics-addr" => {
+                options.metrics_addr = Some(iter.next().ok_or("--metrics-addr needs an address")?);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
@@ -229,6 +249,8 @@ const OPTION_GATES: &[(&str, &[&str])] = &[
     ("--max-inflight", &["serve"]),
     ("--listen", &["serve"]),
     ("--baseline", &["run"]),
+    ("--profile", &["run", "sweep", "explore", "batch"]),
+    ("--metrics-addr", &["serve"]),
 ];
 
 /// Commands that take no scenario-file arguments at all.
@@ -265,6 +287,8 @@ fn validate(options: &Options) -> Result<(), String> {
     check(options.max_inflight != 1, "--max-inflight")?;
     check(options.listen.is_some(), "--listen")?;
     check(options.baseline.is_some(), "--baseline")?;
+    check(options.profile.is_some(), "--profile")?;
+    check(options.metrics_addr.is_some(), "--metrics-addr")?;
     if NO_FILE_COMMANDS.contains(&command) && !options.files.is_empty() {
         return Err(format!("`tdc {command}` takes no scenario file"));
     }
@@ -291,7 +315,24 @@ fn emit(options: &Options, report: &str) -> Result<(), String> {
     }
 }
 
+/// Closes the command span and, when `--profile` was given, writes the
+/// profile document (publishing `cache`'s counters first). Called at
+/// every successful command exit so the profile always covers the full
+/// command span.
+fn finish_profile(
+    options: &Options,
+    guard: tdc_obs::SpanGuard,
+    cache: Option<&tdc_core::sweep::EvalCache>,
+) -> Result<(), String> {
+    drop(guard);
+    match &options.profile {
+        Some(path) => tdc_cli::profile::write_profile(path, cache),
+        None => Ok(()),
+    }
+}
+
 fn cmd_run(options: &Options) -> Result<(), String> {
+    let obs = tdc_obs::span("cmd.run");
     let scenario = load_scenario(options)?;
     let model = CarbonModel::new(scenario.build_context().map_err(|e| e.to_string())?);
     let design = scenario.build_design().map_err(|e| e.to_string())?;
@@ -314,7 +355,7 @@ fn cmd_run(options: &Options) -> Result<(), String> {
         let comparison = model
             .compare(&base_design, &design, &workload)
             .map_err(|e| e.to_string())?;
-        return emit(
+        emit(
             options,
             &render_decision(
                 &scenario.name,
@@ -322,7 +363,8 @@ fn cmd_run(options: &Options) -> Result<(), String> {
                 &comparison,
                 options.format(),
             ),
-        );
+        )?;
+        return finish_profile(options, obs, None);
     }
     let report = match scenario.build_workload().map_err(|e| e.to_string())? {
         Some(workload) => {
@@ -336,10 +378,12 @@ fn cmd_run(options: &Options) -> Result<(), String> {
             render_embodied(&scenario.name, &breakdown, options.format())
         }
     };
-    emit(options, &report)
+    emit(options, &report)?;
+    finish_profile(options, obs, None)
 }
 
 fn cmd_sweep(options: &Options) -> Result<(), String> {
+    let obs = tdc_obs::span("cmd.sweep");
     let scenario = load_scenario(options)?;
     let model = CarbonModel::new(scenario.build_context().map_err(|e| e.to_string())?);
     let workload = scenario
@@ -393,7 +437,8 @@ fn cmd_sweep(options: &Options) -> Result<(), String> {
     emit(
         options,
         &render_sweep(&scenario.name, result.entries(), options.format()),
-    )
+    )?;
+    finish_profile(options, obs, Some(executor.cache()))
 }
 
 /// One sweep round's bookkeeping in the stable machine-parseable
@@ -421,6 +466,7 @@ fn sweep_stats_line(stats: &tdc_core::sweep::SweepStats, round: usize, rounds: u
 }
 
 fn cmd_explore(options: &Options) -> Result<(), String> {
+    let obs = tdc_obs::span("cmd.explore");
     let scenario = load_scenario(options)?;
     let context = scenario.build_context().map_err(|e| e.to_string())?;
     let workload = scenario
@@ -458,7 +504,8 @@ fn cmd_explore(options: &Options) -> Result<(), String> {
     emit(
         options,
         &render_explore(&scenario.name, report, options.format()),
-    )
+    )?;
+    finish_profile(options, obs, Some(executor.cache()))
 }
 
 /// The `tdc explore` stderr summary, in the stable `key=value` format
@@ -510,6 +557,7 @@ fn cmd_sensitivity(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_batch(options: &Options) -> Result<(), String> {
+    let obs = tdc_obs::span("cmd.batch");
     let files = tdc_cli::batch::expand_paths(&options.files)?;
     let session = ScenarioSession::new(options.workers.unwrap_or(0));
     let stdout = std::io::stdout();
@@ -522,6 +570,7 @@ fn cmd_batch(options: &Options) -> Result<(), String> {
         &mut stderr.lock(),
     )
     .map_err(|e| format!("batch output failed: {e}"))?;
+    finish_profile(options, obs, Some(session.executor().cache()))?;
     if summary.all_ok() {
         Ok(())
     } else {
@@ -533,26 +582,45 @@ fn cmd_batch(options: &Options) -> Result<(), String> {
 }
 
 fn cmd_serve(options: &Options) -> Result<(), String> {
-    let session = ScenarioSession::new(options.workers.unwrap_or(0));
+    let session = std::sync::Arc::new(ScenarioSession::new(options.workers.unwrap_or(0)));
+    let metrics = match &options.metrics_addr {
+        Some(addr) => Some(tdc_cli::serve::MetricsServer::start(
+            addr,
+            std::sync::Arc::clone(&session),
+        )?),
+        None => None,
+    };
+    let result = serve_transport(options, &session);
+    if let Some(server) = metrics {
+        server.stop();
+    }
+    result
+}
+
+/// The frame loop of `tdc serve` on its chosen transport.
+fn serve_transport(options: &Options, session: &ScenarioSession) -> Result<(), String> {
     let stderr = std::io::stderr();
     if let Some(addr) = &options.listen {
         let listener = std::net::TcpListener::bind(addr)
             .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
-        let mut err = stderr.lock();
         // Announced on stderr so harnesses binding port 0 can find it.
         let local = listener
             .local_addr()
             .map_err(|e| format!("cannot resolve listen address: {e}"))?;
-        writeln!(err, "serve listening on {local}")
+        writeln!(stderr.lock(), "serve listening on {local}")
             .map_err(|e| format!("serve I/O failed: {e}"))?;
-        tdc_cli::serve::serve_listener(&session, listener, options.max_inflight, &mut err)
+        // Connection threads share stderr (one locked writeln per
+        // stats line), so the listener takes the Send-able handle, not
+        // a lock guard.
+        let mut err = std::io::stderr();
+        tdc_cli::serve::serve_listener(session, listener, options.max_inflight, &mut err)
             .map_err(|e| format!("serve I/O failed: {e}"))?;
         return Ok(());
     }
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     tdc_cli::serve::serve(
-        &session,
+        session,
         stdin.lock(),
         &mut stdout.lock(),
         &mut stderr.lock(),
@@ -601,6 +669,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Observability is off unless a sink asks for it (`--profile`,
+    // `--metrics-addr`) or TDC_OBS=1 forces it on — with no sink the
+    // disabled hot path is a relaxed load per instrumentation site.
+    tdc_obs::ObsConfig::from_env()
+        .enable(options.profile.is_some() || options.metrics_addr.is_some())
+        .install();
     let result = match options.command.as_str() {
         "run" => cmd_run(&options),
         "sweep" => cmd_sweep(&options),

@@ -46,10 +46,10 @@ use crate::report::response_document;
 use crate::scenario::{RequestKind, Scenario, ScenarioError};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use tdc_core::service::summary::stages_kv;
 use tdc_core::service::ScenarioSession;
@@ -84,6 +84,9 @@ enum Frame {
     },
     /// A session-stats probe.
     Stats { id: JsonValue },
+    /// An obs-metrics probe (`{"op": "metrics"}`): answers the full
+    /// metric catalog as a JSON object, on either transport.
+    Metrics { id: JsonValue },
     /// Graceful shutdown (reading stops; in-flight frames drain).
     /// `server` is the `"scope": "server"` variant: on a TCP listener
     /// it also stops accepting and drains every other connection.
@@ -146,6 +149,17 @@ fn parse_frame(line: &str) -> Frame {
             response: error_frame(&id, None, "a request frame must be a JSON object"),
         };
     }
+    // `{"op": "metrics"}` is the one command-less frame: an obs probe
+    // that predates no release, so it rides a separate key instead of
+    // widening the `command` vocabulary.
+    if let Some(op_value) = root.get("op") {
+        return match op_value.as_str() {
+            Some("metrics") => Frame::Metrics { id },
+            _ => Frame::Bad {
+                response: error_frame(&id, Some("op"), "expected \"metrics\""),
+            },
+        };
+    }
     let Some(command_value) = root.get("command") else {
         return Frame::Bad {
             response: error_frame(&id, Some("command"), "required field is missing"),
@@ -206,8 +220,33 @@ fn parse_frame(line: &str) -> Frame {
 /// `client` is the session client id evaluations run as (0 for the
 /// single-client stdin transport; a registered id per TCP connection).
 fn answer(session: &ScenarioSession, client: u64, frame: &Frame) -> (String, bool) {
+    let _obs = tdc_obs::span_timed("serve.frame", &tdc_obs::metrics::SERVE_FRAME_NS);
+    let (response, is_error) = answer_frame(session, client, frame);
+    if tdc_obs::enabled() {
+        tdc_obs::metrics::SERVE_FRAMES.inc();
+        if is_error {
+            tdc_obs::metrics::SERVE_FRAME_ERRORS.inc();
+        }
+    }
+    (response, is_error)
+}
+
+fn answer_frame(session: &ScenarioSession, client: u64, frame: &Frame) -> (String, bool) {
     match frame {
         Frame::Bad { response } => (response.clone(), true),
+        Frame::Metrics { id } => {
+            // Publish the live cache's counters first, so the scraped
+            // gauges describe the session actually serving traffic.
+            session.executor().cache().publish_obs();
+            let line = JsonValue::Object(vec![
+                ("id".to_owned(), id.clone()),
+                ("ok".to_owned(), JsonValue::Bool(true)),
+                ("op".to_owned(), JsonValue::String("metrics".to_owned())),
+                ("metrics".to_owned(), crate::profile::metrics_json()),
+            ])
+            .render_compact();
+            (line, false)
+        }
         Frame::Stats { id } => {
             let stats = session.stats();
             #[allow(clippy::cast_precision_loss)]
@@ -509,8 +548,11 @@ fn handle_connection(
     stream: TcpStream,
     max_inflight: usize,
     stop: &AtomicBool,
-) -> (ServeSummary, bool, std::io::Result<()>) {
+) -> (u64, ServeSummary, bool, std::io::Result<()>) {
     let client = session.register_client();
+    if tdc_obs::enabled() {
+        tdc_obs::metrics::SERVE_CONNECTIONS.inc();
+    }
     let mut summary = ServeSummary::default();
     // One response frame per request frame is the pathological case
     // for Nagle + delayed ACK (~40 ms per closed-loop round trip on
@@ -521,7 +563,7 @@ fn handle_connection(
         .and_then(|()| stream.try_clone());
     let reader = match setup {
         Ok(reader) => reader,
-        Err(e) => return (summary, false, Err(e)),
+        Err(e) => return (client, summary, false, Err(e)),
     };
     let mut lines = TimeoutLines::new(reader);
     let mut output = stream;
@@ -546,8 +588,8 @@ fn handle_connection(
         &mut summary,
         max_inflight,
     ) {
-        Ok(server_shutdown) => (summary, server_shutdown, Ok(())),
-        Err(e) => (summary, false, Err(e)),
+        Ok(server_shutdown) => (client, summary, server_shutdown, Ok(())),
+        Err(e) => (client, summary, false, Err(e)),
     }
 }
 
@@ -566,9 +608,13 @@ fn handle_connection(
 ///
 /// Binding problems surface from the caller's `TcpListener::bind`;
 /// here only persistent accept failures and the final stderr writes
-/// are hard errors. Per-connection I/O failures are logged to
-/// `stderr` (after the connections drain — `stderr` need not be
-/// shareable across threads) and absorbed.
+/// are hard errors. Per-connection I/O failures are noted on `stderr`
+/// (after the connections drain) and absorbed. Each connection also
+/// writes one `connection client=... frames=... errors=...` stats
+/// line to `stderr` as it closes — preformatted and written under a
+/// single lock acquisition, so lines from connections flushing
+/// concurrently never interleave mid-line (the regression test in
+/// `crates/cli/tests/serve_concurrent.rs` hammers exactly this).
 ///
 /// # Panics
 ///
@@ -578,12 +624,18 @@ pub fn serve_listener(
     session: &ScenarioSession,
     listener: TcpListener,
     max_inflight: usize,
-    stderr: &mut dyn Write,
+    stderr: &mut (dyn Write + Send),
 ) -> std::io::Result<ListenSummary> {
     let local = listener.local_addr()?;
     let stop = AtomicBool::new(false);
     let totals = Mutex::new(ListenSummary::default());
     let log = Mutex::new(Vec::<String>::new());
+    // Connection threads share stderr through this mutex, writing each
+    // per-connection stats line as ONE preformatted writeln under ONE
+    // lock acquisition. Formatting inside the writeln (or one write
+    // per token) let concurrently finishing connections interleave
+    // *within* a line; whole lines may still order freely.
+    let shared_err = Mutex::new(&mut *stderr);
 
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut accept_errors = 0u32;
@@ -611,15 +663,26 @@ pub fn serve_listener(
                 // raced the shutdown: either way, no longer serving.
                 break;
             }
-            let (stop, totals, log) = (&stop, &totals, &log);
+            let (stop, totals, log, shared_err) = (&stop, &totals, &log, &shared_err);
             scope.spawn(move || {
-                let (summary, server_shutdown, result) =
+                let (client, summary, server_shutdown, result) =
                     handle_connection(session, stream, max_inflight, stop);
                 {
                     let mut t = totals.lock().expect("listen totals lock poisoned");
                     t.connections += 1;
                     t.frames += summary.frames;
                     t.errors += summary.errors;
+                }
+                // Preformatted first, then a single locked writeln —
+                // the line can never tear against another connection
+                // flushing at the same moment.
+                let line = format!(
+                    "connection client={client} frames={} errors={}",
+                    summary.frames, summary.errors
+                );
+                {
+                    let mut err = shared_err.lock().expect("listen stderr lock poisoned");
+                    let _ = writeln!(err, "{line}");
                 }
                 if let Err(e) = result {
                     // A vanished or broken client is that client's
@@ -639,6 +702,9 @@ pub fn serve_listener(
         // drain is structural, not best-effort.
     })?;
 
+    let stderr = shared_err
+        .into_inner()
+        .expect("listen stderr lock poisoned");
     let totals = *totals.lock().expect("listen totals lock poisoned");
     let stats = session.stats();
     for note in log.into_inner().expect("listen log lock poisoned") {
@@ -655,4 +721,104 @@ pub fn serve_listener(
         stages_kv(&stats.stages)
     )?;
     Ok(totals)
+}
+
+/// The `--metrics-addr` sink: a background thread answering every TCP
+/// connection with one HTTP/1.0 `200 OK` whose plain-text body is
+/// [`tdc_obs::metrics::render_exposition`] (Prometheus-style
+/// `tdc_<name> <value>` lines), the shared session's cache counters
+/// published immediately before each scrape. The request itself is
+/// read and discarded — any path scrapes the same document.
+#[derive(Debug)]
+pub struct MetricsServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 = ephemeral), announces the bound address
+    /// on stderr as `metrics listening on <addr>`, and starts the
+    /// scrape thread.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the address when the bind fails.
+    pub fn start(addr: &str, session: Arc<ScenarioSession>) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| format!("cannot expose metrics on `{addr}`: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve metrics address: {e}"))?;
+        eprintln!("metrics listening on {local}");
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || loop {
+            let accepted = match listener.accept() {
+                Ok((stream, _peer)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            if thread_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // A failed scrape is the scraper's problem; keep serving.
+            let _ = answer_scrape(accepted, &session);
+        });
+        Ok(Self {
+            local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stops the scrape thread and joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocked accept so it observes the flag.
+        drop(TcpStream::connect(self.local));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads (and discards) one HTTP request head, then answers the
+/// exposition document.
+fn answer_scrape(mut stream: TcpStream, session: &ScenarioSession) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    session.executor().cache().publish_obs();
+    let body = tdc_obs::metrics::render_exposition();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
 }

@@ -240,6 +240,72 @@ fn concurrent_tcp_clients_equal_fresh_serial_replays() {
     assert_eq!(client_cross, stats.stages.client_hits());
 }
 
+/// Strict shape check for one per-connection stats line:
+/// `connection client=<n> frames=<n> errors=<n>`, nothing else.
+fn parse_connection_line(line: &str) -> Option<(u64, u64, u64)> {
+    let rest = line.strip_prefix("connection client=")?;
+    let (client, rest) = rest.split_once(" frames=")?;
+    let (frames, errors) = rest.split_once(" errors=")?;
+    Some((
+        client.parse().ok()?,
+        frames.parse().ok()?,
+        errors.parse().ok()?,
+    ))
+}
+
+/// Regression: with many connections tearing down at once, the
+/// per-connection stats lines used to be written in fragments, so two
+/// finishing threads could interleave mid-line. Each line is now
+/// preformatted and written under a single lock acquisition — every
+/// stderr line must parse as exactly one well-formed record.
+#[test]
+fn concurrent_connection_stats_lines_never_tear() {
+    const CLIENTS: u64 = 8;
+    let session = ScenarioSession::serial();
+    let ((), summary, stderr) = with_server(&session, 1, |addr| {
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                scope.spawn(move || {
+                    let stream_lines = random_stream(0xbeef ^ (c + 1), 2);
+                    let mut client = Client::connect(addr);
+                    for line in &stream_lines {
+                        assert!(ok_frame(&client.round_trip(line)), "client {c}");
+                    }
+                    // All streams end with a connection shutdown, so
+                    // the 8 teardowns (and their stats lines) race.
+                });
+            }
+        });
+        stop_server(addr);
+    });
+
+    let lines: Vec<&str> = stderr.lines().collect();
+    let (aggregate, connection_lines) = lines.split_last().expect("stderr has lines");
+    assert!(
+        aggregate.starts_with("listen connections="),
+        "last line must be the aggregate, got: {aggregate}"
+    );
+    let mut seen_clients = Vec::new();
+    for line in connection_lines {
+        let (client, _frames, errors) = parse_connection_line(line)
+            .unwrap_or_else(|| panic!("torn or malformed stats line: {line:?}"));
+        assert_eq!(errors, 0, "{line}");
+        seen_clients.push(client);
+    }
+    assert_eq!(
+        seen_clients.len() as u64,
+        summary.connections,
+        "one stats line per connection"
+    );
+    seen_clients.sort_unstable();
+    seen_clients.dedup();
+    assert_eq!(
+        seen_clients.len() as u64,
+        summary.connections,
+        "client ids must be unique across stats lines"
+    );
+}
+
 /// A client that vanishes mid-request (half a frame, no newline, then
 /// RST/EOF) must not take the server or its other clients down.
 #[test]

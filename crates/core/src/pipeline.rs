@@ -138,6 +138,7 @@ pub struct YieldProfile {
 /// design that passed [`ChipDesign`] construction has a geometry.
 #[must_use]
 pub fn physical_profile(ctx: &ModelContext, design: &ChipDesign) -> PhysicalProfile {
+    let _obs = tdc_obs::span_timed("stage.physical", &tdc_obs::metrics::STAGE_PHYSICAL_NS);
     let specs = design.dies();
     // Gate counts first (TSV cuts need the totals).
     let mut gates = Vec::with_capacity(specs.len());
@@ -317,6 +318,7 @@ pub fn yield_profile(
     design: &ChipDesign,
     phys: &PhysicalProfile,
 ) -> Result<YieldProfile, ModelError> {
+    let _obs = tdc_obs::span_timed("stage.yield", &tdc_obs::metrics::STAGE_YIELD_NS);
     let mut die_fab_yields = Vec::with_capacity(phys.dies.len());
     for die in &phys.dies {
         let node = ctx.tech_db().node(die.node);
@@ -410,6 +412,7 @@ pub fn embodied_breakdown(
     phys: &PhysicalProfile,
     yld: &YieldProfile,
 ) -> Result<EmbodiedBreakdown, ModelError> {
+    let _obs = tdc_obs::span_timed("stage.embodied", &tdc_obs::metrics::STAGE_EMBODIED_NS);
     // ---- C_die (Eqs. 4–6, 10 adjustment) ----
     let ci_fab = ctx.ci_fab();
     let wafer = ctx.wafer();
@@ -645,6 +648,7 @@ pub fn power_profile(
     design: &ChipDesign,
     phys: &PhysicalProfile,
 ) -> Result<PowerProfile, ModelError> {
+    let _obs = tdc_obs::span_timed("stage.power", &tdc_obs::metrics::STAGE_POWER_NS);
     let shares = resolve_shares(design, phys)?;
     let lanes: Vec<f64> = (0..phys.dies.len())
         .map(|i| io_lanes(ctx, design, phys, i))
@@ -676,6 +680,7 @@ pub fn operational_report(
     workload: &Workload,
     power_model: &dyn PowerModel,
 ) -> Result<OperationalReport, ModelError> {
+    let _obs = tdc_obs::span_timed("stage.operational", &tdc_obs::metrics::STAGE_OPERATIONAL_NS);
     let shares = power_profile.shares();
     let required_bw = workload.required_bandwidth();
     let peak = workload.peak_throughput();

@@ -772,6 +772,7 @@ pub(crate) fn run(
     out: &mut BatchRanking,
     entries: Option<&mut Vec<SweepEntry>>,
 ) -> Result<(), ModelError> {
+    let _obs = tdc_obs::span("sweep.execute_batched");
     let cache = exec.cache();
     let stamp = cache.current_stamp();
     let cap = cache.artifact_cap();
@@ -805,7 +806,8 @@ pub(crate) fn run(
         ..SweepStats::default()
     };
 
-    let result = if emb_col.complete && op_col.complete && totals_col.complete {
+    let warm = emb_col.complete && op_col.complete && totals_col.complete;
+    let result = if warm {
         // ---- Warm fast path: both artifact heads and the totals are
         // column-resident for this exact configuration. No threads, no
         // keys, no cache traffic — and no per-point allocations.
@@ -907,6 +909,17 @@ pub(crate) fn run(
             None => Ok(()),
         }
     };
+
+    if tdc_obs::enabled() {
+        use tdc_obs::metrics as m;
+        m::SWEEP_BATCH_CALLS.inc();
+        if warm {
+            m::SWEEP_BATCH_WARM_CALLS.inc();
+        }
+        m::SWEEP_POINTS.add(n as u64);
+        m::SWEEP_DELTA_SKIPS.add(stats.delta_skips);
+        m::SWEEP_COLUMN_HITS.add(stats.cache_hits as u64);
+    }
 
     if result.is_ok() {
         out.ranked.clear();

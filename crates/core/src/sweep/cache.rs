@@ -71,6 +71,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use tdc_obs::metrics::Counter;
 
 /// What a finished embodied evaluation left behind. Only the two
 /// *non-fatal* outcomes are cached.
@@ -291,12 +292,23 @@ impl CacheStats {
 /// [`EvalCache::with_artifact_cap`] overrides it.
 pub(crate) const DEFAULT_ARTIFACT_CAP: usize = 1 << 16;
 
+/// Occupancy and cumulative evictions of one cache shard, summed
+/// across the five stage cells (see [`EvalCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Artifacts currently stored in this shard.
+    pub entries: usize,
+    /// Artifacts this shard's LRU policy has evicted since
+    /// construction.
+    pub evictions: u64,
+}
+
 /// How many shards each stage's store splits into. Shard routing
 /// mixes the configuration tag, so different configurations spread
 /// across shards while one configuration's entries stay together
 /// (per-shard LRU then evicts whole-configuration working sets in
 /// recency order rather than scattering holes everywhere).
-pub(crate) const SHARD_COUNT: usize = 8;
+pub const SHARD_COUNT: usize = 8;
 
 /// The (epoch, client) identity a lookup or insert runs under —
 /// captured once per evaluation from [`EvalCache::current_stamp`].
@@ -324,19 +336,19 @@ pub(crate) struct PipelineTally {
 
 #[derive(Debug, Default)]
 pub(crate) struct TallyPair {
-    hits: AtomicU64,
-    cross_hits: AtomicU64,
-    client_hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    cross_hits: Counter,
+    client_hits: Counter,
+    misses: Counter,
 }
 
 impl TallyPair {
     fn snapshot(&self) -> StageCounters {
         StageCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            cross_hits: self.cross_hits.load(Ordering::Relaxed),
-            client_hits: self.client_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            cross_hits: self.cross_hits.get(),
+            client_hits: self.client_hits.get(),
+            misses: self.misses.get(),
         }
     }
 }
@@ -375,6 +387,9 @@ struct Entry<T> {
 struct Shard<T> {
     entries: HashMap<u64, HashMap<String, Entry<T>>>,
     count: usize,
+    /// Entries this shard has evicted since construction (maintained
+    /// under the write lock; feeds [`EvalCache::shard_stats`]).
+    evictions: u64,
 }
 
 // Manual impl: `derive(Default)` would needlessly require `T: Default`.
@@ -383,6 +398,7 @@ impl<T> Default for Shard<T> {
         Self {
             entries: HashMap::new(),
             count: 0,
+            evictions: 0,
         }
     }
 }
@@ -429,24 +445,28 @@ fn evict_lru<T>(shard: &mut Shard<T>) -> usize {
         !m.is_empty()
     });
     shard.count -= evicted;
+    shard.evictions += evicted as u64;
     evicted
 }
 
 /// One stage's sharded store plus its cumulative counters. The
-/// counters are atomics *outside* the shards, so they are exact under
-/// concurrent readers and they survive eviction and `clear` — the
-/// old single-map store reset its entry accounting wholesale on
-/// overflow, which made a long stream's stats lie mid-flight.
+/// counters are [`tdc_obs::metrics::Counter`] atomics *outside* the
+/// shards, so they are exact under concurrent readers and they survive
+/// eviction and `clear` — the old single-map store reset its entry
+/// accounting wholesale on overflow, which made a long stream's stats
+/// lie mid-flight. (`stages_kv` in [`crate::service::summary`] is the
+/// compatibility formatter that keeps the stderr `key=value` surface
+/// byte-identical on top of these.)
 #[derive(Debug)]
 pub(crate) struct StageCell<T> {
     shards: [RwLock<Shard<T>>; SHARD_COUNT],
     /// The store-wide access clock LRU stamps come from.
     clock: AtomicU64,
-    hits: AtomicU64,
-    cross_hits: AtomicU64,
-    client_hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    cross_hits: Counter,
+    client_hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 // Manual impl: `derive(Default)` would needlessly require `T: Default`.
@@ -455,11 +475,11 @@ impl<T> Default for StageCell<T> {
         Self {
             shards: std::array::from_fn(|_| RwLock::new(Shard::default())),
             clock: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            cross_hits: AtomicU64::new(0),
-            client_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            cross_hits: Counter::new(),
+            client_hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 }
@@ -480,21 +500,21 @@ impl<T: Clone> StageCell<T> {
                     self.clock.fetch_add(1, Ordering::Relaxed) + 1,
                     Ordering::Relaxed,
                 );
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                tally.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
+                tally.hits.inc();
                 if entry.epoch < stamp.epoch {
-                    self.cross_hits.fetch_add(1, Ordering::Relaxed);
-                    tally.cross_hits.fetch_add(1, Ordering::Relaxed);
+                    self.cross_hits.inc();
+                    tally.cross_hits.inc();
                 }
                 if entry.client != stamp.client {
-                    self.client_hits.fetch_add(1, Ordering::Relaxed);
-                    tally.client_hits.fetch_add(1, Ordering::Relaxed);
+                    self.client_hits.inc();
+                    tally.client_hits.inc();
                 }
                 Some(entry.value.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                tally.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
+                tally.misses.inc();
                 None
             }
         }
@@ -510,7 +530,7 @@ impl<T: Clone> StageCell<T> {
         let exists = shard.entries.get(&tag).is_some_and(|m| m.contains_key(key));
         if !exists && shard.count >= per_shard_cap(cap) {
             let evicted = evict_lru(&mut shard);
-            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            self.evictions.add(evicted as u64);
         }
         let entry = Entry {
             value,
@@ -531,15 +551,15 @@ impl<T: Clone> StageCell<T> {
 
     fn counters(&self) -> StageCounters {
         StageCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            cross_hits: self.cross_hits.load(Ordering::Relaxed),
-            client_hits: self.client_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            cross_hits: self.cross_hits.get(),
+            client_hits: self.client_hits.get(),
+            misses: self.misses.get(),
         }
     }
 
     fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     fn len(&self) -> usize {
@@ -547,6 +567,16 @@ impl<T: Clone> StageCell<T> {
             .iter()
             .map(|s| s.read().expect("cache shard poisoned").count)
             .sum()
+    }
+
+    /// Folds this cell's per-shard occupancy and eviction counts into
+    /// `out` (indexed by shard).
+    fn fold_shard_stats(&self, out: &mut [ShardStats; SHARD_COUNT]) {
+        for (shard, slot) in self.shards.iter().zip(out.iter_mut()) {
+            let shard = shard.read().expect("cache shard poisoned");
+            slot.entries += shard.count;
+            slot.evictions += shard.evictions;
+        }
     }
 
     fn clear(&self) {
@@ -791,6 +821,51 @@ impl EvalCache {
                 + self.embodied.evictions()
                 + self.power.evictions()
                 + self.operational.evictions(),
+        }
+    }
+
+    /// Per-shard occupancy and eviction counts, summed across the five
+    /// stage cells (shard `i` of every stage shares index `i`).
+    /// Occupancy reflects the current contents; evictions are
+    /// cumulative since construction (maintained inside each shard, so
+    /// they attribute LRU pressure to the shard that felt it — the
+    /// cell-level [`CacheStats::evictions`] aggregate cannot).
+    #[must_use]
+    pub fn shard_stats(&self) -> [ShardStats; SHARD_COUNT] {
+        let mut out = [ShardStats::default(); SHARD_COUNT];
+        self.physical.fold_shard_stats(&mut out);
+        self.yields.fold_shard_stats(&mut out);
+        self.embodied.fold_shard_stats(&mut out);
+        self.power.fold_shard_stats(&mut out);
+        self.operational.fold_shard_stats(&mut out);
+        out
+    }
+
+    /// Publishes this cache's cumulative counters and per-shard
+    /// occupancy/evictions into the global obs gauges
+    /// (`cache.*` in `tdc_obs::metrics::CATALOG`). Called by the
+    /// metric sinks (profile writer, serve metrics frame, exposition
+    /// scrape) right before they snapshot, so the published levels
+    /// always describe the cache actually serving traffic.
+    pub fn publish_obs(&self) {
+        use tdc_obs::metrics as m;
+        const {
+            assert!(
+                SHARD_COUNT == m::CACHE_SHARDS,
+                "obs per-shard gauge arrays must match the cache shard count"
+            );
+        }
+        let stats = self.stats();
+        let to_i64 = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        m::CACHE_HITS.set(to_i64(stats.stages.hits()));
+        m::CACHE_CROSS_HITS.set(to_i64(stats.stages.cross_hits()));
+        m::CACHE_CLIENT_HITS.set(to_i64(stats.stages.client_hits()));
+        m::CACHE_MISSES.set(to_i64(stats.stages.misses()));
+        m::CACHE_EVICTIONS.set(to_i64(stats.evictions));
+        m::CACHE_ENTRIES.set(to_i64(stats.entries as u64));
+        for (i, shard) in self.shard_stats().iter().enumerate() {
+            m::CACHE_SHARD_ENTRIES[i].set(to_i64(shard.entries as u64));
+            m::CACHE_SHARD_EVICTIONS[i].set(to_i64(shard.evictions));
         }
     }
 

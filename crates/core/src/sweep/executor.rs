@@ -237,6 +237,11 @@ impl SweepExecutor {
         plan: &SweepPlan,
         workload: &Workload,
     ) -> Result<SweepResult, ModelError> {
+        let _obs = tdc_obs::span("sweep.execute");
+        if tdc_obs::enabled() {
+            tdc_obs::metrics::SWEEP_EXECUTE_CALLS.inc();
+            tdc_obs::metrics::SWEEP_POINTS.add(plan.points().len() as u64);
+        }
         // Per-stage namespace tags: each hashes only the input slices
         // that stage reads, so a configuration change invalidates
         // exactly the stages it touches. The tags are baked into every

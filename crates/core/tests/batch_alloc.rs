@@ -94,4 +94,18 @@ fn warm_batch_ranking_performs_zero_allocations_per_point() {
         large <= 64,
         "warm batch call allocated {large} times; expected a small constant"
     );
+
+    // With observability recording turned on, the warm call must stay
+    // just as allocation-free: every metric is a static atomic and the
+    // span recorder pre-reserves its capacity on enable, so recording
+    // the `sweep.execute_batched` span and its counters costs zero
+    // heap traffic.
+    tdc_obs::set_enabled(true);
+    let enabled = warm_call_allocations(ProcessNode::ALL.to_vec());
+    tdc_obs::set_enabled(false);
+    tdc_obs::reset();
+    assert_eq!(
+        large, enabled,
+        "enabling obs changed warm-call allocations: {large} vs {enabled}"
+    );
 }

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use tdc_core::service::{EvalRequest, EvalResponse, ScenarioSession};
-use tdc_core::sweep::{DesignSweep, SweepExecutor, SweepPlan};
+use tdc_core::sweep::{DesignSweep, SweepExecutor, SweepPlan, SHARD_COUNT};
 use tdc_core::{CarbonModel, ChipDesign, DieSpec, ModelContext, Workload};
 use tdc_technode::{GridRegion, ProcessNode};
 use tdc_units::{Throughput, TimeSpan};
@@ -164,6 +164,93 @@ fn evaluate_as_attributes_cross_client_hits() {
         .evaluate(&request(GridRegion::Renewable, 9_000.0))
         .unwrap();
     assert!(anon.stats.stages.client_hits() > 0);
+}
+
+/// Per-shard occupancy/eviction introspection and its obs mirror:
+/// `shard_stats` sums to the aggregate stats, spreads many
+/// configurations across shards (routing is by configuration tag, so
+/// balance needs tag diversity, not key diversity), attributes
+/// evictions to the shard that felt the pressure, and `publish_obs`
+/// copies the same numbers into the global `cache.shard*` gauges.
+#[test]
+fn shard_stats_balance_and_publish_to_obs_gauges() {
+    let run_configurations = |executor: &SweepExecutor| {
+        let plan = plan();
+        for region in REGIONS {
+            for k in 0..6 {
+                let workload = mission(3_000.0 + 500.0 * f64::from(k));
+                executor
+                    .execute(&CarbonModel::new(context(region)), &plan, &workload)
+                    .unwrap();
+            }
+        }
+    };
+
+    let executor = SweepExecutor::serial();
+    run_configurations(&executor);
+    let cache = executor.cache();
+    let shards = cache.shard_stats();
+    let total: usize = shards.iter().map(|s| s.entries).sum();
+    assert_eq!(
+        total,
+        cache.stats().entries,
+        "shard occupancy must sum to the aggregate entry count"
+    );
+    // Balance: 24 configurations (4 regions x 6 lifetimes) route by
+    // mixed 64-bit tag, so occupancy must spread — no single shard may
+    // hold the majority, and at least half the shards see entries.
+    let populated = shards.iter().filter(|s| s.entries > 0).count();
+    assert!(
+        populated >= SHARD_COUNT / 2,
+        "only {populated} of {SHARD_COUNT} shards populated: {shards:?}"
+    );
+    let max = shards.iter().map(|s| s.entries).max().unwrap();
+    let min = shards.iter().map(|s| s.entries).min().unwrap();
+    assert!(
+        max * 2 <= total,
+        "one shard holds {max} of {total} entries (min {min}): {shards:?}"
+    );
+    assert_eq!(
+        shards.iter().map(|s| s.evictions).sum::<u64>(),
+        0,
+        "the uncapped store never evicts"
+    );
+
+    // Per-shard evictions attribute LRU pressure to the shard that
+    // felt it, and sum to the cell-level aggregate.
+    let tiny = SweepExecutor::serial().artifact_cap(2);
+    run_configurations(&tiny);
+    let tiny_shards = tiny.cache().shard_stats();
+    let evicted: u64 = tiny_shards.iter().map(|s| s.evictions).sum();
+    assert_eq!(evicted, tiny.cache().stats().evictions);
+    assert!(evicted > 0, "cap 2 under 24 configurations must evict");
+
+    // The obs mirror: publish_obs copies exactly these numbers into
+    // the global gauges (recomputed right after the publish — nothing
+    // else mutates this local cache).
+    cache.publish_obs();
+    let stats = cache.stats();
+    let shards = cache.shard_stats();
+    assert_eq!(
+        tdc_obs::metrics::CACHE_ENTRIES.get(),
+        i64::try_from(stats.entries).unwrap()
+    );
+    assert_eq!(
+        tdc_obs::metrics::CACHE_HITS.get(),
+        i64::try_from(stats.stages.hits()).unwrap()
+    );
+    for (i, shard) in shards.iter().enumerate() {
+        assert_eq!(
+            tdc_obs::metrics::CACHE_SHARD_ENTRIES[i].get(),
+            i64::try_from(shard.entries).unwrap(),
+            "shard {i} entry gauge"
+        );
+        assert_eq!(
+            tdc_obs::metrics::CACHE_SHARD_EVICTIONS[i].get(),
+            i64::try_from(shard.evictions).unwrap(),
+            "shard {i} eviction gauge"
+        );
+    }
 }
 
 /// Seeded thread-stress on the sharded read/write path through the

@@ -1,0 +1,103 @@
+//! Wall-time sources ([`Clock`]): monotonic by default, injectable
+//! [`MockClock`] for deterministic tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A source of monotonic nanosecond timestamps. Span guards read the
+/// globally installed clock (see [`set_clock`]), so tests can replace
+/// real time with a deterministic sequence.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current time in nanoseconds since an arbitrary (but fixed)
+    /// process-local origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The default clock: [`Instant`] anchored at the first observation,
+/// so timestamps are small and the origin is stable for the process
+/// lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonotonicClock;
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        let anchor = *ANCHOR.get_or_init(Instant::now);
+        u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: every [`now_ns`](Clock::now_ns)
+/// call returns the previous value plus a fixed step, so any
+/// single-threaded instrumentation sequence produces byte-identical
+/// timestamps run after run.
+#[derive(Debug)]
+pub struct MockClock {
+    next: AtomicU64,
+    step: u64,
+}
+
+impl MockClock {
+    /// A clock whose first reading is `start` and which advances by
+    /// `step` nanoseconds per reading.
+    #[must_use]
+    pub fn new(start: u64, step: u64) -> Self {
+        Self {
+            next: AtomicU64::new(start),
+            step,
+        }
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.next.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+/// The installed clock override (`None` = [`MonotonicClock`]).
+static CLOCK: RwLock<Option<Arc<dyn Clock>>> = RwLock::new(None);
+
+/// Installs a process-global clock override (used by every span guard
+/// from now on). Tests install a [`MockClock`] here.
+pub fn set_clock(clock: Arc<dyn Clock>) {
+    *CLOCK.write().expect("obs clock lock poisoned") = Some(clock);
+}
+
+/// Removes any clock override, restoring the [`MonotonicClock`].
+pub fn reset_clock() {
+    *CLOCK.write().expect("obs clock lock poisoned") = None;
+}
+
+/// Reads the installed clock (monotonic when none is installed).
+#[must_use]
+pub fn now_ns() -> u64 {
+    let guard = CLOCK.read().expect("obs clock lock poisoned");
+    match guard.as_ref() {
+        Some(clock) => clock.now_ns(),
+        None => MonotonicClock.now_ns(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_is_a_deterministic_sequence() {
+        let clock = MockClock::new(5, 1000);
+        assert_eq!(clock.now_ns(), 5);
+        assert_eq!(clock.now_ns(), 1005);
+        assert_eq!(clock.now_ns(), 2005);
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock;
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

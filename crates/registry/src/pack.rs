@@ -251,6 +251,10 @@ impl Registry {
     /// field path of the first problem. The registry is left unchanged
     /// on error.
     pub fn load_pack(&mut self, path: &Path) -> Result<PackSummary, PackError> {
+        let _obs = tdc_obs::span("pack.load");
+        if tdc_obs::enabled() {
+            tdc_obs::metrics::REGISTRY_PACK_LOADS.inc();
+        }
         // Load into a scratch clone-free staging pass first? The
         // registry cannot be cheaply cloned (factories are closures),
         // so instead: validate and build every entry *before* touching

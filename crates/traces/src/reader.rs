@@ -92,6 +92,7 @@ impl TraceReader {
     /// (with a 1-based line number) on malformed lines, and
     /// [`TraceError::Empty`] when fewer than two samples remain.
     pub fn ingest<R: Read>(&self, mut source: R) -> Result<TraceProfile, TraceError> {
+        let _obs = tdc_obs::span_timed("trace.ingest", &tdc_obs::metrics::TRACES_INGEST_NS);
         let mut buf = vec![0u8; self.chunk_bytes];
         let mut carry: Vec<u8> = Vec::with_capacity(self.chunk_bytes);
         let mut parser = LineParser::new();
@@ -130,7 +131,11 @@ impl TraceReader {
         if !carry.is_empty() {
             parser.feed(&carry)?;
         }
-        parser.finish(peak)
+        let profile = parser.finish(peak)?;
+        if tdc_obs::enabled() {
+            tdc_obs::metrics::TRACES_INGEST_SAMPLES.add(profile.samples() as u64);
+        }
+        Ok(profile)
     }
 
     /// Ingests a trace log from a file.
